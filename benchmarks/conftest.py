@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's artifacts (see
+DESIGN.md's per-experiment index E1-E12).  Benchmarks double as
+correctness checks: every timed operation asserts the paper's claim on
+its result, so ``pytest benchmarks/ --benchmark-only`` re-establishes
+the paper while measuring it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(19841982)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "artifact(name): which paper artifact a bench regenerates"
+    )

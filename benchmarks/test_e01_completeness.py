@@ -1,0 +1,80 @@
+"""E1 — Theorem 3.1: the three decision routes, cross-validated.
+
+Regenerates the paper's completeness statement as a measurement: the
+syntactic prover (|-), the Rule (*) database (|=fin), and proof
+checking all process the same random workloads and must agree.
+"""
+
+import random
+
+import pytest
+
+from repro.core.ind_axioms import check_proof
+from repro.core.ind_chase import decide_by_rule_star
+from repro.core.ind_decision import decide_ind
+from repro.core.ind_prover import prove_ind
+from repro.workloads.random_deps import random_implication_instance
+
+WORKLOAD_SEEDS = list(range(40))
+
+
+def _workload():
+    instances = []
+    for seed in WORKLOAD_SEEDS:
+        rng = random.Random(seed)
+        instances.append(random_implication_instance(rng))
+    return instances
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return _workload()
+
+
+def test_syntactic_decision(benchmark, workload):
+    """|-: Corollary 3.2 reachability over the whole workload."""
+
+    def run():
+        return [decide_ind(target, premises).implied
+                for _schema, premises, target in workload]
+
+    answers = benchmark(run)
+    assert any(answers) and not all(answers)
+
+
+def test_rule_star_decision(benchmark, workload):
+    """|=fin: the Rule (*) canonical database, same workload."""
+
+    def run():
+        return [
+            decide_by_rule_star(target, premises, schema)
+            for schema, premises, target in workload
+        ]
+
+    answers = benchmark(run)
+    syntactic = [
+        decide_ind(target, premises).implied
+        for _schema, premises, target in workload
+    ]
+    assert answers == syntactic  # Theorem 3.1: |- == |=fin
+
+
+def test_proof_construction_and_checking(benchmark, workload):
+    """Constructive completeness: build + verify proofs for the
+    implied instances."""
+    positives = [
+        (schema, premises, target)
+        for schema, premises, target in workload
+        if decide_ind(target, premises).implied
+    ]
+
+    def run():
+        count = 0
+        for schema, premises, target in positives:
+            proof = prove_ind(target, premises)
+            assert check_proof(proof, schema, target)
+            count += 1
+        return count
+
+    checked = benchmark(run)
+    assert checked == len(positives) > 0

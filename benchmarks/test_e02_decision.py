@@ -1,0 +1,66 @@
+"""E2 — the Corollary 3.2 procedure's cost profile.
+
+Regenerates the decision-procedure analysis: cost grows with the
+length of the witness chain (number of step-(2) applications) and with
+the size of the reachable expression set Z.
+"""
+
+import pytest
+
+from repro.core.ind_decision import decide_ind, reachable_expressions
+from repro.deps.ind import IND
+
+
+def chain_instance(length: int):
+    """R0[A] c R1[B] c ... c RL[B]: witness chain of ``length`` steps."""
+    premises = [
+        IND(f"R{i}", ("A",) if i == 0 else ("B",), f"R{i+1}", ("B",))
+        for i in range(length)
+    ]
+    target = IND("R0", ("A",), f"R{length}", ("B",))
+    return premises, target
+
+
+@pytest.mark.parametrize("length", [4, 16, 64, 256])
+def test_chain_decision(benchmark, length):
+    premises, target = chain_instance(length)
+    result = benchmark(lambda: decide_ind(target, premises))
+    assert result.implied
+    assert result.chain_length == length + 1
+
+
+def star_instance(fanout: int):
+    """One source included in ``fanout`` targets; query an absent one."""
+    premises = [
+        IND("R", ("A",), f"S{i}", ("B",)) for i in range(fanout)
+    ]
+    target = IND("R", ("A",), "T", ("B",))
+    return premises, target
+
+
+@pytest.mark.parametrize("fanout", [8, 64, 512])
+def test_negative_decision_explores_closure(benchmark, fanout):
+    premises, target = star_instance(fanout)
+    result = benchmark(lambda: decide_ind(target, premises))
+    assert not result.implied
+    assert result.explored == fanout + 1  # the start plus every branch
+
+
+@pytest.mark.parametrize("width", [2, 3, 4])
+def test_z_closure_size_under_permutations(benchmark, width):
+    """The full-orbit Z-set of a permutation premise (the paper's
+    deterministic worst case: Z collects every permuted expression)."""
+    attrs = tuple(f"A{i}" for i in range(width))
+    rotated = attrs[1:] + attrs[:1]
+    swap = (attrs[1], attrs[0]) + attrs[2:]
+    premises = [
+        IND("R", attrs, "R", rotated),
+        IND("R", attrs, "R", swap),
+    ]
+    closure = benchmark(
+        lambda: reachable_expressions(("R", attrs), premises)
+    )
+    # Rotation + transposition generate the full symmetric group.
+    import math
+
+    assert len(closure) == math.factorial(width)

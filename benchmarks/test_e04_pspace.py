@@ -1,0 +1,61 @@
+"""E4 — Theorem 3.3: the PSPACE reduction, measured.
+
+Regenerates the reduction-size table (|Sigma|, arity vs n) and times
+both sides — direct LBA simulation and the reduced IND decision — on
+the machine suite, asserting agreement everywhere.
+"""
+
+import pytest
+
+from repro.lba.acceptance import accepts
+from repro.lba.examples import (
+    contains_b_machine,
+    even_length_machine,
+    looping_machine,
+)
+from repro.lba.reduction import reduce_to_inds, verify_reduction
+
+
+@pytest.mark.parametrize("n", [3, 5, 7, 9])
+def test_direct_simulation(benchmark, n):
+    machine = even_length_machine()
+    word = "a" * n
+    result = benchmark(lambda: accepts(machine, word))
+    assert result.accepted == (n % 2 == 0)
+
+
+@pytest.mark.parametrize("n", [3, 5, 7, 9])
+def test_reduced_ind_decision(benchmark, n):
+    machine = even_length_machine()
+    word = "a" * n
+    instance = reduce_to_inds(machine, word)
+    decision = benchmark(lambda: instance.decide())
+    assert decision.implied == (n % 2 == 0)
+
+
+@pytest.mark.parametrize("n", [4, 6, 8, 12, 16])
+def test_reduction_construction_size(benchmark, n):
+    """The reduction itself is polynomial: |Sigma| = rules x (n-1),
+    arity = |K u Gamma| x (n+1)."""
+    machine = even_length_machine()
+    word = "a" * n
+    instance = benchmark(lambda: reduce_to_inds(machine, word))
+    report = instance.size_report()
+    assert report["ind_count"] == len(machine.rules) * (n - 1)
+    assert report["relation_arity"] == len(machine.symbols) * (n + 1)
+
+
+@pytest.mark.parametrize(
+    "maker,word,expected",
+    [
+        (contains_b_machine, "aab", True),
+        (contains_b_machine, "aaaa", False),
+        (looping_machine, "aaaa", False),
+        (even_length_machine, "aaaaaa", True),
+    ],
+)
+def test_full_verification(benchmark, maker, word, expected):
+    machine = maker()
+    verification = benchmark(lambda: verify_reduction(machine, word))
+    assert verification.agree
+    assert verification.decision.implied == expected

@@ -1,0 +1,64 @@
+"""E5 — the polynomial special cases (Section 3 remarks).
+
+Typed INDs and arity-bounded INDs admit polynomial decisions; this
+harness regenerates the comparison between the specialized deciders
+and the general procedure on matched workloads.
+"""
+
+import pytest
+
+from repro.core.ind_decision import decide_ind
+from repro.core.ind_prover import decide_bounded_arity, decide_typed
+from repro.deps.ind import IND
+
+
+def typed_chain(length: int, width: int = 3):
+    attrs = tuple(f"A{i}" for i in range(width))
+    premises = [
+        IND(f"R{i}", attrs, f"R{i+1}", attrs) for i in range(length)
+    ]
+    target = IND("R0", attrs[:2], f"R{length}", attrs[:2])
+    return premises, target
+
+
+@pytest.mark.parametrize("length", [8, 32, 128])
+def test_typed_fast_path(benchmark, length):
+    premises, target = typed_chain(length)
+    answer = benchmark(lambda: decide_typed(target, premises))
+    assert answer
+
+
+@pytest.mark.parametrize("length", [8, 32, 128])
+def test_typed_via_general_procedure(benchmark, length):
+    premises, target = typed_chain(length)
+    result = benchmark(lambda: decide_ind(target, premises))
+    assert result.implied
+
+
+def bounded_instance(length: int, k: int = 2):
+    premises = [
+        IND(f"R{i}", ("A", "B"), f"R{i+1}", ("B", "A")) for i in range(length)
+    ]
+    target_attrs = ("A", "B") if length % 2 == 0 else ("B", "A")
+    target = IND("R0", ("A", "B"), f"R{length}", target_attrs)
+    return premises, target
+
+
+@pytest.mark.parametrize("length", [8, 32, 128])
+def test_bounded_arity_decision(benchmark, length):
+    premises, target = bounded_instance(length)
+    result = benchmark(lambda: decide_bounded_arity(target, premises, bound=2))
+    assert result.implied
+
+
+def test_savitch_on_tiny_instance(benchmark):
+    """The quadratic-space Savitch procedure is exact but slow — shown
+    here on a deliberately tiny instance (its cost explodes beyond)."""
+    from repro.core.pspace import savitch_reachable
+    from repro.model.schema import DatabaseSchema
+
+    schema = DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+    premises = [IND("R", ("A",), "S", ("C",)), IND("S", ("C",), "R", ("B",))]
+    target = IND("R", ("A",), "R", ("B",))
+    answer = benchmark(lambda: savitch_reachable(target, premises, schema))
+    assert answer

@@ -1,0 +1,73 @@
+"""E6 — Propositions 4.1-4.3: FD/IND interaction, rule vs chase.
+
+Regenerates the section's derivations two ways: the specialized
+inference rules (constant-time shape analysis) and the general chase
+re-deriving the same conclusions semantically.
+"""
+
+import pytest
+
+from repro.core.fdind_chase import chase_implies
+from repro.core.interaction import derive_rd, merge_inds, pullback_fd
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.rd import RD
+from repro.model.schema import DatabaseSchema
+
+
+SCHEMA = DatabaseSchema.from_dict(
+    {"R": ("X", "Y", "Z"), "S": ("T", "U", "V")}
+)
+IND_XY = IND("R", ("X", "Y"), "S", ("T", "U"))
+IND_XZ = IND("R", ("X", "Z"), "S", ("T", "V"))
+IND_XZ_SAME = IND("R", ("X", "Z"), "S", ("T", "U"))
+FD_TU = FD("S", ("T",), ("U",))
+
+
+def test_rule_41_pullback(benchmark):
+    derived = benchmark(lambda: pullback_fd(IND_XY, FD_TU))
+    assert derived == FD("R", ("X",), ("Y",))
+
+
+def test_chase_41_pullback(benchmark):
+    cert = benchmark(
+        lambda: chase_implies(SCHEMA, [IND_XY, FD_TU], FD("R", ("X",), ("Y",)))
+    )
+    assert cert.implied
+
+
+def test_rule_42_merge(benchmark):
+    derived = benchmark(lambda: merge_inds(IND_XY, IND_XZ, FD_TU))
+    assert derived == IND("R", ("X", "Y", "Z"), "S", ("T", "U", "V"))
+
+
+def test_chase_42_merge(benchmark):
+    target = IND("R", ("X", "Y", "Z"), "S", ("T", "U", "V"))
+    cert = benchmark(
+        lambda: chase_implies(SCHEMA, [IND_XY, IND_XZ, FD_TU], target)
+    )
+    assert cert.implied
+
+
+def test_rule_43_rd(benchmark):
+    derived = benchmark(lambda: derive_rd(IND_XY, IND_XZ_SAME, FD_TU))
+    assert derived == RD("R", ("Y",), ("Z",))
+
+
+def test_chase_43_rd(benchmark):
+    cert = benchmark(
+        lambda: chase_implies(
+            SCHEMA, [IND_XY, IND_XZ_SAME, FD_TU], RD("R", ("Y",), ("Z",))
+        )
+    )
+    assert cert.implied
+
+
+def test_chase_rejects_without_fd(benchmark):
+    """Control: the RD is NOT implied without the FD premise."""
+    cert = benchmark(
+        lambda: chase_implies(
+            SCHEMA, [IND_XY, IND_XZ_SAME], RD("R", ("Y",), ("Z",))
+        )
+    )
+    assert not cert.implied

@@ -1,0 +1,84 @@
+"""E7 — Theorem 4.4 and Figures 4.1/4.2, measured.
+
+Regenerates the finite/unrestricted split: the finite engine derives
+the reversals (counting argument), the unrestricted engine refuses,
+and the symbolic infinite figures are checked exactly.
+"""
+
+import pytest
+
+from repro.core.finite_unary import (
+    finitely_implies_unary,
+    unary_closure,
+    unrestricted_implies_unary,
+)
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.model.schema import DatabaseSchema, RelationSchema
+from repro.model.symbolic import (
+    SymbolicDatabase,
+    figure_4_1_relation,
+    figure_4_2_relation,
+)
+
+SCHEMA = DatabaseSchema.of(RelationSchema("R", ("A", "B")))
+SIGMA = [FD("R", ("A",), ("B",)), IND("R", ("A",), "R", ("B",))]
+TARGETS = [IND("R", ("B",), "R", ("A",)), FD("R", ("B",), ("A",))]
+
+
+def test_finite_engine(benchmark):
+    answers = benchmark(
+        lambda: [finitely_implies_unary(SIGMA, t) for t in TARGETS]
+    )
+    assert answers == [True, True]
+
+
+def test_unrestricted_engine(benchmark):
+    answers = benchmark(
+        lambda: [unrestricted_implies_unary(SIGMA, t) for t in TARGETS]
+    )
+    assert answers == [False, False]
+
+
+def test_figure_4_1_checks(benchmark):
+    db = SymbolicDatabase(SCHEMA, {"R": figure_4_1_relation()})
+
+    def run():
+        return (
+            db.satisfies_all(SIGMA),
+            db.satisfies(TARGETS[0]),
+        )
+
+    sat_sigma, sat_target = benchmark(run)
+    assert sat_sigma and not sat_target
+
+
+def test_figure_4_2_checks(benchmark):
+    db = SymbolicDatabase(SCHEMA, {"R": figure_4_2_relation()})
+
+    def run():
+        return (
+            db.satisfies_all(SIGMA),
+            db.satisfies(TARGETS[1]),
+        )
+
+    sat_sigma, sat_target = benchmark(run)
+    assert sat_sigma and not sat_target
+
+
+@pytest.mark.parametrize("cycle", [2, 8, 32, 128])
+def test_cycle_closure_scaling(benchmark, cycle):
+    """The finite engine's cycle rule on growing Section 6 cycles:
+    closure cost vs cycle length (the engine's SCC pass)."""
+    premises = []
+    for i in range(cycle):
+        premises.append(FD(f"R{i}", ("A",), ("B",)))
+        premises.append(IND(f"R{i}", ("A",), f"R{(i+1) % cycle}", ("B",)))
+    closure = benchmark(lambda: unary_closure(premises, finite=True))
+    # Every IND reverses around the cycle.
+    reversed_count = sum(
+        1
+        for (src, dst) in closure.inds
+        if (dst, src) in closure.inds and src != dst
+    )
+    assert reversed_count >= 2 * cycle

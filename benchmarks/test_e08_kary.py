@@ -1,0 +1,57 @@
+"""E8 — Theorem 5.1's closure machinery, measured.
+
+Regenerates the k-ary closure analyses: closure computation over
+enumerated universes and the exhaustive <=k-subset violation search
+that underlies the Section 6/7 certificates.
+"""
+
+import pytest
+
+from repro.core.armstrong6 import cycle_family, gamma_6, make_finite_oracle
+from repro.core.fd_closure import fd_implies
+from repro.core.kary import (
+    find_kary_violation,
+    implication_closure,
+    is_closed_under_implication,
+)
+from repro.deps.enumeration import all_fds, dependency_universe
+from repro.deps.fd import FD
+from repro.model.schema import RelationSchema
+
+
+def fd_oracle(premises, target):
+    return fd_implies(list(premises), target)
+
+
+def test_fd_closure_over_universe(benchmark):
+    schema = RelationSchema("R", ("A", "B", "C", "D"))
+    universe = list(all_fds(schema, include_trivial=True, allow_empty_lhs=False))
+    sigma = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",)),
+             FD("R", ("C",), ("D",))]
+    closure = benchmark(lambda: implication_closure(sigma, universe, fd_oracle))
+    assert FD("R", ("A",), ("D",)) in closure
+    assert is_closed_under_implication(closure, universe, fd_oracle)
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_gamma6_kary_violation_search(benchmark, k):
+    """The exhaustive Theorem 5.1 check on Section 6's Gamma: no
+    <=k-subset implies anything outside Gamma."""
+    family = cycle_family(k)
+    gamma = gamma_6(family)
+    universe = dependency_universe(family.schema, include_trivial=True)
+    oracle = make_finite_oracle(k)
+    violation = benchmark(
+        lambda: find_kary_violation(gamma, universe, k, oracle)
+    )
+    assert violation is None
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_universe_enumeration_cost(benchmark, k):
+    family = cycle_family(k)
+    universe = benchmark(
+        lambda: dependency_universe(family.schema, include_trivial=True)
+    )
+    # Universe grows quadratically with the number of relations.
+    assert len(universe) > (k + 1) ** 2

@@ -1,0 +1,43 @@
+"""E9 — Theorem 5.3: the Sagiv-Walecka EMVD family, measured.
+
+Regenerates Corollary 5.2's three conditions for the SW family: the
+full-cycle derivation (chase), the single-member refutations, and the
+subset sweep of condition (iii).
+"""
+
+import pytest
+
+from repro.core.emvd_chase import (
+    emvd_chase,
+    emvd_implies,
+    sagiv_walecka_family,
+    theorem_5_3_report,
+)
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_full_cycle_derivation(benchmark, k):
+    family = sagiv_walecka_family(k)
+    answer = benchmark(
+        lambda: emvd_chase(family.schema, family.sigma, family.target)
+    )
+    assert answer is True
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def test_single_member_refutations(benchmark, k):
+    family = sagiv_walecka_family(k)
+
+    def run():
+        return [
+            emvd_implies(family.schema, [member], family.target).implied
+            for member in family.sigma
+        ]
+
+    answers = benchmark(run)
+    assert answers == [False] * (k + 1)
+
+
+def test_condition_iii_sweep_k2(benchmark):
+    report = benchmark(lambda: theorem_5_3_report(2, max_universe=40))
+    assert report.establishes_theorem, str(report)

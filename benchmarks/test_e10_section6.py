@@ -1,0 +1,46 @@
+"""E10 — Theorem 6.1 and Figure 6.1, measured.
+
+Regenerates the Section 6 artifacts for a sweep of k: the Armstrong
+database (Figure 6.1), the full claim-(6.1) model check over the
+enumerated universe, and the assembled Theorem 6.1 report.
+"""
+
+import pytest
+
+from repro.core.armstrong6 import (
+    cycle_family,
+    figure_6_1,
+    theorem_6_1_report,
+    verify_claim_6_1,
+)
+from repro.core.finite_unary import finitely_implies_unary
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+def test_figure_6_1_generation(benchmark, k):
+    db = benchmark(lambda: figure_6_1(k))
+    # r_i has 2i + 3 tuples; total = sum = (k+1)(k+3) ... check r_k.
+    assert len(db[f"R{k}"]) == 2 * k + 3
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_claim_6_1_model_check(benchmark, k):
+    report = benchmark(lambda: verify_claim_6_1(k))
+    assert report.holds
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_theorem_6_1_full_report(benchmark, k):
+    report = benchmark(lambda: theorem_6_1_report(k))
+    assert report.establishes_theorem
+
+
+@pytest.mark.parametrize("k", [2, 8, 32])
+def test_cycle_implication_cost(benchmark, k):
+    """Cost of the finite-implication answer Sigma |=fin sigma as the
+    cycle grows (the counting argument, algorithmically)."""
+    family = cycle_family(k)
+    answer = benchmark(
+        lambda: finitely_implies_unary(family.dependencies, family.sigma)
+    )
+    assert answer

@@ -1,0 +1,57 @@
+"""E11 — Theorem 7.1 and Figures 7.1-7.5, measured.
+
+Regenerates the Section 7 artifacts for a sweep of n: the Lemma 7.2
+chase derivation, each figure's construction + verification, and the
+assembled Theorem 7.1 report.
+"""
+
+import pytest
+
+from repro.core.section7 import (
+    figure_7_3,
+    section7_family,
+    theorem_7_1_report,
+    verify_figure_7_2,
+    verify_figure_7_3,
+    verify_lemma_7_2,
+    verify_lemma_7_8,
+)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5])
+def test_lemma_7_2_chase(benchmark, n):
+    report = benchmark(lambda: verify_lemma_7_2(n))
+    assert report.implied
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_figure_7_3_construction(benchmark, n):
+    db = benchmark(lambda: figure_7_3(n))
+    family = section7_family(n)
+    assert db.satisfies_all(family.dependencies)
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_figure_7_2_verification(benchmark, n):
+    report = benchmark(lambda: verify_figure_7_2(n))
+    assert report.holds
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_figure_7_3_verification(benchmark, n):
+    """The heavy one: every IND over the scheme, model-checked against
+    lambda-provability."""
+    report = benchmark(lambda: verify_figure_7_3(n))
+    assert report.holds
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_lemma_7_8_identity(benchmark, n):
+    answer = benchmark(lambda: verify_lemma_7_8(n, 0))
+    assert answer
+
+
+@pytest.mark.parametrize("n,k", [(2, 1), (3, 2)])
+def test_theorem_7_1_full_report(benchmark, n, k):
+    report = benchmark(lambda: theorem_7_1_report(n, k))
+    assert report.establishes_theorem

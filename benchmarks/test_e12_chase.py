@@ -1,0 +1,76 @@
+"""E12 — the general FD+IND chase as a semi-decision procedure.
+
+The combined implication problem is undecidable (Mitchell;
+Chandra & Vardi — cited in the paper), so the chase must be budgeted.
+This harness measures terminating runs, early-goal runs on diverging
+instances, and the budget path itself.
+"""
+
+import pytest
+
+from repro.core.fdind_chase import chase_implies
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.parser import parse_dependencies, parse_dependency
+from repro.exceptions import ChaseBudgetExceeded
+from repro.model.schema import DatabaseSchema
+from repro.core.section7 import section7_family
+
+
+@pytest.mark.parametrize("n", [1, 2, 4])
+def test_terminating_chase_section7(benchmark, n):
+    family = section7_family(n)
+    cert = benchmark(
+        lambda: chase_implies(family.schema, family.dependencies, family.sigma)
+    )
+    assert cert.implied
+
+
+def test_early_goal_on_diverging_instance(benchmark):
+    """S[C] c S[D] diverges under the chase, but the positive target is
+    reached in round one — the early-goal check keeps this fast."""
+    schema = DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+    premises = parse_dependencies(["R[A] <= S[C]", "S[C] <= S[D]"])
+    target = parse_dependency("R[A] <= S[D]")
+    cert = benchmark(lambda: chase_implies(schema, premises, target))
+    assert cert.implied
+
+
+def test_budget_handling_cost(benchmark):
+    """The honest failure mode: a negative question on a diverging
+    chase must exit via the budget, not hang."""
+    schema = DatabaseSchema.from_dict({"S": ("C", "D")})
+    premises = [parse_dependency("S[C] <= S[D]")]
+    target = parse_dependency("S[D] <= S[C]")
+
+    def run():
+        try:
+            cert = chase_implies(schema, premises, target,
+                                 max_rounds=25, max_tuples=2000)
+            return cert.implied
+        except ChaseBudgetExceeded:
+            return None
+
+    outcome = benchmark(run)
+    assert outcome is None  # undecided within budget, honestly reported
+
+
+def test_counterexample_extraction(benchmark):
+    """Negative terminating chases export their fixpoint as a
+    counterexample database."""
+    schema = DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("T", "U")})
+    premises = [
+        IND("R", ("A", "B"), "S", ("T", "U")),
+        FD("S", ("T",), ("U",)),
+    ]
+    target = FD("R", ("B",), ("A",))
+
+    def run():
+        cert = chase_implies(schema, premises, target)
+        return cert, cert.counterexample()
+
+    cert, counter = benchmark(run)
+    assert not cert.implied
+    assert counter is not None
+    assert counter.satisfies_all(premises)
+    assert not counter.satisfies(target)

@@ -1,0 +1,59 @@
+"""E14 — closure and cover tooling over growing schemas.
+
+Regenerates the design-facing analyses of the paper's Introduction
+(INDs "permit us to selectively define what data must be duplicated"):
+closure computation, redundancy detection, and minimal covers scale
+with the schema.
+"""
+
+import random
+
+import pytest
+
+from repro.core.ind_closure import (
+    implied_inds,
+    minimal_ind_cover,
+    redundant_inds,
+)
+from repro.deps.ind import IND
+from repro.model.schema import DatabaseSchema, RelationSchema
+from repro.workloads.random_deps import random_inds, random_schema
+
+
+def chain_with_shortcuts(length: int):
+    schema = DatabaseSchema(
+        RelationSchema(f"R{i}", ("A", "B")) for i in range(length + 1)
+    )
+    premises = [
+        IND(f"R{i}", ("A",), f"R{i+1}", ("A",)) for i in range(length)
+    ]
+    # Redundant shortcuts.
+    premises += [
+        IND(f"R{i}", ("A",), f"R{i+2}", ("A",)) for i in range(0, length - 1, 2)
+    ]
+    return schema, premises
+
+
+@pytest.mark.parametrize("length", [4, 8, 16])
+def test_closure_computation(benchmark, length):
+    schema, premises = chain_with_shortcuts(length)
+    closure = benchmark(lambda: implied_inds(premises, schema, max_arity=1))
+    # Transitive consequences: every forward pair is implied.
+    assert IND("R0", ("A",), f"R{length}", ("A",)) in closure
+
+
+@pytest.mark.parametrize("length", [4, 8, 16])
+def test_minimal_cover(benchmark, length):
+    schema, premises = chain_with_shortcuts(length)
+    cover = benchmark(lambda: minimal_ind_cover(premises))
+    # All shortcuts drop; the backbone stays.
+    assert len(cover) == length
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_redundancy_scan_random(benchmark, seed):
+    rng = random.Random(seed)
+    schema = random_schema(rng, n_relations=4, max_arity=3)
+    premises = random_inds(rng, schema, count=10, max_arity=2)
+    redundant = benchmark(lambda: redundant_inds(premises))
+    assert isinstance(redundant, list)

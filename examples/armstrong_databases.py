@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Armstrong databases: one instance that captures a whole theory.
+
+An Armstrong database satisfies *exactly* the dependencies a given set
+implies — the paper's Sections 6 and 7 are hand-built instances, and
+the Introduction cites Fagin/Fagin-Vardi for their existence in
+general.  This example runs the generic constructive generators:
+
+* `armstrong_relation` for FD sets (gadgets per closed attribute set);
+* `armstrong_database` for IND sets (pad saturation — a Rule (*)
+  variant that terminates even on cyclic inputs).
+
+Run:  python examples/armstrong_databases.py
+"""
+
+from repro import FD, IND, DatabaseSchema, RelationSchema
+from repro.core.armstrong_fd import armstrong_relation, is_armstrong_relation
+from repro.core.armstrong_ind import armstrong_database, is_armstrong_database
+from repro.core.fd_closure import fd_implies
+from repro.core.ind_prover import implies_ind
+from repro.deps.enumeration import all_fds, all_unary_inds
+
+
+def fd_side() -> None:
+    print("=" * 64)
+    print("Armstrong relation for the FD set {A -> B, B -> C} over R[A,B,C]")
+    schema = RelationSchema("R", ("A", "B", "C"))
+    fds = [FD("R", "A", "B"), FD("R", "B", "C")]
+    relation = armstrong_relation(schema, fds)
+    print(f"\n{relation}\n")
+    assert is_armstrong_relation(relation, fds)
+    print("Satisfaction vs implication, over every canonical FD:")
+    from repro.model.database import Database
+    from repro.model.schema import DatabaseSchema as DS
+
+    db = Database(DS.of(schema), {"R": relation})
+    for fd in all_fds(schema, allow_empty_lhs=False):
+        holds = db.satisfies(fd)
+        implied = fd_implies(fds, fd)
+        marker = "==" if holds == implied else "!!"
+        print(f"  {str(fd):24s} holds={str(holds):5s} implied={implied} {marker}")
+
+
+def ind_side() -> None:
+    print("\n" + "=" * 64)
+    print("Armstrong database for a *cyclic* IND set: {R[A] c R[B]}")
+    schema = DatabaseSchema.from_dict({"R": ("A", "B")})
+    premises = [IND("R", ("A",), "R", ("B",))]
+    db = armstrong_database(schema, premises)
+    print(f"\n{db.describe()}\n")
+    exact, mismatches = is_armstrong_database(db, premises)
+    assert exact, mismatches
+    print("Satisfaction vs derivability, over every unary IND:")
+    for ind in all_unary_inds(schema, include_trivial=True):
+        holds = db.satisfies(ind)
+        derivable = implies_ind(premises, ind)
+        marker = "==" if holds == derivable else "!!"
+        print(f"  {str(ind):22s} holds={str(holds):5s} derivable={derivable} {marker}")
+    print("\n(note: a fresh-null chase would diverge on this cycle; the")
+    print(" pad-saturation construction terminates because its value")
+    print(" pool is finite — the same trick as the paper's Rule (*))")
+
+
+def section7_side() -> None:
+    print("\n" + "=" * 64)
+    print("The generic IND generator reproduces Lemma 7.6's database")
+    from repro.core.section7 import section7_family
+
+    family = section7_family(2)
+    db = armstrong_database(family.schema, family.inds)
+    exact, mismatches = is_armstrong_database(db, family.inds, max_arity=2)
+    print(f"  relations: {len(list(family.schema))}, INDs: {len(family.inds)}")
+    print(f"  generated database: {db.total_tuples()} tuples")
+    print(f"  exact over the enumerated IND universe: {exact}")
+    assert exact
+
+
+if __name__ == "__main__":
+    fd_side()
+    ind_side()
+    section7_side()

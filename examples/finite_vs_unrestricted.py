@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Theorem 4.4: finite implication differs from unrestricted
+implication for FDs and INDs taken together.
+
+With ``Sigma = {R: A -> B, R[A] c R[B]}``:
+
+* every **finite** database satisfying Sigma also satisfies
+  ``R[B] c R[A]`` and ``R: B -> A`` (counting arguments);
+* the **infinite** relations of Figures 4.1 and 4.2 satisfy Sigma yet
+  violate those targets.
+
+This example runs the finite-implication engine on Sigma and exhibits
+the symbolic infinite counterexamples, machine-checking both claims.
+
+Run:  python examples/finite_vs_unrestricted.py
+"""
+
+from repro import (
+    FD,
+    IND,
+    DatabaseSchema,
+    RelationSchema,
+    SymbolicDatabase,
+    finitely_implies_unary,
+    unrestricted_implies_unary,
+)
+from repro.model import figure_4_1_relation, figure_4_2_relation
+
+
+def main() -> None:
+    schema = DatabaseSchema.of(RelationSchema("R", ("A", "B")))
+    sigma = [FD("R", ("A",), ("B",)), IND("R", ("A",), "R", ("B",))]
+    target_ind = IND("R", ("B",), "R", ("A",))
+    target_fd = FD("R", ("B",), ("A",))
+
+    print("Sigma:")
+    for dep in sigma:
+        print("  ", dep)
+
+    # ------------------------------------------------------------------
+    # 1. Finite implication holds (the counting argument, mechanized).
+    # ------------------------------------------------------------------
+    print("\nFinite implication (|=fin):")
+    print(f"  Sigma |=fin {target_ind}:  {finitely_implies_unary(sigma, target_ind)}")
+    print(f"  Sigma |=fin {target_fd}:  {finitely_implies_unary(sigma, target_fd)}")
+
+    # ------------------------------------------------------------------
+    # 2. Unrestricted implication fails.
+    # ------------------------------------------------------------------
+    print("\nUnrestricted implication (|=):")
+    print(f"  Sigma |= {target_ind}:  "
+          f"{unrestricted_implies_unary(sigma, target_ind)}")
+    print(f"  Sigma |= {target_fd}:  "
+          f"{unrestricted_implies_unary(sigma, target_fd)}")
+
+    # ------------------------------------------------------------------
+    # 3. The witnesses: Figures 4.1 and 4.2, as symbolic infinite
+    #    relations with exact satisfaction checking.
+    # ------------------------------------------------------------------
+    fig41 = SymbolicDatabase(schema, {"R": figure_4_1_relation()})
+    print("\nFigure 4.1:", figure_4_1_relation())
+    print("  satisfies Sigma:", fig41.satisfies_all(sigma))
+    print(f"  satisfies {target_ind}:", fig41.satisfies(target_ind),
+          " <- the unrestricted counterexample for part (a)")
+
+    fig42 = SymbolicDatabase(schema, {"R": figure_4_2_relation()})
+    print("\nFigure 4.2:", figure_4_2_relation())
+    print("  satisfies Sigma:", fig42.satisfies_all(sigma))
+    print(f"  satisfies {target_fd}:", fig42.satisfies(target_fd),
+          " <- the unrestricted counterexample for part (b)")
+
+    # ------------------------------------------------------------------
+    # 4. Contrast: for INDs alone the two notions coincide (Thm 3.1),
+    #    as they do for FDs alone — the gap needs the *interaction*.
+    # ------------------------------------------------------------------
+    print("\nContrast: INDs alone.")
+    only_ind = [IND("R", ("A",), "R", ("B",))]
+    print(f"  {only_ind[0]} |=fin {target_ind}: "
+          f"{finitely_implies_unary(only_ind, target_ind)}")
+    print(f"  {only_ind[0]} |= {target_ind}:    "
+          f"{unrestricted_implies_unary(only_ind, target_ind)}")
+    print("  (equal answers — no finite/unrestricted gap without FDs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The superpolynomial example: Landau's function vs short proofs.
+
+Section 3 shows the naive decision procedure for INDs needs
+superpolynomially many steps: encode the maximal-order permutation of
+degree m as an IND; deciding `sigma(gamma) |= sigma(gamma^(g(m)-1))`
+walks a chain of g(m) - 1 expressions, where log g(m) ~ sqrt(m log m).
+Yet O(log g(m))-line *proofs* exist by repeated squaring — the
+axiomatization is not to blame, the procedure is.
+
+Run:  python examples/landau_chains.py
+"""
+
+from repro.core.ind_axioms import check_proof
+from repro.perms.ind_encoding import (
+    chain_decision,
+    permutation_ind,
+    permutation_schema,
+    short_proof_of_power,
+)
+from repro.perms.landau import landau, landau_witness_permutation, log_landau_ratio
+
+
+def main() -> None:
+    print("Landau's function g(m) (max order of a permutation of 1..m):")
+    print(f"  {'m':>3} | {'g(m)':>6} | naive chain steps | proof lines | "
+          f"log g / sqrt(m log m)")
+    print("  " + "-" * 66)
+    for m in (5, 7, 9, 12, 16, 19, 23):
+        gamma = landau_witness_permutation(m)
+        power = gamma.order() - 1
+        report = chain_decision(gamma, power)
+        proof = short_proof_of_power(gamma, power)
+        target = permutation_ind(gamma ** power)
+        assert check_proof(proof, permutation_schema(m), target)
+        assert report.chain_steps == landau(m) - 1
+        print(
+            f"  {m:>3} | {landau(m):>6} | {report.chain_steps:>17} | "
+            f"{len(proof):>11} | {log_landau_ratio(m):.3f}"
+        )
+
+    print()
+    m = 12
+    gamma = landau_witness_permutation(m)
+    print(f"The degree-{m} witness permutation: {gamma}")
+    print(f"  cycle type {gamma.cycle_type()}, order {gamma.order()} = "
+          f"lcm of relatively prime cycle lengths (Landau's construction)")
+
+    print(f"\nIts IND encoding:\n  sigma(gamma) = {permutation_ind(gamma)}")
+
+    power = 5
+    proof = short_proof_of_power(gamma, power)
+    print(f"\nThe repeated-squaring proof of sigma(gamma^{power}) "
+          f"({len(proof)} lines):")
+    print(proof)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's manager/employee scenario.
+
+Declares the schema and dependencies from the paper's introduction
+("every MANAGER entry of the R relation appears as an EMPLOYEE entry
+of the S relation"), checks a concrete database against them, runs
+IND inference, and prints a formal IND1-IND3 proof.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DatabaseSchema,
+    RelationSchema,
+    check_proof,
+    database,
+    decide_ind,
+    parse_dependencies,
+    parse_dependency,
+    prove_ind,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Schema: managers, employees, and people.
+    # ------------------------------------------------------------------
+    schema = DatabaseSchema.of(
+        RelationSchema("MGR", ("NAME", "DEPT")),
+        RelationSchema("EMP", ("NAME", "DEPT", "SALARY")),
+        RelationSchema("PERSON", ("NAME",)),
+    )
+    print("Schema:", schema)
+
+    # ------------------------------------------------------------------
+    # 2. Dependencies, in the text DSL.
+    # ------------------------------------------------------------------
+    dependencies = parse_dependencies(
+        """
+        # every manager is an employee of the department they manage
+        MGR[NAME,DEPT] <= EMP[NAME,DEPT]
+        # every employee is a person
+        EMP[NAME] <= PERSON[NAME]
+        # an employee has one department and one salary
+        EMP: NAME -> DEPT
+        EMP: NAME -> SALARY
+        # a department has one manager
+        MGR: DEPT -> NAME
+        """
+    )
+    print("\nDeclared dependencies:")
+    for dep in dependencies:
+        print("  ", dep)
+
+    # ------------------------------------------------------------------
+    # 3. Check a concrete database.
+    # ------------------------------------------------------------------
+    db = database(
+        schema,
+        {
+            "MGR": [("Hilbert", "Math")],
+            "EMP": [
+                ("Hilbert", "Math", 120),
+                ("Noether", "Math", 130),
+                ("Turing", "CS", 125),
+            ],
+            "PERSON": [("Hilbert",), ("Noether",), ("Turing",)],
+        },
+    )
+    print("\nDatabase check:")
+    for dep in dependencies:
+        print(f"  {dep}: {'OK' if db.satisfies(dep) else 'VIOLATED'}")
+
+    # ------------------------------------------------------------------
+    # 4. Inference: is "every manager is a person" implied?
+    # ------------------------------------------------------------------
+    inds = [d for d in dependencies if hasattr(d, "lhs_relation")]
+    target = parse_dependency("MGR[NAME] <= PERSON[NAME]")
+    decision = decide_ind(target, inds)
+    print(f"\nIs {target} implied?  {decision.implied}")
+    print(decision.describe())
+
+    # ------------------------------------------------------------------
+    # 5. A formal proof in the complete axiomatization (Theorem 3.1).
+    # ------------------------------------------------------------------
+    proof = prove_ind(target, inds)
+    assert proof is not None
+    print("\nFormal proof (IND1 = reflexivity, IND2 = projection &")
+    print("permutation, IND3 = transitivity):")
+    print(proof)
+    print("\nIndependent checker accepts the proof:",
+          check_proof(proof, schema, target))
+
+    # Something that should NOT be implied:
+    non_target = parse_dependency("EMP[NAME] <= MGR[NAME]")
+    print(f"\nIs {non_target} implied?  "
+          f"{decide_ind(non_target, inds).implied} (employees need not manage)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Schema design: INDs from entity-relationship mapping.
+
+The paper's introduction motivates INDs via database design: mapping
+an ER diagram to relations produces referential INDs, and FDs encode
+keys.  This example builds a library design, then uses the inference
+engines to find *implied* dependencies (candidates for removal from
+the DDL) and *redundant* declarations, and computes candidate keys.
+
+Run:  python examples/schema_design.py
+"""
+
+from repro import FD, IND, candidate_keys, decide_ind, fd_implies, minimal_cover
+from repro.deps.enumeration import all_inds, all_fds
+from repro.core.interaction import pullback_fd
+from repro.workloads import library_dependencies, library_schema
+
+
+def main() -> None:
+    schema = library_schema()
+    dependencies = library_dependencies()
+    inds = [d for d in dependencies if isinstance(d, IND)]
+    fds = [d for d in dependencies if isinstance(d, FD)]
+
+    print("ER-mapped schema:", schema)
+    print("\nDeclared dependencies:")
+    for dep in dependencies:
+        print("  ", dep)
+
+    # ------------------------------------------------------------------
+    # 1. Candidate keys per relation (FD theory).
+    # ------------------------------------------------------------------
+    print("\nCandidate keys:")
+    for rel in schema:
+        keys = candidate_keys(rel, fds)
+        rendered = ", ".join("{" + ",".join(sorted(k)) + "}" for k in keys)
+        print(f"  {rel}: {rendered}")
+
+    # ------------------------------------------------------------------
+    # 2. Redundancy: which declared INDs follow from the others?
+    # ------------------------------------------------------------------
+    from repro.core.ind_closure import minimal_ind_cover, redundant_inds
+
+    print("\nRedundancy analysis (INDs):")
+    redundant = set(redundant_inds(inds))
+    for ind in inds:
+        status = "REDUNDANT (implied by the rest)" if ind in redundant else "essential"
+        print(f"  {ind}: {status}")
+    cover = minimal_ind_cover(inds)
+    print(f"  minimal IND cover keeps {len(cover)} of {len(inds)} declarations")
+
+    # ------------------------------------------------------------------
+    # 3. Implied-but-undeclared dependencies a designer may want to know.
+    # ------------------------------------------------------------------
+    print("\nImplied non-trivial INDs not declared (projections etc.):")
+    declared = set(inds)
+    for candidate in all_inds(schema, max_arity=2):
+        if candidate in declared:
+            continue
+        if decide_ind(candidate, inds).implied:
+            print("  ", candidate)
+
+    print("\nImplied non-trivial FDs not declared:")
+    declared_fds = set(fds)
+    for rel in schema:
+        for candidate in all_fds(rel, allow_empty_lhs=False):
+            if candidate in declared_fds:
+                continue
+            if fd_implies(fds, candidate) and len(candidate.lhs) == 1:
+                print("  ", candidate)
+
+    # ------------------------------------------------------------------
+    # 4. FD/IND interaction (Proposition 4.1): an IND into a relation
+    #    with a key pulls the key constraint back to the source.
+    # ------------------------------------------------------------------
+    print("\nProposition 4.1 pullbacks (FDs induced through INDs):")
+    # A concrete pullback: were loans to carry the book title in the
+    # DUE column, BOOK's key FD would pull back onto the source.
+    catalogue = IND("LOAN", ("ISBN", "DUE"), "BOOK", ("ISBN", "TITLE"))
+    key_fd = FD("BOOK", ("ISBN",), ("TITLE",))
+    pulled = pullback_fd(catalogue, key_fd)
+    print(f"  from {catalogue} and {key_fd}")
+    print(f"  infer {pulled}")
+    print("  (if loans recorded the book title in DUE's place, ISBN would")
+    print("   determine it — the design smell Proposition 4.1 formalizes)")
+
+    # ------------------------------------------------------------------
+    # 5. Minimal cover of the FD set.
+    # ------------------------------------------------------------------
+    print("\nMinimal cover of the declared FDs:")
+    for fd in minimal_cover(fds):
+        print("  ", fd)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 517 editable installs fail; this shim enables the legacy path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

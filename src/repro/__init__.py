@@ -1,0 +1,135 @@
+"""repro — Inclusion Dependencies and Their Interaction with
+Functional Dependencies.
+
+A complete, executable reproduction of Casanova, Fagin &
+Papadimitriou's PODS 1982 / JCSS 1984 paper:
+
+* the relational model with attribute *sequences* (Section 2);
+* FDs, INDs, repeating dependencies, and EMVDs as first-class,
+  satisfaction-checkable sentences;
+* the complete axiomatization IND1-IND3 with formal proof objects and
+  an independent checker (Theorem 3.1);
+* the Corollary 3.2 decision procedure, the Rule (*) chase, and the
+  PSPACE machinery of Theorem 3.3 (with a from-scratch LBA substrate);
+* the superpolynomial permutation example with Landau's function, and
+  the O(log p) repeated-squaring proofs;
+* FD/IND interaction (Propositions 4.1-4.3) and the finite vs
+  unrestricted implication split (Theorem 4.4, with symbolic infinite
+  witnesses);
+* the k-ary axiomatizability characterization (Theorem 5.1), the
+  Sagiv-Walecka EMVD family (Theorem 5.3), and the negative results of
+  Sections 6 and 7, each verified mechanically down to the paper's
+  figures.
+
+Quickstart::
+
+    from repro import parse_dependency, decide_ind, prove_ind
+
+    premises = [parse_dependency("MGR[NAME,DEPT] <= EMP[NAME,DEPT]"),
+                parse_dependency("EMP[NAME] <= PERSON[NAME]")]
+    target = parse_dependency("MGR[NAME] <= PERSON[NAME]")
+    print(decide_ind(target, premises).implied)   # True
+    print(prove_ind(target, premises))            # a checked IND1-3 proof
+"""
+
+from repro.exceptions import (
+    ChaseBudgetExceeded,
+    DependencyError,
+    ParseError,
+    ProofError,
+    ReproError,
+    SchemaError,
+    SearchBudgetExceeded,
+    SymbolicLimitationError,
+    UnsupportedDependencyError,
+)
+from repro.model import (
+    Database,
+    DatabaseSchema,
+    InfiniteRelation,
+    Relation,
+    RelationSchema,
+    SymbolicDatabase,
+    TupleFamily,
+    database,
+    relation,
+)
+from repro.deps import (
+    EMVD,
+    FD,
+    IND,
+    MVD,
+    RD,
+    Dependency,
+    parse_dependencies,
+    parse_dependency,
+)
+from repro.core import (
+    DecisionResult,
+    Proof,
+    attribute_closure,
+    candidate_keys,
+    check_proof,
+    decide_by_rule_star,
+    decide_ind,
+    fd_implies,
+    implies_ind,
+    minimal_cover,
+    prove_ind,
+)
+from repro.core.fdind_chase import chase_database, chase_implies
+from repro.core.finite_unary import (
+    finitely_implies_unary,
+    unrestricted_implies_unary,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # exceptions
+    "ReproError",
+    "SchemaError",
+    "DependencyError",
+    "ParseError",
+    "ProofError",
+    "ChaseBudgetExceeded",
+    "SearchBudgetExceeded",
+    "UnsupportedDependencyError",
+    "SymbolicLimitationError",
+    # model
+    "Database",
+    "DatabaseSchema",
+    "Relation",
+    "RelationSchema",
+    "InfiniteRelation",
+    "SymbolicDatabase",
+    "TupleFamily",
+    "database",
+    "relation",
+    # dependencies
+    "Dependency",
+    "FD",
+    "IND",
+    "RD",
+    "EMVD",
+    "MVD",
+    "parse_dependency",
+    "parse_dependencies",
+    # engines
+    "DecisionResult",
+    "Proof",
+    "decide_ind",
+    "prove_ind",
+    "check_proof",
+    "implies_ind",
+    "decide_by_rule_star",
+    "attribute_closure",
+    "fd_implies",
+    "minimal_cover",
+    "candidate_keys",
+    "chase_implies",
+    "chase_database",
+    "finitely_implies_unary",
+    "unrestricted_implies_unary",
+    "__version__",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro check  bundle.json        # database vs dependencies
+    python -m repro implies bundle.json "MGR[NAME] <= PERSON[NAME]"
+    python -m repro prove   bundle.json "MGR[NAME] <= PERSON[NAME]"
+    python -m repro keys    bundle.json       # candidate keys per relation
+    python -m repro summary bundle.json       # structural profile
+
+``bundle.json`` follows the :mod:`repro.io` format: a schema, a list
+of dependencies in the text DSL, and optionally a database instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.fd_closure import candidate_keys
+from repro.core.ind_axioms import check_proof
+from repro.core.ind_decision import decide_ind
+from repro.core.ind_prover import prove_ind
+from repro.core.fdind_chase import chase_implies
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.parser import parse_dependency
+from repro.exceptions import ReproError
+from repro.io import bundle_from_json
+
+
+def _load(path: str):
+    with open(path, encoding="utf-8") as fp:
+        return bundle_from_json(fp.read())
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    schema, dependencies, db = _load(args.bundle)
+    if db is None:
+        print("bundle has no database to check", file=sys.stderr)
+        return 2
+    failures = 0
+    for dep in dependencies:
+        if db.satisfies(dep):
+            print(f"OK        {dep}")
+        else:
+            failures += 1
+            witnesses = dep.violations(db)
+            print(f"VIOLATED  {dep}")
+            for witness in witnesses[:3]:
+                print(f"          witness: {witness}")
+    print(f"\n{len(dependencies) - failures}/{len(dependencies)} dependencies hold")
+    return 1 if failures else 0
+
+
+def _cmd_implies(args: argparse.Namespace) -> int:
+    schema, dependencies, _db = _load(args.bundle)
+    target = parse_dependency(args.dependency)
+    target.validate(schema)
+    inds = [d for d in dependencies if isinstance(d, IND)]
+    if isinstance(target, IND) and len(inds) == len(dependencies):
+        result = decide_ind(target, inds)
+        print(result.describe())
+        return 0 if result.implied else 1
+    # Mixed premises: fall back to the (budgeted) chase.
+    certificate = chase_implies(schema, dependencies, target)
+    verdict = "IMPLIED" if certificate.implied else "NOT implied"
+    print(f"{target}: {verdict} (via chase, "
+          f"{certificate.outcome.rounds} rounds)")
+    return 0 if certificate.implied else 1
+
+
+def _cmd_prove(args: argparse.Namespace) -> int:
+    schema, dependencies, _db = _load(args.bundle)
+    target = parse_dependency(args.dependency)
+    target.validate(schema)
+    inds = [d for d in dependencies if isinstance(d, IND)]
+    if not isinstance(target, IND):
+        print("prove handles IND targets; use 'implies' for FDs/RDs",
+              file=sys.stderr)
+        return 2
+    proof = prove_ind(target, inds)
+    if proof is None:
+        print(f"{target} is NOT implied by the IND premises")
+        return 1
+    check_proof(proof, schema, target)
+    print(proof)
+    print("\nproof verified by the independent checker")
+    return 0
+
+
+def _cmd_keys(args: argparse.Namespace) -> int:
+    schema, dependencies, _db = _load(args.bundle)
+    fds = [d for d in dependencies if isinstance(d, FD)]
+    for rel in schema:
+        keys = candidate_keys(rel, fds)
+        rendered = ", ".join(
+            "{" + ",".join(sorted(key)) + "}" for key in keys
+        )
+        print(f"{rel}: {rendered}")
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.analysis.ind_graph import summarize_ind_set
+
+    schema, dependencies, db = _load(args.bundle)
+    inds = [d for d in dependencies if isinstance(d, IND)]
+    fds = [d for d in dependencies if isinstance(d, FD)]
+    print(f"schema: {schema}")
+    print(f"dependencies: {len(inds)} INDs, {len(fds)} FDs, "
+          f"{len(dependencies) - len(inds) - len(fds)} other")
+    if inds:
+        print(f"IND profile: {summarize_ind_set(inds)}")
+    if db is not None:
+        print(f"database: {db.total_tuples()} tuples, "
+              f"{len(db.active_domain())} distinct values")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Inclusion/functional dependency tooling "
+            "(Casanova-Fagin-Papadimitriou, PODS 1982)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="check a database against its dependencies")
+    p_check.add_argument("bundle", help="path to a bundle JSON file")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_implies = sub.add_parser("implies", help="decide an implication question")
+    p_implies.add_argument("bundle")
+    p_implies.add_argument("dependency", help="target in the text DSL")
+    p_implies.set_defaults(func=_cmd_implies)
+
+    p_prove = sub.add_parser("prove", help="produce a formal IND1-3 proof")
+    p_prove.add_argument("bundle")
+    p_prove.add_argument("dependency")
+    p_prove.set_defaults(func=_cmd_prove)
+
+    p_keys = sub.add_parser("keys", help="candidate keys per relation")
+    p_keys.add_argument("bundle")
+    p_keys.set_defaults(func=_cmd_keys)
+
+    p_summary = sub.add_parser("summary", help="structural profile of the bundle")
+    p_summary.add_argument("bundle")
+    p_summary.set_defaults(func=_cmd_summary)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Decidable fragment: FDs + *acyclic* INDs.
+
+The implication problem for FDs and INDs together is undecidable
+(Mitchell; Chandra & Vardi — cited in the paper), so the general chase
+in :mod:`repro.core.fdind_chase` is only a budgeted semi-decision.
+But when the INDs' relation-level flow graph is **acyclic**, the chase
+provably terminates:
+
+* IND steps only add tuples to relations *downstream* in the flow
+  graph, and each source tuple spawns at most one witness tuple per
+  IND, so the tuple count is bounded along the (finite) DAG;
+* FD/RD steps only merge values, which strictly decreases the number
+  of distinct values, so they terminate too.
+
+This module packages that fact as a guaranteed decision procedure:
+``decide_fdind_acyclic`` refuses cyclic inputs (rather than silently
+degrading) and otherwise returns an exact answer with a certificate.
+
+Together with the other engines this completes the decidability
+landscape the paper sketches:
+
+========================  ==========================================
+fragment                  engine
+========================  ==========================================
+INDs alone                ``decide_ind`` (complete; PSPACE)
+FDs alone                 ``fd_implies`` (complete; linear closure)
+unary FDs + INDs          ``finite_unary`` (complete, both semantics)
+FDs + acyclic INDs        **this module** (complete, unrestricted)
+FDs + INDs, general       budgeted chase (semi-decision only;
+                          undecidable in principle)
+========================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import UnsupportedDependencyError
+from repro.core.fdind_chase import ImplicationCertificate, chase_implies
+from repro.deps.base import Dependency
+from repro.deps.ind import IND
+from repro.model.schema import DatabaseSchema
+
+
+def ind_flow_is_acyclic(dependencies: Iterable[Dependency]) -> bool:
+    """Whether the INDs' relation-level flow graph is a DAG.
+
+    Self-loops (an IND from a relation into itself) count as cycles.
+    Kahn's algorithm over relation names; FDs/RDs are ignored (they
+    never add tuples).
+    """
+    edges: dict[str, set[str]] = {}
+    indegree: dict[str, int] = {}
+    nodes: set[str] = set()
+    for dep in dependencies:
+        if not isinstance(dep, IND):
+            continue
+        src, dst = dep.lhs_relation, dep.rhs_relation
+        if src == dst:
+            return False
+        nodes.update((src, dst))
+        if dst not in edges.setdefault(src, set()):
+            edges[src].add(dst)
+            indegree[dst] = indegree.get(dst, 0) + 1
+    queue = [node for node in nodes if indegree.get(node, 0) == 0]
+    visited = 0
+    while queue:
+        node = queue.pop()
+        visited += 1
+        for nxt in edges.get(node, ()):
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                queue.append(nxt)
+    return visited == len(nodes)
+
+
+def chase_termination_bound(
+    schema: DatabaseSchema, dependencies: Iterable[Dependency]
+) -> int:
+    """A crude upper bound on the tuples an acyclic chase can create
+    from a two-tuple start: along a topological order, each relation
+    holds at most ``initial + sum(upstream x incoming INDs)`` tuples.
+
+    Used to size the chase budget so that exhausting it would indicate
+    a bug rather than a semantic possibility.
+    """
+    deps = list(dependencies)
+    incoming: dict[str, list[IND]] = {}
+    for dep in deps:
+        if isinstance(dep, IND):
+            incoming.setdefault(dep.rhs_relation, []).append(dep)
+
+    bound: dict[str, int] = {}
+
+    def relation_bound(name: str, stack: frozenset[str]) -> int:
+        if name in bound:
+            return bound[name]
+        if name in stack:  # pragma: no cover - guarded by acyclicity
+            raise UnsupportedDependencyError("cycle during bound computation")
+        total = 2  # the initial tuples of the implication test
+        for ind in incoming.get(name, ()):
+            total += relation_bound(ind.lhs_relation, stack | {name})
+        bound[name] = total
+        return total
+
+    return sum(relation_bound(rel.name, frozenset()) for rel in schema)
+
+
+def decide_fdind_acyclic(
+    schema: DatabaseSchema,
+    premises: Iterable[Dependency],
+    target: Dependency,
+) -> ImplicationCertificate:
+    """Exact (unrestricted) implication for FDs + acyclic INDs.
+
+    Raises :class:`UnsupportedDependencyError` when the premises' IND
+    flow graph has a cycle — callers then fall back to the budgeted
+    general chase and must treat its budget exits as *unknown*.
+    """
+    premise_list = list(premises)
+    if not ind_flow_is_acyclic(premise_list):
+        raise UnsupportedDependencyError(
+            "premise INDs form a cyclic flow graph; implication is only "
+            "semi-decidable there — use chase_implies with a budget"
+        )
+    limit = chase_termination_bound(schema, premise_list)
+    # The chase terminates within the bound; rounds are generous since
+    # each round adds at least one tuple or merge until fixpoint.
+    return chase_implies(
+        schema,
+        premise_list,
+        target,
+        max_rounds=max(50, limit + 10),
+        max_tuples=max(1000, limit * 10),
+    )

@@ -1,0 +1,104 @@
+"""Armstrong relations for FD sets.
+
+An *Armstrong relation* for a set of FDs satisfies exactly the FDs the
+set implies (Armstrong 1974; the paper leans on the concept throughout
+Sections 6-7, and cites Fagin-Vardi [FV] for the FD+IND case).  This
+module makes the classical existence proof constructive:
+
+for every closed attribute set ``C`` (an ``X+``), add a two-tuple
+*gadget* agreeing exactly on ``C``; give gadgets disjoint value blocks
+except on the constant columns ``closure(0)``, which share one global
+constant per column.
+
+Exactness:
+
+* an implied FD ``Y -> B`` never breaks: two gadget tuples agree on
+  ``Y`` only when ``Y`` is inside the gadget's closed set ``C``, and
+  then ``B in closure(Y) <= C`` forces agreement; cross-gadget tuples
+  agree exactly on the constant columns, whose closure is itself;
+* a non-implied ``Y -> B`` breaks on the gadget of ``closure(Y)``:
+  its two tuples agree on ``Y`` but differ on ``B``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.core.fd_closure import attribute_closure, fd_implies
+from repro.deps.fd import FD
+from repro.model.relation import Relation
+from repro.model.schema import RelationSchema
+
+
+def closed_attribute_sets(
+    schema: RelationSchema, fds: Iterable[FD]
+) -> list[frozenset[str]]:
+    """All distinct closures ``X+`` over the scheme (the closure
+    lattice's elements that matter for the construction)."""
+    fd_list = [fd for fd in fds if fd.relation == schema.name]
+    seen: set[frozenset[str]] = set()
+    for size in range(len(schema.attributes) + 1):
+        for combo in combinations(schema.attributes, size):
+            seen.add(attribute_closure(combo, fd_list, schema.name))
+    return sorted(seen, key=lambda s: (len(s), sorted(s)))
+
+
+def armstrong_relation(schema: RelationSchema, fds: Iterable[FD]) -> Relation:
+    """A relation over ``schema`` satisfying *exactly* the FDs implied
+    by ``fds`` (over that scheme).
+
+    Values are strings: ``"<column>!<gadget>"`` for gadget-shared
+    values, with a ``"/a"``/``"/b"`` suffix for the per-tuple halves,
+    and ``"<column>!const"`` on the constant columns.
+
+    >>> rel = armstrong_relation(RelationSchema("R", ("A", "B")),
+    ...                          [FD("R", ("A",), ("B",))])
+    >>> from repro.model.database import Database
+    >>> from repro.model.schema import DatabaseSchema
+    >>> db = Database(DatabaseSchema.of(rel.schema), {"R": rel})
+    >>> db.satisfies(FD("R", ("A",), ("B",)))
+    True
+    >>> db.satisfies(FD("R", ("B",), ("A",)))
+    False
+    """
+    fd_list = [fd for fd in fds if fd.relation == schema.name]
+    constants = attribute_closure((), fd_list, schema.name)
+    rows: list[tuple[str, ...]] = []
+    for index, closed in enumerate(closed_attribute_sets(schema, fd_list)):
+        first: list[str] = []
+        second: list[str] = []
+        for attr in schema.attributes:
+            if attr in constants:
+                shared = f"{attr}!const"
+                first.append(shared)
+                second.append(shared)
+            elif attr in closed:
+                shared = f"{attr}!{index}"
+                first.append(shared)
+                second.append(shared)
+            else:
+                first.append(f"{attr}!{index}/a")
+                second.append(f"{attr}!{index}/b")
+        rows.append(tuple(first))
+        rows.append(tuple(second))
+    return Relation(schema, rows)
+
+
+def is_armstrong_relation(
+    relation: Relation, fds: Iterable[FD], allow_empty_lhs: bool = True
+) -> bool:
+    """Check the Armstrong property over the enumerated FD universe:
+    the relation satisfies an FD iff ``fds`` imply it."""
+    from repro.deps.enumeration import all_fds
+    from repro.model.database import Database
+    from repro.model.schema import DatabaseSchema
+
+    fd_list = list(fds)
+    db = Database(DatabaseSchema.of(relation.schema), {relation.name: relation})
+    for candidate in all_fds(
+        relation.schema, include_trivial=True, allow_empty_lhs=allow_empty_lhs
+    ):
+        if db.satisfies(candidate) != fd_implies(fd_list, candidate):
+            return False
+    return True

@@ -1,0 +1,342 @@
+"""EMVD implication and the Sagiv-Walecka family (Theorem 5.3).
+
+Section 5 re-derives Sagiv and Walecka's result — for no ``k`` is
+there a k-ary complete axiomatization for embedded multivalued
+dependencies — as an instance of Corollary 5.2.  The witness family
+over ``R[A1,...,A(k+1), B]``:
+
+    ``Sigma_k = {A1 ->> A2 | B, ..., Ak ->> A(k+1) | B,
+                 A(k+1) ->> A1 | B}``
+    ``sigma_k = A1 ->> A(k+1) | B``
+
+The cyclic structure is essential: the whole of ``Sigma_k`` implies
+``sigma_k``, but no proper subset does.
+
+EMVD implication is undecidable in general, so this module provides a
+*composite* decision strategy, exact on the queries the Theorem 5.3
+verification generates:
+
+* a bounded tableau **chase** (sound for positive answers: every chase
+  step is a logical consequence);
+* an **exhaustive small-model search** over domains of size 2 (sound
+  for negative answers: a found model satisfying the premises and
+  violating the target is a genuine counterexample);
+* a clean ``Undecided`` outcome when neither side lands within budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Iterable, Optional, Sequence
+
+from repro.exceptions import SearchBudgetExceeded
+from repro.deps.emvd import EMVD
+from repro.model.relation import Relation
+from repro.model.schema import RelationSchema
+
+Row = tuple
+
+
+@dataclass
+class EmvdDecision:
+    """Outcome of the composite EMVD implication procedure."""
+
+    implied: Optional[bool]  # None = undecided within budgets
+    method: str
+    counterexample: Optional[frozenset[Row]] = None
+
+    @property
+    def decided(self) -> bool:
+        return self.implied is not None
+
+
+def _agree(row1: Row, row2: Row, positions: Sequence[int]) -> bool:
+    return all(row1[p] == row2[p] for p in positions)
+
+
+def _required_tuple_exists(
+    rows: Iterable[Row],
+    t1: Row,
+    t2: Row,
+    xy_pos: Sequence[int],
+    xz_pos: Sequence[int],
+) -> bool:
+    for candidate in rows:
+        if _agree(candidate, t1, xy_pos) and _agree(candidate, t2, xz_pos):
+            return True
+    return False
+
+
+def _positions(schema: RelationSchema, attrs: Iterable[str]) -> tuple[int, ...]:
+    return tuple(schema.position(a) for a in sorted(attrs))
+
+
+def relation_satisfies_emvd(schema: RelationSchema, rows: frozenset[Row],
+                            emvd: EMVD) -> bool:
+    """Direct satisfaction test on a raw row set."""
+    x_pos = _positions(schema, emvd.x)
+    xy_pos = _positions(schema, emvd.x | emvd.y)
+    xz_pos = _positions(schema, emvd.x | emvd.z)
+    row_list = list(rows)
+    for t1 in row_list:
+        for t2 in row_list:
+            if not _agree(t1, t2, x_pos):
+                continue
+            if not _required_tuple_exists(row_list, t1, t2, xy_pos, xz_pos):
+                return False
+    return True
+
+
+def emvd_chase(
+    schema: RelationSchema,
+    premises: Sequence[EMVD],
+    target: EMVD,
+    max_rounds: int = 12,
+    max_tuples: int = 4_000,
+) -> Optional[bool]:
+    """Bounded chase: ``True`` when the target's witness tuple is
+    derived (sound), ``None`` when the budget runs out undecided,
+    ``False`` when the chase *terminates* without deriving it (the
+    fixpoint is then a counterexample, so this is exact).
+
+    The initial tableau holds two tuples agreeing exactly on the
+    target's ``X``; chase steps add the (partially fresh) witness
+    tuples EMVDs demand.
+    """
+    arity = schema.arity
+    next_fresh = [0]
+
+    def fresh() -> str:
+        next_fresh[0] += 1
+        return f"_n{next_fresh[0]}"
+
+    x_pos = set(_positions(schema, target.x))
+    t1 = tuple(f"v{p}" if p in x_pos else f"l{p}" for p in range(arity))
+    t2 = tuple(f"v{p}" if p in x_pos else f"r{p}" for p in range(arity))
+    rows: set[Row] = {t1, t2}
+
+    goal_xy = _positions(schema, target.x | target.y)
+    goal_xz = _positions(schema, target.x | target.z)
+
+    premise_positions = [
+        (
+            _positions(schema, p.x),
+            _positions(schema, p.x | p.y),
+            _positions(schema, p.x | p.z),
+            _positions(schema, p.x | p.y | p.z),
+        )
+        for p in premises
+    ]
+
+    for _round in range(max_rounds):
+        if _required_tuple_exists(rows, t1, t2, goal_xy, goal_xz):
+            return True
+        additions: set[Row] = set()
+        row_list = list(rows)
+        for premise, (px, pxy, pxz, pxyz) in zip(premises, premise_positions):
+            for u1 in row_list:
+                for u2 in row_list:
+                    if not _agree(u1, u2, px):
+                        continue
+                    if _required_tuple_exists(rows, u1, u2, pxy, pxz):
+                        continue
+                    if _required_tuple_exists(additions, u1, u2, pxy, pxz):
+                        continue
+                    witness = [None] * arity
+                    for p in pxy:
+                        witness[p] = u1[p]
+                    for p in pxz:
+                        witness[p] = u2[p]
+                    for p in range(arity):
+                        if witness[p] is None:
+                            witness[p] = fresh()
+                    additions.add(tuple(witness))
+        if not additions:
+            # Fixpoint: the tableau is a model of the premises in which
+            # t1, t2 agree exactly on the target's X; the goal witness
+            # was checked (absent) at the top of this round, so the
+            # tableau refutes the implication.
+            return False
+        rows |= additions
+        if len(rows) > max_tuples:
+            return None
+    if _required_tuple_exists(rows, t1, t2, goal_xy, goal_xz):
+        return True
+    return None
+
+
+def exhaustive_refutation(
+    schema: RelationSchema,
+    premises: Sequence[EMVD],
+    target: EMVD,
+    domain: Sequence = (0, 1),
+    max_relations: int = 1 << 22,
+) -> Optional[frozenset[Row]]:
+    """Search all relations over a tiny domain for a counterexample.
+
+    Returns a row set satisfying every premise and violating the
+    target, or ``None`` when none exists over this domain (which does
+    *not* prove implication).  The search space is
+    ``2^(|domain|^arity)``; a budget guards against misuse.
+    """
+    tuples = list(product(domain, repeat=schema.arity))
+    if 1 << len(tuples) > max_relations:
+        raise SearchBudgetExceeded(
+            f"refutation space 2^{len(tuples)} exceeds budget"
+        )
+    # Enumerate subsets in order of increasing size for small witnesses.
+    indices = range(len(tuples))
+    for size in range(1, len(tuples) + 1):
+        for combo in combinations(indices, size):
+            rows = frozenset(tuples[i] for i in combo)
+            if relation_satisfies_emvd(schema, rows, target):
+                continue
+            if all(relation_satisfies_emvd(schema, rows, p) for p in premises):
+                return rows
+    return None
+
+
+def emvd_implies(
+    schema: RelationSchema,
+    premises: Sequence[EMVD],
+    target: EMVD,
+    chase_rounds: int = 12,
+    refute_domain: Sequence = (0, 1),
+) -> EmvdDecision:
+    """Composite decision: chase for yes, tiny-model search for no."""
+    if target.is_trivial():
+        return EmvdDecision(True, "trivial")
+    chase_answer = emvd_chase(schema, premises, target, max_rounds=chase_rounds)
+    if chase_answer is True:
+        return EmvdDecision(True, "chase")
+    if chase_answer is False:
+        return EmvdDecision(False, "chase-fixpoint")
+    witness = exhaustive_refutation(schema, premises, target, domain=refute_domain)
+    if witness is not None:
+        return EmvdDecision(False, "small-model", counterexample=witness)
+    return EmvdDecision(None, "undecided")
+
+
+# ---------------------------------------------------------------------------
+# The Sagiv-Walecka family
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SagivWaleckaFamily:
+    """``Sigma_k`` and ``sigma_k`` over ``R[A1..A(k+1), B]``."""
+
+    k: int
+    schema: RelationSchema
+    sigma: list[EMVD]
+    target: EMVD
+
+
+def sagiv_walecka_family(k: int) -> SagivWaleckaFamily:
+    """Build the Theorem 5.3 witness family for ``k >= 2``."""
+    if k < 2:
+        raise ValueError("the family is non-degenerate only for k >= 2")
+    attrs = [f"A{i}" for i in range(1, k + 2)] + ["B"]
+    schema = RelationSchema("R", attrs)
+    sigma = [
+        EMVD("R", (f"A{i}",), (f"A{i + 1}",), ("B",)) for i in range(1, k + 1)
+    ]
+    sigma.append(EMVD("R", (f"A{k + 1}",), ("A1",), ("B",)))
+    target = EMVD("R", ("A1",), (f"A{k + 1}",), ("B",))
+    return SagivWaleckaFamily(k=k, schema=schema, sigma=sigma, target=target)
+
+
+@dataclass
+class Theorem53Report:
+    """Checked conditions of Corollary 5.2 for the SW family."""
+
+    k: int
+    condition_i: bool
+    condition_ii: bool
+    condition_iii_checked: int
+    condition_iii_failures: list[str]
+    undecided: list[str]
+
+    @property
+    def establishes_theorem(self) -> bool:
+        return (
+            self.condition_i
+            and self.condition_ii
+            and not self.condition_iii_failures
+            and not self.undecided
+        )
+
+    def __str__(self) -> str:
+        verdict = (
+            "ESTABLISHED" if self.establishes_theorem else "NOT established"
+        )
+        return (
+            f"Theorem 5.3 for k={self.k}: {verdict} — (i)={self.condition_i}, "
+            f"(ii)={self.condition_ii}, (iii) checked on "
+            f"{self.condition_iii_checked} queries with "
+            f"{len(self.condition_iii_failures)} failures, "
+            f"{len(self.undecided)} undecided"
+        )
+
+
+def theorem_5_3_report(
+    k: int,
+    universe: Optional[Sequence[EMVD]] = None,
+    max_universe: int = 200,
+) -> Theorem53Report:
+    """Mechanically check Corollary 5.2's conditions on the SW family.
+
+    (i) ``Sigma_k |= sigma_k`` (chase); (ii) no single member implies
+    the target (small-model refutations); (iii) over the (optionally
+    truncated) EMVD universe, every <=k-subset implication is already
+    witnessed by a single member.
+    """
+    from repro.deps.enumeration import all_emvds
+
+    family = sagiv_walecka_family(k)
+    schema = family.schema
+
+    decision_i = emvd_implies(schema, family.sigma, family.target)
+    condition_i = decision_i.implied is True
+
+    condition_ii = True
+    undecided: list[str] = []
+    for member in family.sigma:
+        decision = emvd_implies(schema, [member], family.target)
+        if decision.implied is True:
+            condition_ii = False
+        elif decision.implied is None:
+            undecided.append(f"(ii) {member} |= target undecided")
+
+    if universe is None:
+        universe = list(all_emvds(schema))[:max_universe]
+    checked = 0
+    failures: list[str] = []
+    for size in range(1, k + 1):
+        for subset in combinations(family.sigma, size):
+            for tau in universe:
+                checked += 1
+                decision = emvd_implies(schema, list(subset), tau)
+                if decision.implied is None:
+                    undecided.append(
+                        f"(iii) {[str(s) for s in subset]} |= {tau} undecided"
+                    )
+                    continue
+                if decision.implied:
+                    singles = [
+                        emvd_implies(schema, [member], tau).implied
+                        for member in subset
+                    ]
+                    if not any(s is True for s in singles):
+                        failures.append(
+                            f"{[str(s) for s in subset]} |= {tau}, no single member does"
+                        )
+    return Theorem53Report(
+        k=k,
+        condition_i=condition_i,
+        condition_ii=condition_ii,
+        condition_iii_checked=checked,
+        condition_iii_failures=failures,
+        undecided=undecided,
+    )

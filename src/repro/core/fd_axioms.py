@@ -1,0 +1,231 @@
+"""Armstrong's axioms for FDs, with formal proof objects.
+
+The paper contrasts its IND axiomatization with Armstrong's classical
+complete (2-ary) system for FDs [Ar, Fa2]:
+
+* **FD1 (reflexivity)** — ``R: X -> Y`` whenever ``Y`` is a subset of
+  ``X``;
+* **FD2 (augmentation)** — from ``R: X -> Y`` infer
+  ``R: XZ -> YZ`` for any attribute set ``Z``;
+* **FD3 (transitivity)** — from ``R: X -> Y`` and ``R: Y -> Z`` infer
+  ``R: X -> Z``.
+
+This module mirrors :mod:`repro.core.ind_axioms`: rule applications,
+proof objects, an independent checker, and a prover that converts the
+linear-time closure computation into a formal derivation — making the
+FD side of the paper's completeness landscape executable too.
+
+FD identity is set-based throughout (as in :class:`repro.deps.fd.FD`);
+the checker compares attribute sets, so augmentation may reorder
+freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.exceptions import DependencyError, ProofError
+from repro.core.fd_closure import closure_derivation, fd_implies
+from repro.deps.fd import FD
+
+
+def fd_reflexivity(relation: str, lhs: Iterable[str], rhs: Iterable[str]) -> FD:
+    """Rule FD1: ``X -> Y`` for ``Y`` a subset of ``X``."""
+    fd = FD(relation, tuple(lhs), tuple(rhs))
+    if not fd.is_trivial():
+        raise DependencyError(f"FD1 requires rhs inside lhs: {fd}")
+    return fd
+
+
+def fd_augmentation(fd: FD, extra: Iterable[str]) -> FD:
+    """Rule FD2: from ``X -> Y`` infer ``XZ -> YZ``."""
+    extra_set = frozenset(extra)
+    lhs = tuple(sorted(fd.lhs_set | extra_set))
+    rhs = tuple(sorted(fd.rhs_set | extra_set))
+    return FD(fd.relation, lhs or None, rhs)
+
+
+def fd_transitivity(first: FD, second: FD) -> FD:
+    """Rule FD3: from ``X -> Y`` and ``Y -> Z`` infer ``X -> Z``.
+
+    The middle sets must match exactly (as sets).
+    """
+    if first.relation != second.relation:
+        raise DependencyError(
+            f"FD3 premises over different relations: {first}, {second}"
+        )
+    if first.rhs_set != second.lhs_set:
+        raise DependencyError(f"FD3 middle mismatch: {first} then {second}")
+    return FD(first.relation, tuple(sorted(first.lhs_set)) or None,
+              tuple(sorted(second.rhs_set)))
+
+
+@dataclass(frozen=True)
+class FdJustification:
+    rule: str = field(init=False, default="?")
+
+
+@dataclass(frozen=True)
+class FdByHypothesis(FdJustification):
+    rule: str = field(init=False, default="hypothesis")
+
+
+@dataclass(frozen=True)
+class FdByReflexivity(FdJustification):
+    rule: str = field(init=False, default="FD1")
+
+
+@dataclass(frozen=True)
+class FdByAugmentation(FdJustification):
+    source: int
+    extra: frozenset[str]
+    rule: str = field(init=False, default="FD2")
+
+
+@dataclass(frozen=True)
+class FdByTransitivity(FdJustification):
+    first: int
+    second: int
+    rule: str = field(init=False, default="FD3")
+
+
+@dataclass(frozen=True)
+class FdProofStep:
+    fd: FD
+    justification: FdJustification
+
+    def __str__(self) -> str:
+        just = self.justification
+        if isinstance(just, FdByAugmentation):
+            detail = f"FD2 on line {just.source}, adding {sorted(just.extra)}"
+        elif isinstance(just, FdByTransitivity):
+            detail = f"FD3 on lines {just.first}, {just.second}"
+        elif isinstance(just, FdByReflexivity):
+            detail = "FD1"
+        else:
+            detail = "hypothesis"
+        return f"{self.fd}    [{detail}]"
+
+
+class FdProof:
+    """A formal Armstrong-axiom derivation."""
+
+    def __init__(self, premises: Iterable[FD], steps: Iterable[FdProofStep]):
+        self.premises = list(premises)
+        self.steps = list(steps)
+        if not self.steps:
+            raise ProofError("an FD proof must contain at least one step")
+
+    @property
+    def conclusion(self) -> FD:
+        return self.steps[-1].fd
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __str__(self) -> str:
+        lines = [f"premises: {', '.join(str(p) for p in self.premises)}"]
+        for index, step in enumerate(self.steps):
+            lines.append(f"  {index}: {step}")
+        return "\n".join(lines)
+
+
+def check_fd_proof(proof: FdProof, expected_conclusion: Optional[FD] = None) -> bool:
+    """Independently verify an FD proof line by line."""
+    for line, step in enumerate(proof.steps):
+        fd = step.fd
+        just = step.justification
+        if isinstance(just, FdByHypothesis):
+            if fd not in proof.premises:
+                raise ProofError(f"line {line}: {fd} is not a premise")
+        elif isinstance(just, FdByReflexivity):
+            if not fd.is_trivial():
+                raise ProofError(f"line {line}: {fd} is not an FD1 instance")
+        elif isinstance(just, FdByAugmentation):
+            if not 0 <= just.source < line:
+                raise ProofError(f"line {line}: FD2 source not earlier")
+            derived = fd_augmentation(proof.steps[just.source].fd, just.extra)
+            if derived != fd:
+                raise ProofError(f"line {line}: FD2 yields {derived}, not {fd}")
+        elif isinstance(just, FdByTransitivity):
+            if not (0 <= just.first < line and 0 <= just.second < line):
+                raise ProofError(f"line {line}: FD3 sources not earlier")
+            try:
+                derived = fd_transitivity(
+                    proof.steps[just.first].fd, proof.steps[just.second].fd
+                )
+            except DependencyError as exc:
+                raise ProofError(f"line {line}: invalid FD3: {exc}") from exc
+            if derived != fd:
+                raise ProofError(f"line {line}: FD3 yields {derived}, not {fd}")
+        else:  # pragma: no cover - defensive
+            raise ProofError(f"line {line}: unknown justification {just!r}")
+    if expected_conclusion is not None and proof.conclusion != expected_conclusion:
+        raise ProofError(
+            f"conclusion {proof.conclusion} differs from {expected_conclusion}"
+        )
+    return True
+
+
+def prove_fd(target: FD, premises: Iterable[FD]) -> Optional[FdProof]:
+    """A checked Armstrong derivation of ``target``, or ``None``.
+
+    Converts the closure fixpoint into a proof: maintain the invariant
+    line ``X -> (current closure)``; each closure step ``W -> V`` is
+    augmented by the whole current closure and chained on.
+    """
+    premise_list = list(premises)
+    if not fd_implies(premise_list, target):
+        return None
+    relation = target.relation
+    x_set = target.lhs_set
+    steps: list[FdProofStep] = []
+
+    # Line 0: X -> X (FD1) — unless X is empty, in which case the
+    # derivation starts from the first empty-lhs premise instead.
+    current: Optional[FD] = None
+    if x_set:
+        current = FD(relation, tuple(sorted(x_set)), tuple(sorted(x_set)))
+        steps.append(FdProofStep(current, FdByReflexivity()))
+
+    closure = set(x_set)
+    current_line = len(steps) - 1
+    for used_fd, added in closure_derivation(x_set, premise_list, relation):
+        hyp_line = len(steps)
+        steps.append(FdProofStep(used_fd, FdByHypothesis()))
+        # Augment the premise W -> V by the current closure C:
+        # CW -> CV; since W inside C, CW = C and CV = C u added.
+        aug = fd_augmentation(used_fd, frozenset(closure))
+        aug_line = len(steps)
+        steps.append(FdProofStep(aug, FdByAugmentation(hyp_line, frozenset(closure))))
+        closure |= set(added)
+        if current is None:
+            current = aug
+            current_line = aug_line
+        else:
+            current = fd_transitivity(current, aug)
+            steps.append(FdProofStep(
+                current, FdByTransitivity(current_line, aug_line)
+            ))
+            current_line = len(steps) - 1
+        if target.rhs_set <= closure:
+            break
+
+    # Project the closure down to the target's rhs with FD1 + FD3:
+    # closure -> rhs (reflexivity since rhs inside closure), then chain.
+    if current is None:
+        return None
+    if current.rhs_set != target.rhs_set or current.lhs_set != target.lhs_set:
+        projector = FD(relation, tuple(sorted(current.rhs_set)),
+                       tuple(sorted(target.rhs_set)))
+        proj_line = len(steps)
+        steps.append(FdProofStep(projector, FdByReflexivity()))
+        final = fd_transitivity(current, projector)
+        steps.append(FdProofStep(final, FdByTransitivity(current_line, proj_line)))
+    proof = FdProof(premise_list, steps)
+    check_fd_proof(proof, target.canonical())
+    return proof

@@ -1,0 +1,472 @@
+"""The general chase for FDs and INDs taken together.
+
+FDs are equality-generating rules, INDs are tuple-generating rules
+(with fresh labeled nulls), RDs are within-tuple equality rules.  The
+chase is the classical semi-decision procedure for *unrestricted*
+implication:
+
+* if the goal is derived at any finite stage, the premises imply the
+  target (each chase step is a logical consequence);
+* if the chase reaches a fixpoint without deriving the goal, the
+  chased instance is a counterexample, so the target is **not**
+  implied;
+* the chase may diverge — implication for FDs + INDs together is
+  undecidable (Mitchell; Chandra & Vardi, cited in the paper's
+  introduction), so a step budget turns divergence into an explicit
+  :class:`~repro.exceptions.ChaseBudgetExceeded`.
+
+The engine keeps an event log (tuple additions with the responsible
+IND, value merges with the responsible FD) so that derivations like
+the equality chain of Lemma 7.2 can be replayed and inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.exceptions import (
+    ChaseBudgetExceeded,
+    DependencyError,
+    UnsupportedDependencyError,
+)
+from repro.deps.base import Dependency
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.rd import RD
+from repro.model.database import Database
+from repro.model.relation import Relation
+from repro.model.schema import DatabaseSchema
+
+
+@dataclass(frozen=True)
+class MergeEvent:
+    """Two values were equated by an equality-generating dependency."""
+
+    dependency: Dependency
+    kept: int
+    merged: int
+
+
+@dataclass(frozen=True)
+class AddEvent:
+    """A tuple was added to ``relation`` by the IND ``dependency``."""
+
+    dependency: IND
+    relation: str
+    row: tuple[int, ...]
+
+
+class ChaseInstance:
+    """A mutable instance over labeled values with a union-find core.
+
+    Values are integer ids.  Ids registered as *constants* refuse to be
+    merged with other constants (that would make the instance
+    inconsistent); nulls merge freely.
+    """
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        self.relations: dict[str, set[tuple[int, ...]]] = {
+            rel.name: set() for rel in schema
+        }
+        self._parent: dict[int, int] = {}
+        self._is_constant: dict[int, bool] = {}
+        self._names: dict[int, str] = {}
+        self._next_id = 0
+        self.events: list[MergeEvent | AddEvent] = []
+
+    # -- value management ------------------------------------------------
+
+    def fresh_null(self, name: str | None = None) -> int:
+        value = self._next_id
+        self._next_id += 1
+        self._parent[value] = value
+        self._is_constant[value] = False
+        self._names[value] = name or f"n{value}"
+        return value
+
+    def fresh_constant(self, name: str | None = None) -> int:
+        value = self.fresh_null(name or f"c{self._next_id}")
+        self._is_constant[value] = True
+        return value
+
+    def find(self, value: int) -> int:
+        root = value
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[value] != root:  # path compression
+            self._parent[value], value = root, self._parent[value]
+        return root
+
+    def same(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def name_of(self, value: int) -> str:
+        return self._names[self.find(value)]
+
+    def merge(self, a: int, b: int, dependency: Dependency) -> bool:
+        """Equate two values; returns ``True`` when something changed.
+
+        Raises :class:`DependencyError` when two distinct constants
+        would be identified (the chase *fails*; cannot happen when all
+        initial values are nulls, the implication-testing setup).
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        const_a, const_b = self._is_constant[ra], self._is_constant[rb]
+        if const_a and const_b:
+            raise DependencyError(
+                f"chase failure: constants {self._names[ra]} and "
+                f"{self._names[rb]} forced equal by {dependency}"
+            )
+        # Keep the constant (or the older id) as representative.
+        if const_b or (not const_a and rb < ra):
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self.events.append(MergeEvent(dependency, kept=ra, merged=rb))
+        return True
+
+    # -- tuple management --------------------------------------------------
+
+    def canonical_row(self, row: Sequence[int]) -> tuple[int, ...]:
+        return tuple(self.find(v) for v in row)
+
+    def normalize(self) -> None:
+        """Rewrite all stored tuples through the union-find."""
+        for name, rows in self.relations.items():
+            self.relations[name] = {self.canonical_row(row) for row in rows}
+
+    def add_row(self, relation: str, row: Sequence[int],
+                dependency: IND | None = None) -> bool:
+        canonical = self.canonical_row(row)
+        if canonical in self.relations[relation]:
+            return False
+        self.relations[relation].add(canonical)
+        if dependency is not None:
+            self.events.append(AddEvent(dependency, relation, canonical))
+        return True
+
+    def total_tuples(self) -> int:
+        return sum(len(rows) for rows in self.relations.values())
+
+    # -- export ------------------------------------------------------------
+
+    def to_database(self) -> Database:
+        """Freeze into a :class:`Database` with readable value names."""
+        self.normalize()
+        relations = {
+            name: Relation(
+                self.schema.relation(name),
+                [tuple(self.name_of(v) for v in row) for row in rows],
+            )
+            for name, rows in self.relations.items()
+        }
+        return Database(self.schema, relations)
+
+
+@dataclass
+class ChaseOutcome:
+    """Result of running the chase to fixpoint (or budget)."""
+
+    instance: ChaseInstance
+    rounds: int
+    reached_fixpoint: bool
+    failed: bool = False
+    failure_reason: str = ""
+
+
+class ChaseEngine:
+    """Runs FD/IND/RD chase steps over a :class:`ChaseInstance`."""
+
+    def __init__(self, schema: DatabaseSchema, dependencies: Iterable[Dependency]):
+        self.schema = schema
+        self.fds: list[FD] = []
+        self.inds: list[IND] = []
+        self.rds: list[RD] = []
+        for dep in dependencies:
+            dep.validate(schema)
+            if isinstance(dep, FD):
+                self.fds.append(dep)
+            elif isinstance(dep, IND):
+                self.inds.append(dep)
+            elif isinstance(dep, RD):
+                self.rds.append(dep)
+            else:
+                raise UnsupportedDependencyError(
+                    f"chase supports FDs, INDs and RDs, got {dep}"
+                )
+
+    # -- single steps -------------------------------------------------------
+
+    def _apply_fd(self, instance: ChaseInstance, fd: FD) -> bool:
+        rel_schema = self.schema.relation(fd.relation)
+        lhs_pos = rel_schema.positions(fd.lhs)
+        rhs_pos = rel_schema.positions(fd.rhs)
+        changed = False
+        groups: dict[tuple[int, ...], tuple[int, ...]] = {}
+        for row in list(instance.relations[fd.relation]):
+            row = instance.canonical_row(row)
+            key = tuple(row[p] for p in lhs_pos)
+            image = tuple(row[p] for p in rhs_pos)
+            other = groups.get(key)
+            if other is None:
+                groups[key] = image
+                continue
+            for a, b in zip(other, image):
+                if instance.find(a) != instance.find(b):
+                    instance.merge(a, b, fd)
+                    changed = True
+        if changed:
+            instance.normalize()
+        return changed
+
+    def _apply_rd(self, instance: ChaseInstance, rd: RD) -> bool:
+        rel_schema = self.schema.relation(rd.relation)
+        changed = False
+        for row in list(instance.relations[rd.relation]):
+            row = instance.canonical_row(row)
+            for left, right in rd.pairs:
+                a = row[rel_schema.position(left)]
+                b = row[rel_schema.position(right)]
+                if instance.find(a) != instance.find(b):
+                    instance.merge(a, b, rd)
+                    changed = True
+        if changed:
+            instance.normalize()
+        return changed
+
+    def _apply_ind(self, instance: ChaseInstance, ind: IND) -> bool:
+        src_schema = self.schema.relation(ind.lhs_relation)
+        dst_schema = self.schema.relation(ind.rhs_relation)
+        src_pos = src_schema.positions(ind.lhs_attributes)
+        dst_pos = dst_schema.positions(ind.rhs_attributes)
+        existing = {
+            tuple(row[p] for p in dst_pos)
+            for row in (
+                instance.canonical_row(r)
+                for r in instance.relations[ind.rhs_relation]
+            )
+        }
+        changed = False
+        for row in list(instance.relations[ind.lhs_relation]):
+            row = instance.canonical_row(row)
+            needed = tuple(row[p] for p in src_pos)
+            if needed in existing:
+                continue
+            new_row: list[int] = [
+                instance.fresh_null() for _ in range(dst_schema.arity)
+            ]
+            for value, pos in zip(needed, dst_pos):
+                new_row[pos] = value
+            instance.add_row(ind.rhs_relation, new_row, ind)
+            existing.add(needed)
+            changed = True
+        return changed
+
+    # -- full runs ------------------------------------------------------------
+
+    def run(
+        self,
+        instance: ChaseInstance,
+        max_rounds: int = 200,
+        max_tuples: int = 100_000,
+        goal=None,
+    ) -> ChaseOutcome:
+        """Chase to fixpoint; raise on budget exhaustion.
+
+        A round applies all equality rules to their own fixpoint, then
+        every IND once.  The chase is monotone in the derived facts, so
+        fixpoint detection is sound.
+
+        ``goal`` is an optional predicate over the instance; when it
+        turns true the run stops early (sound for implication testing:
+        every chase step is a logical consequence, so a goal reached at
+        any finite stage certifies the implication even when the full
+        chase would diverge).
+        """
+        rounds = 0
+        if goal is not None and goal(instance):
+            return ChaseOutcome(instance, rounds, reached_fixpoint=False)
+        while rounds < max_rounds:
+            rounds += 1
+            changed = False
+            # Equality rules first (cheap, shrink the instance).
+            equality_changed = True
+            while equality_changed:
+                equality_changed = False
+                for fd in self.fds:
+                    try:
+                        if self._apply_fd(instance, fd):
+                            equality_changed = True
+                    except DependencyError as exc:
+                        return ChaseOutcome(
+                            instance, rounds, reached_fixpoint=False,
+                            failed=True, failure_reason=str(exc),
+                        )
+                for rd in self.rds:
+                    try:
+                        if self._apply_rd(instance, rd):
+                            equality_changed = True
+                    except DependencyError as exc:
+                        return ChaseOutcome(
+                            instance, rounds, reached_fixpoint=False,
+                            failed=True, failure_reason=str(exc),
+                        )
+                changed = changed or equality_changed
+            for ind in self.inds:
+                if self._apply_ind(instance, ind):
+                    changed = True
+            if goal is not None and goal(instance):
+                return ChaseOutcome(instance, rounds, reached_fixpoint=False)
+            if instance.total_tuples() > max_tuples:
+                raise ChaseBudgetExceeded(
+                    f"chase exceeded {max_tuples} tuples after {rounds} rounds",
+                    rounds=rounds,
+                    tuples=instance.total_tuples(),
+                )
+            if not changed:
+                return ChaseOutcome(instance, rounds, reached_fixpoint=True)
+        raise ChaseBudgetExceeded(
+            f"chase did not converge within {max_rounds} rounds",
+            rounds=rounds,
+            tuples=instance.total_tuples(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Implication testing via the chase
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ImplicationCertificate:
+    """A decided implication question with its chase evidence."""
+
+    implied: bool
+    outcome: ChaseOutcome
+    detail: str = ""
+
+    def counterexample(self) -> Optional[Database]:
+        """The chased instance as a database, when it refutes the target."""
+        if self.implied:
+            return None
+        return self.outcome.instance.to_database()
+
+
+def chase_implies(
+    schema: DatabaseSchema,
+    premises: Iterable[Dependency],
+    target: Dependency,
+    max_rounds: int = 200,
+    max_tuples: int = 100_000,
+) -> ImplicationCertificate:
+    """Decide ``premises |= target`` (unrestricted) by chasing.
+
+    Terminating chases give exact answers; divergence raises
+    :class:`ChaseBudgetExceeded`.  The target may be an FD, IND, or RD.
+    """
+    target.validate(schema)
+    engine = ChaseEngine(schema, premises)
+    instance = ChaseInstance(schema)
+
+    if isinstance(target, FD):
+        rel_schema = schema.relation(target.relation)
+        shared = {
+            attr: instance.fresh_null(f"x_{attr}") for attr in target.lhs
+        }
+        row1 = []
+        row2 = []
+        for attr in rel_schema.attributes:
+            if attr in shared:
+                row1.append(shared[attr])
+                row2.append(shared[attr])
+            else:
+                row1.append(instance.fresh_null(f"{attr.lower()}1"))
+                row2.append(instance.fresh_null(f"{attr.lower()}2"))
+        instance.add_row(target.relation, row1)
+        instance.add_row(target.relation, row2)
+        rhs_pos = rel_schema.positions(target.rhs)
+
+        def fd_goal(inst: ChaseInstance) -> bool:
+            return all(inst.same(row1[p], row2[p]) for p in rhs_pos)
+
+        outcome = engine.run(
+            instance, max_rounds=max_rounds, max_tuples=max_tuples, goal=fd_goal
+        )
+        implied = fd_goal(instance)
+        return ImplicationCertificate(
+            implied, outcome,
+            detail="rhs values equated" if implied else "rhs values distinct at fixpoint",
+        )
+
+    if isinstance(target, RD):
+        rel_schema = schema.relation(target.relation)
+        row = [instance.fresh_null(f"{attr.lower()}0") for attr in rel_schema.attributes]
+        instance.add_row(target.relation, row)
+        pair_pos = [
+            (rel_schema.position(left), rel_schema.position(right))
+            for left, right in target.pairs
+        ]
+
+        def rd_goal(inst: ChaseInstance) -> bool:
+            return all(inst.same(row[lp], row[rp]) for lp, rp in pair_pos)
+
+        outcome = engine.run(
+            instance, max_rounds=max_rounds, max_tuples=max_tuples, goal=rd_goal
+        )
+        return ImplicationCertificate(rd_goal(instance), outcome)
+
+    if isinstance(target, IND):
+        src_schema = schema.relation(target.lhs_relation)
+        row = [instance.fresh_null(f"{attr.lower()}0") for attr in src_schema.attributes]
+        instance.add_row(target.lhs_relation, row)
+        dst_schema = schema.relation(target.rhs_relation)
+        src_pos = src_schema.positions(target.lhs_attributes)
+        dst_pos = dst_schema.positions(target.rhs_attributes)
+
+        def ind_goal(inst: ChaseInstance) -> bool:
+            wanted = tuple(inst.find(row[p]) for p in src_pos)
+            return any(
+                tuple(inst.find(r[p]) for p in dst_pos) == wanted
+                for r in inst.relations[target.rhs_relation]
+            )
+
+        outcome = engine.run(
+            instance, max_rounds=max_rounds, max_tuples=max_tuples, goal=ind_goal
+        )
+        return ImplicationCertificate(ind_goal(instance), outcome)
+
+    raise UnsupportedDependencyError(f"cannot chase target {target}")
+
+
+def chase_database(
+    db: Database,
+    dependencies: Iterable[Dependency],
+    max_rounds: int = 200,
+    max_tuples: int = 100_000,
+) -> Database:
+    """Repair ``db`` into a superset instance satisfying ``dependencies``.
+
+    Every existing value becomes a constant; the chase adds tuples (with
+    fresh nulls) and merges nulls as needed.  Raises on chase failure
+    (two distinct constants forced equal) or budget exhaustion.  Used by
+    the referential-integrity example and workload generators.
+    """
+    schema = db.schema
+    engine = ChaseEngine(schema, dependencies)
+    instance = ChaseInstance(schema)
+    ids: dict[object, int] = {}
+    for rel in db:
+        for row in rel:
+            encoded = []
+            for value in row:
+                if value not in ids:
+                    ids[value] = instance.fresh_constant(str(value))
+                encoded.append(ids[value])
+            instance.add_row(rel.name, encoded)
+    outcome = engine.run(instance, max_rounds=max_rounds, max_tuples=max_tuples)
+    if outcome.failed:
+        raise DependencyError(f"chase failed: {outcome.failure_reason}")
+    return instance.to_database()

@@ -1,0 +1,235 @@
+"""The complete axiomatization for INDs (paper, Section 3).
+
+The three inference rules:
+
+* **IND1 (reflexivity)** — ``R[X] c R[X]`` for any sequence ``X`` of
+  distinct attributes of ``R``;
+* **IND2 (projection and permutation)** — from
+  ``R[A1,...,Am] c S[B1,...,Bm]`` derive
+  ``R[A_i1,...,A_ik] c S[B_i1,...,B_ik]`` for any sequence
+  ``i1,...,ik`` of distinct indices;
+* **IND3 (transitivity)** — from ``R[X] c S[Y]`` and ``S[Y] c T[Z]``
+  derive ``R[X] c T[Z]``.
+
+Theorem 3.1 shows these are sound and complete, for both finite and
+unrestricted implication.  This module provides the rules as checked
+operations, a :class:`Proof` object in the paper's sense (a finite
+sequence of INDs, each a premise or a rule application on earlier
+lines), and an independent :func:`check_proof` verifier.
+
+The verifier is deliberately strict: transitivity requires the middle
+expressions to match as *sequences* (reorderings must be made explicit
+via IND2), mirroring the formal system exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exceptions import DependencyError, ProofError
+from repro.deps.ind import IND
+from repro.model.attributes import check_distinct
+from repro.model.schema import DatabaseSchema
+
+
+def sequences_equal(first: IND, second: IND) -> bool:
+    """Syntactic (sequence-level) identity of two INDs.
+
+    ``IND.__eq__`` identifies INDs up to simultaneous permutation of
+    both sides; proof checking needs the stricter notion.
+    """
+    return (
+        first.lhs_relation == second.lhs_relation
+        and first.lhs_attributes == second.lhs_attributes
+        and first.rhs_relation == second.rhs_relation
+        and first.rhs_attributes == second.rhs_attributes
+    )
+
+
+def reflexivity(relation: str, attributes: str | Iterable[str]) -> IND:
+    """Rule IND1: the axiom ``R[X] c R[X]``."""
+    attrs = check_distinct(attributes, context="IND1 attribute sequence")
+    return IND(relation, attrs, relation, attrs)
+
+
+def apply_projection(ind: IND, indices: Sequence[int]) -> IND:
+    """Rule IND2: project and permute both sides of ``ind`` by
+    zero-based ``indices`` (distinct, non-empty)."""
+    return ind.project_onto(indices)
+
+
+def apply_transitivity(first: IND, second: IND) -> IND:
+    """Rule IND3: compose ``R[X] c S[Y]`` with ``S[Y] c T[Z]``.
+
+    The middle expression must match exactly as a sequence.
+    """
+    if first.rhs_relation != second.lhs_relation or (
+        first.rhs_attributes != second.lhs_attributes
+    ):
+        raise DependencyError(
+            f"IND3 middle mismatch: {first} then {second}"
+        )
+    return IND(
+        first.lhs_relation,
+        first.lhs_attributes,
+        second.rhs_relation,
+        second.rhs_attributes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Proof objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Justification:
+    """Base marker class for proof-step justifications."""
+
+    rule: str = field(init=False, default="?")
+
+
+@dataclass(frozen=True)
+class ByHypothesis(Justification):
+    """The step's IND is one of the premises."""
+
+    rule: str = field(init=False, default="hypothesis")
+
+
+@dataclass(frozen=True)
+class ByReflexivity(Justification):
+    """The step's IND is an instance of IND1."""
+
+    rule: str = field(init=False, default="IND1")
+
+
+@dataclass(frozen=True)
+class ByProjection(Justification):
+    """IND2 applied to an earlier step with the given index selection."""
+
+    source: int
+    indices: tuple[int, ...]
+    rule: str = field(init=False, default="IND2")
+
+
+@dataclass(frozen=True)
+class ByTransitivity(Justification):
+    """IND3 applied to two earlier steps."""
+
+    first: int
+    second: int
+    rule: str = field(init=False, default="IND3")
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One line of a proof: an IND plus its justification."""
+
+    ind: IND
+    justification: Justification
+
+    def __str__(self) -> str:
+        just = self.justification
+        if isinstance(just, ByProjection):
+            detail = f"IND2 on line {just.source}, indices {list(just.indices)}"
+        elif isinstance(just, ByTransitivity):
+            detail = f"IND3 on lines {just.first}, {just.second}"
+        elif isinstance(just, ByReflexivity):
+            detail = "IND1"
+        else:
+            detail = "hypothesis"
+        return f"{self.ind}    [{detail}]"
+
+
+class Proof:
+    """A formal proof: a finite sequence of justified INDs.
+
+    Matches the paper's definition: each line is either a member of the
+    premise set or follows from earlier lines by IND1-IND3; the last
+    line is the conclusion.
+    """
+
+    def __init__(self, premises: Iterable[IND], steps: Iterable[ProofStep]):
+        self.premises = list(premises)
+        self.steps = list(steps)
+        if not self.steps:
+            raise ProofError("a proof must contain at least one step")
+
+    @property
+    def conclusion(self) -> IND:
+        return self.steps[-1].ind
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __str__(self) -> str:
+        lines = [f"premises: {', '.join(str(p) for p in self.premises)}"]
+        for index, step in enumerate(self.steps):
+            lines.append(f"  {index}: {step}")
+        return "\n".join(lines)
+
+
+def check_proof(
+    proof: Proof,
+    schema: DatabaseSchema | None = None,
+    expected_conclusion: IND | None = None,
+) -> bool:
+    """Independently verify a proof object line by line.
+
+    Checks that every step is justified, optionally that all INDs are
+    well-formed over ``schema``, and optionally that the conclusion is
+    (sequence-)equal to ``expected_conclusion``.  Raises
+    :class:`ProofError` with the offending line on failure.
+    """
+    for line, step in enumerate(proof.steps):
+        ind = step.ind
+        just = step.justification
+        if schema is not None:
+            try:
+                ind.validate(schema)
+            except DependencyError as exc:
+                raise ProofError(f"line {line}: malformed IND: {exc}") from exc
+        if isinstance(just, ByHypothesis):
+            if not any(sequences_equal(ind, premise) for premise in proof.premises):
+                raise ProofError(f"line {line}: {ind} is not a premise")
+        elif isinstance(just, ByReflexivity):
+            if not (
+                ind.lhs_relation == ind.rhs_relation
+                and ind.lhs_attributes == ind.rhs_attributes
+            ):
+                raise ProofError(f"line {line}: {ind} is not an IND1 instance")
+        elif isinstance(just, ByProjection):
+            if not 0 <= just.source < line:
+                raise ProofError(f"line {line}: IND2 source {just.source} not earlier")
+            try:
+                derived = apply_projection(proof.steps[just.source].ind, just.indices)
+            except DependencyError as exc:
+                raise ProofError(f"line {line}: invalid IND2 application: {exc}") from exc
+            if not sequences_equal(derived, ind):
+                raise ProofError(
+                    f"line {line}: IND2 yields {derived}, not {ind}"
+                )
+        elif isinstance(just, ByTransitivity):
+            if not (0 <= just.first < line and 0 <= just.second < line):
+                raise ProofError(f"line {line}: IND3 sources not earlier than line")
+            try:
+                derived = apply_transitivity(
+                    proof.steps[just.first].ind, proof.steps[just.second].ind
+                )
+            except DependencyError as exc:
+                raise ProofError(f"line {line}: invalid IND3 application: {exc}") from exc
+            if not sequences_equal(derived, ind):
+                raise ProofError(f"line {line}: IND3 yields {derived}, not {ind}")
+        else:  # pragma: no cover - defensive
+            raise ProofError(f"line {line}: unknown justification {just!r}")
+    if expected_conclusion is not None and not sequences_equal(
+        proof.conclusion, expected_conclusion
+    ):
+        raise ProofError(
+            f"conclusion {proof.conclusion} differs from expected {expected_conclusion}"
+        )
+    return True

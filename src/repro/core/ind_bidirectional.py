@@ -1,0 +1,158 @@
+"""Bidirectional search for the IND decision problem.
+
+An optimization on top of the Corollary 3.2 procedure: the expression
+graph's edges can be traversed *backwards* as well — a premise
+``Ri[C1..Ck] c Rj[D1..Dk]`` maps an expression over ``Rj`` whose
+attributes all lie in ``D1..Dk`` back to the corresponding expression
+over ``Ri``.  Meeting in the middle explores O(sqrt) of the nodes a
+one-directional BFS touches on long-chain instances (benchmarked in
+E2), while returning the same witness chains.
+
+This does not change the worst-case complexity — the problem stays
+PSPACE-complete — but it is the kind of engineering a production
+implementation of the paper's procedure would ship.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.exceptions import SearchBudgetExceeded
+from repro.deps.ind import IND
+from repro.core.ind_decision import (
+    ChainLink,
+    DecisionResult,
+    Expression,
+    expression_of_lhs,
+    expression_of_rhs,
+    successors,
+)
+
+
+def predecessors(
+    expression: Expression, premises: list[IND]
+) -> Iterable[tuple[Expression, ChainLink]]:
+    """All expressions with an edge *into* ``expression``.
+
+    A premise applies backwards when the expression's relation is the
+    premise's right relation and every attribute occurs on the right
+    side; the predecessor maps attributes through the inverse
+    positional correspondence.
+    """
+    relation, attrs = expression
+    for premise in premises:
+        if premise.rhs_relation != relation:
+            continue
+        rhs = premise.rhs_attributes
+        positions: list[int] = []
+        applicable = True
+        for attr in attrs:
+            try:
+                positions.append(rhs.index(attr))
+            except ValueError:
+                applicable = False
+                break
+        if not applicable:
+            continue
+        source = tuple(premise.lhs_attributes[p] for p in positions)
+        yield (premise.lhs_relation, source), ChainLink(premise, tuple(positions))
+
+
+def decide_ind_bidirectional(
+    target: IND,
+    premises: Iterable[IND],
+    max_nodes: int = 2_000_000,
+) -> DecisionResult:
+    """Meet-in-the-middle decision; same contract as ``decide_ind``.
+
+    Alternates expansion of the smaller frontier.  When the frontiers
+    meet, the two half-chains are stitched into a full Corollary 3.2
+    witness.
+    """
+    premise_list = list(premises)
+    start = expression_of_lhs(target)
+    goal = expression_of_rhs(target)
+    if start == goal:
+        return DecisionResult(
+            implied=True, target=target, chain=[start], links=[], explored=1
+        )
+
+    forward_parent: dict[Expression, tuple[Expression, ChainLink]] = {}
+    backward_child: dict[Expression, tuple[Expression, ChainLink]] = {}
+    forward_seen: set[Expression] = {start}
+    backward_seen: set[Expression] = {goal}
+    forward_queue: deque[Expression] = deque([start])
+    backward_queue: deque[Expression] = deque([goal])
+    explored = 0
+
+    def stitch(meeting: Expression) -> DecisionResult:
+        chain_front: list[Expression] = [meeting]
+        links_front: list[ChainLink] = []
+        node = meeting
+        while node != start:
+            prev, link = forward_parent[node]
+            chain_front.append(prev)
+            links_front.append(link)
+            node = prev
+        chain_front.reverse()
+        links_front.reverse()
+
+        chain_back: list[Expression] = []
+        links_back: list[ChainLink] = []
+        node = meeting
+        while node != goal:
+            nxt, link = backward_child[node]
+            chain_back.append(nxt)
+            links_back.append(link)
+            node = nxt
+        return DecisionResult(
+            implied=True,
+            target=target,
+            chain=chain_front + chain_back,
+            links=links_front + links_back,
+            explored=explored,
+        )
+
+    while forward_queue or backward_queue:
+        expand_forward = bool(forward_queue) and (
+            not backward_queue or len(forward_queue) <= len(backward_queue)
+        )
+        if expand_forward:
+            for _ in range(len(forward_queue)):
+                current = forward_queue.popleft()
+                explored += 1
+                if explored > max_nodes:
+                    raise SearchBudgetExceeded(
+                        f"bidirectional search exceeded {max_nodes} nodes",
+                        explored=explored,
+                    )
+                for nxt, link in successors(current, premise_list):
+                    if nxt in forward_seen:
+                        continue
+                    forward_seen.add(nxt)
+                    forward_parent[nxt] = (current, link)
+                    if nxt in backward_seen:
+                        return stitch(nxt)
+                    forward_queue.append(nxt)
+        else:
+            for _ in range(len(backward_queue)):
+                current = backward_queue.popleft()
+                explored += 1
+                if explored > max_nodes:
+                    raise SearchBudgetExceeded(
+                        f"bidirectional search exceeded {max_nodes} nodes",
+                        explored=explored,
+                    )
+                for prev, link in predecessors(current, premise_list):
+                    if prev in backward_seen:
+                        continue
+                    backward_seen.add(prev)
+                    backward_child[prev] = (current, link)
+                    if prev in forward_seen:
+                        return stitch(prev)
+                    backward_queue.append(prev)
+        if not forward_queue and not backward_queue:
+            break
+
+    return DecisionResult(implied=False, target=target, explored=explored)

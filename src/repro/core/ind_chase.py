@@ -1,0 +1,227 @@
+"""The Rule (*) construction from the proof of Theorem 3.1.
+
+To prove completeness, the paper builds a canonical *finite* database:
+start with a single tuple ``p`` in ``Ra`` whose entry in column ``Ai``
+is ``i`` (and ``0`` elsewhere), then saturate under
+
+    **Rule (*)** — if ``Ri[C1..Ck] c Rj[D1..Dk]`` is a premise and
+    ``u`` is a tuple of ``ri``, add to ``rj`` the tuple ``t`` with
+    ``t[Du] = u[Cu]`` and ``0`` in every other column.
+
+Unlike the standard chase, a fixed constant ``0`` plays the role of
+every "new" value, so the construction terminates with entries in
+``{0, 1, ..., m}``.  The resulting database satisfies the premises,
+and it satisfies the target IND iff the target is provable — giving
+completeness *and* the coincidence of finite and unrestricted
+implication for INDs in one stroke.
+
+This module implements the construction with provenance tracking, a
+decision procedure on top of it, and the extraction of a Corollary 3.2
+chain from the provenance of the witness tuple (mirroring the
+corollary's proof).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.exceptions import DependencyError, SearchBudgetExceeded
+from repro.deps.ind import IND
+from repro.model.database import Database
+from repro.model.relation import Relation
+from repro.model.schema import DatabaseSchema
+
+Row = tuple[int, ...]
+
+
+@dataclass
+class RuleStarResult:
+    """The saturated database plus provenance.
+
+    ``provenance`` maps ``(relation, tuple)`` to the
+    ``(source_relation, source_tuple, premise)`` that created it;
+    the initial tuple ``p`` has no entry.
+    """
+
+    database: Database
+    initial: tuple[str, Row]
+    provenance: dict[tuple[str, Row], tuple[str, Row, IND]]
+    rounds: int
+
+
+def _initial_tuple(target: IND, schema: DatabaseSchema) -> Row:
+    """The paper's tuple ``p``: ``p[Ai] = i`` (1-based), else 0."""
+    rel_schema = schema.relation(target.lhs_relation)
+    row = [0] * rel_schema.arity
+    for index, attr in enumerate(target.lhs_attributes, start=1):
+        row[rel_schema.position(attr)] = index
+    return tuple(row)
+
+
+def rule_star_database(
+    target: IND,
+    premises: Iterable[IND],
+    schema: DatabaseSchema,
+    max_tuples: int = 500_000,
+) -> RuleStarResult:
+    """Saturate Rule (*) starting from the canonical tuple of ``target``.
+
+    Terminates because every entry lies in ``{0..m}`` where ``m`` is the
+    target's arity; ``max_tuples`` guards against combinatorially large
+    (but still finite) saturations.
+    """
+    premise_list = list(premises)
+    target.validate(schema)
+    for premise in premise_list:
+        premise.validate(schema)
+
+    contents: dict[str, set[Row]] = {rel.name: set() for rel in schema}
+    provenance: dict[tuple[str, Row], tuple[str, Row, IND]] = {}
+
+    start_row = _initial_tuple(target, schema)
+    start_rel = target.lhs_relation
+    contents[start_rel].add(start_row)
+
+    queue: deque[tuple[str, Row]] = deque([(start_rel, start_row)])
+    rounds = 0
+    total = 1
+    while queue:
+        rel_name, row = queue.popleft()
+        rounds += 1
+        for premise in premise_list:
+            if premise.lhs_relation != rel_name:
+                continue
+            src_schema = schema.relation(premise.lhs_relation)
+            dst_schema = schema.relation(premise.rhs_relation)
+            new_row = [0] * dst_schema.arity
+            for c_attr, d_attr in zip(
+                premise.lhs_attributes, premise.rhs_attributes
+            ):
+                new_row[dst_schema.position(d_attr)] = row[src_schema.position(c_attr)]
+            candidate = tuple(new_row)
+            if candidate in contents[premise.rhs_relation]:
+                continue
+            contents[premise.rhs_relation].add(candidate)
+            provenance[(premise.rhs_relation, candidate)] = (rel_name, row, premise)
+            queue.append((premise.rhs_relation, candidate))
+            total += 1
+            if total > max_tuples:
+                raise SearchBudgetExceeded(
+                    f"Rule (*) saturation exceeded {max_tuples} tuples",
+                    explored=total,
+                )
+
+    relations = {
+        name: Relation(schema.relation(name), rows)
+        for name, rows in contents.items()
+    }
+    database = Database(schema, relations)
+    return RuleStarResult(
+        database=database,
+        initial=(start_rel, start_row),
+        provenance=provenance,
+        rounds=rounds,
+    )
+
+
+def witness_tuple(target: IND, schema: DatabaseSchema) -> Row:
+    """The tuple ``p'`` whose presence in ``rb`` certifies implication:
+    ``p'[Bi] = i`` with 0 elsewhere."""
+    rel_schema = schema.relation(target.rhs_relation)
+    row = [0] * rel_schema.arity
+    for index, attr in enumerate(target.rhs_attributes, start=1):
+        row[rel_schema.position(attr)] = index
+    return tuple(row)
+
+
+def decide_by_rule_star(
+    target: IND,
+    premises: Iterable[IND],
+    schema: DatabaseSchema,
+    max_tuples: int = 500_000,
+) -> bool:
+    """Decide ``premises |= target`` semantically via Rule (*).
+
+    By the proof of Theorem 3.1 the saturated database satisfies the
+    premises and contains the witness ``p'`` in ``rb`` iff the target
+    is implied.  This is an independent decision procedure used to
+    cross-validate the syntactic BFS in tests and benchmarks.
+    """
+    result = rule_star_database(target, premises, schema, max_tuples=max_tuples)
+    goal = witness_tuple(target, schema)
+    candidate_rows = result.database.relation(target.rhs_relation).tuples
+    # The witness needs p'[Bi] = i; other columns of p' are whatever
+    # Rule (*) produced, so membership is tested positionally on the
+    # B-columns only.
+    rel_schema = schema.relation(target.rhs_relation)
+    positions = [
+        (rel_schema.position(attr), index)
+        for index, attr in enumerate(target.rhs_attributes, start=1)
+    ]
+    for row in candidate_rows:
+        if all(row[pos] == value for pos, value in positions):
+            return True
+    return False
+
+
+def _is_special(row: Row, arity: int) -> bool:
+    """A tuple is *special* when it contains each of 1..m exactly once
+    (Corollary 3.2's proof)."""
+    counts = [0] * (arity + 1)
+    for value in row:
+        if 1 <= value <= arity:
+            counts[value] += 1
+    return all(count == 1 for count in counts[1:])
+
+
+def chain_from_provenance(
+    target: IND,
+    result: RuleStarResult,
+    schema: DatabaseSchema,
+) -> Optional[list[tuple[str, tuple[str, ...]]]]:
+    """Extract a Corollary 3.2 expression chain from Rule (*) provenance.
+
+    Finds the witness tuple ``p'`` in ``rb``, walks provenance back to
+    the initial tuple ``p``, and converts each special tuple to the
+    expression it corresponds to (``(ti, si)`` corresponds to
+    ``Rj[C1..Cm]`` when ``ti[Ck] = k``).  Returns ``None`` when the
+    target is not implied.
+    """
+    arity = target.arity
+    rel_schema = schema.relation(target.rhs_relation)
+    positions = [
+        (rel_schema.position(attr), index)
+        for index, attr in enumerate(target.rhs_attributes, start=1)
+    ]
+    witness: Optional[Row] = None
+    for row in result.database.relation(target.rhs_relation).tuples:
+        if all(row[pos] == value for pos, value in positions):
+            witness = row
+            break
+    if witness is None:
+        return None
+
+    path: list[tuple[str, Row]] = [(target.rhs_relation, witness)]
+    while path[-1] != result.initial:
+        entry = result.provenance.get(path[-1])
+        if entry is None:
+            raise DependencyError("provenance chain broken; cannot extract")
+        src_rel, src_row, _premise = entry
+        path.append((src_rel, src_row))
+    path.reverse()
+
+    chain: list[tuple[str, tuple[str, ...]]] = []
+    for rel_name, row in path:
+        row_schema = schema.relation(rel_name)
+        if not _is_special(row, arity):
+            raise DependencyError(
+                f"non-special tuple {row} on provenance path (corollary violated)"
+            )
+        attrs: list[str] = [""] * arity
+        for position, value in enumerate(row):
+            if 1 <= value <= arity:
+                attrs[value - 1] = row_schema.attributes[position]
+        chain.append((rel_name, tuple(attrs)))
+    return chain

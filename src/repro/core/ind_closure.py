@@ -1,0 +1,82 @@
+"""IND-set closure and minimal covers.
+
+Design-facing conveniences built on the decision procedure:
+
+* :func:`implied_inds` — the full closure ``{tau : Sigma |= tau}`` over
+  a scheme (the IND analogue of ``phi+`` in Section 7);
+* :func:`minimal_ind_cover` — an irredundant equivalent subset (which
+  declared INDs a schema designer can drop);
+* :func:`redundant_inds` — the complement view.
+
+The closure is exponential in the worst case (the expression space is;
+see the permutation example), so arity bounds keep it practical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.ind_decision import decide_ind
+from repro.deps.enumeration import all_inds
+from repro.deps.ind import IND
+from repro.model.schema import DatabaseSchema
+
+
+def implied_inds(
+    premises: Iterable[IND],
+    schema: DatabaseSchema,
+    max_arity: int | None = None,
+    include_trivial: bool = False,
+) -> set[IND]:
+    """All INDs over ``schema`` (up to ``max_arity``) implied by
+    ``premises`` — finite and unrestricted implication alike
+    (Theorem 3.1).
+    """
+    premise_list = list(premises)
+    return {
+        candidate
+        for candidate in all_inds(
+            schema, max_arity=max_arity, include_trivial=include_trivial
+        )
+        if decide_ind(candidate, premise_list).implied
+    }
+
+
+def redundant_inds(premises: Iterable[IND]) -> list[IND]:
+    """Premises implied by the *other* premises (safe to drop one at a
+    time; see :func:`minimal_ind_cover` for a consistent simultaneous
+    choice)."""
+    premise_list = list(premises)
+    result = []
+    for index, premise in enumerate(premise_list):
+        rest = premise_list[:index] + premise_list[index + 1:]
+        if decide_ind(premise, rest).implied:
+            result.append(premise)
+    return result
+
+
+def minimal_ind_cover(premises: Iterable[IND]) -> list[IND]:
+    """An irredundant subset equivalent to ``premises``.
+
+    Greedy elimination: repeatedly drop any IND implied by the rest.
+    The result implies every original premise (checked by
+    construction) and contains no internally redundant member.
+    """
+    cover = [p for p in dict.fromkeys(premises)]  # dedupe, keep order
+    index = 0
+    while index < len(cover):
+        candidate = cover[index]
+        rest = cover[:index] + cover[index + 1:]
+        if decide_ind(candidate, rest).implied:
+            cover = rest
+        else:
+            index += 1
+    return cover
+
+
+def equivalent_ind_sets(first: Iterable[IND], second: Iterable[IND]) -> bool:
+    """Whether two IND sets imply each other."""
+    first_list, second_list = list(first), list(second)
+    return all(
+        decide_ind(ind, first_list).implied for ind in second_list
+    ) and all(decide_ind(ind, second_list).implied for ind in first_list)

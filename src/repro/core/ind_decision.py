@@ -1,0 +1,221 @@
+"""The Corollary 3.2 decision procedure for INDs.
+
+Corollary 3.2 characterizes implication: ``Sigma implies
+Ra[A1..Am] c Rb[B1..Bm]`` iff there is a chain of *expressions*
+``S1[X1], ..., Sw[Xw]`` with ``S1[X1] = Ra[A1..Am]``,
+``Sw[Xw] = Rb[B1..Bm]``, and each link an IND2
+(projection-and-permutation) instance of a member of Sigma.
+
+The paper's procedure maintains the set ``Z`` of reachable
+expressions; here it is a breadth-first search over the implicit
+expression graph, with predecessor tracking so a witness chain (and
+subsequently a formal proof) can be extracted.  The graph has up to
+``sum_R  P(arity(R), m)`` nodes, which is why the problem is
+PSPACE-complete in general (Theorem 3.3); an explicit node budget
+turns pathological blow-ups into a clean exception.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.exceptions import DependencyError, SearchBudgetExceeded
+from repro.deps.ind import IND
+
+Expression = tuple[str, tuple[str, ...]]
+"""An expression ``S[X]``: a relation name plus an attribute sequence."""
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One application of step (2): which premise produced the move,
+    and which (zero-based) positions of its left side were selected."""
+
+    premise: IND
+    indices: tuple[int, ...]
+
+    def instantiate(self) -> IND:
+        """The IND2 instance ``Si[Xi] c Si+1[Xi+1]`` this link uses."""
+        return self.premise.project_onto(self.indices)
+
+
+@dataclass
+class DecisionResult:
+    """Outcome of the Corollary 3.2 procedure."""
+
+    implied: bool
+    target: IND
+    chain: Optional[list[Expression]] = None
+    links: Optional[list[ChainLink]] = None
+    explored: int = 0
+    frontier_peak: int = 0
+
+    @property
+    def chain_length(self) -> int:
+        """Number of expressions in the witness chain (``w`` in the paper)."""
+        return 0 if self.chain is None else len(self.chain)
+
+    def describe(self) -> str:
+        """Human-readable account of the decision."""
+        verdict = "IMPLIED" if self.implied else "NOT implied"
+        lines = [f"{self.target}: {verdict} (explored {self.explored} expressions)"]
+        if self.chain:
+            for index, (rel, attrs) in enumerate(self.chain):
+                prefix = "  start " if index == 0 else f"  step {index}"
+                lines.append(f"{prefix}: {rel}[{','.join(attrs)}]")
+        return "\n".join(lines)
+
+
+def expression_of_lhs(ind: IND) -> Expression:
+    return (ind.lhs_relation, ind.lhs_attributes)
+
+
+def expression_of_rhs(ind: IND) -> Expression:
+    return (ind.rhs_relation, ind.rhs_attributes)
+
+
+def successors(
+    expression: Expression, premises: list[IND]
+) -> Iterable[tuple[Expression, ChainLink]]:
+    """All expressions reachable from ``expression`` in one step.
+
+    A premise ``Ri[C1..Ck] c Rj[D1..Dk]`` applies when the expression's
+    relation is ``Ri`` and every attribute of the expression occurs in
+    ``C1..Ck``; the successor maps each attribute through the premise's
+    positional correspondence (this is rule IND2).
+    """
+    relation, attrs = expression
+    for premise in premises:
+        if premise.lhs_relation != relation:
+            continue
+        positions: list[int] = []
+        applicable = True
+        lhs = premise.lhs_attributes
+        for attr in attrs:
+            try:
+                positions.append(lhs.index(attr))
+            except ValueError:
+                applicable = False
+                break
+        if not applicable:
+            continue
+        image = tuple(premise.rhs_attributes[p] for p in positions)
+        yield (premise.rhs_relation, image), ChainLink(premise, tuple(positions))
+
+
+def decide_ind(
+    target: IND,
+    premises: Iterable[IND],
+    max_nodes: int = 2_000_000,
+) -> DecisionResult:
+    """Decide ``premises |= target`` via expression-graph reachability.
+
+    Sound and complete by Theorem 3.1 / Corollary 3.2 (and therefore
+    decides finite and unrestricted implication simultaneously, which
+    coincide for INDs).  Returns a witness chain when implied.
+    """
+    premise_list = list(premises)
+    start = expression_of_lhs(target)
+    goal = expression_of_rhs(target)
+    if start == goal:
+        return DecisionResult(
+            implied=True, target=target, chain=[start], links=[], explored=1
+        )
+
+    parents: dict[Expression, tuple[Expression, ChainLink]] = {}
+    visited: set[Expression] = {start}
+    queue: deque[Expression] = deque([start])
+    explored = 0
+    frontier_peak = 1
+
+    while queue:
+        frontier_peak = max(frontier_peak, len(queue))
+        current = queue.popleft()
+        explored += 1
+        if explored > max_nodes:
+            raise SearchBudgetExceeded(
+                f"IND decision exceeded {max_nodes} expressions", explored=explored
+            )
+        for nxt, link in successors(current, premise_list):
+            if nxt in visited:
+                continue
+            visited.add(nxt)
+            parents[nxt] = (current, link)
+            if nxt == goal:
+                chain = [nxt]
+                links: list[ChainLink] = []
+                node = nxt
+                while node != start:
+                    prev, via = parents[node]
+                    chain.append(prev)
+                    links.append(via)
+                    node = prev
+                chain.reverse()
+                links.reverse()
+                return DecisionResult(
+                    implied=True,
+                    target=target,
+                    chain=chain,
+                    links=links,
+                    explored=explored,
+                    frontier_peak=frontier_peak,
+                )
+            queue.append(nxt)
+
+    return DecisionResult(
+        implied=False,
+        target=target,
+        explored=explored,
+        frontier_peak=frontier_peak,
+    )
+
+
+def reachable_expressions(
+    start: Expression,
+    premises: Iterable[IND],
+    max_nodes: int = 2_000_000,
+) -> set[Expression]:
+    """The full set ``Z`` of the paper's procedure (all reachable
+    expressions from ``start``), for analysis and benchmarks."""
+    premise_list = list(premises)
+    visited: set[Expression] = {start}
+    queue: deque[Expression] = deque([start])
+    while queue:
+        current = queue.popleft()
+        if len(visited) > max_nodes:
+            raise SearchBudgetExceeded(
+                f"expression closure exceeded {max_nodes} nodes",
+                explored=len(visited),
+            )
+        for nxt, _link in successors(current, premise_list):
+            if nxt not in visited:
+                visited.add(nxt)
+                queue.append(nxt)
+    return visited
+
+
+def chain_is_valid(target: IND, chain: list[Expression], links: list[ChainLink]) -> bool:
+    """Independent validation of a Corollary 3.2 witness chain.
+
+    Checks conditions (i)-(v) of the corollary: endpoints match the
+    target IND, and each consecutive pair is connected by an IND2
+    instance of the cited premise.
+    """
+    if not chain:
+        return False
+    if chain[0] != expression_of_lhs(target):
+        return False
+    if chain[-1] != expression_of_rhs(target):
+        return False
+    if len(links) != len(chain) - 1:
+        return False
+    for (src, dst), link in zip(zip(chain, chain[1:]), links):
+        try:
+            instance = link.instantiate()
+        except DependencyError:
+            return False
+        if expression_of_lhs(instance) != src or expression_of_rhs(instance) != dst:
+            return False
+    return True

@@ -1,0 +1,172 @@
+"""Constructive completeness for INDs, plus polynomial special cases.
+
+Theorem 3.1 proves the axiomatization IND1-IND3 complete; this module
+makes the completeness direction *constructive*: from a Corollary 3.2
+witness chain it assembles a formal :class:`~repro.core.ind_axioms.Proof`
+that the independent checker accepts.
+
+Section 3 also remarks on two fragments with polynomial-time decision
+procedures:
+
+* INDs of arity at most ``k`` for fixed ``k`` — the expression space is
+  polynomial, so the same BFS is polynomial
+  (:func:`decide_bounded_arity`);
+* *typed* INDs ``R[X] c S[X]`` — reachability over relation names only
+  (:func:`decide_typed`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.exceptions import UnsupportedDependencyError
+from repro.deps.ind import IND
+from repro.core.ind_axioms import (
+    ByHypothesis,
+    ByProjection,
+    ByReflexivity,
+    ByTransitivity,
+    Proof,
+    ProofStep,
+    apply_transitivity,
+    reflexivity,
+    sequences_equal,
+)
+from repro.core.ind_decision import DecisionResult, decide_ind
+
+
+def implies_ind(
+    premises: Iterable[IND], target: IND, max_nodes: int = 2_000_000
+) -> bool:
+    """Whether ``premises`` logically imply ``target``.
+
+    For INDs this single answer covers unrestricted *and* finite
+    implication (Theorem 3.1: the two coincide).
+    """
+    return decide_ind(target, premises, max_nodes=max_nodes).implied
+
+
+def proof_from_decision(result: DecisionResult, premises: Iterable[IND]) -> Proof:
+    """Turn a positive :class:`DecisionResult` into a formal proof.
+
+    Each chain link becomes a hypothesis line followed (when needed) by
+    an IND2 projection line; links are folded left-to-right with IND3.
+    """
+    premise_list = list(premises)
+    if not result.implied or result.chain is None or result.links is None:
+        raise ValueError("proof_from_decision needs a positive decision result")
+    target = result.target
+    steps: list[ProofStep] = []
+
+    if not result.links:
+        # Trivial IND: left and right expressions are identical.
+        steps.append(
+            ProofStep(
+                reflexivity(target.lhs_relation, target.lhs_attributes),
+                ByReflexivity(),
+            )
+        )
+        return Proof(premise_list, steps)
+
+    def emit_link(link) -> int:
+        """Append hypothesis (+ projection) lines; return the line index
+        holding the link's IND2 instance."""
+        hypothesis_line = len(steps)
+        steps.append(ProofStep(link.premise, ByHypothesis()))
+        instance = link.instantiate()
+        if sequences_equal(instance, link.premise):
+            return hypothesis_line
+        steps.append(
+            ProofStep(instance, ByProjection(hypothesis_line, link.indices))
+        )
+        return len(steps) - 1
+
+    current_line = emit_link(result.links[0])
+    for link in result.links[1:]:
+        next_line = emit_link(link)
+        composed = apply_transitivity(
+            steps[current_line].ind, steps[next_line].ind
+        )
+        steps.append(ProofStep(composed, ByTransitivity(current_line, next_line)))
+        current_line = len(steps) - 1
+    return Proof(premise_list, steps)
+
+
+def prove_ind(
+    target: IND, premises: Iterable[IND], max_nodes: int = 2_000_000
+) -> Optional[Proof]:
+    """A checked formal proof of ``target`` from ``premises``, or
+    ``None`` when not implied."""
+    premise_list = list(premises)
+    result = decide_ind(target, premise_list, max_nodes=max_nodes)
+    if not result.implied:
+        return None
+    return proof_from_decision(result, premise_list)
+
+
+# ---------------------------------------------------------------------------
+# Polynomial special cases (Section 3 remarks)
+# ---------------------------------------------------------------------------
+
+
+def decide_typed(target: IND, premises: Iterable[IND]) -> bool:
+    """Polynomial decision for *typed* INDs ``R[X] c S[X]``.
+
+    With identical attribute sequences on both sides, expressions never
+    change their attribute component, so reachability collapses to a
+    graph over relation names: ``R -> S`` is an edge for the query
+    attribute set ``X`` whenever some premise ``R[Y] c S[Y]`` has
+    ``X`` a subset of ``Y`` (IND2 projects ``Y`` down to ``X``).
+
+    Raises :class:`UnsupportedDependencyError` on non-typed input.
+    """
+    premise_list = list(premises)
+    if not target.is_typed():
+        raise UnsupportedDependencyError(f"{target} is not typed")
+    for premise in premise_list:
+        if not premise.is_typed():
+            raise UnsupportedDependencyError(f"{premise} is not typed")
+    needed = set(target.lhs_attributes)
+    start, goal = target.lhs_relation, target.rhs_relation
+    if start == goal:
+        return True
+    visited = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for premise in premise_list:
+            if premise.lhs_relation != current:
+                continue
+            if not needed <= set(premise.lhs_attributes):
+                continue
+            nxt = premise.rhs_relation
+            if nxt == goal:
+                return True
+            if nxt not in visited:
+                visited.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def decide_bounded_arity(
+    target: IND, premises: Iterable[IND], bound: int
+) -> DecisionResult:
+    """The BFS decision, with a guarantee: all INDs have arity <= bound.
+
+    For fixed ``bound`` the expression graph has polynomially many
+    nodes (at most ``n * arity^bound`` per relation), so this is the
+    polynomial-time algorithm the paper describes for the k-ary
+    fragment.  Raises :class:`UnsupportedDependencyError` when the
+    guarantee does not hold.
+    """
+    premise_list = list(premises)
+    offenders = [
+        ind
+        for ind in [target, *premise_list]
+        if not ind.is_at_most_kary(bound)
+    ]
+    if offenders:
+        raise UnsupportedDependencyError(
+            f"INDs exceed arity bound {bound}: {offenders[0]}"
+        )
+    return decide_ind(target, premise_list)

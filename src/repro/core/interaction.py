@@ -1,0 +1,171 @@
+"""FD/IND interaction rules: Propositions 4.1, 4.2, 4.3.
+
+Section 4 exhibits the simplest ways FDs and INDs interact:
+
+* **Proposition 4.1 (pullback)** —
+  ``{R[XY] c S[TU], S: T -> U} |= R: X -> Y``;
+* **Proposition 4.2 (merge)** —
+  ``{R[XY] c S[TU], R[XZ] c S[TV], S: T -> U} |= R[XYZ] c S[TUV]``;
+* **Proposition 4.3 (repetition)** — the degenerate case of 4.2 with
+  ``U = V``: ``{R[XY] c S[TU], R[XZ] c S[TU], S: T -> U} |= R[Y = Z]``
+  — a *repeating dependency*, a genuinely new kind of sentence.
+
+Each function below detects the required shape in its arguments,
+raises :class:`DependencyError` when the shape is absent, and returns
+the derived dependency.  Soundness is property-tested against random
+databases and cross-checked against the chase.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DependencyError
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.rd import RD
+from repro.core.fd_closure import fd_implies
+
+
+def _t_positions(ind: IND, fd: FD) -> list[int]:
+    """Positions of ``ind``'s right side that spell out ``fd``'s lhs.
+
+    The FD's left-hand side must be entirely covered by the IND's
+    right side for the interaction to fire.
+    """
+    if ind.rhs_relation != fd.relation:
+        raise DependencyError(
+            f"FD {fd} is over {fd.relation}, but IND {ind} targets {ind.rhs_relation}"
+        )
+    positions = []
+    rhs = ind.rhs_attributes
+    for attr in fd.lhs:
+        try:
+            positions.append(rhs.index(attr))
+        except ValueError:
+            raise DependencyError(
+                f"FD lhs attribute {attr!r} does not occur on the right of {ind}"
+            ) from None
+    return positions
+
+
+def pullback_fd(ind: IND, fd: FD) -> FD:
+    """Proposition 4.1: derive ``R: X -> Y`` from ``R[XY] c S[TU]``
+    and ``S: T -> U``.
+
+    Generalized soundly: with IND ``R[W] c S[V]``, ``T`` a subset of
+    ``V``, the derived FD maps the ``T``-positions of ``W`` to the
+    positions of ``W`` whose images lie in ``U`` (within ``V``).
+    """
+    t_positions = set(_t_positions(ind, fd))
+    u_set = fd.rhs_set
+    x_attrs = [ind.lhs_attributes[i] for i in sorted(t_positions)]
+    y_attrs = [
+        ind.lhs_attributes[i]
+        for i in range(ind.arity)
+        if i not in t_positions and ind.rhs_attributes[i] in u_set
+    ]
+    if not y_attrs:
+        raise DependencyError(
+            f"no image attributes of {ind} fall inside the rhs of {fd}"
+        )
+    return FD(ind.lhs_relation, x_attrs or None, y_attrs)
+
+
+def _split_by_t(ind: IND, fd: FD) -> tuple[list[str], list[int], list[int]]:
+    """Split ``ind``'s positions into the T-part (matching ``fd.lhs``
+    *in order*) and the remainder.
+
+    Returns ``(x_attrs, t_positions, rest_positions)`` where
+    ``x_attrs`` are the left-side attributes over the T-part.
+    """
+    positions = _t_positions(ind, fd)
+    t_set = set(positions)
+    if len(t_set) != len(positions):
+        raise DependencyError(f"FD lhs repeats positions inside {ind}")
+    rest = [i for i in range(ind.arity) if i not in t_set]
+    x_attrs = [ind.lhs_attributes[i] for i in positions]
+    return x_attrs, positions, rest
+
+
+def merge_inds(first: IND, second: IND, fd: FD) -> IND:
+    """Proposition 4.2: derive ``R[XYZ] c S[TUV]`` from
+    ``R[XY] c S[TU]``, ``R[XZ] c S[TV]``, and ``S: T -> U``.
+
+    Shape requirements checked here:
+
+    * both INDs share source and target relations;
+    * both right sides contain ``fd``'s lhs ``T``, and the two INDs
+      agree on the source attributes ``X`` paired with ``T``;
+    * the first IND's non-``T`` image attributes are functionally
+      determined: ``{fd} |= S: T -> U`` for its ``U``-part;
+    * the concatenations ``XYZ`` and ``TUV`` are duplicate-free (the
+      paper's implicit disjointness convention).
+    """
+    if first.lhs_relation != second.lhs_relation or (
+        first.rhs_relation != second.rhs_relation
+    ):
+        raise DependencyError(
+            f"INDs {first} and {second} do not share relations"
+        )
+    x_first, t_first, rest_first = _split_by_t(first, fd)
+    x_second, t_second, rest_second = _split_by_t(second, fd)
+    if x_first != x_second:
+        raise DependencyError(
+            f"INDs disagree on the X-part: {x_first} vs {x_second}"
+        )
+    u_part = [first.rhs_attributes[i] for i in rest_first]
+    if u_part and not fd_implies([fd], FD(fd.relation, fd.lhs, u_part)):
+        raise DependencyError(
+            f"{fd} does not determine the U-part {u_part} of {first}"
+        )
+    lhs = (
+        x_first
+        + [first.lhs_attributes[i] for i in rest_first]
+        + [second.lhs_attributes[i] for i in rest_second]
+    )
+    rhs = (
+        [first.rhs_attributes[i] for i in t_first]
+        + u_part
+        + [second.rhs_attributes[i] for i in rest_second]
+    )
+    if len(set(lhs)) != len(lhs) or len(set(rhs)) != len(rhs):
+        raise DependencyError(
+            "merged IND would repeat attributes; Proposition 4.2 needs "
+            "disjoint Y/Z and U/V parts (use derive_rd for the "
+            "coincident case)"
+        )
+    return IND(first.lhs_relation, lhs, first.rhs_relation, rhs)
+
+
+def derive_rd(first: IND, second: IND, fd: FD) -> RD:
+    """Proposition 4.3: derive the RD ``R[Y = Z]`` from
+    ``R[XY] c S[TU]``, ``R[XZ] c S[TU]``, and ``S: T -> U``.
+
+    The two INDs must have the *same* right side (per position) with
+    the ``U``-part determined by the FD; the derived RD equates the
+    corresponding source attributes.
+    """
+    if first.lhs_relation != second.lhs_relation or (
+        first.rhs_relation != second.rhs_relation
+    ):
+        raise DependencyError(f"INDs {first} and {second} do not share relations")
+    x_first, t_first, rest_first = _split_by_t(first, fd)
+    x_second, t_second, rest_second = _split_by_t(second, fd)
+    if x_first != x_second:
+        raise DependencyError(
+            f"INDs disagree on the X-part: {x_first} vs {x_second}"
+        )
+    u_first = [first.rhs_attributes[i] for i in rest_first]
+    u_second = [second.rhs_attributes[i] for i in rest_second]
+    if u_first != u_second:
+        raise DependencyError(
+            f"INDs target different image attributes: {u_first} vs {u_second}"
+        )
+    if u_first and not fd_implies([fd], FD(fd.relation, fd.lhs, u_first)):
+        raise DependencyError(
+            f"{fd} does not determine the U-part {u_first}"
+        )
+    y_attrs = [first.lhs_attributes[i] for i in rest_first]
+    z_attrs = [second.lhs_attributes[i] for i in rest_second]
+    if not y_attrs:
+        raise DependencyError("INDs have no non-T part; nothing to equate")
+    return RD(first.lhs_relation, y_attrs, z_attrs)

@@ -1,0 +1,214 @@
+"""Section 5: when does a k-ary complete axiomatization exist?
+
+A rule "if T then tau" is *k-ary* when |T| <= k.  Theorem 5.1 gives
+the exact criterion:
+
+    There is a k-ary complete axiomatization for the sentences S over
+    a scheme D **iff** every subset of S closed under k-ary
+    implication is closed under implication.
+
+Corollary 5.2 packages a sufficient condition for *non*-existence used
+for the Sagiv-Walecka EMVD result (Theorem 5.3), and Sections 6-7
+apply Theorem 5.1 directly to FDs + INDs (+ RDs).
+
+Everything here is parameterized by an implication *oracle*
+``oracle(premises, target) -> bool`` so the same machinery serves
+finite implication (Section 6), unrestricted implication (Section 7),
+and EMVD implication (Theorem 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.deps.base import Dependency
+
+Oracle = Callable[[Sequence[Dependency], Dependency], bool]
+"""Implication oracle: does the premise list imply the target?"""
+
+
+def implication_closure(
+    gamma: Iterable[Dependency],
+    universe: Iterable[Dependency],
+    oracle: Oracle,
+) -> set[Dependency]:
+    """``{tau in universe : gamma |= tau}`` under the given oracle."""
+    gamma_list = list(gamma)
+    return {tau for tau in universe if oracle(gamma_list, tau)}
+
+
+def is_closed_under_implication(
+    gamma: Iterable[Dependency],
+    universe: Iterable[Dependency],
+    oracle: Oracle,
+) -> bool:
+    """Whether ``gamma`` already contains every universe consequence."""
+    gamma_set = set(gamma)
+    return implication_closure(gamma_set, universe, oracle) <= gamma_set
+
+
+@dataclass
+class KaryViolation:
+    """Witness that a set is *not* closed under k-ary implication."""
+
+    premises: tuple[Dependency, ...]
+    consequence: Dependency
+
+    def __str__(self) -> str:
+        premise_text = ", ".join(str(p) for p in self.premises)
+        return f"{{{premise_text}}} |= {self.consequence} but it is missing"
+
+
+def find_kary_violation(
+    gamma: Iterable[Dependency],
+    universe: Iterable[Dependency],
+    k: int,
+    oracle: Oracle,
+) -> Optional[KaryViolation]:
+    """Search for a <=k-subset of ``gamma`` implying something outside it.
+
+    Returns ``None`` when ``gamma`` is closed under k-ary implication.
+    Exhaustive over subsets, so intended for the paper-scale premise
+    sets (the Sigma families), not arbitrary inputs.
+    """
+    gamma_list = list(dict.fromkeys(gamma))
+    gamma_set = set(gamma_list)
+    outside = [tau for tau in universe if tau not in gamma_set]
+    if not outside:
+        return None
+    for size in range(0, k + 1):
+        for subset in combinations(gamma_list, size):
+            for tau in outside:
+                if oracle(list(subset), tau):
+                    return KaryViolation(subset, tau)
+    return None
+
+
+def is_closed_under_kary_implication(
+    gamma: Iterable[Dependency],
+    universe: Iterable[Dependency],
+    k: int,
+    oracle: Oracle,
+) -> bool:
+    """Whether ``gamma`` is closed under k-ary implication."""
+    return find_kary_violation(gamma, universe, k, oracle) is None
+
+
+@dataclass
+class ClosureGapWitness:
+    """The Theorem 5.1 witness: a set closed under k-ary implication
+    but not under implication — certifying that **no** k-ary complete
+    axiomatization exists for the universe."""
+
+    gamma: set[Dependency]
+    k: int
+    missing_consequence: Dependency
+    implying_subset: tuple[Dependency, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"Gamma (|Gamma|={len(self.gamma)}) is closed under "
+            f"{self.k}-ary implication, yet "
+            f"{self.missing_consequence} is implied (by "
+            f"{len(self.implying_subset)} premises) and missing: no "
+            f"{self.k}-ary complete axiomatization exists."
+        )
+
+
+def certify_no_kary_axiomatization(
+    gamma: Iterable[Dependency],
+    universe: Iterable[Dependency],
+    k: int,
+    oracle: Oracle,
+    implying_subset: Optional[Sequence[Dependency]] = None,
+    missing: Optional[Dependency] = None,
+) -> ClosureGapWitness:
+    """Verify a Theorem 5.1 witness end to end.
+
+    Checks (raising ``AssertionError`` with diagnostics on failure):
+
+    1. ``gamma`` is closed under k-ary implication;
+    2. some subset of ``gamma`` implies ``missing`` which is outside
+       ``gamma`` (the caller may supply the subset, typically the
+       paper's Sigma, to avoid a blind search).
+    """
+    gamma_set = set(gamma)
+    violation = find_kary_violation(gamma_set, universe, k, oracle)
+    if violation is not None:
+        raise AssertionError(
+            f"gamma is NOT closed under {k}-ary implication: {violation}"
+        )
+    if implying_subset is None or missing is None:
+        raise AssertionError("caller must supply the implying subset and target")
+    subset = tuple(implying_subset)
+    if not set(subset) <= gamma_set:
+        raise AssertionError("implying subset is not inside gamma")
+    if missing in gamma_set:
+        raise AssertionError(f"{missing} is already in gamma")
+    if not oracle(list(subset), missing):
+        raise AssertionError(
+            f"supplied subset does not imply {missing} under the oracle"
+        )
+    return ClosureGapWitness(
+        gamma=gamma_set,
+        k=k,
+        missing_consequence=missing,
+        implying_subset=subset,
+    )
+
+
+@dataclass
+class Corollary52Report:
+    """Checked conditions (i)-(iii) of Corollary 5.2."""
+
+    condition_i: bool
+    condition_ii: bool
+    condition_iii: bool
+    detail: str = ""
+
+    @property
+    def all_hold(self) -> bool:
+        return self.condition_i and self.condition_ii and self.condition_iii
+
+
+def corollary_5_2_conditions(
+    sigma: Sequence[Dependency],
+    target: Dependency,
+    universe: Iterable[Dependency],
+    k: int,
+    oracle: Oracle,
+) -> Corollary52Report:
+    """Check Corollary 5.2's conditions.
+
+    (i) ``sigma |= target``;
+    (ii) no single member of ``sigma`` implies ``target``;
+    (iii) whenever a <=k-subset of ``sigma`` implies a universe
+    sentence, some single member already implies it.
+
+    When all hold, no k-ary complete axiomatization exists for the
+    universe (over that scheme).
+    """
+    universe_list = list(universe)
+    cond_i = oracle(list(sigma), target)
+    cond_ii = not any(oracle([member], target) for member in sigma)
+    cond_iii = True
+    detail = ""
+    for size in range(0, k + 1):
+        if not cond_iii:
+            break
+        for subset in combinations(sigma, size):
+            if not cond_iii:
+                break
+            for tau in universe_list:
+                if oracle(list(subset), tau) and not any(
+                    oracle([member], tau) for member in subset
+                ):
+                    cond_iii = False
+                    detail = (
+                        f"condition (iii) fails: {list(map(str, subset))} "
+                        f"imply {tau} but no single member does"
+                    )
+                    break
+    return Corollary52Report(cond_i, cond_ii, cond_iii, detail)

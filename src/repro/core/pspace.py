@@ -1,0 +1,138 @@
+"""Space-bounded decision procedures for INDs (Theorem 3.3 upper bound).
+
+The paper's PSPACE membership argument: a nondeterministic machine
+holds one expression ``Si[Xi]`` at a time (linear space), guesses
+which premise to apply, and accepts on reaching the target's
+right-hand expression; Savitch's theorem then gives a deterministic
+quadratic-space procedure.
+
+This module implements both faithfully:
+
+* :func:`savitch_reachable` — the recursive midpoint search of
+  Savitch's theorem over the implicit expression graph.  Its working
+  set is ``O(log N)`` stack frames of ``O(1)`` expressions each
+  (``N`` = number of expressions), i.e. quadratic space in the input —
+  at the price of (much) recomputation, exactly as the theorem
+  trades time for space.
+* :func:`nondeterministic_guess` — a randomized rendition of the
+  NPSPACE guesser: repeated bounded random walks.  Sound for
+  "implied" answers, incomplete for "not implied"; used in benchmarks
+  to contrast with the exact BFS.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable
+
+from repro.deps.ind import IND
+from repro.core.ind_decision import (
+    Expression,
+    expression_of_lhs,
+    expression_of_rhs,
+    successors,
+)
+from repro.model.schema import DatabaseSchema
+
+
+def expression_space_size(target: IND, schema: DatabaseSchema) -> int:
+    """Upper bound on the number of expressions of the target's arity.
+
+    Expressions are ``S[X]`` with ``X`` an ``m``-sequence of distinct
+    attributes of ``S``: the count is ``sum_S P(arity(S), m)``.
+    """
+    m = target.arity
+    total = 0
+    for rel in schema:
+        n = rel.arity
+        if n >= m:
+            total += math.perm(n, m)
+    return total
+
+
+def savitch_reachable(
+    target: IND,
+    premises: Iterable[IND],
+    schema: DatabaseSchema,
+) -> bool:
+    """Savitch's midpoint-recursion reachability over expressions.
+
+    ``canreach(u, v, d)`` holds when ``v`` is reachable from ``u`` in at
+    most ``2^d`` steps; recursion enumerates midpoints.  The midpoint
+    enumeration requires iterating the (implicit) node set, which we
+    generate on the fly from the schema; the memory footprint stays
+    logarithmic in the node count while the time is superpolynomial.
+
+    Only practical for tiny instances — that is the point being
+    demonstrated.  Sound and complete within its recursion depth, which
+    is chosen as ``ceil(log2(N))`` with ``N`` the expression-space
+    bound, so the overall answer is exact.
+    """
+    premise_list = list(premises)
+    start = expression_of_lhs(target)
+    goal = expression_of_rhs(target)
+    if start == goal:
+        return True
+
+    size = max(2, expression_space_size(target, schema))
+    depth = math.ceil(math.log2(size))
+
+    def one_step(u: Expression, v: Expression) -> bool:
+        return any(nxt == v for nxt, _link in successors(u, premise_list))
+
+    def all_expressions():
+        from itertools import permutations
+
+        m = target.arity
+        for rel in schema:
+            if rel.arity >= m:
+                for combo in permutations(rel.attributes, m):
+                    yield (rel.name, combo)
+
+    def canreach(u: Expression, v: Expression, d: int) -> bool:
+        if u == v:
+            return True
+        if one_step(u, v):
+            return True
+        if d <= 0:
+            return False
+        for mid in all_expressions():
+            if canreach(u, mid, d - 1) and canreach(mid, v, d - 1):
+                return True
+        return False
+
+    return canreach(start, goal, depth)
+
+
+def nondeterministic_guess(
+    target: IND,
+    premises: Iterable[IND],
+    trials: int = 200,
+    max_walk: int = 64,
+    seed: int | None = 0,
+) -> bool:
+    """Monte-Carlo rendition of the linear-space nondeterministic
+    algorithm from the PSPACE membership proof.
+
+    Each trial stores exactly one expression and repeatedly overwrites
+    it with a randomly chosen successor (the "guess").  Returns ``True``
+    as soon as the target's right-hand expression is printed; a
+    ``False`` answer is *not* a proof of non-implication.
+    """
+    premise_list = list(premises)
+    rng = random.Random(seed)
+    start = expression_of_lhs(target)
+    goal = expression_of_rhs(target)
+    if start == goal:
+        return True
+    for _trial in range(trials):
+        current = start
+        for _step in range(max_walk):
+            moves = list(successors(current, premise_list))
+            if not moves:
+                break
+            current, _link = rng.choice(moves)
+            if current == goal:
+                return True
+    return False

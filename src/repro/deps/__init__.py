@@ -1,0 +1,44 @@
+"""Dependency classes: FDs, INDs, RDs, EMVDs/MVDs, plus parsing and
+exhaustive enumeration over a database scheme.
+
+These are the sentence classes the paper studies:
+
+* functional dependencies ``R: X -> Y`` (Section 2),
+* inclusion dependencies ``R[X] c S[Y]`` (Section 2),
+* repeating dependencies ``R[X = Y]`` (Section 4),
+* embedded multivalued dependencies ``X ->> Y | Z`` (Section 5).
+"""
+
+from repro.deps.base import Dependency
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.rd import RD
+from repro.deps.emvd import EMVD, MVD
+from repro.deps.parser import parse_dependencies, parse_dependency
+from repro.deps.enumeration import (
+    all_emvds,
+    all_fds,
+    all_inds,
+    all_rds,
+    all_unary_inds,
+    all_unary_rds,
+    dependency_universe,
+)
+
+__all__ = [
+    "Dependency",
+    "FD",
+    "IND",
+    "RD",
+    "EMVD",
+    "MVD",
+    "parse_dependency",
+    "parse_dependencies",
+    "all_emvds",
+    "all_fds",
+    "all_inds",
+    "all_rds",
+    "all_unary_inds",
+    "all_unary_rds",
+    "dependency_universe",
+]

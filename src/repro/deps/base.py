@@ -1,0 +1,58 @@
+"""The abstract dependency protocol.
+
+A *dependency* is a sentence about databases (the paper, Section 2).
+Every concrete class implements satisfaction over finite databases,
+triviality (tautology) testing, and scheme validation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.database import Database
+    from repro.model.schema import DatabaseSchema
+
+
+class Dependency(ABC):
+    """Base class of all dependency sentences."""
+
+    @abstractmethod
+    def holds_in(self, db: "Database") -> bool:
+        """Whether a (finite) database obeys this dependency."""
+
+    @abstractmethod
+    def is_trivial(self) -> bool:
+        """Whether the dependency is a tautology (true in every database)."""
+
+    @abstractmethod
+    def relations(self) -> tuple[str, ...]:
+        """Names of the relation schemes this dependency mentions."""
+
+    @abstractmethod
+    def validate(self, schema: "DatabaseSchema") -> None:
+        """Raise :class:`DependencyError` unless well-formed over ``schema``."""
+
+    @abstractmethod
+    def rename(self, mapping: dict[str, str]) -> "Dependency":
+        """A copy with relation names substituted via ``mapping``.
+
+        Names absent from ``mapping`` are kept.  Used by the cyclic
+        relabelling argument of Section 6 ("Sigma is symmetric with
+        respect to INDs").
+        """
+
+    def violations(self, db: "Database") -> list:
+        """Witness objects demonstrating a violation (empty if none).
+
+        Subclasses override with class-specific witnesses; the default
+        gives no detail beyond the boolean.
+        """
+        return [] if self.holds_in(db) else [self]
+
+
+def validate_all(dependencies: Iterable[Dependency], schema: "DatabaseSchema") -> None:
+    """Validate every dependency against ``schema``."""
+    for dep in dependencies:
+        dep.validate(schema)

@@ -1,0 +1,165 @@
+"""Exhaustive dependency enumeration over a database scheme.
+
+The Armstrong-database verifications of Sections 6 and 7 quantify over
+*every* FD, IND, or RD over the scheme ("if tau is an FD, IND, or RD,
+then d obeys tau if and only if tau is in Gamma - delta").  This module
+makes those quantifications executable by enumerating canonical
+representatives of each class.
+
+Canonicalization notes:
+
+* FD satisfaction depends only on the attribute *sets*, and
+  ``X -> A1..Ak`` is equivalent to the singleton-rhs set
+  ``{X -> Ai}``; we enumerate sorted-lhs, singleton-rhs FDs by default
+  (a complete set of representatives up to logical equivalence of
+  single FDs).
+* IND satisfaction is invariant under permuting both sides together;
+  we enumerate INDs whose left side is sorted, with every permutation
+  on the right.
+* RDs decompose into unary RDs; we enumerate unordered attribute pairs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from typing import Iterator
+
+from repro.deps.emvd import EMVD
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.rd import RD
+from repro.model.schema import DatabaseSchema, RelationSchema
+
+
+def all_fds(
+    schema: RelationSchema,
+    include_trivial: bool = False,
+    allow_empty_lhs: bool = True,
+    singleton_rhs: bool = True,
+    max_lhs: int | None = None,
+) -> Iterator[FD]:
+    """Every canonical FD over a single relation scheme.
+
+    With ``singleton_rhs`` (default) the right-hand sides are single
+    attributes, which is complete up to logical equivalence.
+    """
+    attrs = schema.attributes
+    max_lhs = len(attrs) if max_lhs is None else max_lhs
+    min_size = 0 if allow_empty_lhs else 1
+    for size in range(min_size, max_lhs + 1):
+        for lhs in combinations(sorted(attrs), size):
+            rhs_choices: Iterator[tuple[str, ...]]
+            if singleton_rhs:
+                rhs_choices = ((a,) for a in sorted(attrs))
+            else:
+                rhs_choices = (
+                    rhs
+                    for r_size in range(1, len(attrs) + 1)
+                    for rhs in combinations(sorted(attrs), r_size)
+                )
+            for rhs in rhs_choices:
+                fd = FD(schema.name, lhs or None, rhs)
+                if include_trivial or not fd.is_trivial():
+                    yield fd
+
+
+def all_inds(
+    schema: DatabaseSchema,
+    max_arity: int | None = None,
+    include_trivial: bool = False,
+) -> Iterator[IND]:
+    """Every canonical IND over a database scheme.
+
+    Left-hand sides are sorted attribute combinations; right-hand sides
+    range over all same-length permutations of the target scheme's
+    attributes.  This covers each IND equality class exactly once.
+    """
+    relations = list(schema)
+    limit = max((rel.arity for rel in relations), default=0)
+    if max_arity is not None:
+        limit = min(limit, max_arity)
+    for source in relations:
+        for target in relations:
+            top = min(source.arity, target.arity, limit)
+            for arity in range(1, top + 1):
+                for lhs in combinations(sorted(source.attributes), arity):
+                    for rhs in permutations(sorted(target.attributes), arity):
+                        ind = IND(source.name, lhs, target.name, rhs)
+                        if include_trivial or not ind.is_trivial():
+                            yield ind
+
+
+def all_unary_inds(
+    schema: DatabaseSchema, include_trivial: bool = False
+) -> Iterator[IND]:
+    """Every unary IND ``R[A] c S[B]`` over the scheme."""
+    yield from all_inds(schema, max_arity=1, include_trivial=include_trivial)
+
+
+def all_unary_rds(
+    schema: RelationSchema, include_trivial: bool = False
+) -> Iterator[RD]:
+    """Every unary RD ``R[A = B]`` over one relation scheme.
+
+    Nontrivial RDs correspond to unordered attribute pairs.
+    """
+    attrs = sorted(schema.attributes)
+    if include_trivial:
+        for attr in attrs:
+            yield RD(schema.name, (attr,), (attr,))
+    for left, right in combinations(attrs, 2):
+        yield RD(schema.name, (left,), (right,))
+
+
+def all_rds(schema: DatabaseSchema, include_trivial: bool = False) -> Iterator[RD]:
+    """Every unary RD over every relation of a database scheme."""
+    for rel in schema:
+        yield from all_unary_rds(rel, include_trivial=include_trivial)
+
+
+def all_emvds(schema: RelationSchema, include_trivial: bool = False) -> Iterator[EMVD]:
+    """Every EMVD ``X ->> Y | Z`` over one relation scheme.
+
+    ``X, Y, Z`` are disjoint (canonical representatives); ``Y, Z``
+    non-empty; the unordered nature of ``Y | Z`` is deduplicated by
+    requiring ``min(Y) < min(Z)``.
+    """
+    attrs = sorted(schema.attributes)
+    n = len(attrs)
+    # Assign each attribute a role: 0 = unused, 1 = X, 2 = Y, 3 = Z.
+    def assignments(index: int, x: list, y: list, z: list):
+        if index == n:
+            if y and z and (min(y) < min(z)):
+                yield tuple(x), tuple(y), tuple(z)
+            return
+        attr = attrs[index]
+        yield from assignments(index + 1, x, y, z)
+        yield from assignments(index + 1, x + [attr], y, z)
+        yield from assignments(index + 1, x, y + [attr], z)
+        yield from assignments(index + 1, x, y, z + [attr])
+
+    for x, y, z in assignments(0, [], [], []):
+        emvd = EMVD(schema.name, x or None, y, z)
+        if include_trivial or not emvd.is_trivial():
+            yield emvd
+
+
+def dependency_universe(
+    schema: DatabaseSchema,
+    max_ind_arity: int | None = None,
+    include_trivial: bool = False,
+    with_rds: bool = True,
+) -> list:
+    """All FDs, INDs (and optionally RDs) over the scheme.
+
+    This is the sentence set the paper calls Pi in Section 7 and the
+    implicit universe of Section 6, restricted to canonical
+    representatives.
+    """
+    universe: list = []
+    for rel in schema:
+        universe.extend(all_fds(rel, include_trivial=include_trivial))
+    universe.extend(all_inds(schema, max_arity=max_ind_arity, include_trivial=include_trivial))
+    if with_rds:
+        universe.extend(all_rds(schema, include_trivial=include_trivial))
+    return universe

@@ -1,0 +1,145 @@
+"""Functional dependencies ``R: X -> Y`` (paper, Section 2).
+
+The paper defines FDs over *sequences* of distinct attributes (so that
+FDs and INDs can be interrelated), but satisfaction depends only on
+the underlying sets.  Equality and hashing therefore use the
+set-semantics canonical form, while the original sequences are kept
+for faithful printing.
+
+An empty left-hand side is allowed: ``R: 0 -> A`` says every ``A``
+entry of ``R`` is the same constant (used in Section 6, Case 1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exceptions import DependencyError, SchemaError
+from repro.deps.base import Dependency
+from repro.model.attributes import check_distinct
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.database import Database
+    from repro.model.schema import DatabaseSchema
+
+
+class FD(Dependency):
+    """The functional dependency ``R: X -> Y``."""
+
+    __slots__ = ("relation", "lhs", "rhs")
+
+    def __init__(
+        self,
+        relation: str,
+        lhs: str | Iterable[str] | None,
+        rhs: str | Iterable[str],
+    ):
+        if not relation:
+            raise DependencyError("FD needs a relation name")
+        try:
+            lhs_seq = (
+                () if lhs is None else check_distinct(lhs, context="FD left-hand side")
+            )
+            rhs_seq = check_distinct(rhs, context="FD right-hand side")
+        except SchemaError as exc:
+            raise DependencyError(str(exc)) from exc
+        if not rhs_seq:
+            raise DependencyError("FD right-hand side must be non-empty")
+        self.relation = relation
+        self.lhs = lhs_seq
+        self.rhs = rhs_seq
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def lhs_set(self) -> frozenset[str]:
+        return frozenset(self.lhs)
+
+    @property
+    def rhs_set(self) -> frozenset[str]:
+        return frozenset(self.rhs)
+
+    def is_trivial(self) -> bool:
+        """An FD is a tautology iff ``Y``'s attributes all appear in ``X``."""
+        return self.rhs_set <= self.lhs_set
+
+    def is_unary(self) -> bool:
+        """Unary FDs (|X| = |Y| = 1) are the fragment of Sections 4, 6, 7."""
+        return len(self.lhs) == 1 and len(self.rhs) == 1
+
+    def relations(self) -> tuple[str, ...]:
+        return (self.relation,)
+
+    def rename(self, mapping: dict[str, str]) -> "FD":
+        return FD(mapping.get(self.relation, self.relation), self.lhs, self.rhs)
+
+    def validate(self, schema: "DatabaseSchema") -> None:
+        rel = schema.relation(self.relation)
+        for attr in (*self.lhs, *self.rhs):
+            if attr not in rel:
+                raise DependencyError(f"attribute {attr!r} of {self} is not in {rel}")
+
+    # -- semantics ------------------------------------------------------
+
+    def holds_in(self, db: "Database") -> bool:
+        rel = db.relation(self.relation)
+        lhs_pos = rel.schema.positions(self.lhs)
+        rhs_pos = rel.schema.positions(self.rhs)
+        seen: dict[tuple, tuple] = {}
+        for row in rel:
+            key = tuple(row[p] for p in lhs_pos)
+            image = tuple(row[p] for p in rhs_pos)
+            previous = seen.get(key)
+            if previous is None:
+                seen[key] = image
+            elif previous != image:
+                return False
+        return True
+
+    def violations(self, db: "Database") -> list[tuple]:
+        """Pairs of tuples witnessing a violation."""
+        rel = db.relation(self.relation)
+        lhs_pos = rel.schema.positions(self.lhs)
+        rhs_pos = rel.schema.positions(self.rhs)
+        groups: dict[tuple, list[tuple]] = {}
+        for row in rel:
+            groups.setdefault(tuple(row[p] for p in lhs_pos), []).append(row)
+        witnesses = []
+        for rows in groups.values():
+            images = {tuple(row[p] for p in rhs_pos): row for row in rows}
+            if len(images) > 1:
+                pair = sorted(images.values(), key=repr)[:2]
+                witnesses.append((pair[0], pair[1]))
+        return witnesses
+
+    # -- identity -------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return ("FD", self.relation, self.lhs_set, self.rhs_set)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FD):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __str__(self) -> str:
+        lhs = ",".join(self.lhs) if self.lhs else "0"
+        return f"{self.relation}: {lhs} -> {','.join(self.rhs)}"
+
+    def __repr__(self) -> str:
+        return f"FD({self.relation!r}, {self.lhs!r}, {self.rhs!r})"
+
+    # -- convenience ----------------------------------------------------
+
+    def canonical(self) -> "FD":
+        """The sorted-sequence representative of this FD's equality class."""
+        lhs = tuple(sorted(self.lhs_set)) or None
+        return FD(self.relation, lhs, tuple(sorted(self.rhs_set)))
+
+    def decompose(self) -> list["FD"]:
+        """Split ``X -> A1...Ak`` into singleton-rhs FDs (equivalent set)."""
+        lhs = self.lhs or None
+        return [FD(self.relation, lhs, (attr,)) for attr in self.rhs]

@@ -1,0 +1,194 @@
+"""Generalized inclusion dependencies (Mitchell [Mi1], via Section 4).
+
+A *generalized IND* drops the distinctness requirement: attributes may
+repeat on either side of ``R[X] c S[Y]``.  Section 4 observes that
+repeating dependencies are exactly a special case: the RD ``R[A = B]``
+is equivalent to the generalized IND ``R[A,B] c R[A,A]`` — a tuple's
+``(A, B)`` pair can only match some ``(t[A], t[A])`` if its own two
+entries coincide.
+
+This module provides the class with satisfaction checking, the RD
+translation in both directions, and the triviality analysis
+(``R[X] c R[Y]`` is generalized-trivial when each left attribute
+equals its right counterpart).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exceptions import DependencyError
+from repro.deps.base import Dependency
+from repro.deps.rd import RD
+from repro.model.attributes import as_attribute_sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.database import Database
+    from repro.model.schema import DatabaseSchema
+
+
+class GeneralizedIND(Dependency):
+    """An IND whose sides may repeat attributes."""
+
+    __slots__ = ("lhs_relation", "lhs_attributes", "rhs_relation", "rhs_attributes")
+
+    def __init__(
+        self,
+        lhs_relation: str,
+        lhs_attributes: str | Iterable[str],
+        rhs_relation: str,
+        rhs_attributes: str | Iterable[str],
+    ):
+        if not lhs_relation or not rhs_relation:
+            raise DependencyError("generalized IND needs relation names")
+        lhs = as_attribute_sequence(lhs_attributes)
+        rhs = as_attribute_sequence(rhs_attributes)
+        if not lhs:
+            raise DependencyError("generalized IND sides must be non-empty")
+        if len(lhs) != len(rhs):
+            raise DependencyError(
+                f"generalized IND sides must have equal arity: {lhs} vs {rhs}"
+            )
+        self.lhs_relation = lhs_relation
+        self.lhs_attributes = lhs
+        self.rhs_relation = rhs_relation
+        self.rhs_attributes = rhs
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.lhs_attributes)
+
+    def has_repeats(self) -> bool:
+        """Whether either side repeats an attribute (the feature that
+        distinguishes generalized INDs from the paper's INDs)."""
+        return len(set(self.lhs_attributes)) < self.arity or (
+            len(set(self.rhs_attributes)) < self.arity
+        )
+
+    def is_ordinary(self) -> bool:
+        """Whether this is an ordinary (distinct-attribute) IND."""
+        return not self.has_repeats()
+
+    def to_ordinary(self):
+        """Convert to :class:`repro.deps.ind.IND` when possible."""
+        from repro.deps.ind import IND
+
+        if not self.is_ordinary():
+            raise DependencyError(f"{self} repeats attributes")
+        return IND(
+            self.lhs_relation, self.lhs_attributes,
+            self.rhs_relation, self.rhs_attributes,
+        )
+
+    def is_trivial(self) -> bool:
+        """True when the two sides are identical over one relation
+        (positionwise), which is satisfied by every database."""
+        return (
+            self.lhs_relation == self.rhs_relation
+            and self.lhs_attributes == self.rhs_attributes
+        )
+
+    def relations(self) -> tuple[str, ...]:
+        if self.lhs_relation == self.rhs_relation:
+            return (self.lhs_relation,)
+        return (self.lhs_relation, self.rhs_relation)
+
+    def rename(self, mapping: dict[str, str]) -> "GeneralizedIND":
+        return GeneralizedIND(
+            mapping.get(self.lhs_relation, self.lhs_relation),
+            self.lhs_attributes,
+            mapping.get(self.rhs_relation, self.rhs_relation),
+            self.rhs_attributes,
+        )
+
+    def validate(self, schema: "DatabaseSchema") -> None:
+        lhs_schema = schema.relation(self.lhs_relation)
+        rhs_schema = schema.relation(self.rhs_relation)
+        for attr in self.lhs_attributes:
+            if attr not in lhs_schema:
+                raise DependencyError(f"attribute {attr!r} of {self} unknown")
+        for attr in self.rhs_attributes:
+            if attr not in rhs_schema:
+                raise DependencyError(f"attribute {attr!r} of {self} unknown")
+
+    # -- semantics ------------------------------------------------------
+
+    def holds_in(self, db: "Database") -> bool:
+        source_rel = db.relation(self.lhs_relation)
+        target_rel = db.relation(self.rhs_relation)
+        src_pos = [source_rel.schema.position(a) for a in self.lhs_attributes]
+        dst_pos = [target_rel.schema.position(a) for a in self.rhs_attributes]
+        target_rows = {
+            tuple(row[p] for p in dst_pos) for row in target_rel
+        }
+        return all(
+            tuple(row[p] for p in src_pos) in target_rows for row in source_rel
+        )
+
+    # -- identity -------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (
+            "GIND",
+            self.lhs_relation,
+            self.lhs_attributes,
+            self.rhs_relation,
+            self.rhs_attributes,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GeneralizedIND):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __str__(self) -> str:
+        return (
+            f"{self.lhs_relation}[{','.join(self.lhs_attributes)}] <=g "
+            f"{self.rhs_relation}[{','.join(self.rhs_attributes)}]"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneralizedIND({self.lhs_relation!r}, {self.lhs_attributes!r}, "
+            f"{self.rhs_relation!r}, {self.rhs_attributes!r})"
+        )
+
+
+def rd_as_generalized_ind(rd: RD) -> GeneralizedIND:
+    """Section 4's observation, constructive: ``R[X = Y]`` becomes
+    ``R[X..Y..] c R[X..X..]`` (each equated pair contributes its left
+    attribute twice on the right)."""
+    lhs: list[str] = []
+    rhs: list[str] = []
+    for left, right in rd.pairs:
+        lhs.extend((left, right))
+        rhs.extend((left, left))
+    return GeneralizedIND(rd.relation, lhs, rd.relation, rhs)
+
+
+def generalized_ind_as_rd(gind: GeneralizedIND) -> RD:
+    """Inverse direction for the RD-shaped fragment: a generalized IND
+    ``R[.., A, B, ..] c R[.., A, A, ..]`` (within one relation, with the
+    right side repeating the left's anchor) is an RD.
+
+    Raises :class:`DependencyError` outside the recognizable shape.
+    """
+    if gind.lhs_relation != gind.rhs_relation:
+        raise DependencyError(f"{gind} spans two relations; not an RD shape")
+    if gind.arity % 2 != 0:
+        raise DependencyError(f"{gind} has odd arity; not an RD shape")
+    left: list[str] = []
+    right: list[str] = []
+    for i in range(0, gind.arity, 2):
+        a1, b1 = gind.lhs_attributes[i], gind.lhs_attributes[i + 1]
+        a2, b2 = gind.rhs_attributes[i], gind.rhs_attributes[i + 1]
+        if not (a1 == a2 == b2):
+            raise DependencyError(f"{gind} does not follow the RD pattern")
+        left.append(a1)
+        right.append(b1)
+    return RD(gind.lhs_relation, left, right)

@@ -1,0 +1,94 @@
+"""A small text DSL for dependencies.
+
+Grammar (whitespace-insensitive)::
+
+    IND   :=  R[A,B] <= S[C,D]         (also accepts the symbol ⊆)
+    FD    :=  R: A,B -> C              (empty lhs: "R: 0 -> C" or "R: -> C")
+    RD    :=  R[A,B = C,D]
+    EMVD  :=  R: X ->> Y | Z           (X may be "0" for empty)
+
+Examples
+--------
+>>> parse_dependency("MGR[NAME,DEPT] <= EMP[NAME,DEPT]")
+IND('MGR', ('NAME', 'DEPT'), 'EMP', ('NAME', 'DEPT'))
+>>> parse_dependency("R: A -> B")
+FD('R', ('A',), ('B',))
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.exceptions import ParseError
+from repro.deps.base import Dependency
+from repro.deps.emvd import EMVD
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.rd import RD
+
+_NAME = r"[A-Za-z_][\w@.]*"
+_ATTRS = rf"{_NAME}(?:\s*,\s*{_NAME})*"
+
+_IND_RE = re.compile(
+    rf"^\s*({_NAME})\s*\[\s*({_ATTRS})\s*\]\s*(?:<=|⊆)\s*"
+    rf"({_NAME})\s*\[\s*({_ATTRS})\s*\]\s*$"
+)
+_RD_RE = re.compile(
+    rf"^\s*({_NAME})\s*\[\s*({_ATTRS})\s*=\s*({_ATTRS})\s*\]\s*$"
+)
+_EMVD_RE = re.compile(
+    rf"^\s*({_NAME})\s*:\s*({_ATTRS}|0|)\s*->>\s*({_ATTRS})\s*\|\s*({_ATTRS})\s*$"
+)
+_FD_RE = re.compile(
+    rf"^\s*({_NAME})\s*:\s*({_ATTRS}|0|)\s*->\s*({_ATTRS})\s*$"
+)
+
+
+def _split_attrs(text: str) -> tuple[str, ...]:
+    text = text.strip()
+    if not text or text == "0":
+        return ()
+    return tuple(part.strip() for part in text.split(","))
+
+
+def parse_dependency(text: str) -> Dependency:
+    """Parse one dependency; raises :class:`ParseError` on failure."""
+    match = _IND_RE.match(text)
+    if match:
+        lhs_rel, lhs_attrs, rhs_rel, rhs_attrs = match.groups()
+        return IND(lhs_rel, _split_attrs(lhs_attrs), rhs_rel, _split_attrs(rhs_attrs))
+    match = _RD_RE.match(text)
+    if match:
+        rel, left, right = match.groups()
+        return RD(rel, _split_attrs(left), _split_attrs(right))
+    match = _EMVD_RE.match(text)  # must precede FD: "->>" contains "->"
+    if match:
+        rel, x, y, z = match.groups()
+        return EMVD(rel, _split_attrs(x) or None, _split_attrs(y), _split_attrs(z))
+    match = _FD_RE.match(text)
+    if match:
+        rel, lhs, rhs = match.groups()
+        return FD(rel, _split_attrs(lhs) or None, _split_attrs(rhs))
+    raise ParseError(f"could not parse dependency: {text!r}")
+
+
+def parse_dependencies(lines: str | Iterable[str]) -> list[Dependency]:
+    """Parse many dependencies.
+
+    ``lines`` may be a single newline/semicolon-separated string or an
+    iterable of strings.  Blank lines and ``#`` comments are skipped.
+    """
+    if isinstance(lines, str):
+        pieces: list[str] = []
+        for raw_line in lines.splitlines():
+            pieces.extend(raw_line.split(";"))
+    else:
+        pieces = list(lines)
+    result = []
+    for piece in pieces:
+        stripped = piece.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        result.append(parse_dependency(stripped))
+    return result

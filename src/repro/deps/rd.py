@@ -1,0 +1,129 @@
+"""Repeating dependencies ``R[X = Y]`` (paper, Section 4).
+
+An RD states that in each tuple ``t`` of ``R``, ``t[X] = t[Y]``.
+RDs arise from the interplay of FDs and INDs (Proposition 4.3) and
+are *new* dependencies: a nontrivial RD is not equivalent to any set
+of FDs and INDs.
+
+The paper notes ``R[A1..Am = B1..Bm]`` is equivalent to the set of
+unary RDs ``{R[Ai = Bi]}`` — satisfaction depends only on the set of
+attribute pairs, which is what equality and hashing use here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exceptions import DependencyError
+from repro.deps.base import Dependency
+from repro.model.attributes import as_attribute_sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.database import Database
+    from repro.model.schema import DatabaseSchema
+
+
+class RD(Dependency):
+    """The repeating dependency ``R[X = Y]``."""
+
+    __slots__ = ("relation", "left", "right")
+
+    def __init__(
+        self,
+        relation: str,
+        left: str | Iterable[str],
+        right: str | Iterable[str],
+    ):
+        if not relation:
+            raise DependencyError("RD needs a relation name")
+        left_seq = as_attribute_sequence(left)
+        right_seq = as_attribute_sequence(right)
+        if not left_seq:
+            raise DependencyError("RD sides must be non-empty")
+        if len(left_seq) != len(right_seq):
+            raise DependencyError(
+                f"RD sides must have equal length: |{left_seq}| != |{right_seq}|"
+            )
+        self.relation = relation
+        self.left = left_seq
+        self.right = right_seq
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def pairs(self) -> tuple[tuple[str, str], ...]:
+        """The attribute pairs ``(Ai, Bi)`` the RD equates."""
+        return tuple(zip(self.left, self.right))
+
+    def _normalized_pairs(self) -> frozenset[tuple[str, str]]:
+        """Order-insensitive nontrivial pairs (``A = B`` equals ``B = A``)."""
+        return frozenset(
+            (min(a, b), max(a, b)) for a, b in self.pairs if a != b
+        )
+
+    def is_trivial(self) -> bool:
+        """Trivial iff every equated pair is an attribute with itself."""
+        return not self._normalized_pairs()
+
+    def is_unary(self) -> bool:
+        return len(self.left) == 1
+
+    def relations(self) -> tuple[str, ...]:
+        return (self.relation,)
+
+    def rename(self, mapping: dict[str, str]) -> "RD":
+        return RD(mapping.get(self.relation, self.relation), self.left, self.right)
+
+    def validate(self, schema: "DatabaseSchema") -> None:
+        rel = schema.relation(self.relation)
+        for attr in (*self.left, *self.right):
+            if attr not in rel:
+                raise DependencyError(f"attribute {attr!r} of {self} is not in {rel}")
+
+    def decompose(self) -> list["RD"]:
+        """The equivalent set of unary RDs (paper, Section 4)."""
+        return [RD(self.relation, (a,), (b,)) for a, b in self.pairs]
+
+    # -- semantics ------------------------------------------------------
+
+    def holds_in(self, db: "Database") -> bool:
+        rel = db.relation(self.relation)
+        left_pos = rel.schema.positions(self.left)
+        right_pos = rel.schema.positions(self.right)
+        for row in rel:
+            for lp, rp in zip(left_pos, right_pos):
+                if row[lp] != row[rp]:
+                    return False
+        return True
+
+    def violations(self, db: "Database") -> list[tuple]:
+        rel = db.relation(self.relation)
+        left_pos = rel.schema.positions(self.left)
+        right_pos = rel.schema.positions(self.right)
+        return sorted(
+            (
+                row
+                for row in rel
+                if any(row[lp] != row[rp] for lp, rp in zip(left_pos, right_pos))
+            ),
+            key=repr,
+        )
+
+    # -- identity -------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return ("RD", self.relation, self._normalized_pairs())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RD):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __str__(self) -> str:
+        return f"{self.relation}[{','.join(self.left)} = {','.join(self.right)}]"
+
+    def __repr__(self) -> str:
+        return f"RD({self.relation!r}, {self.left!r}, {self.right!r})"

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library is a subclass of :class:`ReproError`,
+so callers can catch library failures with a single ``except`` clause
+while still being able to distinguish schema problems from proof
+problems, parse problems, and resource-budget problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A relation scheme, database scheme, or tuple is malformed.
+
+    Examples: duplicate attributes in a relation scheme, a tuple whose
+    length does not match the arity of its scheme, or a reference to a
+    relation name that the database scheme does not contain.
+    """
+
+
+class DependencyError(ReproError):
+    """A dependency is malformed with respect to its schema.
+
+    Examples: an IND whose two sides have different arities, an FD over
+    attributes that do not belong to the named relation scheme, or an
+    attribute sequence with repetitions where the paper requires
+    distinctness.
+    """
+
+
+class ParseError(ReproError):
+    """A textual dependency could not be parsed."""
+
+
+class ProofError(ReproError):
+    """A formal proof object failed verification.
+
+    Raised by the independent proof checker when a derivation step does
+    not follow from the inference rules IND1-IND3, or when a cited
+    hypothesis is not among the premises.
+    """
+
+
+class ChaseBudgetExceeded(ReproError):
+    """The chase exceeded its step/tuple budget without converging.
+
+    The implication problem for FDs and INDs taken together is
+    undecidable (Mitchell; Chandra & Vardi - both cited in the paper),
+    so the general chase is only a semi-decision procedure.  When the
+    budget is exhausted the caller must treat the answer as *unknown*,
+    and this exception carries the partial state for inspection.
+    """
+
+    def __init__(self, message: str, rounds: int = 0, tuples: int = 0):
+        super().__init__(message)
+        self.rounds = rounds
+        self.tuples = tuples
+
+
+class SearchBudgetExceeded(ReproError):
+    """An exact search (expression-graph BFS, model search) exceeded its
+    node budget.
+
+    The decision problem for INDs is PSPACE-complete (Theorem 3.3), so
+    worst-case instances are intractable; the budget makes that failure
+    mode explicit instead of hanging.
+    """
+
+    def __init__(self, message: str, explored: int = 0):
+        super().__init__(message)
+        self.explored = explored
+
+
+class UnsupportedDependencyError(ReproError):
+    """An engine was handed a dependency class outside its fragment.
+
+    For example, the finite-implication engine for *unary* FDs and INDs
+    refuses non-unary input rather than silently giving wrong answers.
+    """
+
+
+class SymbolicLimitationError(ReproError):
+    """A symbolic (infinite) relation operation is outside the
+    implemented fragment.
+
+    The symbolic relation module implements linear tuple families with
+    slopes in {0, 1}, which is exactly what the paper's Figures 4.1 and
+    4.2 require.  Anything beyond that raises this error instead of
+    risking an unsound answer.
+    """

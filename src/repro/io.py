@@ -1,0 +1,94 @@
+"""JSON serialization for schemas, dependencies, and databases.
+
+A small, stable on-disk format so dependency sets and instances can be
+shipped between tools:
+
+.. code-block:: json
+
+    {
+      "schema": {"MGR": ["NAME", "DEPT"], "EMP": ["NAME", "DEPT"]},
+      "dependencies": ["MGR[NAME,DEPT] <= EMP[NAME,DEPT]",
+                       "EMP: NAME -> DEPT"],
+      "database": {"MGR": [["Hilbert", "Math"]]}
+    }
+
+Dependencies use the text DSL (round-tripping through the parser), so
+the files stay human-editable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from repro.exceptions import ParseError
+from repro.deps.base import Dependency
+from repro.deps.parser import parse_dependency
+from repro.model.builders import database as build_database
+from repro.model.database import Database
+from repro.model.schema import DatabaseSchema
+
+
+def schema_to_dict(schema: DatabaseSchema) -> dict[str, list[str]]:
+    return {rel.name: list(rel.attributes) for rel in schema}
+
+
+def schema_from_dict(spec: dict[str, Any]) -> DatabaseSchema:
+    return DatabaseSchema.from_dict(spec)
+
+
+def database_to_dict(db: Database) -> dict[str, list[list[Any]]]:
+    return {
+        rel.name: [list(row) for row in rel.sorted_rows()] for rel in db
+    }
+
+
+def bundle_to_json(
+    schema: DatabaseSchema,
+    dependencies: list[Dependency] | None = None,
+    db: Database | None = None,
+    indent: int = 2,
+) -> str:
+    """Serialize a (schema, dependencies, database) bundle."""
+    payload: dict[str, Any] = {"schema": schema_to_dict(schema)}
+    if dependencies is not None:
+        payload["dependencies"] = [str(dep) for dep in dependencies]
+    if db is not None:
+        payload["database"] = database_to_dict(db)
+    return json.dumps(payload, indent=indent, default=str)
+
+
+def bundle_from_json(
+    text: str,
+) -> tuple[DatabaseSchema, list[Dependency], Database | None]:
+    """Parse a bundle; validates dependencies against the schema."""
+    payload = json.loads(text)
+    if "schema" not in payload:
+        raise ParseError("bundle is missing the 'schema' key")
+    schema = schema_from_dict(payload["schema"])
+    dependencies: list[Dependency] = []
+    for line in payload.get("dependencies", []):
+        dep = parse_dependency(line)
+        dep.validate(schema)
+        dependencies.append(dep)
+    db = None
+    if "database" in payload:
+        contents = {
+            name: [tuple(row) for row in rows]
+            for name, rows in payload["database"].items()
+        }
+        db = build_database(schema, contents)
+    return schema, dependencies, db
+
+
+def dump_bundle(
+    fp: TextIO,
+    schema: DatabaseSchema,
+    dependencies: list[Dependency] | None = None,
+    db: Database | None = None,
+) -> None:
+    fp.write(bundle_to_json(schema, dependencies, db))
+
+
+def load_bundle(fp: TextIO):
+    return bundle_from_json(fp.read())

@@ -1,0 +1,55 @@
+"""Linear bounded automata and the Theorem 3.3 PSPACE reduction.
+
+The paper proves the decision problem for INDs PSPACE-complete by
+reducing LINEAR BOUNDED AUTOMATON ACCEPTANCE to IND implication.  This
+package implements the substrate from scratch: nondeterministic LBAs
+in the paper's rewrite-rule formulation (moves as local rules
+``abc -> a'b'c'`` on configurations), exact acceptance via
+configuration-graph search, the reduction itself, and a library of
+example machines.
+"""
+
+from repro.lba.machine import LBA, right_rules, left_rules, stay_rules
+from repro.lba.configuration import (
+    initial_configuration,
+    accepting_configuration,
+    successors,
+)
+from repro.lba.acceptance import accepts, AcceptanceResult
+from repro.lba.reduction import (
+    ReducedInstance,
+    configuration_to_expression,
+    expression_to_configuration,
+    reduce_to_inds,
+    verify_reduction,
+)
+from repro.lba.examples import (
+    accept_all_machine,
+    even_length_machine,
+    contains_b_machine,
+    looping_machine,
+)
+from repro.lba.compile import compile_lba, sweep_and_home_machine
+
+__all__ = [
+    "LBA",
+    "right_rules",
+    "left_rules",
+    "stay_rules",
+    "initial_configuration",
+    "accepting_configuration",
+    "successors",
+    "accepts",
+    "AcceptanceResult",
+    "ReducedInstance",
+    "configuration_to_expression",
+    "expression_to_configuration",
+    "reduce_to_inds",
+    "verify_reduction",
+    "accept_all_machine",
+    "even_length_machine",
+    "contains_b_machine",
+    "looping_machine",
+    "compile_lba",
+    "sweep_and_home_machine",
+]

@@ -1,0 +1,85 @@
+"""LBA acceptance by exact configuration-graph search.
+
+The configuration space on inputs of length ``n`` is finite
+(``<= |K u Gamma|^(n+1)``), so breadth-first search decides acceptance
+exactly — in exponential worst-case time, which is precisely why the
+problem is the canonical PSPACE-complete benchmark rather than a
+tractable one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.exceptions import SearchBudgetExceeded
+from repro.lba.configuration import (
+    Configuration,
+    accepting_configuration,
+    initial_configuration,
+    successors,
+)
+from repro.lba.machine import LBA
+
+
+@dataclass
+class AcceptanceResult:
+    """Outcome of the acceptance search, with a witness computation."""
+
+    accepted: bool
+    explored: int
+    computation: Optional[list[Configuration]] = None
+
+    def describe(self) -> str:
+        lines = [
+            f"{'ACCEPTED' if self.accepted else 'rejected'} "
+            f"({self.explored} configurations explored)"
+        ]
+        if self.computation:
+            for step, config in enumerate(self.computation):
+                lines.append(f"  {step:3d}: {' '.join(config)}")
+        return "\n".join(lines)
+
+
+def accepts(
+    machine: LBA,
+    word: Iterable[str],
+    max_configs: int = 1_000_000,
+) -> AcceptanceResult:
+    """Does ``machine`` accept ``word`` within ``|word|`` tape cells?
+
+    Acceptance means reaching the configuration ``h B^n`` from ``s x``
+    (the paper's convention).  Returns the witness computation when
+    accepted.
+    """
+    word = tuple(word)
+    start = initial_configuration(machine, word)
+    goal = accepting_configuration(machine, len(word))
+    if start == goal:
+        return AcceptanceResult(True, explored=1, computation=[start])
+    parents: dict[Configuration, Configuration] = {}
+    seen = {start}
+    queue: deque[Configuration] = deque([start])
+    explored = 0
+    while queue:
+        current = queue.popleft()
+        explored += 1
+        if explored > max_configs:
+            raise SearchBudgetExceeded(
+                f"acceptance search exceeded {max_configs} configurations",
+                explored=explored,
+            )
+        for nxt in successors(machine, current):
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            parents[nxt] = current
+            if nxt == goal:
+                path = [nxt]
+                while path[-1] != start:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return AcceptanceResult(True, explored=explored, computation=path)
+            queue.append(nxt)
+    return AcceptanceResult(False, explored=explored)

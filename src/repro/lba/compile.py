@@ -1,0 +1,95 @@
+"""Compile classical Turing-machine transition tables into LBAs.
+
+The paper takes moves as abstract rewrite rules ``abc -> a'b'c'``; for
+convenience this module compiles the familiar head-move formulation
+``delta(q, read) -> (q', write, L/R/S)`` into that rule form, using
+the window encodings of :mod:`repro.lba.machine`:
+
+* ``R``: ``q read x -> write q' x``  (head cannot move right off the
+  last cell — no window exists there, matching the space bound);
+* ``L``: ``x q read -> q' x write``;
+* ``S``: both window alignments, so the move can fire at the right
+  edge too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.exceptions import ReproError
+from repro.lba.machine import LBA, Rule, left_rules, right_rules, stay_rules
+
+Move = tuple[str, str, str]
+"""``(next_state, write_symbol, direction)`` with direction L/R/S."""
+
+TransitionTable = Mapping[tuple[str, str], Iterable[Move]]
+"""``(state, read_symbol) -> iterable of nondeterministic moves``."""
+
+
+def compile_lba(
+    states: Iterable[str],
+    alphabet: Iterable[str],
+    start: str,
+    halt: str,
+    transitions: TransitionTable,
+    blank: str = "B",
+) -> LBA:
+    """Build an LBA from a classical nondeterministic transition table.
+
+    >>> machine = compile_lba(
+    ...     states=("s", "h"),
+    ...     alphabet=("a", "B"),
+    ...     start="s", halt="h",
+    ...     transitions={("s", "a"): [("s", "B", "R")]},
+    ... )
+    >>> len(machine.rules)
+    2
+    """
+    alphabet = tuple(alphabet)
+    rules: list[Rule] = []
+    for (state, read), moves in transitions.items():
+        for next_state, write, direction in moves:
+            if direction == "R":
+                rules.extend(right_rules(state, read, write, next_state, alphabet))
+            elif direction == "L":
+                rules.extend(left_rules(state, read, write, next_state, alphabet))
+            elif direction == "S":
+                rules.extend(stay_rules(state, read, write, next_state, alphabet))
+            else:
+                raise ReproError(f"unknown direction {direction!r} (use L/R/S)")
+    return LBA(
+        states=states,
+        alphabet=alphabet,
+        start=start,
+        halt=halt,
+        rules=rules,
+        blank=blank,
+    )
+
+
+def sweep_and_home_machine() -> LBA:
+    """A compiled example: blank the tape rightwards, then walk home.
+
+    Demonstrates the compiler on the accept-all language (n >= 2):
+    state ``s`` sweeps right writing blanks; when it runs out of
+    right-moves (the window vanishes at the right wall) the stay-move
+    turnaround fires; ``l`` walks left; the final stay-move converts to
+    ``h`` at the left wall.
+    """
+    return compile_lba(
+        states=("s", "l", "h"),
+        alphabet=("a", "B"),
+        start="s",
+        halt="h",
+        transitions={
+            # sweep right over a's, blanking them
+            ("s", "a"): [("s", "B", "R"),
+                         # nondeterministic turnaround on the last a
+                         ("l", "B", "S")],
+            # walk left over blanks
+            ("l", "B"): [("l", "B", "L"),
+                         # convert to halt (fires anywhere; only the
+                         # left-wall conversion reaches h B^n)
+                         ("h", "B", "S")],
+        },
+    )

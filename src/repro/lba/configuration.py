@@ -1,0 +1,87 @@
+"""Configurations and their successor relation.
+
+A configuration is a tuple of symbols of length ``n + 1`` containing
+exactly one state symbol, which is never last (it stands immediately
+left of the scanned cell).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.exceptions import ReproError
+from repro.lba.machine import LBA, Symbol
+
+Configuration = tuple[Symbol, ...]
+
+
+def initial_configuration(machine: LBA, word: Iterable[Symbol]) -> Configuration:
+    """``s x``: the start state followed by the input word."""
+    word = tuple(word)
+    if not word:
+        raise ReproError("LBA inputs must be non-empty")
+    for sym in word:
+        if sym not in machine.alphabet:
+            raise ReproError(f"input symbol {sym!r} not in alphabet")
+    return (machine.start, *word)
+
+
+def accepting_configuration(machine: LBA, n: int) -> Configuration:
+    """``h B^n``: the halting state followed by ``n`` blanks."""
+    return (machine.halt, *([machine.blank] * n))
+
+
+def is_valid_configuration(machine: LBA, config: Configuration) -> bool:
+    """Exactly one state symbol, not in the last position."""
+    state_positions = [
+        i for i, sym in enumerate(config) if sym in machine.states
+    ]
+    if len(state_positions) != 1:
+        return False
+    if state_positions[0] == len(config) - 1:
+        return False
+    return all(
+        sym in machine.alphabet or sym in machine.states for sym in config
+    )
+
+
+def successors(machine: LBA, config: Configuration) -> Iterator[Configuration]:
+    """All configurations reachable in one rewrite step.
+
+    A rule ``abc -> a'b'c'`` fires at every window position where the
+    left side matches (the window always involves the state symbol,
+    since rules carry exactly one state on each side).
+    """
+    length = len(config)
+    for lhs, rhs in machine.rules:
+        for j in range(length - 2):
+            if config[j] == lhs[0] and config[j + 1] == lhs[1] and (
+                config[j + 2] == lhs[2]
+            ):
+                yield config[:j] + rhs + config[j + 3:]
+
+
+def reachable_configurations(
+    machine: LBA,
+    start: Configuration,
+    max_configs: int = 1_000_000,
+) -> set[Configuration]:
+    """All configurations reachable from ``start`` (exact BFS closure)."""
+    from collections import deque
+
+    from repro.exceptions import SearchBudgetExceeded
+
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        current = queue.popleft()
+        for nxt in successors(machine, current):
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+                if len(seen) > max_configs:
+                    raise SearchBudgetExceeded(
+                        f"configuration closure exceeded {max_configs}",
+                        explored=len(seen),
+                    )
+    return seen

@@ -1,0 +1,117 @@
+"""A small library of example LBAs for tests, examples, and benchmarks.
+
+All machines follow the paper's acceptance convention: accept input
+``x`` (|x| = n) by reaching the configuration ``h B^n`` — so accepting
+machines sweep right consuming the input, then walk the head home.
+
+Machines are defined directly as rewrite-rule systems (the paper's
+formulation); see :mod:`repro.lba.machine` for the helpers that encode
+classical head moves.
+"""
+
+from __future__ import annotations
+
+from repro.lba.machine import LBA, Rule
+
+
+def accept_all_machine() -> LBA:
+    """Accepts every word over ``{a}`` of length >= 2.
+
+    Sweeps right blanking ``a``s, consumes the last one while turning
+    around, walks left over blanks, and converts to the halt state at
+    the left wall.
+    """
+    rules: list[Rule] = [
+        # sweep right, blanking: s a a -> B s a
+        (("s", "a", "a"), ("B", "s", "a")),
+        # right end: B s a -> B l B   (consume final a, turn around)
+        (("B", "s", "a"), ("B", "l", "B")),
+        # also handle n = 2 start: s a <end> needs the generic rules only
+        # walk left over blanks: B l B -> l B B
+        (("B", "l", "B"), ("l", "B", "B")),
+        # arrive home: l B B -> h B B
+        (("l", "B", "B"), ("h", "B", "B")),
+    ]
+    return LBA(
+        states=("s", "l", "h"),
+        alphabet=("a", "B"),
+        start="s",
+        halt="h",
+        rules=rules,
+    )
+
+
+def even_length_machine() -> LBA:
+    """Accepts ``a^n`` iff ``n`` is even (n >= 2).
+
+    The sweep alternates parity states ``s0``/``s1``; only the
+    odd-count-so-far state may consume the final symbol, so exactly the
+    even-length inputs reach ``h B^n``.
+    """
+    rules: list[Rule] = [
+        (("s0", "a", "a"), ("B", "s1", "a")),
+        (("s1", "a", "a"), ("B", "s0", "a")),
+        # consume the last a only from s1 (odd consumed so far =>
+        # total even when this fires)
+        (("B", "s1", "a"), ("B", "l", "B")),
+        (("B", "l", "B"), ("l", "B", "B")),
+        (("l", "B", "B"), ("h", "B", "B")),
+    ]
+    return LBA(
+        states=("s0", "s1", "l", "h"),
+        alphabet=("a", "B"),
+        start="s0",
+        halt="h",
+        rules=rules,
+    )
+
+
+def contains_b_machine() -> LBA:
+    """Accepts words over ``{a, b}`` (length >= 2) containing >= 1 'b'.
+
+    State ``s0`` = no ``b`` seen yet, ``s1`` = some ``b`` seen; the
+    turnaround fires from ``s1``, or from ``s0`` exactly when the final
+    symbol is the sought ``b``.
+    """
+    rules: list[Rule] = []
+    for x in ("a", "b"):
+        rules.append((("s0", "a", x), ("B", "s0", x)))
+        rules.append((("s0", "b", x), ("B", "s1", x)))
+        rules.append((("s1", "a", x), ("B", "s1", x)))
+        rules.append((("s1", "b", x), ("B", "s1", x)))
+    rules.extend(
+        [
+            (("B", "s1", "a"), ("B", "l", "B")),
+            (("B", "s1", "b"), ("B", "l", "B")),
+            (("B", "s0", "b"), ("B", "l", "B")),
+            (("B", "l", "B"), ("l", "B", "B")),
+            (("l", "B", "B"), ("h", "B", "B")),
+        ]
+    )
+    return LBA(
+        states=("s0", "s1", "l", "h"),
+        alphabet=("a", "b", "B"),
+        start="s0",
+        halt="h",
+        rules=rules,
+    )
+
+
+def looping_machine() -> LBA:
+    """Never accepts: toggles between two states forever.
+
+    The configuration graph is a finite cycle that never reaches the
+    accepting configuration; useful for exercising the rejecting side
+    of the reduction.
+    """
+    rules: list[Rule] = [
+        (("s", "a", "a"), ("t", "a", "a")),
+        (("t", "a", "a"), ("s", "a", "a")),
+    ]
+    return LBA(
+        states=("s", "t", "h"),
+        alphabet=("a", "B"),
+        start="s",
+        halt="h",
+        rules=rules,
+    )

@@ -1,0 +1,143 @@
+"""Nondeterministic linear bounded automata, rewrite-rule style.
+
+Following the paper exactly: ``M = (K, Gamma, Delta, s, h)`` where a
+configuration on an input of length ``n`` is a string in
+``Gamma* K Gamma+`` of length ``n + 1`` (the ``K`` symbol marks the
+state and head position, placed immediately left of the scanned
+symbol), and the moves are *rewriting rules* ``abc -> a'b'c'`` with
+``a, b, c, a', b', c'`` in ``K u Gamma``, applied anywhere in the
+configuration.
+
+Helper generators build the rule families corresponding to classical
+head moves; arbitrary rule sets are equally welcome (the reduction
+does not care where the rules came from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.exceptions import ReproError
+
+Symbol = str
+Window = tuple[Symbol, Symbol, Symbol]
+Rule = tuple[Window, Window]
+
+
+@dataclass(frozen=True)
+class LBA:
+    """A nondeterministic linear bounded automaton.
+
+    ``states`` and ``alphabet`` must be disjoint; ``blank`` belongs to
+    the alphabet; every rule must contain exactly one state symbol on
+    each side (a configuration has exactly one).
+    """
+
+    states: frozenset[Symbol]
+    alphabet: frozenset[Symbol]
+    start: Symbol
+    halt: Symbol
+    rules: tuple[Rule, ...]
+    blank: Symbol = "B"
+
+    def __init__(
+        self,
+        states: Iterable[Symbol],
+        alphabet: Iterable[Symbol],
+        start: Symbol,
+        halt: Symbol,
+        rules: Iterable[Rule],
+        blank: Symbol = "B",
+    ):
+        states = frozenset(states)
+        alphabet = frozenset(alphabet)
+        if states & alphabet:
+            raise ReproError(
+                f"states and alphabet overlap: {sorted(states & alphabet)}"
+            )
+        if start not in states or halt not in states:
+            raise ReproError("start and halt must be states")
+        if blank not in alphabet:
+            raise ReproError(f"blank {blank!r} must be in the alphabet")
+        normalized: list[Rule] = []
+        for lhs, rhs in rules:
+            lhs = tuple(lhs)
+            rhs = tuple(rhs)
+            if len(lhs) != 3 or len(rhs) != 3:
+                raise ReproError(f"rules are windows of width 3: {lhs} -> {rhs}")
+            for window in (lhs, rhs):
+                state_count = sum(1 for sym in window if sym in states)
+                if state_count != 1:
+                    raise ReproError(
+                        f"each rule side needs exactly one state symbol: {window}"
+                    )
+                for sym in window:
+                    if sym not in states and sym not in alphabet:
+                        raise ReproError(f"unknown symbol {sym!r} in rule")
+            normalized.append((lhs, rhs))
+        object.__setattr__(self, "states", states)
+        object.__setattr__(self, "alphabet", alphabet)
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "halt", halt)
+        object.__setattr__(self, "rules", tuple(normalized))
+        object.__setattr__(self, "blank", blank)
+
+    @property
+    def symbols(self) -> frozenset[Symbol]:
+        """``K u Gamma``."""
+        return self.states | self.alphabet
+
+    def describe(self) -> str:
+        lines = [
+            f"LBA: states={sorted(self.states)}, alphabet={sorted(self.alphabet)},",
+            f"     start={self.start}, halt={self.halt}, blank={self.blank}",
+            f"     {len(self.rules)} rewrite rules:",
+        ]
+        for lhs, rhs in self.rules:
+            lines.append(f"       {' '.join(lhs)} -> {' '.join(rhs)}")
+        return "\n".join(lines)
+
+
+def right_rules(
+    state: Symbol,
+    read: Symbol,
+    write: Symbol,
+    next_state: Symbol,
+    alphabet: Iterable[Symbol],
+) -> list[Rule]:
+    """Classical right move ``(q, read) -> (q', write, R)`` as windows:
+    ``q read x -> write q' x`` for every tape symbol ``x``."""
+    return [
+        ((state, read, x), (write, next_state, x)) for x in alphabet
+    ]
+
+
+def left_rules(
+    state: Symbol,
+    read: Symbol,
+    write: Symbol,
+    next_state: Symbol,
+    alphabet: Iterable[Symbol],
+) -> list[Rule]:
+    """Classical left move: ``x q read -> q' x write``."""
+    return [
+        ((x, state, read), (next_state, x, write)) for x in alphabet
+    ]
+
+
+def stay_rules(
+    state: Symbol,
+    read: Symbol,
+    write: Symbol,
+    next_state: Symbol,
+    alphabet: Iterable[Symbol],
+) -> list[Rule]:
+    """Classical stay move, in both window alignments so it can fire
+    wherever the state sits: ``q read x -> q' write x`` and
+    ``x q read -> x q' write``."""
+    rules: list[Rule] = []
+    for x in alphabet:
+        rules.append(((state, read, x), (next_state, write, x)))
+        rules.append(((x, state, read), (x, next_state, write)))
+    return rules

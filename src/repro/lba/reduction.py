@@ -1,0 +1,207 @@
+"""Theorem 3.3: the reduction from LBA acceptance to IND implication.
+
+Given machine ``M`` and input ``x`` with ``|x| = n``, build INDs over a
+single relation scheme ``R`` whose attributes are
+``(K u Gamma) x {1, ..., n+1}`` (one attribute per symbol/position
+pair, encoded here as the string ``"sym@pos"``).
+
+* the target IND is
+  ``R[(s,1),(x1,2),...,(xn,n+1)] c R[(h,1),(B,2),...,(B,n+1)]``;
+* each rewrite rule ``m = abc -> a'b'c'`` and window position
+  ``j in {1,...,n-1}`` contribute the IND ``S(m,j)``:
+
+  ``R[Pj, (a,j), (b,j+1), (c,j+2)] c R[Pj, (a',j), (b',j+1), (c',j+2)]``
+
+  where ``Pj`` is a fixed ordering of the attributes
+  ``Gamma x ({1..n+1} - {j, j+1, j+2})`` (tape symbols at the
+  untouched positions are carried across unchanged).
+
+Then ``Sigma |= sigma`` iff ``M`` accepts ``x`` in space ``n``.  The
+correspondence between machine configurations and the expressions of
+the Corollary 3.2 decision procedure is made explicit by
+:func:`configuration_to_expression` / :func:`expression_to_configuration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import ReproError
+from repro.deps.ind import IND
+from repro.model.schema import DatabaseSchema, RelationSchema
+from repro.core.ind_decision import DecisionResult, decide_ind
+from repro.lba.acceptance import AcceptanceResult, accepts
+from repro.lba.configuration import Configuration
+from repro.lba.machine import LBA
+
+RELATION = "R"
+
+
+def attr(symbol: str, position: int) -> str:
+    """The attribute encoding the pair ``(symbol, position)``."""
+    return f"{symbol}@{position}"
+
+
+def split_attr(attribute: str) -> tuple[str, int]:
+    symbol, _, position = attribute.rpartition("@")
+    return symbol, int(position)
+
+
+@dataclass
+class ReducedInstance:
+    """The IND-implication instance produced by the reduction."""
+
+    machine: LBA
+    word: tuple[str, ...]
+    schema: DatabaseSchema
+    premises: list[IND]
+    target: IND
+
+    @property
+    def n(self) -> int:
+        return len(self.word)
+
+    def decide(self, max_nodes: int = 2_000_000) -> DecisionResult:
+        """Run the Corollary 3.2 procedure on the reduced instance."""
+        return decide_ind(self.target, self.premises, max_nodes=max_nodes)
+
+    def size_report(self) -> dict[str, int]:
+        """Reduction blow-up statistics (for the benchmark tables)."""
+        return {
+            "n": self.n,
+            "machine_rules": len(self.machine.rules),
+            "relation_arity": self.schema.relation(RELATION).arity,
+            "ind_count": len(self.premises),
+            "ind_arity": self.premises[0].arity if self.premises else 0,
+        }
+
+
+def reduction_schema(machine: LBA, n: int) -> DatabaseSchema:
+    """The single relation scheme over ``(K u Gamma) x {1..n+1}``."""
+    attributes = [
+        attr(symbol, position)
+        for position in range(1, n + 2)
+        for symbol in sorted(machine.symbols)
+    ]
+    return DatabaseSchema.of(RelationSchema(RELATION, attributes))
+
+
+def configuration_to_expression(config: Configuration) -> tuple[str, tuple[str, ...]]:
+    """The Corollary 3.2 expression corresponding to a configuration:
+    position ``i`` of the configuration becomes attribute
+    ``(config[i], i+1)``."""
+    return (
+        RELATION,
+        tuple(attr(symbol, i + 1) for i, symbol in enumerate(config)),
+    )
+
+
+def expression_to_configuration(expression: tuple[str, tuple[str, ...]]) -> Configuration:
+    """Inverse of :func:`configuration_to_expression` (positions must
+    form ``1..n+1`` in order)."""
+    _relation, attrs = expression
+    config: list[str] = []
+    for i, attribute in enumerate(attrs, start=1):
+        symbol, position = split_attr(attribute)
+        if position != i:
+            raise ReproError(
+                f"attribute {attribute} out of place at index {i}"
+            )
+        config.append(symbol)
+    return tuple(config)
+
+
+def reduce_to_inds(machine: LBA, word: Iterable[str]) -> ReducedInstance:
+    """Build ``(Sigma, sigma)`` from ``(M, x)`` per Theorem 3.3."""
+    word = tuple(word)
+    n = len(word)
+    if n < 2:
+        raise ReproError(
+            "the reduction needs |x| >= 2 (windows span three positions)"
+        )
+    for sym in word:
+        if sym not in machine.alphabet:
+            raise ReproError(f"input symbol {sym!r} not in the alphabet")
+    schema = reduction_schema(machine, n)
+
+    target = IND(
+        RELATION,
+        [attr(machine.start, 1)] + [attr(sym, i + 2) for i, sym in enumerate(word)],
+        RELATION,
+        [attr(machine.halt, 1)] + [attr(machine.blank, i + 2) for i in range(n)],
+    )
+
+    tape_symbols = sorted(machine.alphabet)
+    premises: list[IND] = []
+    for lhs_window, rhs_window in machine.rules:
+        for j in range(1, n):  # window positions 1..n-1 (1-based)
+            untouched = [
+                p for p in range(1, n + 2) if p not in (j, j + 1, j + 2)
+            ]
+            p_j = [attr(sym, p) for p in untouched for sym in tape_symbols]
+            lhs = p_j + [
+                attr(lhs_window[0], j),
+                attr(lhs_window[1], j + 1),
+                attr(lhs_window[2], j + 2),
+            ]
+            rhs = p_j + [
+                attr(rhs_window[0], j),
+                attr(rhs_window[1], j + 1),
+                attr(rhs_window[2], j + 2),
+            ]
+            premises.append(IND(RELATION, lhs, RELATION, rhs))
+    return ReducedInstance(
+        machine=machine,
+        word=word,
+        schema=schema,
+        premises=premises,
+        target=target,
+    )
+
+
+@dataclass
+class ReductionVerification:
+    """Side-by-side outcome of simulation and IND decision."""
+
+    acceptance: AcceptanceResult
+    decision: DecisionResult
+    word: tuple[str, ...]
+
+    @property
+    def agree(self) -> bool:
+        return self.acceptance.accepted == self.decision.implied
+
+    def computation_from_chain(self) -> list[Configuration]:
+        """Reconstruct the machine computation from the IND chain."""
+        if not self.decision.chain:
+            return []
+        return [
+            expression_to_configuration(expr) for expr in self.decision.chain
+        ]
+
+    def __str__(self) -> str:
+        return (
+            f"word={''.join(self.word)}: machine says "
+            f"{'accept' if self.acceptance.accepted else 'reject'}, "
+            f"IND decision says "
+            f"{'implied' if self.decision.implied else 'not implied'} "
+            f"-> {'AGREE' if self.agree else 'DISAGREE'}"
+        )
+
+
+def verify_reduction(
+    machine: LBA,
+    word: Iterable[str],
+    max_nodes: int = 2_000_000,
+) -> ReductionVerification:
+    """Check both directions of Theorem 3.3 on a concrete instance:
+    the machine accepts iff the reduced IND implication holds, and the
+    witness chain (when present) decodes to a valid computation."""
+    word = tuple(word)
+    instance = reduce_to_inds(machine, word)
+    acceptance = accepts(machine, word)
+    decision = instance.decide(max_nodes=max_nodes)
+    return ReductionVerification(
+        acceptance=acceptance, decision=decision, word=word
+    )

@@ -1,0 +1,44 @@
+"""Relational substrate: schemes, relations, databases.
+
+The paper (Section 2) works with *sequences* of attributes rather than
+sets, tuples as sequences of entries, relations as sets of tuples, and
+databases as mappings from relation-scheme names to relations.  This
+package implements that model exactly, plus a symbolic extension for
+the infinite counterexample relations of Section 4.
+"""
+
+from repro.model.attributes import (
+    as_attribute_sequence,
+    check_distinct,
+    is_distinct_sequence,
+)
+from repro.model.database import Database
+from repro.model.relation import Relation
+from repro.model.schema import DatabaseSchema, RelationSchema
+from repro.model.builders import database, relation
+from repro.model.symbolic import (
+    InfiniteRelation,
+    LinearColumn,
+    SymbolicDatabase,
+    TupleFamily,
+    figure_4_1_relation,
+    figure_4_2_relation,
+)
+
+__all__ = [
+    "SymbolicDatabase",
+    "as_attribute_sequence",
+    "check_distinct",
+    "is_distinct_sequence",
+    "Database",
+    "DatabaseSchema",
+    "Relation",
+    "RelationSchema",
+    "database",
+    "relation",
+    "InfiniteRelation",
+    "LinearColumn",
+    "TupleFamily",
+    "figure_4_1_relation",
+    "figure_4_2_relation",
+]

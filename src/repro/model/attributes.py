@@ -1,0 +1,61 @@
+"""Attribute names and attribute sequences.
+
+Attributes are plain strings.  The paper manipulates *sequences* of
+distinct attributes (written ``X``, ``Y``, ... in the paper); this
+module provides the helpers that validate and normalize them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import SchemaError
+
+Attribute = str
+AttributeSequence = tuple[str, ...]
+
+
+def as_attribute_sequence(attrs: str | Iterable[str]) -> AttributeSequence:
+    """Normalize ``attrs`` into a tuple of attribute names.
+
+    A plain string is treated as a *single* attribute name (never as an
+    iterable of characters, which is a classic Python foot-gun).  Any
+    other iterable is converted element-wise.
+
+    >>> as_attribute_sequence("A")
+    ('A',)
+    >>> as_attribute_sequence(["A", "B"])
+    ('A', 'B')
+    """
+    if isinstance(attrs, str):
+        return (attrs,)
+    sequence = tuple(attrs)
+    for attr in sequence:
+        if not isinstance(attr, str):
+            raise SchemaError(f"attribute names must be strings, got {attr!r}")
+        if not attr:
+            raise SchemaError("attribute names must be non-empty strings")
+    return sequence
+
+
+def is_distinct_sequence(attrs: Iterable[str]) -> bool:
+    """Return ``True`` when ``attrs`` contains no repeated attribute."""
+    sequence = tuple(attrs)
+    return len(sequence) == len(set(sequence))
+
+
+def check_distinct(attrs: Iterable[str], context: str = "attribute sequence") -> AttributeSequence:
+    """Validate that ``attrs`` is a sequence of *distinct* attributes.
+
+    The paper requires distinctness on each side of an IND and within
+    each side of an FD ("X is a sequence of distinct members of
+    A1,...,Am").  Returns the normalized tuple, or raises
+    :class:`SchemaError` naming the offending duplicate.
+    """
+    sequence = as_attribute_sequence(attrs)
+    seen: set[str] = set()
+    for attr in sequence:
+        if attr in seen:
+            raise SchemaError(f"duplicate attribute {attr!r} in {context}")
+        seen.add(attr)
+    return sequence

@@ -1,0 +1,50 @@
+"""Convenience constructors for relations and databases.
+
+These keep example scripts and tests terse without weakening the
+validation performed by the underlying classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.model.database import Database
+from repro.model.relation import Relation
+from repro.model.schema import DatabaseSchema, RelationSchema
+
+
+def relation(
+    name: str,
+    attributes: str | Iterable[str],
+    rows: Iterable[Iterable[Any]] = (),
+) -> Relation:
+    """Build a relation and its scheme in one call.
+
+    >>> r = relation("R", ("A", "B"), [(1, 2), (3, 4)])
+    >>> len(r)
+    2
+    """
+    return Relation(RelationSchema(name, attributes), rows)
+
+
+def database(
+    schema: DatabaseSchema | Mapping[str, str | Iterable[str]],
+    contents: Mapping[str, Iterable[Iterable[Any]]] | None = None,
+) -> Database:
+    """Build a database from a scheme spec and per-relation row lists.
+
+    ``schema`` may be a :class:`DatabaseSchema` or a plain mapping like
+    ``{"R": ("A", "B")}``.  ``contents`` maps relation names to row
+    iterables; omitted relations are empty.
+
+    >>> db = database({"R": ("A", "B")}, {"R": [(1, 2)]})
+    >>> len(db["R"])
+    1
+    """
+    if not isinstance(schema, DatabaseSchema):
+        schema = DatabaseSchema.from_dict(schema)
+    contents = contents or {}
+    relations = {
+        name: Relation(schema.relation(name), rows) for name, rows in contents.items()
+    }
+    return Database(schema, relations)

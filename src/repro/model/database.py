@@ -1,0 +1,126 @@
+"""Databases: mappings from relation names to relations.
+
+A database over a scheme ``D = {R1[U1],...,Rn[Un]}`` associates each
+relation scheme with a finite relation.  Relations not explicitly
+given are empty (the paper's constructions rely on this, e.g. the
+Rule-(*) database of Theorem 3.1 starts with all relations empty
+except one).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
+
+from repro.exceptions import SchemaError
+from repro.model.relation import Relation, Row
+from repro.model.schema import DatabaseSchema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.deps.base import Dependency
+
+
+class Database:
+    """An immutable database instance over a :class:`DatabaseSchema`."""
+
+    __slots__ = ("schema", "_relations")
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        relations: Mapping[str, Relation] | None = None,
+    ):
+        relations = dict(relations or {})
+        by_name: dict[str, Relation] = {}
+        for rel_schema in schema:
+            given = relations.pop(rel_schema.name, None)
+            if given is None:
+                by_name[rel_schema.name] = Relation(rel_schema)
+            else:
+                if given.schema != rel_schema:
+                    raise SchemaError(
+                        f"relation for {rel_schema.name!r} was built over "
+                        f"{given.schema}, expected {rel_schema}"
+                    )
+                by_name[rel_schema.name] = given
+        if relations:
+            stray = ", ".join(sorted(relations))
+            raise SchemaError(f"relations not in database scheme: {stray}")
+        self.schema = schema
+        self._relations: Mapping[str, Relation] = by_name
+
+    def relation(self, name: str) -> Relation:
+        """The relation stored under ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation named {name!r} in database") from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self.schema == other.schema and dict(self._relations) == dict(other._relations)
+
+    def __hash__(self) -> int:
+        return hash((self.schema, frozenset(self._relations.items())))
+
+    def satisfies(self, dependency: "Dependency") -> bool:
+        """Whether this database obeys ``dependency``."""
+        return dependency.holds_in(self)
+
+    def satisfies_all(self, dependencies: Iterable["Dependency"]) -> bool:
+        """Whether this database obeys every dependency given."""
+        return all(dep.holds_in(self) for dep in dependencies)
+
+    def violated(self, dependencies: Iterable["Dependency"]) -> list["Dependency"]:
+        """The sub-list of ``dependencies`` this database violates."""
+        return [dep for dep in dependencies if not dep.holds_in(self)]
+
+    def with_relation(self, relation: Relation) -> "Database":
+        """A new database with one relation replaced."""
+        updated = dict(self._relations)
+        if relation.name not in updated:
+            raise SchemaError(f"no relation named {relation.name!r} in database scheme")
+        updated[relation.name] = relation
+        return Database(self.schema, updated)
+
+    def with_tuples(self, name: str, extra: Iterable[Iterable[Any]]) -> "Database":
+        """A new database with ``extra`` tuples added to relation ``name``."""
+        return self.with_relation(self.relation(name).with_tuples(extra))
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rel) for rel in self)
+
+    def active_domain(self) -> frozenset[Any]:
+        """All values occurring anywhere in the database."""
+        return frozenset(v for rel in self for row in rel for v in row)
+
+    @property
+    def is_finite(self) -> bool:
+        """Finite databases are the only kind this class can hold."""
+        return True
+
+    def describe(self) -> str:
+        """A printable, deterministic rendering of the whole database."""
+        parts = []
+        for name in sorted(self._relations):
+            parts.append(str(self._relations[name]))
+        return "\n\n".join(parts)
+
+    def __repr__(self) -> str:
+        sizes = {name: len(rel) for name, rel in sorted(self._relations.items())}
+        return f"Database({sizes})"
+
+
+def project(db: Database, name: str, attrs: str | Iterable[str]) -> frozenset[Row]:
+    """Convenience: projection ``r[X]`` of the relation named ``name``."""
+    return db.relation(name).project(attrs)

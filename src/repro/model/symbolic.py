@@ -1,0 +1,635 @@
+"""Symbolic *infinite* relations for the paper's Section 4 figures.
+
+Theorem 4.4 separates finite implication from unrestricted implication
+for FDs and INDs taken together; the separating witnesses are the
+infinite relations of Figures 4.1 and 4.2:
+
+* Figure 4.1: ``r = {(i+1, i) : i >= 0}``
+* Figure 4.2: ``r = {(1, 1)} u {(i+1, i) : i >= 1}``
+
+Python cannot materialize infinite sets, so this module implements a
+restricted class of finitely-described infinite relations: finite
+unions of *linear tuple families* ``t(i) = (s1*i + c1, ..., sm*i + cm)``
+for ``i >= start`` with slopes ``s_k`` in ``{0, 1}``, plus finitely many
+explicit extra tuples.  Within this class, satisfaction of FDs, INDs,
+and RDs is decided *exactly* (soundly and completely) by the small
+linear-constraint analysis below.  This is precisely the class needed
+by the paper's figures; anything outside it raises
+:class:`SymbolicLimitationError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Optional
+
+from repro.exceptions import SchemaError, SymbolicLimitationError
+from repro.model.schema import DatabaseSchema, RelationSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.deps.base import Dependency
+
+
+@dataclass(frozen=True)
+class LinearColumn:
+    """One column of a tuple family: ``value(i) = slope * i + intercept``."""
+
+    slope: int
+    intercept: int
+
+    def __post_init__(self) -> None:
+        if self.slope not in (0, 1):
+            raise SymbolicLimitationError(
+                f"symbolic relations support slopes 0 and 1 only, got {self.slope}"
+            )
+
+    def value(self, i: int) -> int:
+        return self.slope * i + self.intercept
+
+    def __str__(self) -> str:
+        if self.slope == 0:
+            return str(self.intercept)
+        if self.intercept == 0:
+            return "i"
+        sign = "+" if self.intercept > 0 else "-"
+        return f"i {sign} {abs(self.intercept)}"
+
+
+@dataclass(frozen=True)
+class TupleFamily:
+    """The infinite tuple set ``{ (col_1(i),...,col_m(i)) : i >= start }``."""
+
+    columns: tuple[LinearColumn, ...]
+    start: int = 0
+
+    @classmethod
+    def of(cls, *cols: tuple[int, int] | LinearColumn, start: int = 0) -> "TupleFamily":
+        """Build from ``(slope, intercept)`` pairs: ``TupleFamily.of((1, 1), (1, 0))``."""
+        normalized = tuple(
+            col if isinstance(col, LinearColumn) else LinearColumn(*col) for col in cols
+        )
+        return cls(normalized, start)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def tuple_at(self, i: int) -> tuple[int, ...]:
+        """The concrete tuple for index ``i`` (must be ``>= start``)."""
+        if i < self.start:
+            raise ValueError(f"index {i} below family start {self.start}")
+        return tuple(col.value(i) for col in self.columns)
+
+    def sample(self, count: int) -> list[tuple[int, ...]]:
+        """The first ``count`` tuples of the family (for display/tests)."""
+        return [self.tuple_at(self.start + k) for k in range(count)]
+
+    def __str__(self) -> str:
+        body = ", ".join(str(col) for col in self.columns)
+        return f"{{({body}) : i >= {self.start}}}"
+
+
+class _PairConstraint:
+    """Accumulated linear constraints between two family indices i, j.
+
+    After merging all per-attribute matching equations the solution set
+    is described by at most: a fixed value for ``i``, a fixed value for
+    ``j``, and/or a fixed offset ``j - i``.  ``feasible`` turns False on
+    contradiction.
+    """
+
+    __slots__ = ("i_value", "j_value", "offset", "feasible")
+
+    def __init__(self) -> None:
+        self.i_value: Optional[int] = None
+        self.j_value: Optional[int] = None
+        self.offset: Optional[int] = None  # j - i
+        self.feasible = True
+
+    def _set_i(self, value: int) -> None:
+        if self.i_value is None:
+            self.i_value = value
+        elif self.i_value != value:
+            self.feasible = False
+
+    def _set_j(self, value: int) -> None:
+        if self.j_value is None:
+            self.j_value = value
+        elif self.j_value != value:
+            self.feasible = False
+
+    def _set_offset(self, value: int) -> None:
+        if self.offset is None:
+            self.offset = value
+        elif self.offset != value:
+            self.feasible = False
+
+    def _propagate(self) -> None:
+        if not self.feasible:
+            return
+        if self.offset is not None:
+            if self.i_value is not None:
+                self._set_j(self.i_value + self.offset)
+            if self.j_value is not None:
+                self._set_i(self.j_value - self.offset)
+        if self.i_value is not None and self.j_value is not None:
+            self._set_offset(self.j_value - self.i_value)
+
+    def add_equation(self, left: LinearColumn, right: LinearColumn) -> None:
+        """Require ``left.value(i) == right.value(j)``."""
+        if not self.feasible:
+            return
+        if left.slope == 1 and right.slope == 1:
+            # i + c1 = j + c2  =>  j - i = c1 - c2
+            self._set_offset(left.intercept - right.intercept)
+        elif left.slope == 1 and right.slope == 0:
+            self._set_i(right.intercept - left.intercept)
+        elif left.slope == 0 and right.slope == 1:
+            self._set_j(left.intercept - right.intercept)
+        else:  # both constant
+            if left.intercept != right.intercept:
+                self.feasible = False
+        self._propagate()
+
+
+class _Coverage:
+    """The set of family indices ``i`` covered by one matching analysis.
+
+    One of: nothing, everything, a single point, or a ray ``[low, inf)``.
+    """
+
+    __slots__ = ("kind", "value")
+
+    NOTHING = "nothing"
+    ALL = "all"
+    POINT = "point"
+    RAY = "ray"
+
+    def __init__(self, kind: str, value: int | None = None):
+        self.kind = kind
+        self.value = value
+
+    @classmethod
+    def nothing(cls) -> "_Coverage":
+        return cls(cls.NOTHING)
+
+    @classmethod
+    def everything(cls) -> "_Coverage":
+        return cls(cls.ALL)
+
+    @classmethod
+    def point(cls, i: int) -> "_Coverage":
+        return cls(cls.POINT, i)
+
+    @classmethod
+    def ray(cls, low: int) -> "_Coverage":
+        return cls(cls.RAY, low)
+
+    def contains(self, i: int) -> bool:
+        if self.kind == self.NOTHING:
+            return False
+        if self.kind == self.ALL:
+            return True
+        if self.kind == self.POINT:
+            return i == self.value
+        return i >= (self.value or 0)
+
+
+class InfiniteRelation:
+    """A finitely-described infinite relation over a relation scheme."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        families: Iterable[TupleFamily] = (),
+        extras: Iterable[Iterable[int]] = (),
+    ):
+        families = tuple(families)
+        for family in families:
+            if family.arity != schema.arity:
+                raise SchemaError(
+                    f"family arity {family.arity} does not match scheme {schema}"
+                )
+        extra_rows = frozenset(tuple(row) for row in extras)
+        for row in extra_rows:
+            if len(row) != schema.arity:
+                raise SchemaError(f"extra tuple {row!r} does not match scheme {schema}")
+        self.schema = schema
+        self.families = families
+        self.extras = extra_rows
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def is_finite(self) -> bool:
+        return not self.families
+
+    def sample(self, count: int = 10) -> list[tuple[int, ...]]:
+        """A finite, deterministic sample of tuples (display only)."""
+        rows: list[tuple[int, ...]] = sorted(self.extras)
+        for family in self.families:
+            rows.extend(family.sample(count))
+        return rows[: count + len(self.extras)]
+
+    def _family_columns(
+        self, family: TupleFamily, attrs: Iterable[str]
+    ) -> tuple[LinearColumn, ...]:
+        return tuple(family.columns[p] for p in self.schema.positions(attrs))
+
+    def _extra_projection(self, row: tuple[int, ...], attrs: Iterable[str]) -> tuple[int, ...]:
+        return tuple(row[p] for p in self.schema.positions(attrs))
+
+    # ------------------------------------------------------------------
+    # FD satisfaction
+    # ------------------------------------------------------------------
+
+    def satisfies_fd(self, lhs: tuple[str, ...], rhs: tuple[str, ...]) -> bool:
+        """Exact check of ``R: lhs -> rhs`` over this infinite relation."""
+        sources: list[object] = list(self.families) + list(self.extras)
+        for a in sources:
+            for b in sources:
+                if self._fd_violated_by_pair(a, b, lhs, rhs):
+                    return False
+        return True
+
+    def _fd_violated_by_pair(self, a: object, b: object, lhs, rhs) -> bool:
+        a_is_family = isinstance(a, TupleFamily)
+        b_is_family = isinstance(b, TupleFamily)
+        if not a_is_family and not b_is_family:
+            ax = self._extra_projection(a, lhs)  # type: ignore[arg-type]
+            bx = self._extra_projection(b, lhs)  # type: ignore[arg-type]
+            if ax != bx:
+                return False
+            return self._extra_projection(a, rhs) != self._extra_projection(b, rhs)  # type: ignore[arg-type]
+        if a_is_family and not b_is_family:
+            return self._fd_violated_family_extra(a, b, lhs, rhs)  # type: ignore[arg-type]
+        if not a_is_family and b_is_family:
+            return self._fd_violated_family_extra(b, a, lhs, rhs)  # type: ignore[arg-type]
+        return self._fd_violated_family_family(a, b, lhs, rhs)  # type: ignore[arg-type]
+
+    def _fd_violated_family_extra(
+        self, family: TupleFamily, row: tuple[int, ...], lhs, rhs
+    ) -> bool:
+        """Does some family member clash with the explicit tuple ``row``?"""
+        cols = self._family_columns(family, lhs)
+        values = self._extra_projection(row, lhs)
+        fixed_i: Optional[int] = None
+        for col, value in zip(cols, values):
+            if col.slope == 0:
+                if col.intercept != value:
+                    return False
+            else:
+                candidate = value - col.intercept
+                if fixed_i is not None and fixed_i != candidate:
+                    return False
+                fixed_i = candidate
+        rhs_cols = self._family_columns(family, rhs)
+        rhs_values = self._extra_projection(row, rhs)
+        if fixed_i is not None:
+            if fixed_i < family.start:
+                return False
+            family_rhs = tuple(col.value(fixed_i) for col in rhs_cols)
+            return family_rhs != rhs_values
+        # Every i >= start matches on lhs; a violation exists unless the
+        # rhs agrees for every i, i.e. all rhs columns are constants
+        # equal to the row's rhs entries.
+        for col, value in zip(rhs_cols, rhs_values):
+            if col.slope != 0 or col.intercept != value:
+                return True
+        return False
+
+    def _fd_violated_family_family(
+        self, fam_a: TupleFamily, fam_b: TupleFamily, lhs, rhs
+    ) -> bool:
+        constraint = _PairConstraint()
+        for ca, cb in zip(self._family_columns(fam_a, lhs), self._family_columns(fam_b, lhs)):
+            constraint.add_equation(ca, cb)
+        if not constraint.feasible:
+            return False
+        rhs_a = self._family_columns(fam_a, rhs)
+        rhs_b = self._family_columns(fam_b, rhs)
+
+        if constraint.i_value is not None and constraint.j_value is not None:
+            i, j = constraint.i_value, constraint.j_value
+            if i < fam_a.start or j < fam_b.start:
+                return False
+            return tuple(c.value(i) for c in rhs_a) != tuple(c.value(j) for c in rhs_b)
+
+        if constraint.offset is not None:
+            # j = i + d with i ranging over an infinite ray.
+            d = constraint.offset
+            low = max(fam_a.start, fam_b.start - d)
+            # The ray [low, inf) is never empty.  The pair violates the
+            # FD unless every rhs column pair is *identically* equal
+            # along the ray (a linear function with infinitely many
+            # zeros is identically zero).
+            for ca, cb in zip(rhs_a, rhs_b):
+                # value_a(i) - value_b(i + d)
+                slope_diff = ca.slope - cb.slope
+                const_diff = ca.intercept - cb.slope * d - cb.intercept
+                if slope_diff != 0 or const_diff != 0:
+                    return True
+            return False
+
+        if constraint.i_value is not None:
+            i = constraint.i_value
+            if i < fam_a.start:
+                return False
+            fixed = tuple(c.value(i) for c in rhs_a)
+            # j is unconstrained over [fam_b.start, inf).
+            for value, cb in zip(fixed, rhs_b):
+                if cb.slope == 1:
+                    return True  # cb takes infinitely many values
+                if cb.intercept != value:
+                    return True
+            return False
+
+        if constraint.j_value is not None:
+            j = constraint.j_value
+            if j < fam_b.start:
+                return False
+            fixed = tuple(c.value(j) for c in rhs_b)
+            for value, ca in zip(fixed, rhs_a):
+                if ca.slope == 1:
+                    return True
+                if ca.intercept != value:
+                    return True
+            return False
+
+        # No constraints at all: both indices roam freely (this happens
+        # when every lhs column pair is constant-equal, or lhs is empty).
+        for ca, cb in zip(rhs_a, rhs_b):
+            if ca.slope == 1 or cb.slope == 1:
+                return True
+            if ca.intercept != cb.intercept:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # IND satisfaction
+    # ------------------------------------------------------------------
+
+    def projection_contained_in(
+        self,
+        lhs: tuple[str, ...],
+        target: "InfiniteRelation",
+        rhs: tuple[str, ...],
+    ) -> bool:
+        """Exact check of ``self[lhs] subseteq target[rhs]``."""
+        for row in self.extras:
+            if not target._covers_value(self._extra_projection(row, lhs), rhs):
+                return False
+        for family in self.families:
+            if not self._family_covered(family, lhs, target, rhs):
+                return False
+        return True
+
+    def _covers_value(self, values: tuple[int, ...], rhs: tuple[str, ...]) -> bool:
+        """Is the concrete tuple ``values`` in ``self[rhs]``?"""
+        for row in self.extras:
+            if self._extra_projection(row, rhs) == values:
+                return True
+        for family in self.families:
+            cols = self._family_columns(family, rhs)
+            fixed_j: Optional[int] = None
+            ok = True
+            for col, value in zip(cols, values):
+                if col.slope == 0:
+                    if col.intercept != value:
+                        ok = False
+                        break
+                else:
+                    candidate = value - col.intercept
+                    if fixed_j is not None and fixed_j != candidate:
+                        ok = False
+                        break
+                    fixed_j = candidate
+            if not ok:
+                continue
+            if fixed_j is None or fixed_j >= family.start:
+                return True
+        return False
+
+    def _family_covered(
+        self,
+        family: TupleFamily,
+        lhs: tuple[str, ...],
+        target: "InfiniteRelation",
+        rhs: tuple[str, ...],
+    ) -> bool:
+        """Is every lhs-projection of ``family`` in ``target[rhs]``?"""
+        lhs_cols = self._family_columns(family, lhs)
+        coverages: list[_Coverage] = []
+        for tgt_family in target.families:
+            coverages.append(
+                _family_vs_family_coverage(lhs_cols, family.start, tgt_family,
+                                            target._family_columns(tgt_family, rhs))
+            )
+        for row in target.extras:
+            coverages.append(
+                _family_vs_value_coverage(lhs_cols, family.start,
+                                          target._extra_projection(row, rhs))
+            )
+        if any(c.kind == _Coverage.ALL for c in coverages):
+            return True
+        ray_low: Optional[int] = None
+        for c in coverages:
+            if c.kind == _Coverage.RAY:
+                low = c.value or 0
+                ray_low = low if ray_low is None else min(ray_low, low)
+        if ray_low is None:
+            # Only finitely many points cover an infinite family: fail
+            # (unless the family itself is degenerate, which it is not:
+            # start..inf is always infinite and slope-1 columns make the
+            # tuples distinct; with all-constant columns the family is a
+            # single repeated tuple).
+            if all(col.slope == 0 for col in family.columns):
+                return any(c.contains(family.start) for c in coverages)
+            return False
+        # Check the finite gap [family.start, ray_low).
+        for i in range(family.start, max(family.start, ray_low)):
+            if not any(c.contains(i) for c in coverages):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # RD satisfaction
+    # ------------------------------------------------------------------
+
+    def satisfies_rd(self, pairs: Iterable[tuple[str, str]]) -> bool:
+        """Exact check of the RD with the given attribute pairs."""
+        pair_list = list(pairs)
+        for row in self.extras:
+            for left, right in pair_list:
+                if (row[self.schema.position(left)] != row[self.schema.position(right)]):
+                    return False
+        for family in self.families:
+            for left, right in pair_list:
+                cl = family.columns[self.schema.position(left)]
+                cr = family.columns[self.schema.position(right)]
+                if cl.slope == cr.slope:
+                    if cl.intercept != cr.intercept:
+                        return False
+                else:
+                    # Equality holds for at most one index; the family
+                    # is infinite, so the RD fails.
+                    return False
+        return True
+
+    def __str__(self) -> str:
+        parts = [str(self.schema)]
+        for row in sorted(self.extras):
+            parts.append("  " + ", ".join(str(v) for v in row))
+        for family in self.families:
+            parts.append("  " + str(family))
+        return "\n".join(parts)
+
+
+def _family_vs_family_coverage(
+    lhs_cols: tuple[LinearColumn, ...],
+    start: int,
+    tgt_family: TupleFamily,
+    rhs_cols: tuple[LinearColumn, ...],
+) -> _Coverage:
+    """Indices ``i`` of the source family whose lhs-projection is
+    matched by *some* index ``j`` of the target family."""
+    constraint = _PairConstraint()
+    for cl, cr in zip(lhs_cols, rhs_cols):
+        constraint.add_equation(cl, cr)
+    if not constraint.feasible:
+        return _Coverage.nothing()
+    if constraint.i_value is not None:
+        i = constraint.i_value
+        if i < start:
+            return _Coverage.nothing()
+        if constraint.j_value is not None and constraint.j_value < tgt_family.start:
+            return _Coverage.nothing()
+        return _Coverage.point(i)
+    if constraint.offset is not None:
+        # j = i + d must satisfy j >= tgt_family.start.
+        low = max(start, tgt_family.start - constraint.offset)
+        return _Coverage.ray(low)
+    if constraint.j_value is not None:
+        if constraint.j_value < tgt_family.start:
+            return _Coverage.nothing()
+        return _Coverage.everything()
+    return _Coverage.everything()
+
+
+def _family_vs_value_coverage(
+    lhs_cols: tuple[LinearColumn, ...],
+    start: int,
+    values: tuple[int, ...],
+) -> _Coverage:
+    """Indices ``i`` whose lhs-projection equals the concrete ``values``."""
+    fixed_i: Optional[int] = None
+    for col, value in zip(lhs_cols, values):
+        if col.slope == 0:
+            if col.intercept != value:
+                return _Coverage.nothing()
+        else:
+            candidate = value - col.intercept
+            if fixed_i is not None and fixed_i != candidate:
+                return _Coverage.nothing()
+            fixed_i = candidate
+    if fixed_i is None:
+        return _Coverage.everything()
+    if fixed_i < start:
+        return _Coverage.nothing()
+    return _Coverage.point(fixed_i)
+
+
+class SymbolicDatabase:
+    """A database whose relations may be infinite.
+
+    Used to exhibit the paper's unrestricted-implication
+    counterexamples.  ``satisfies`` dispatches on the dependency class
+    and evaluates exactly within the supported symbolic fragment.
+    """
+
+    def __init__(self, schema: DatabaseSchema, relations: Mapping[str, InfiniteRelation]):
+        self.schema = schema
+        by_name: dict[str, InfiniteRelation] = {}
+        for rel_schema in schema:
+            given = relations.get(rel_schema.name)
+            if given is None:
+                given = InfiniteRelation(rel_schema)
+            elif given.schema != rel_schema:
+                raise SchemaError(
+                    f"symbolic relation for {rel_schema.name!r} does not match scheme"
+                )
+            by_name[rel_schema.name] = given
+        stray = set(relations) - set(by_name)
+        if stray:
+            raise SchemaError(f"relations not in database scheme: {sorted(stray)}")
+        self._relations = by_name
+
+    def relation(self, name: str) -> InfiniteRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation named {name!r} in symbolic database") from None
+
+    def __getitem__(self, name: str) -> InfiniteRelation:
+        return self.relation(name)
+
+    def __iter__(self) -> Iterator[InfiniteRelation]:
+        return iter(self._relations.values())
+
+    @property
+    def is_finite(self) -> bool:
+        return all(rel.is_finite for rel in self)
+
+    def satisfies(self, dependency: "Dependency") -> bool:
+        """Exact satisfaction within the symbolic fragment."""
+        from repro.deps.fd import FD
+        from repro.deps.ind import IND
+        from repro.deps.rd import RD
+
+        if isinstance(dependency, FD):
+            return self.relation(dependency.relation).satisfies_fd(
+                dependency.lhs, dependency.rhs
+            )
+        if isinstance(dependency, IND):
+            source = self.relation(dependency.lhs_relation)
+            target = self.relation(dependency.rhs_relation)
+            return source.projection_contained_in(
+                dependency.lhs_attributes, target, dependency.rhs_attributes
+            )
+        if isinstance(dependency, RD):
+            return self.relation(dependency.relation).satisfies_rd(dependency.pairs)
+        raise SymbolicLimitationError(
+            f"symbolic satisfaction not implemented for {type(dependency).__name__}"
+        )
+
+    def satisfies_all(self, dependencies: Iterable["Dependency"]) -> bool:
+        return all(self.satisfies(dep) for dep in dependencies)
+
+
+def figure_4_1_relation(schema: RelationSchema | None = None) -> InfiniteRelation:
+    """The paper's Figure 4.1: ``r = {(i+1, i) : i >= 0}`` over R[A,B].
+
+    Obeys ``{R: A -> B, R[A] c R[B]}`` but violates ``R[B] c R[A]``,
+    witnessing that unrestricted implication fails where finite
+    implication holds (Theorem 4.4(a)).
+    """
+    schema = schema or RelationSchema("R", ("A", "B"))
+    family = TupleFamily.of((1, 1), (1, 0), start=0)
+    return InfiniteRelation(schema, [family])
+
+
+def figure_4_2_relation(schema: RelationSchema | None = None) -> InfiniteRelation:
+    """The paper's Figure 4.2: ``r = {(1,1)} u {(i+1, i) : i >= 1}``.
+
+    Obeys ``{R: A -> B, R[A] c R[B]}`` but violates ``R: B -> A``
+    (Theorem 4.4(b)).
+    """
+    schema = schema or RelationSchema("R", ("A", "B"))
+    family = TupleFamily.of((1, 1), (1, 0), start=1)
+    return InfiniteRelation(schema, [family], extras=[(1, 1)])

@@ -1,0 +1,40 @@
+"""Permutations, Landau's function, and the superpolynomial example.
+
+Section 3 shows the naive Corollary 3.2 procedure needs
+superpolynomially many steps: encode a permutation ``gamma`` of
+``1..m`` as the IND ``sigma(gamma) = R[A1..Am] c R[Agamma(1)..Agamma(m)]``;
+then deciding ``sigma(gamma) |= sigma(gamma^(f(m)-1))`` takes
+``f(m) - 1`` applications of step (2), where ``f(m)`` is Landau's
+function (the maximal order of a permutation of ``1..m``), and
+``log f(m) ~ sqrt(m log m)`` (Landau 1909).
+
+The same section remarks that *short proofs* nevertheless exist under
+the complete axiomatization — realized here as O(log p) proofs of
+``sigma(gamma^p)`` by repeated squaring.
+"""
+
+from repro.perms.permutation import Permutation
+from repro.perms.landau import (
+    landau,
+    landau_partition,
+    landau_witness_permutation,
+    log_landau_ratio,
+)
+from repro.perms.ind_encoding import (
+    permutation_ind,
+    transposition_generators,
+    chain_decision,
+    short_proof_of_power,
+)
+
+__all__ = [
+    "Permutation",
+    "landau",
+    "landau_partition",
+    "landau_witness_permutation",
+    "log_landau_ratio",
+    "permutation_ind",
+    "transposition_generators",
+    "chain_decision",
+    "short_proof_of_power",
+]

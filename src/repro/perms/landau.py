@@ -1,0 +1,113 @@
+"""Landau's function g(m): the maximal order of a permutation of 1..m.
+
+``g(m)`` equals the maximum of ``lcm`` over all partitions of ``m``,
+which is attained by partitions into distinct prime powers (plus
+slack).  Landau (1909) proved ``log g(m) ~ sqrt(m log m)``; the paper
+uses this to show the naive IND decision procedure needs
+superpolynomially many steps.
+
+The computation is a knapsack-style dynamic program over primes: each
+prime ``p`` may contribute one part ``p^e``, multiplying the lcm by
+``p^e`` at a budget cost of ``p^e``.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.perms.permutation import Permutation
+
+
+def _primes_up_to(limit: int) -> list[int]:
+    """Sieve of Eratosthenes."""
+    if limit < 2:
+        return []
+    sieve = bytearray([1]) * (limit + 1)
+    sieve[0] = sieve[1] = 0
+    for p in range(2, int(limit**0.5) + 1):
+        if sieve[p]:
+            sieve[p * p:: p] = bytearray(len(sieve[p * p:: p]))
+    return [i for i, flag in enumerate(sieve) if flag]
+
+
+@lru_cache(maxsize=None)
+def _landau_table(m: int) -> tuple[tuple[int, ...], dict]:
+    """DP table: best[j] = max lcm achievable with budget j, plus
+    reconstruction choices."""
+    best = [1] * (m + 1)
+    choice: dict[tuple[int, int], int] = {}
+    for p in _primes_up_to(m):
+        updated = best[:]
+        power = p
+        while power <= m:
+            for budget in range(power, m + 1):
+                candidate = best[budget - power] * power
+                if candidate > updated[budget]:
+                    updated[budget] = candidate
+                    choice[(p, budget)] = power
+            power *= p
+        best = updated
+    return tuple(best), choice
+
+
+def landau(m: int) -> int:
+    """``g(m)``: maximal lcm of a partition of ``m``.
+
+    >>> [landau(m) for m in range(1, 11)]
+    [1, 2, 3, 4, 6, 6, 12, 15, 20, 30]
+    """
+    if m < 1:
+        return 1
+    best, _choice = _landau_table(m)
+    return max(best)
+
+
+def landau_partition(m: int) -> list[int]:
+    """A partition of at most ``m`` whose lcm is ``g(m)``.
+
+    Because ``g(m)`` is an lcm of parts not exceeding ``m``, its prime
+    factorization consists of prime powers ``p^e <= m``, and those
+    prime powers themselves form a partition with total at most ``m``
+    achieving lcm ``g(m)``.  So the parts are read straight off the
+    factorization of ``g(m)``.
+    """
+    value = landau(m)
+    parts: list[int] = []
+    for p in _primes_up_to(m):
+        if value % p:
+            continue
+        power = 1
+        while value % p == 0:
+            power *= p
+            value //= p
+        parts.append(power)
+    if value != 1:  # pragma: no cover - defensive
+        raise RuntimeError(f"unexpected prime factor above m in g({m})")
+    if sum(parts) > m:  # pragma: no cover - defensive
+        raise RuntimeError(f"Landau partition for {m} exceeds budget: {parts}")
+    return sorted(parts, reverse=True)
+
+
+def landau_witness_permutation(m: int) -> Permutation:
+    """A permutation of degree ``m`` whose order is ``g(m)``.
+
+    Built from disjoint cycles whose lengths form the Landau partition
+    (relatively prime cycles — Landau's own construction, which the
+    paper cites).
+    """
+    parts = landau_partition(m)
+    cycles = []
+    next_element = 0
+    for part in parts:
+        cycles.append(tuple(range(next_element, next_element + part)))
+        next_element += part
+    perm = Permutation.from_cycles(m, cycles)
+    return perm
+
+
+def log_landau_ratio(m: int) -> float:
+    """``log g(m) / sqrt(m log m)`` — tends to 1 as m grows (Landau)."""
+    if m < 2:
+        return 0.0
+    return math.log(landau(m)) / math.sqrt(m * math.log(m))

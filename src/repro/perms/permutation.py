@@ -1,0 +1,129 @@
+"""Permutation algebra (built from scratch; no external deps).
+
+Permutations act on ``{0, ..., m-1}`` and are stored as image tuples:
+``perm.image[i]`` is where ``i`` goes.  Composition follows function
+notation: ``(f @ g)(i) = f(g(i))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import lcm
+from typing import Iterable, Iterator
+
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class Permutation:
+    """An immutable permutation of ``{0, ..., m-1}``."""
+
+    image: tuple[int, ...]
+
+    def __init__(self, image: Iterable[int]):
+        image = tuple(image)
+        if sorted(image) != list(range(len(image))):
+            raise ReproError(f"not a permutation image: {image}")
+        object.__setattr__(self, "image", image)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def identity(cls, m: int) -> "Permutation":
+        return cls(range(m))
+
+    @classmethod
+    def transposition(cls, m: int, i: int, j: int) -> "Permutation":
+        """Swap ``i`` and ``j``, fix everything else."""
+        image = list(range(m))
+        image[i], image[j] = image[j], image[i]
+        return cls(image)
+
+    @classmethod
+    def from_cycles(cls, m: int, cycles: Iterable[Iterable[int]]) -> "Permutation":
+        """Build from disjoint cycles, e.g. ``[(0,1,2), (3,4)]``."""
+        image = list(range(m))
+        seen: set[int] = set()
+        for cycle in cycles:
+            cycle = list(cycle)
+            for element in cycle:
+                if element in seen:
+                    raise ReproError(f"element {element} in two cycles")
+                seen.add(element)
+            for index, element in enumerate(cycle):
+                image[element] = cycle[(index + 1) % len(cycle)]
+        return cls(image)
+
+    # -- structure --------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return len(self.image)
+
+    def __call__(self, i: int) -> int:
+        return self.image[i]
+
+    def __matmul__(self, other: "Permutation") -> "Permutation":
+        """Function composition: ``(self @ other)(i) = self(other(i))``."""
+        if self.degree != other.degree:
+            raise ReproError("cannot compose permutations of different degrees")
+        return Permutation(self.image[other.image[i]] for i in range(self.degree))
+
+    def inverse(self) -> "Permutation":
+        image = [0] * self.degree
+        for i, target in enumerate(self.image):
+            image[target] = i
+        return Permutation(image)
+
+    def __pow__(self, exponent: int) -> "Permutation":
+        """Fast exponentiation; negative exponents via the inverse."""
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = Permutation.identity(self.degree)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result @ base
+            base = base @ base
+            exponent >>= 1
+        return result
+
+    def cycles(self) -> list[tuple[int, ...]]:
+        """Disjoint cycle decomposition (including fixed points)."""
+        seen: set[int] = set()
+        result: list[tuple[int, ...]] = []
+        for start in range(self.degree):
+            if start in seen:
+                continue
+            cycle = [start]
+            seen.add(start)
+            current = self.image[start]
+            while current != start:
+                cycle.append(current)
+                seen.add(current)
+                current = self.image[current]
+            result.append(tuple(cycle))
+        return result
+
+    def cycle_type(self) -> tuple[int, ...]:
+        """Sorted cycle lengths (descending)."""
+        return tuple(sorted((len(c) for c in self.cycles()), reverse=True))
+
+    def order(self) -> int:
+        """The least ``k >= 1`` with ``perm^k = identity`` (lcm of
+        cycle lengths)."""
+        return lcm(*(len(c) for c in self.cycles()))
+
+    def is_identity(self) -> bool:
+        return all(self.image[i] == i for i in range(self.degree))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.image)
+
+    def __str__(self) -> str:
+        nontrivial = [c for c in self.cycles() if len(c) > 1]
+        if not nontrivial:
+            return "id"
+        return "".join(
+            "(" + " ".join(str(e) for e in cycle) + ")" for cycle in nontrivial
+        )

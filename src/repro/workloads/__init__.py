@@ -1,0 +1,32 @@
+"""Workload generators: random dependencies, random databases, and
+named example schemas for tests, examples, and benchmarks."""
+
+from repro.workloads.random_deps import (
+    random_fds,
+    random_implication_instance,
+    random_inds,
+    random_schema,
+)
+from repro.workloads.random_db import (
+    random_database,
+    random_database_satisfying,
+)
+from repro.workloads.schemas import (
+    employee_dependencies,
+    employee_schema,
+    library_dependencies,
+    library_schema,
+)
+
+__all__ = [
+    "random_fds",
+    "random_implication_instance",
+    "random_inds",
+    "random_schema",
+    "random_database",
+    "random_database_satisfying",
+    "employee_dependencies",
+    "employee_schema",
+    "library_dependencies",
+    "library_schema",
+]

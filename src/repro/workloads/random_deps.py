@@ -1,0 +1,141 @@
+"""Seeded random dependency workloads.
+
+Used by the cross-validation experiments (E1) and benchmarks: the
+syntactic prover, the Rule (*) chase, and finite model checks must
+agree on thousands of random instances.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.model.schema import DatabaseSchema, RelationSchema
+
+
+def random_schema(
+    rng: random.Random,
+    n_relations: int = 4,
+    min_arity: int = 2,
+    max_arity: int = 4,
+) -> DatabaseSchema:
+    """A random database scheme ``R0..R(n-1)`` with random arities."""
+    schemas = []
+    for index in range(n_relations):
+        arity = rng.randint(min_arity, max_arity)
+        attributes = tuple(f"A{j}" for j in range(arity))
+        schemas.append(RelationSchema(f"R{index}", attributes))
+    return DatabaseSchema(schemas)
+
+
+def random_inds(
+    rng: random.Random,
+    schema: DatabaseSchema,
+    count: int = 8,
+    max_arity: int = 3,
+) -> list[IND]:
+    """Random non-trivial INDs over ``schema``."""
+    relations = list(schema)
+    result: list[IND] = []
+    attempts = 0
+    while len(result) < count and attempts < count * 50:
+        attempts += 1
+        source = rng.choice(relations)
+        target = rng.choice(relations)
+        top = min(source.arity, target.arity, max_arity)
+        if top < 1:
+            continue
+        arity = rng.randint(1, top)
+        lhs = tuple(rng.sample(source.attributes, arity))
+        rhs = tuple(rng.sample(target.attributes, arity))
+        ind = IND(source.name, lhs, target.name, rhs)
+        if not ind.is_trivial():
+            result.append(ind)
+    return result
+
+
+def random_fds(
+    rng: random.Random,
+    schema: DatabaseSchema,
+    count: int = 6,
+    max_lhs: int = 2,
+) -> list[FD]:
+    """Random non-trivial FDs over ``schema``."""
+    relations = [rel for rel in schema if rel.arity >= 2]
+    result: list[FD] = []
+    attempts = 0
+    while len(result) < count and attempts < count * 50 and relations:
+        attempts += 1
+        rel = rng.choice(relations)
+        lhs_size = rng.randint(1, min(max_lhs, rel.arity - 1))
+        lhs = tuple(rng.sample(rel.attributes, lhs_size))
+        rhs_pool = [a for a in rel.attributes if a not in lhs]
+        rhs = (rng.choice(rhs_pool),)
+        result.append(FD(rel.name, lhs, rhs))
+    return result
+
+
+def random_implication_instance(
+    rng: random.Random,
+    n_relations: int = 4,
+    n_premises: int = 8,
+    max_arity: int = 3,
+    force_implied: Optional[bool] = None,
+) -> tuple[DatabaseSchema, list[IND], IND]:
+    """A random IND implication question ``(schema, premises, target)``.
+
+    With ``force_implied=True`` the target is built by composing and
+    projecting premises (so it is guaranteed implied); with ``False``
+    the target uses a fresh attribute pattern unlikely to be implied
+    (not guaranteed); with ``None`` a coin decides which construction
+    to attempt.
+    """
+    schema = random_schema(rng, n_relations=n_relations, max_arity=max_arity + 1)
+    premises = random_inds(rng, schema, count=n_premises, max_arity=max_arity)
+    if not premises:
+        premises = random_inds(rng, schema, count=n_premises, max_arity=max_arity)
+
+    want_implied = rng.random() < 0.5 if force_implied is None else force_implied
+    if want_implied and premises:
+        # Compose a short random walk of premises starting anywhere.
+        start = rng.choice(premises)
+        lhs_rel, lhs_attrs = start.lhs_relation, start.lhs_attributes
+        rel, attrs = start.rhs_relation, start.rhs_attributes
+        for _hop in range(rng.randint(0, 3)):
+            candidates = [
+                p
+                for p in premises
+                if p.lhs_relation == rel
+                and set(attrs) <= set(p.lhs_attributes)
+            ]
+            if not candidates:
+                break
+            step = rng.choice(candidates)
+            mapping = step.attribute_mapping()
+            attrs = tuple(mapping[a] for a in attrs)
+            rel = step.rhs_relation
+        # Optionally project down.
+        arity = len(lhs_attrs)
+        keep = sorted(rng.sample(range(arity), rng.randint(1, arity)))
+        target = IND(
+            lhs_rel,
+            tuple(lhs_attrs[i] for i in keep),
+            rel,
+            tuple(attrs[i] for i in keep),
+        )
+        return schema, premises, target
+
+    relations = list(schema)
+    source = rng.choice(relations)
+    target_rel = rng.choice(relations)
+    top = min(source.arity, target_rel.arity, max_arity)
+    arity = rng.randint(1, top)
+    target = IND(
+        source.name,
+        tuple(rng.sample(source.attributes, arity)),
+        target_rel.name,
+        tuple(rng.sample(target_rel.attributes, arity)),
+    )
+    return schema, premises, target

@@ -1,0 +1,61 @@
+"""Named example schemas.
+
+``employee_schema`` is the paper's own motivating example: "every
+MANAGER entry of the R relation appears as an EMPLOYEE entry of the S
+relation", and the typed IND ``MGR[NAME,DEPT] c EMP[NAME,DEPT]``
+("every manager is an employee of the department they manage").
+
+``library_schema`` is an entity-relationship-mapped design (the
+paper's Introduction cites ER mapping as a source of INDs): entities
+BOOK and MEMBER, relationship LOAN with referential INDs into both.
+"""
+
+from __future__ import annotations
+
+from repro.deps.base import Dependency
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.model.schema import DatabaseSchema, RelationSchema
+
+
+def employee_schema() -> DatabaseSchema:
+    """MGR[NAME,DEPT] and EMP[NAME,DEPT,SALARY]."""
+    return DatabaseSchema.of(
+        RelationSchema("MGR", ("NAME", "DEPT")),
+        RelationSchema("EMP", ("NAME", "DEPT", "SALARY")),
+    )
+
+
+def employee_dependencies() -> list[Dependency]:
+    """The paper's example dependencies over the employee scheme."""
+    return [
+        # Every manager is an employee of the department they manage.
+        IND("MGR", ("NAME", "DEPT"), "EMP", ("NAME", "DEPT")),
+        # An employee has one department and one salary.
+        FD("EMP", ("NAME",), ("DEPT",)),
+        FD("EMP", ("NAME",), ("SALARY",)),
+        # A department has one manager.
+        FD("MGR", ("DEPT",), ("NAME",)),
+    ]
+
+
+def library_schema() -> DatabaseSchema:
+    """BOOK, MEMBER, and the LOAN relationship between them."""
+    return DatabaseSchema.of(
+        RelationSchema("BOOK", ("ISBN", "TITLE", "AUTHOR")),
+        RelationSchema("MEMBER", ("MEMBER_ID", "NAME")),
+        RelationSchema("LOAN", ("ISBN", "MEMBER_ID", "DUE")),
+    )
+
+
+def library_dependencies() -> list[Dependency]:
+    """Referential INDs from the relationship into the entities, plus
+    entity keys — the classical ER-to-relational mapping."""
+    return [
+        IND("LOAN", ("ISBN",), "BOOK", ("ISBN",)),
+        IND("LOAN", ("MEMBER_ID",), "MEMBER", ("MEMBER_ID",)),
+        FD("BOOK", ("ISBN",), ("TITLE",)),
+        FD("BOOK", ("ISBN",), ("AUTHOR",)),
+        FD("MEMBER", ("MEMBER_ID",), ("NAME",)),
+        FD("LOAN", ("ISBN", "MEMBER_ID"), ("DUE",)),
+    ]

@@ -1,0 +1,129 @@
+"""The decidable FD + acyclic-IND fragment."""
+
+import random
+
+import pytest
+
+from repro.core.acyclic import (
+    chase_termination_bound,
+    decide_fdind_acyclic,
+    ind_flow_is_acyclic,
+)
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.parser import parse_dependencies, parse_dependency
+from repro.deps.rd import RD
+from repro.exceptions import UnsupportedDependencyError
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {"R": ("X", "Y", "Z"), "S": ("T", "U", "V"), "W": ("P", "Q")}
+    )
+
+
+class TestAcyclicityCheck:
+    def test_dag_accepted(self):
+        premises = parse_dependencies(["R[X] <= S[T]", "S[T] <= W[P]"])
+        assert ind_flow_is_acyclic(premises)
+
+    def test_cycle_rejected(self):
+        premises = parse_dependencies(["R[X] <= S[T]", "S[T] <= R[X]"])
+        assert not ind_flow_is_acyclic(premises)
+
+    def test_self_loop_rejected(self):
+        assert not ind_flow_is_acyclic([parse_dependency("R[X] <= R[Y]")])
+
+    def test_fds_ignored(self):
+        assert ind_flow_is_acyclic([FD("R", ("X",), ("Y",))])
+
+    def test_empty_set(self):
+        assert ind_flow_is_acyclic([])
+
+
+class TestBound:
+    def test_chain_bound_grows(self, schema):
+        short = parse_dependencies(["R[X] <= S[T]"])
+        long = parse_dependencies(["R[X] <= S[T]", "S[T] <= W[P]"])
+        assert chase_termination_bound(schema, long) > (
+            chase_termination_bound(schema, short) - 1
+        )
+
+    def test_bound_positive_without_inds(self, schema):
+        assert chase_termination_bound(schema, []) > 0
+
+
+class TestDecisions:
+    def test_proposition_4_1_decided(self):
+        schema = DatabaseSchema.from_dict({"R": ("X", "Y"), "S": ("T", "U")})
+        premises = [
+            IND("R", ("X", "Y"), "S", ("T", "U")),
+            FD("S", ("T",), ("U",)),
+        ]
+        cert = decide_fdind_acyclic(schema, premises, FD("R", ("X",), ("Y",)))
+        assert cert.implied
+
+    def test_negative_with_counterexample(self):
+        schema = DatabaseSchema.from_dict({"R": ("X", "Y"), "S": ("T", "U")})
+        premises = [IND("R", ("X", "Y"), "S", ("T", "U"))]
+        cert = decide_fdind_acyclic(schema, premises, FD("R", ("X",), ("Y",)))
+        assert not cert.implied
+        counter = cert.counterexample()
+        assert counter.satisfies_all(premises)
+
+    def test_rd_target(self):
+        schema = DatabaseSchema.from_dict({"R": ("X", "Y", "Z"), "S": ("T", "U")})
+        premises = [
+            IND("R", ("X", "Y"), "S", ("T", "U")),
+            IND("R", ("X", "Z"), "S", ("T", "U")),
+            FD("S", ("T",), ("U",)),
+        ]
+        cert = decide_fdind_acyclic(schema, premises, RD("R", ("Y",), ("Z",)))
+        assert cert.implied
+
+    def test_cyclic_input_refused(self):
+        schema = DatabaseSchema.from_dict({"R": ("X", "Y")})
+        premises = [IND("R", ("X",), "R", ("Y",))]
+        with pytest.raises(UnsupportedDependencyError, match="cyclic"):
+            decide_fdind_acyclic(schema, premises, FD("R", ("X",), ("Y",)))
+
+    def test_section7_family_is_acyclic_and_decided(self):
+        """Sigma(n) is acyclic, so Lemma 7.2 is decided — not just
+        semi-decided — by this fragment engine."""
+        from repro.core.section7 import section7_family
+
+        family = section7_family(2)
+        assert ind_flow_is_acyclic(family.dependencies)
+        cert = decide_fdind_acyclic(
+            family.schema, family.dependencies, family.sigma
+        )
+        assert cert.implied
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_general_chase_on_acyclic_random(self, seed):
+        from repro.core.fdind_chase import chase_implies
+        from repro.workloads.random_deps import (
+            random_fds,
+            random_inds,
+            random_schema,
+        )
+
+        rng = random.Random(seed)
+        schema = random_schema(rng, n_relations=3, max_arity=3)
+        # Keep only "forward" INDs (R_i -> R_j with i < j): acyclic by
+        # construction, so the fragment engine always applies.
+        premises = [
+            ind
+            for ind in random_inds(rng, schema, count=8, max_arity=2)
+            if ind.lhs_relation < ind.rhs_relation
+        ]
+        premises += random_fds(rng, schema, count=2)
+        assert ind_flow_is_acyclic(premises)
+        targets = random_fds(rng, schema, count=1)
+        if not targets:
+            pytest.skip("no FD target available for this schema draw")
+        fragment = decide_fdind_acyclic(schema, premises, targets[0])
+        general = chase_implies(schema, premises, targets[0])
+        assert fragment.implied == general.implied

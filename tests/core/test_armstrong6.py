@@ -1,0 +1,154 @@
+"""Section 6: the cycle family, Figure 6.1, and Theorem 6.1."""
+
+import pytest
+
+from repro.core.armstrong6 import (
+    cycle_family,
+    figure_6_1,
+    gamma_6,
+    make_finite_oracle,
+    theorem_6_1_report,
+    verify_claim_6_1,
+)
+from repro.core.kary import find_kary_violation
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+
+
+class TestFamilyConstruction:
+    def test_counts(self):
+        family = cycle_family(3)
+        assert len(family.fds) == 4
+        assert len(family.inds) == 4
+        assert family.sigma == IND("R0", ("B",), "R3", ("A",))
+
+    def test_cycle_wraps(self):
+        family = cycle_family(2)
+        assert family.inds[-1] == IND("R2", ("A",), "R0", ("B",))
+
+    def test_k_zero_is_theorem_4_4(self):
+        family = cycle_family(0)
+        assert family.inds == [IND("R0", ("A",), "R0", ("B",))]
+        assert family.sigma == IND("R0", ("B",), "R0", ("A",))
+
+
+class TestFigure61:
+    def test_matches_paper_for_k3(self):
+        """The k=3 database printed in the paper, tuple for tuple."""
+        db = figure_6_1(3)
+        assert db["R0"].tuples == {
+            ((0, 0), (0, 4)),
+            ((1, 0), (1, 4)),
+            ((2, 0), (1, 4)),
+        }
+        assert len(db["R1"]) == 5
+        assert len(db["R2"]) == 7
+        assert len(db["R3"]) == 9
+        # The duplicated B entry in each ri.
+        assert ((8, 3), (7, 2)) in db["R3"].tuples
+        assert ((7, 3), (7, 2)) in db["R3"].tuples
+
+    def test_satisfies_sigma_minus_delta(self):
+        k = 3
+        family = cycle_family(k)
+        db = figure_6_1(k)
+        delta = family.ind_at(k)
+        for dep in family.dependencies:
+            expected = dep != delta
+            assert db.satisfies(dep) == expected, str(dep)
+
+    def test_rotation_moves_the_hole(self):
+        k = 2
+        family = cycle_family(k)
+        for excluded in range(k + 1):
+            db = figure_6_1(k, excluded)
+            delta = family.ind_at(excluded)
+            assert not db.satisfies(delta)
+            others = [ind for ind in family.inds if ind != delta]
+            assert db.satisfies_all(others)
+            assert db.satisfies_all(family.fds)
+
+    def test_invalid_excluded_rejected(self):
+        with pytest.raises(ValueError):
+            figure_6_1(2, excluded=5)
+
+
+class TestClaim61:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_claim_holds(self, k):
+        report = verify_claim_6_1(k)
+        assert report.holds, str(report)
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_claim_holds_for_all_rotations(self, k):
+        for excluded in range(k + 1):
+            report = verify_claim_6_1(k, excluded)
+            assert report.holds, str(report)
+
+
+class TestTheorem61:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_report_establishes(self, k):
+        report = theorem_6_1_report(k)
+        assert report.establishes_theorem, str(report)
+
+    def test_sigma_finite_not_unrestricted(self):
+        report = theorem_6_1_report(2)
+        assert report.sigma_finitely_implied
+        assert report.sigma_not_unrestrictedly_implied
+
+
+class TestGammaClosure:
+    def test_gamma_contains_sigma_and_trivia(self):
+        family = cycle_family(1)
+        gamma = gamma_6(family)
+        assert set(family.dependencies) <= gamma
+        assert all(
+            dep in gamma
+            for dep in gamma
+            if dep.is_trivial()
+        )
+        assert family.sigma not in gamma
+
+    def test_gamma_closed_under_kary_by_search(self):
+        """Direct exhaustive check of Theorem 5.1's hypothesis for a
+        small k: no <=k-subset of Gamma implies anything outside it."""
+        k = 1
+        family = cycle_family(k)
+        gamma = gamma_6(family)
+        from repro.deps.enumeration import dependency_universe
+
+        universe = dependency_universe(family.schema, include_trivial=True)
+        oracle = make_finite_oracle(k)
+        violation = find_kary_violation(gamma, universe, k, oracle)
+        assert violation is None, str(violation)
+
+    def test_gamma_not_closed_under_full_implication(self):
+        k = 1
+        family = cycle_family(k)
+        gamma = gamma_6(family)
+        oracle = make_finite_oracle(k)
+        # The full Sigma (inside Gamma) implies sigma (outside Gamma).
+        assert oracle(family.dependencies, family.sigma)
+        assert family.sigma not in gamma
+
+
+class TestOracle:
+    def test_oracle_refutes_via_figures(self):
+        k = 2
+        family = cycle_family(k)
+        oracle = make_finite_oracle(k)
+        # A single IND premise does not imply sigma.
+        assert not oracle([family.inds[0]], family.sigma)
+
+    def test_oracle_answers_unary_questions(self):
+        k = 1
+        oracle = make_finite_oracle(k)
+        assert oracle(
+            [FD("R0", ("A",), ("B",)), FD("R0", ("B",), ("A",))],
+            FD("R0", ("A",), ("B",)),
+        )
+
+    def test_oracle_trivial_targets(self):
+        oracle = make_finite_oracle(1)
+        assert oracle([], FD("R0", ("A", "B"), ("A",)))

@@ -1,0 +1,123 @@
+"""Generic Armstrong-database generators (FD and IND versions)."""
+
+import random
+
+import pytest
+
+from repro.core.armstrong_fd import (
+    armstrong_relation,
+    closed_attribute_sets,
+    is_armstrong_relation,
+)
+from repro.core.armstrong_ind import armstrong_database, is_armstrong_database
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.model.schema import DatabaseSchema, RelationSchema
+from repro.workloads.random_deps import random_fds, random_inds, random_schema
+
+
+class TestClosedSets:
+    def test_lattice_members(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        fds = [FD("R", "A", "B")]
+        closed = closed_attribute_sets(schema, fds)
+        assert frozenset() in closed
+        assert frozenset({"A", "B"}) in closed
+        assert frozenset({"A"}) not in closed  # A+ = AB
+
+    def test_no_fds_all_subsets_closed(self):
+        schema = RelationSchema("R", ("A", "B"))
+        closed = closed_attribute_sets(schema, [])
+        assert len(closed) == 4
+
+
+class TestFdArmstrong:
+    def test_chain_example(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        fds = [FD("R", "A", "B"), FD("R", "B", "C")]
+        relation = armstrong_relation(schema, fds)
+        assert is_armstrong_relation(relation, fds)
+
+    def test_key_example(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        fds = [FD("R", "A", ("B", "C"))]
+        relation = armstrong_relation(schema, fds)
+        assert is_armstrong_relation(relation, fds)
+
+    def test_constant_columns(self):
+        schema = RelationSchema("R", ("A", "B"))
+        fds = [FD("R", None, "A")]
+        relation = armstrong_relation(schema, fds)
+        assert is_armstrong_relation(relation, fds)
+        assert len(relation.column("A")) == 1
+
+    def test_empty_fd_set(self):
+        schema = RelationSchema("R", ("A", "B"))
+        relation = armstrong_relation(schema, [])
+        assert is_armstrong_relation(relation, [])
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_fd_sets(self, seed):
+        rng = random.Random(seed)
+        schema = RelationSchema(
+            "R", tuple("ABCD"[: rng.randint(2, 4)])
+        )
+        db_schema = DatabaseSchema.of(schema)
+        fds = random_fds(rng, db_schema, count=rng.randint(0, 4))
+        relation = armstrong_relation(schema, fds)
+        assert is_armstrong_relation(relation, fds), (
+            f"seed {seed}: {list(map(str, fds))}"
+        )
+
+
+class TestIndArmstrong:
+    def test_cyclic_unary(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B")})
+        premises = [IND("R", ("A",), "R", ("B",))]
+        db = armstrong_database(schema, premises)
+        exact, mismatches = is_armstrong_database(db, premises)
+        assert exact, [str(m) for m in mismatches]
+
+    def test_transitive_chain(self):
+        schema = DatabaseSchema.from_dict(
+            {"R": ("A",), "S": ("B",), "T": ("C",)}
+        )
+        premises = [IND("R", ("A",), "S", ("B",)), IND("S", ("B",), "T", ("C",))]
+        db = armstrong_database(schema, premises)
+        exact, mismatches = is_armstrong_database(db, premises)
+        assert exact, [str(m) for m in mismatches]
+        # The composed IND holds, the reverses fail.
+        assert db.satisfies(IND("R", ("A",), "T", ("C",)))
+        assert not db.satisfies(IND("T", ("C",), "R", ("A",)))
+
+    def test_empty_premises(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+        db = armstrong_database(schema, [])
+        exact, mismatches = is_armstrong_database(db, [])
+        assert exact, [str(m) for m in mismatches]
+
+    def test_binary_permutation_cycle(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B", "C")})
+        premises = [IND("R", ("A", "B", "C"), "R", ("B", "C", "A"))]
+        db = armstrong_database(schema, premises)
+        exact, mismatches = is_armstrong_database(db, premises)
+        assert exact, [str(m) for m in mismatches]
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_ind_sets(self, seed):
+        rng = random.Random(seed)
+        schema = random_schema(rng, n_relations=3, max_arity=3)
+        premises = random_inds(rng, schema, count=5, max_arity=2)
+        db = armstrong_database(schema, premises)
+        exact, mismatches = is_armstrong_database(db, premises, max_arity=2)
+        assert exact, f"seed {seed}: {[str(m) for m in mismatches[:3]]}"
+
+    def test_section7_lambda_is_armstrong_compatible(self):
+        """The generic generator reproduces Lemma 7.6's content: a
+        database whose INDs are exactly lambda+."""
+        from repro.core.section7 import section7_family
+
+        family = section7_family(2)
+        db = armstrong_database(family.schema, family.inds)
+        exact, mismatches = is_armstrong_database(db, family.inds, max_arity=2)
+        assert exact, [str(m) for m in mismatches[:5]]

@@ -1,0 +1,47 @@
+"""Cycle-reversal explanations from the finite-implication engine."""
+
+from repro.core.armstrong6 import cycle_family
+from repro.core.finite_unary import explain_cycle_reversal
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+
+
+class TestTheorem44Explanations:
+    SIGMA = [FD("R", ("A",), ("B",)), IND("R", ("A",), "R", ("B",))]
+
+    def test_ind_reversal_explained(self):
+        witness = explain_cycle_reversal(
+            self.SIGMA, IND("R", ("B",), "R", ("A",))
+        )
+        assert witness is not None
+        assert ("R", "A") in witness.cycle
+        assert ("R", "B") in witness.cycle
+        assert "all equal" in str(witness)
+
+    def test_fd_reversal_explained(self):
+        witness = explain_cycle_reversal(self.SIGMA, FD("R", ("B",), ("A",)))
+        assert witness is not None
+        assert len(witness.cycle) == 2
+
+    def test_none_for_unrestricted_consequences(self):
+        # Already unrestrictedly implied: no cycle needed.
+        witness = explain_cycle_reversal(self.SIGMA, FD("R", ("A",), ("B",)))
+        assert witness is None
+
+    def test_none_for_non_consequences(self):
+        premises = [FD("R", ("A",), ("B",))]
+        assert explain_cycle_reversal(premises, FD("R", ("B",), ("A",))) is None
+
+
+class TestSection6Explanations:
+    def test_long_cycle_witnessed(self):
+        family = cycle_family(3)
+        witness = explain_cycle_reversal(family.dependencies, family.sigma)
+        assert witness is not None
+        # The cycle threads every relation's columns: 2(k+1) nodes.
+        assert len(witness.cycle) == 2 * (3 + 1)
+
+    def test_broken_cycle_unexplained(self):
+        family = cycle_family(2)
+        premises = [d for d in family.dependencies if d != family.ind_at(0)]
+        assert explain_cycle_reversal(premises, family.sigma) is None

@@ -1,0 +1,114 @@
+"""EMVD implication and the Sagiv-Walecka family (Theorem 5.3)."""
+
+import pytest
+
+from repro.core.emvd_chase import (
+    emvd_chase,
+    emvd_implies,
+    exhaustive_refutation,
+    relation_satisfies_emvd,
+    sagiv_walecka_family,
+    theorem_5_3_report,
+)
+from repro.deps.emvd import EMVD
+from repro.model.schema import RelationSchema
+
+
+class TestSatisfactionHelper:
+    def test_matches_dependency_class(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        emvd = EMVD("R", ("A",), ("B",), ("C",))
+        rows = frozenset({(0, 1, 1), (0, 2, 2)})
+        from repro.model.builders import database
+        from repro.model.schema import DatabaseSchema
+
+        db = database(DatabaseSchema.of(schema), {"R": rows})
+        assert relation_satisfies_emvd(schema, rows, emvd) == db.satisfies(emvd)
+
+    def test_witness_closes(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        emvd = EMVD("R", ("A",), ("B",), ("C",))
+        rows = frozenset({(0, 1, 1), (0, 2, 2), (0, 1, 2), (0, 2, 1)})
+        assert relation_satisfies_emvd(schema, rows, emvd)
+
+
+class TestChase:
+    def test_self_implication(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        emvd = EMVD("R", ("A",), ("B",), ("C",))
+        assert emvd_chase(schema, [emvd], emvd) is True
+
+    def test_fixpoint_refutation(self):
+        schema = RelationSchema("R", ("A", "B", "C", "D"))
+        premise = EMVD("R", ("A",), ("B",), ("C",))
+        target = EMVD("R", ("A",), ("D",), ("C",))
+        assert emvd_chase(schema, [premise], target) is False
+
+    def test_sw_derivation_k2(self):
+        family = sagiv_walecka_family(2)
+        assert emvd_chase(family.schema, family.sigma, family.target) is True
+
+    def test_sw_derivation_k3(self):
+        family = sagiv_walecka_family(3)
+        assert emvd_chase(family.schema, family.sigma, family.target) is True
+
+
+class TestRefutation:
+    def test_finds_simple_counterexample(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        premise = EMVD("R", ("A",), ("B",), ("C",))
+        # B ->> A | C does not follow.
+        target = EMVD("R", ("B",), ("A",), ("C",))
+        witness = exhaustive_refutation(schema, [premise], target)
+        assert witness is not None
+        assert all(
+            relation_satisfies_emvd(schema, witness, p) for p in [premise]
+        )
+        assert not relation_satisfies_emvd(schema, witness, target)
+
+    def test_none_for_trivial_consequence(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        premise = EMVD("R", ("A",), ("B",), ("C",))
+        assert exhaustive_refutation(schema, [premise], premise) is None
+
+
+class TestSagivWaleckaFamily:
+    def test_structure(self):
+        family = sagiv_walecka_family(3)
+        assert len(family.sigma) == 4  # k+1 members
+        assert family.target == EMVD("R", ("A1",), ("A4",), ("B",))
+        assert family.sigma[-1] == EMVD("R", ("A4",), ("A1",), ("B",))
+
+    def test_degenerate_k_rejected(self):
+        with pytest.raises(ValueError):
+            sagiv_walecka_family(1)
+
+    def test_condition_i(self):
+        family = sagiv_walecka_family(2)
+        decision = emvd_implies(family.schema, family.sigma, family.target)
+        assert decision.implied is True
+
+    def test_condition_ii(self):
+        family = sagiv_walecka_family(2)
+        for member in family.sigma:
+            decision = emvd_implies(family.schema, [member], family.target)
+            assert decision.implied is False, str(member)
+
+    def test_proper_subsets_insufficient(self):
+        """No proper subset of Sigma_k implies sigma_k — the cyclic
+        structure is irredundant."""
+        from itertools import combinations
+
+        family = sagiv_walecka_family(2)
+        for size in (1, 2):
+            for subset in combinations(family.sigma, size):
+                decision = emvd_implies(family.schema, list(subset), family.target)
+                assert decision.implied is False, str(subset)
+
+
+class TestTheorem53:
+    def test_report_k2(self):
+        report = theorem_5_3_report(2, max_universe=40)
+        assert report.condition_i
+        assert report.condition_ii
+        assert not report.condition_iii_failures, report.condition_iii_failures[:3]

@@ -1,0 +1,139 @@
+"""Armstrong's axioms with formal FD proof objects."""
+
+import random
+
+import pytest
+
+from repro.core.fd_axioms import (
+    FdByAugmentation,
+    FdByHypothesis,
+    FdByReflexivity,
+    FdByTransitivity,
+    FdProof,
+    FdProofStep,
+    check_fd_proof,
+    fd_augmentation,
+    fd_reflexivity,
+    fd_transitivity,
+    prove_fd,
+)
+from repro.core.fd_closure import fd_implies
+from repro.deps.fd import FD
+from repro.exceptions import DependencyError, ProofError
+
+
+class TestRules:
+    def test_reflexivity(self):
+        fd = fd_reflexivity("R", ("A", "B"), ("A",))
+        assert fd.is_trivial()
+
+    def test_reflexivity_rejects_nontrivial(self):
+        with pytest.raises(DependencyError):
+            fd_reflexivity("R", ("A",), ("B",))
+
+    def test_augmentation(self):
+        fd = fd_augmentation(FD("R", "A", "B"), {"C"})
+        assert fd == FD("R", ("A", "C"), ("B", "C"))
+
+    def test_augmentation_by_empty_is_identity(self):
+        fd = FD("R", "A", "B")
+        assert fd_augmentation(fd, ()) == fd
+
+    def test_transitivity(self):
+        fd = fd_transitivity(FD("R", "A", "B"), FD("R", "B", "C"))
+        assert fd == FD("R", "A", "C")
+
+    def test_transitivity_middle_mismatch(self):
+        with pytest.raises(DependencyError):
+            fd_transitivity(FD("R", "A", "B"), FD("R", "C", "D"))
+
+    def test_transitivity_cross_relation_rejected(self):
+        with pytest.raises(DependencyError):
+            fd_transitivity(FD("R", "A", "B"), FD("S", "B", "C"))
+
+
+class TestChecker:
+    def test_valid_proof(self):
+        premises = [FD("R", "A", "B")]
+        steps = [
+            FdProofStep(FD("R", "A", "B"), FdByHypothesis()),
+            FdProofStep(
+                FD("R", ("A", "C"), ("B", "C")),
+                FdByAugmentation(0, frozenset({"C"})),
+            ),
+        ]
+        proof = FdProof(premises, steps)
+        assert check_fd_proof(proof)
+
+    def test_fake_hypothesis(self):
+        proof = FdProof([], [FdProofStep(FD("R", "A", "B"), FdByHypothesis())])
+        with pytest.raises(ProofError):
+            check_fd_proof(proof)
+
+    def test_fake_reflexivity(self):
+        proof = FdProof([], [FdProofStep(FD("R", "A", "B"), FdByReflexivity())])
+        with pytest.raises(ProofError):
+            check_fd_proof(proof)
+
+    def test_wrong_augmentation(self):
+        premises = [FD("R", "A", "B")]
+        steps = [
+            FdProofStep(FD("R", "A", "B"), FdByHypothesis()),
+            FdProofStep(FD("R", "A", "C"), FdByAugmentation(0, frozenset())),
+        ]
+        with pytest.raises(ProofError):
+            check_fd_proof(FdProof(premises, steps))
+
+    def test_forward_reference(self):
+        steps = [
+            FdProofStep(FD("R", "A", "C"), FdByTransitivity(0, 1)),
+        ]
+        with pytest.raises(ProofError):
+            check_fd_proof(FdProof([], steps))
+
+
+class TestProver:
+    def test_transitive_chain(self):
+        premises = [FD("R", "A", "B"), FD("R", "B", "C")]
+        proof = prove_fd(FD("R", "A", "C"), premises)
+        assert proof is not None
+        assert check_fd_proof(proof, FD("R", "A", "C"))
+
+    def test_compound_lhs(self):
+        premises = [FD("R", ("A", "B"), "C"), FD("R", "C", "D")]
+        proof = prove_fd(FD("R", ("A", "B"), "D"), premises)
+        assert check_fd_proof(proof, FD("R", ("A", "B"), "D"))
+
+    def test_trivial_target(self):
+        proof = prove_fd(FD("R", ("A", "B"), "A"), [])
+        assert proof is not None
+        assert check_fd_proof(proof)
+
+    def test_empty_lhs(self):
+        premises = [FD("R", None, "A"), FD("R", "A", "B")]
+        proof = prove_fd(FD("R", None, "B"), premises)
+        assert check_fd_proof(proof, FD("R", None, "B"))
+
+    def test_not_implied_returns_none(self):
+        assert prove_fd(FD("R", "B", "A"), [FD("R", "A", "B")]) is None
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_roundtrip(self, seed):
+        """Every implied FD on random premise sets gets a proof that
+        the independent checker accepts."""
+        rng = random.Random(seed)
+        attrs = ("A", "B", "C", "D")
+        premises = []
+        for _ in range(rng.randint(1, 5)):
+            lhs_size = rng.randint(1, 2)
+            lhs = tuple(rng.sample(attrs, lhs_size))
+            rhs = (rng.choice([a for a in attrs if a not in lhs]),)
+            premises.append(FD("R", lhs, rhs))
+        target_lhs = tuple(rng.sample(attrs, rng.randint(1, 2)))
+        target = FD("R", target_lhs, (rng.choice(attrs),))
+        proof = prove_fd(target, premises)
+        if fd_implies(premises, target):
+            assert proof is not None
+            assert check_fd_proof(proof, target)
+        else:
+            assert proof is None

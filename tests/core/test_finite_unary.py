@@ -1,0 +1,180 @@
+"""Finite implication for unary FDs + INDs (the [KCV] engine)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.finite_unary import (
+    finite_unrestricted_gap,
+    finitely_implies_unary,
+    unary_closure,
+    unrestricted_implies_unary,
+)
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.exceptions import UnsupportedDependencyError
+from repro.model.builders import database
+from repro.model.schema import DatabaseSchema
+
+
+def theorem_4_4_sigma():
+    return [FD("R", ("A",), ("B",)), IND("R", ("A",), "R", ("B",))]
+
+
+class TestTheorem44:
+    def test_part_a_ind_finitely_implied(self):
+        assert finitely_implies_unary(
+            theorem_4_4_sigma(), IND("R", ("B",), "R", ("A",))
+        )
+
+    def test_part_b_fd_finitely_implied(self):
+        assert finitely_implies_unary(
+            theorem_4_4_sigma(), FD("R", ("B",), ("A",))
+        )
+
+    def test_part_a_not_unrestricted(self):
+        assert not unrestricted_implies_unary(
+            theorem_4_4_sigma(), IND("R", ("B",), "R", ("A",))
+        )
+
+    def test_part_b_not_unrestricted(self):
+        assert not unrestricted_implies_unary(
+            theorem_4_4_sigma(), FD("R", ("B",), ("A",))
+        )
+
+    def test_gap_lists_both(self):
+        candidates = [IND("R", ("B",), "R", ("A",)), FD("R", ("B",), ("A",))]
+        gap = finite_unrestricted_gap(theorem_4_4_sigma(), candidates)
+        assert set(gap) == set(candidates)
+
+
+class TestBasicRules:
+    def test_fd_transitivity(self):
+        premises = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        assert unrestricted_implies_unary(premises, FD("R", ("A",), ("C",)))
+
+    def test_ind_transitivity(self):
+        premises = [IND("R", ("A",), "S", ("B",)), IND("S", ("B",), "T", ("C",))]
+        assert unrestricted_implies_unary(premises, IND("R", ("A",), "T", ("C",)))
+
+    def test_reflexivity(self):
+        assert finitely_implies_unary([], FD("R", ("A",), ("A",)))
+        assert finitely_implies_unary([], IND("R", ("A",), "R", ("A",)))
+
+    def test_no_unsound_mixing_unrestricted(self):
+        # Without a cycle nothing crosses the FD/IND divide.
+        premises = [FD("R", ("A",), ("B",)), IND("R", ("B",), "S", ("C",))]
+        assert not unrestricted_implies_unary(premises, IND("S", ("C",), "R", ("B",)))
+        assert not unrestricted_implies_unary(premises, FD("R", ("B",), ("A",)))
+        assert not finitely_implies_unary(premises, FD("R", ("B",), ("A",)))
+
+    def test_non_unary_rejected(self):
+        with pytest.raises(UnsupportedDependencyError):
+            finitely_implies_unary([FD("R", ("A", "B"), ("C",))], FD("R", ("A",), ("B",)))
+        with pytest.raises(UnsupportedDependencyError):
+            finitely_implies_unary([], IND("R", ("A", "B"), "S", ("C", "D")))
+
+
+class TestCycleRule:
+    def test_two_relation_cycle(self):
+        # R: A->B, R[A] c S[B'], S: B'->A', S[A'] c R[B] ... build the
+        # Section 6 cycle for k = 1.
+        premises = [
+            FD("R0", ("A",), ("B",)),
+            FD("R1", ("A",), ("B",)),
+            IND("R0", ("A",), "R1", ("B",)),
+            IND("R1", ("A",), "R0", ("B",)),
+        ]
+        # All four reversals become finitely implied.
+        assert finitely_implies_unary(premises, IND("R1", ("B",), "R0", ("A",)))
+        assert finitely_implies_unary(premises, IND("R0", ("B",), "R1", ("A",)))
+        assert finitely_implies_unary(premises, FD("R0", ("B",), ("A",)))
+        assert finitely_implies_unary(premises, FD("R1", ("B",), ("A",)))
+
+    def test_broken_cycle_no_reversal(self):
+        premises = [
+            FD("R0", ("A",), ("B",)),
+            FD("R1", ("A",), ("B",)),
+            IND("R0", ("A",), "R1", ("B",)),
+            # missing the return edge
+        ]
+        assert not finitely_implies_unary(premises, IND("R1", ("B",), "R0", ("A",)))
+        assert not finitely_implies_unary(premises, FD("R0", ("B",), ("A",)))
+
+    def test_reversals_feed_transitivity(self):
+        # After reversal the new facts must compose with old ones.
+        sigma = theorem_4_4_sigma() + [IND("R", ("B",), "S", ("C",))]
+        # R[A] c R[B] reversed gives R[B] c R[A]; then R[A] c R[B] c S[C].
+        assert finitely_implies_unary(sigma, IND("R", ("A",), "S", ("C",)))
+
+
+class TestSoundnessAgainstModels:
+    """Everything the finite engine derives must hold in every finite
+    model of the premises (exhaustive over tiny models)."""
+
+    def small_models(self, schema, max_tuples=2, domain=(0, 1)):
+        rel_names = [rel.name for rel in schema]
+        all_rows = {
+            rel.name: list(
+                itertools.product(domain, repeat=rel.arity)
+            )
+            for rel in schema
+        }
+        row_sets = {
+            name: [
+                combo
+                for size in range(0, max_tuples + 1)
+                for combo in itertools.combinations(all_rows[name], size)
+            ]
+            for name in rel_names
+        }
+        for assignment in itertools.product(*(row_sets[n] for n in rel_names)):
+            yield database(schema, dict(zip(rel_names, assignment)))
+
+    def test_exhaustive_soundness_small(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B")})
+        premises = theorem_4_4_sigma()
+        closure = unary_closure(premises, finite=True)
+        derived = closure.derived_dependencies()
+        for db in self.small_models(schema):
+            if db.satisfies_all(premises):
+                for dep in derived:
+                    assert db.satisfies(dep), f"{dep} fails in {db.describe()}"
+
+    def test_randomized_soundness(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("A", "B")})
+        for seed in range(20):
+            local = random.Random(seed)
+            premises = []
+            for _ in range(4):
+                kind = local.random()
+                rel = local.choice(["R", "S"])
+                cols = local.sample(["A", "B"], 2)
+                if kind < 0.5:
+                    premises.append(FD(rel, (cols[0],), (cols[1],)))
+                else:
+                    rel2 = local.choice(["R", "S"])
+                    col2 = local.choice(["A", "B"])
+                    premises.append(IND(rel, (cols[0],), rel2, (col2,)))
+            premises = [p for p in premises if not p.is_trivial()]
+            derived = unary_closure(premises, finite=True).derived_dependencies()
+            for db in self.small_models(schema, max_tuples=2):
+                if db.satisfies_all(premises):
+                    for dep in derived:
+                        assert db.satisfies(dep), (
+                            f"seed {seed}: {dep} fails; premises {premises}"
+                        )
+
+
+class TestMonotonicity:
+    def test_unrestricted_subset_of_finite(self):
+        for premises in (
+            theorem_4_4_sigma(),
+            [FD("R", ("A",), ("B",))],
+            [IND("R", ("A",), "S", ("B",)), IND("S", ("B",), "R", ("A",))],
+        ):
+            unrestricted = unary_closure(premises, finite=False)
+            finite = unary_closure(premises, finite=True)
+            assert unrestricted.fds <= finite.fds
+            assert unrestricted.inds <= finite.inds

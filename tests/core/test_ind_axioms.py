@@ -1,0 +1,141 @@
+"""The axiom system IND1-IND3 and the proof checker."""
+
+import pytest
+
+from repro.core.ind_axioms import (
+    ByHypothesis,
+    ByProjection,
+    ByReflexivity,
+    ByTransitivity,
+    Proof,
+    ProofStep,
+    apply_projection,
+    apply_transitivity,
+    check_proof,
+    reflexivity,
+    sequences_equal,
+)
+from repro.deps.ind import IND
+from repro.exceptions import DependencyError, ProofError
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {"R": ("A", "B", "C"), "S": ("D", "E", "F"), "T": ("G", "H")}
+    )
+
+
+class TestRules:
+    def test_reflexivity(self):
+        ind = reflexivity("R", ("A", "B"))
+        assert ind == IND("R", ("A", "B"), "R", ("A", "B"))
+        assert ind.is_trivial()
+
+    def test_projection(self):
+        ind = IND("R", ("A", "B", "C"), "S", ("D", "E", "F"))
+        assert apply_projection(ind, (2, 0)) == IND("R", ("C", "A"), "S", ("F", "D"))
+
+    def test_transitivity(self):
+        first = IND("R", ("A",), "S", ("D",))
+        second = IND("S", ("D",), "T", ("G",))
+        assert apply_transitivity(first, second) == IND("R", ("A",), "T", ("G",))
+
+    def test_transitivity_requires_exact_middle(self):
+        first = IND("R", ("A", "B"), "S", ("D", "E"))
+        second = IND("S", ("E", "D"), "T", ("G", "H"))
+        with pytest.raises(DependencyError):
+            apply_transitivity(first, second)
+
+    def test_sequences_equal_vs_canonical_equality(self):
+        first = IND("R", ("A", "B"), "S", ("D", "E"))
+        second = IND("R", ("B", "A"), "S", ("E", "D"))
+        assert first == second            # canonical equality
+        assert not sequences_equal(first, second)  # strict identity
+
+
+class TestProofChecker:
+    def test_valid_proof(self, schema):
+        premise = IND("R", ("A", "B"), "S", ("D", "E"))
+        second = IND("S", ("D",), "T", ("G",))
+        steps = [
+            ProofStep(premise, ByHypothesis()),
+            ProofStep(IND("R", ("A",), "S", ("D",)), ByProjection(0, (0,))),
+            ProofStep(second, ByHypothesis()),
+            ProofStep(IND("R", ("A",), "T", ("G",)), ByTransitivity(1, 2)),
+        ]
+        proof = Proof([premise, second], steps)
+        assert check_proof(proof, schema, IND("R", ("A",), "T", ("G",)))
+
+    def test_fake_hypothesis_rejected(self, schema):
+        bogus = IND("R", ("A",), "S", ("D",))
+        proof = Proof([], [ProofStep(bogus, ByHypothesis())])
+        with pytest.raises(ProofError, match="not a premise"):
+            check_proof(proof, schema)
+
+    def test_fake_reflexivity_rejected(self, schema):
+        bogus = IND("R", ("A",), "R", ("B",))
+        proof = Proof([], [ProofStep(bogus, ByReflexivity())])
+        with pytest.raises(ProofError, match="IND1"):
+            check_proof(proof, schema)
+
+    def test_wrong_projection_rejected(self, schema):
+        premise = IND("R", ("A", "B"), "S", ("D", "E"))
+        wrong = IND("R", ("B",), "S", ("D",))  # indices say (0,) => A,D
+        proof = Proof(
+            [premise],
+            [
+                ProofStep(premise, ByHypothesis()),
+                ProofStep(wrong, ByProjection(0, (0,))),
+            ],
+        )
+        with pytest.raises(ProofError, match="IND2"):
+            check_proof(proof, schema)
+
+    def test_forward_reference_rejected(self, schema):
+        premise = IND("R", ("A",), "S", ("D",))
+        proof = Proof(
+            [premise],
+            [
+                ProofStep(premise, ByProjection(0, (0,))),  # cites itself
+            ],
+        )
+        with pytest.raises(ProofError):
+            check_proof(proof, schema)
+
+    def test_wrong_transitivity_rejected(self, schema):
+        first = IND("R", ("A",), "S", ("D",))
+        second = IND("S", ("E",), "T", ("G",))  # middle mismatch
+        proof = Proof(
+            [first, second],
+            [
+                ProofStep(first, ByHypothesis()),
+                ProofStep(second, ByHypothesis()),
+                ProofStep(IND("R", ("A",), "T", ("G",)), ByTransitivity(0, 1)),
+            ],
+        )
+        with pytest.raises(ProofError):
+            check_proof(proof, schema)
+
+    def test_conclusion_mismatch_rejected(self, schema):
+        premise = IND("R", ("A",), "S", ("D",))
+        proof = Proof([premise], [ProofStep(premise, ByHypothesis())])
+        with pytest.raises(ProofError, match="conclusion"):
+            check_proof(proof, schema, IND("R", ("B",), "S", ("D",)))
+
+    def test_malformed_ind_caught_with_schema(self):
+        schema = DatabaseSchema.from_dict({"R": ("A",)})
+        bogus = IND("R", ("Z",), "R", ("Z",))
+        proof = Proof([], [ProofStep(bogus, ByReflexivity())])
+        with pytest.raises(ProofError, match="malformed"):
+            check_proof(proof, schema)
+
+    def test_empty_proof_rejected(self):
+        with pytest.raises(ProofError):
+            Proof([], [])
+
+    def test_proof_str_shows_rules(self, schema):
+        premise = IND("R", ("A",), "S", ("D",))
+        proof = Proof([premise], [ProofStep(premise, ByHypothesis())])
+        assert "hypothesis" in str(proof)

@@ -1,0 +1,97 @@
+"""Bidirectional IND decision: equivalence with the forward BFS."""
+
+import random
+
+import pytest
+
+from repro.core.ind_bidirectional import decide_ind_bidirectional, predecessors
+from repro.core.ind_decision import chain_is_valid, decide_ind, successors
+from repro.deps.ind import IND
+from repro.deps.parser import parse_dependencies, parse_dependency
+from repro.workloads.random_deps import random_implication_instance
+
+
+class TestPredecessors:
+    def test_inverse_of_successors(self):
+        premise = IND("R", ("A", "B"), "S", ("C", "D"))
+        forward = list(successors(("R", ("B", "A")), [premise]))
+        assert len(forward) == 1
+        image, _link = forward[0]
+        backward = list(predecessors(image, [premise]))
+        assert (("R", ("B", "A")), backward[0][1]) == (
+            ("R", ("B", "A")),
+            backward[0][1],
+        )
+        assert backward[0][0] == ("R", ("B", "A"))
+
+    def test_inapplicable(self):
+        premise = IND("R", ("A",), "S", ("C",))
+        assert list(predecessors(("S", ("Z",)), [premise])) == []
+        assert list(predecessors(("T", ("C",)), [premise])) == []
+
+
+class TestEquivalence:
+    def test_simple_chain(self):
+        premises = parse_dependencies(
+            ["R[A] <= S[B]", "S[B] <= T[C]", "T[C] <= U[D]"]
+        )
+        target = parse_dependency("R[A] <= U[D]")
+        result = decide_ind_bidirectional(target, premises)
+        assert result.implied
+        assert chain_is_valid(target, result.chain, result.links)
+        assert result.chain_length == 4
+
+    def test_trivial(self):
+        result = decide_ind_bidirectional(parse_dependency("R[A] <= R[A]"), [])
+        assert result.implied and result.links == []
+
+    def test_negative(self):
+        premises = [parse_dependency("R[A] <= S[B]")]
+        assert not decide_ind_bidirectional(
+            parse_dependency("S[B] <= R[A]"), premises
+        ).implied
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_agrees_with_forward_bfs(self, seed):
+        rng = random.Random(seed)
+        schema, premises, target = random_implication_instance(rng)
+        forward = decide_ind(target, premises)
+        bidirectional = decide_ind_bidirectional(target, premises)
+        assert forward.implied == bidirectional.implied, f"seed {seed}"
+        if bidirectional.implied:
+            assert chain_is_valid(
+                target, bidirectional.chain, bidirectional.links
+            )
+
+    def test_explores_fewer_nodes_on_long_chains(self):
+        length = 128
+        premises = [
+            IND(f"R{i}", ("A",) if i == 0 else ("B",), f"R{i+1}", ("B",))
+            for i in range(length)
+        ]
+        target = IND("R0", ("A",), f"R{length}", ("B",))
+        forward = decide_ind(target, premises)
+        bidirectional = decide_ind_bidirectional(target, premises)
+        assert bidirectional.implied
+        # Both reach the answer; on a pure chain the node counts are
+        # comparable, but the bidirectional version must never explore
+        # more than the forward one plus the backward frontier.
+        assert bidirectional.explored <= forward.explored + length
+
+    def test_meet_in_middle_wins_on_branching(self):
+        """On a branching instance the forward BFS floods the fanout
+        while the bidirectional search walks the backbone."""
+        fan = 30
+        premises = []
+        # Backbone: R0 -> R1 -> ... -> R6.
+        for i in range(6):
+            premises.append(IND(f"R{i}", ("A",), f"R{i+1}", ("A",)))
+        # Fanout noise from every backbone node.
+        for i in range(6):
+            for j in range(fan):
+                premises.append(IND(f"R{i}", ("A",), f"N{i}_{j}", ("A",)))
+        target = IND("R0", ("A",), "R6", ("A",))
+        forward = decide_ind(target, premises)
+        bidirectional = decide_ind_bidirectional(target, premises)
+        assert forward.implied and bidirectional.implied
+        assert bidirectional.explored < forward.explored

@@ -1,0 +1,112 @@
+"""The Rule (*) construction (Theorem 3.1's proof)."""
+
+import pytest
+
+from repro.core.ind_chase import (
+    chain_from_provenance,
+    decide_by_rule_star,
+    rule_star_database,
+    witness_tuple,
+)
+from repro.core.ind_decision import chain_is_valid, decide_ind
+from repro.deps.parser import parse_dependencies, parse_dependency
+from repro.exceptions import SearchBudgetExceeded
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {"R": ("A", "B"), "S": ("C", "D"), "T": ("E", "F")}
+    )
+
+
+class TestConstruction:
+    def test_initial_tuple_numbering(self, schema):
+        target = parse_dependency("R[B,A] <= S[C,D]")
+        result = rule_star_database(target, [], schema)
+        rel, row = result.initial
+        assert rel == "R"
+        # p[B] = 1, p[A] = 2 (1-based positions in the target's order).
+        assert row == (2, 1)
+
+    def test_saturation_respects_premises(self, schema):
+        target = parse_dependency("R[A] <= T[E]")
+        premises = parse_dependencies(["R[A] <= S[C]", "S[C] <= T[E]"])
+        result = rule_star_database(target, premises, schema)
+        assert result.database.satisfies_all(premises)
+
+    def test_zero_padding(self, schema):
+        target = parse_dependency("R[A] <= S[C]")
+        premises = [parse_dependency("R[A] <= S[C]")]
+        result = rule_star_database(target, premises, schema)
+        s_rows = result.database["S"].tuples
+        assert (1, 0) in s_rows  # C carries 1, D padded with 0
+
+    def test_entries_bounded_by_arity(self, schema):
+        target = parse_dependency("R[A,B] <= S[C,D]")
+        premises = parse_dependencies(["R[A,B] <= S[C,D]", "S[C,D] <= T[E,F]"])
+        result = rule_star_database(target, premises, schema)
+        values = result.database.active_domain()
+        assert values <= {0, 1, 2}
+
+    def test_budget(self, schema):
+        target = parse_dependency("R[A] <= S[C]")
+        premises = parse_dependencies(
+            ["R[A] <= S[C]", "S[C] <= R[B]", "R[B] <= S[D]", "S[D] <= R[A]"]
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            rule_star_database(target, premises, schema, max_tuples=1)
+
+
+class TestDecision:
+    def test_implied_positive(self, schema):
+        target = parse_dependency("R[A] <= T[E]")
+        premises = parse_dependencies(["R[A] <= S[C]", "S[C] <= T[E]"])
+        assert decide_by_rule_star(target, premises, schema)
+
+    def test_not_implied_negative(self, schema):
+        target = parse_dependency("S[C] <= R[A]")
+        premises = [parse_dependency("R[A] <= S[C]")]
+        assert not decide_by_rule_star(target, premises, schema)
+
+    def test_witness_tuple_layout(self, schema):
+        target = parse_dependency("R[A,B] <= S[D,C]")
+        row = witness_tuple(target, schema)
+        # S = (C, D); target rhs = (D, C): D gets 1, C gets 2.
+        assert row == (2, 1)
+
+    def test_trivial_target(self, schema):
+        assert decide_by_rule_star(parse_dependency("R[A] <= R[A]"), [], schema)
+
+
+class TestProvenanceExtraction:
+    def test_chain_matches_corollary(self, schema):
+        target = parse_dependency("R[A] <= T[E]")
+        premises = parse_dependencies(["R[A] <= S[C]", "S[C] <= T[E]"])
+        result = rule_star_database(target, premises, schema)
+        chain = chain_from_provenance(target, result, schema)
+        assert chain is not None
+        assert chain[0] == ("R", ("A",))
+        assert chain[-1] == ("T", ("E",))
+
+    def test_none_when_not_implied(self, schema):
+        target = parse_dependency("S[C] <= R[A]")
+        premises = [parse_dependency("R[A] <= S[C]")]
+        result = rule_star_database(target, premises, schema)
+        assert chain_from_provenance(target, result, schema) is None
+
+    def test_extracted_chain_length_vs_bfs(self, schema):
+        # Provenance chains may differ from BFS chains but share
+        # endpoints; both must be valid in the Corollary 3.2 sense
+        # modulo the links (here we check endpoints only for the
+        # provenance chain).
+        target = parse_dependency("R[A,B] <= T[E,F]")
+        premises = parse_dependencies(
+            ["R[A,B] <= S[C,D]", "S[C,D] <= T[E,F]"]
+        )
+        result = rule_star_database(target, premises, schema)
+        chain = chain_from_provenance(target, result, schema)
+        bfs = decide_ind(target, premises)
+        assert chain[0] == bfs.chain[0]
+        assert chain[-1] == bfs.chain[-1]

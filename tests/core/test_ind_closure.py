@@ -1,0 +1,109 @@
+"""IND closure, covers, and redundancy analysis."""
+
+import random
+
+import pytest
+
+from repro.core.ind_closure import (
+    equivalent_ind_sets,
+    implied_inds,
+    minimal_ind_cover,
+    redundant_inds,
+)
+from repro.core.ind_decision import decide_ind
+from repro.deps.ind import IND
+from repro.deps.parser import parse_dependencies, parse_dependency
+from repro.model.schema import DatabaseSchema
+from repro.workloads.random_deps import random_inds, random_schema
+
+
+@pytest.fixture
+def chain_schema():
+    return DatabaseSchema.from_dict(
+        {"R": ("A", "B"), "S": ("C", "D"), "T": ("E", "F")}
+    )
+
+
+@pytest.fixture
+def chain_premises():
+    return parse_dependencies(
+        ["R[A] <= S[C]", "S[C] <= T[E]", "R[A] <= T[E]"]
+    )
+
+
+class TestImpliedInds:
+    def test_includes_transitive_consequences(self, chain_schema):
+        premises = parse_dependencies(["R[A] <= S[C]", "S[C] <= T[E]"])
+        closure = implied_inds(premises, chain_schema, max_arity=1)
+        assert parse_dependency("R[A] <= T[E]") in closure
+
+    def test_excludes_non_consequences(self, chain_schema, chain_premises):
+        closure = implied_inds(chain_premises, chain_schema, max_arity=1)
+        assert parse_dependency("T[E] <= R[A]") not in closure
+
+    def test_trivial_flag(self, chain_schema):
+        with_trivial = implied_inds([], chain_schema, max_arity=1,
+                                    include_trivial=True)
+        without = implied_inds([], chain_schema, max_arity=1)
+        assert without == set()
+        assert all(ind.is_trivial() for ind in with_trivial)
+
+    def test_projection_consequences(self, chain_schema):
+        premises = [parse_dependency("R[A,B] <= S[C,D]")]
+        closure = implied_inds(premises, chain_schema, max_arity=2)
+        assert parse_dependency("R[A] <= S[C]") in closure
+        assert parse_dependency("R[B] <= S[D]") in closure
+        assert parse_dependency("R[B,A] <= S[D,C]") in closure
+
+
+class TestRedundancy:
+    def test_detects_transitive_redundancy(self, chain_premises):
+        redundant = redundant_inds(chain_premises)
+        assert redundant == [parse_dependency("R[A] <= T[E]")]
+
+    def test_no_false_positives(self):
+        premises = parse_dependencies(["R[A] <= S[C]", "S[C] <= T[E]"])
+        assert redundant_inds(premises) == []
+
+    def test_mutually_redundant_pair(self):
+        # Duplicates: each is implied by the other.
+        premises = [
+            parse_dependency("R[A] <= S[C]"),
+            parse_dependency("R[A] <= S[C]"),
+        ]
+        assert len(redundant_inds(premises)) == 2
+
+
+class TestMinimalCover:
+    def test_drops_redundant(self, chain_premises):
+        cover = minimal_ind_cover(chain_premises)
+        assert parse_dependency("R[A] <= T[E]") not in cover
+        assert len(cover) == 2
+
+    def test_cover_equivalent_to_input(self, chain_premises):
+        cover = minimal_ind_cover(chain_premises)
+        assert equivalent_ind_sets(cover, chain_premises)
+
+    def test_cover_irredundant(self, chain_premises):
+        cover = minimal_ind_cover(chain_premises)
+        for index, ind in enumerate(cover):
+            rest = cover[:index] + cover[index + 1:]
+            assert not decide_ind(ind, rest).implied
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_cover_properties(self, seed):
+        rng = random.Random(seed)
+        schema = random_schema(rng, n_relations=3, max_arity=3)
+        premises = random_inds(rng, schema, count=6, max_arity=2)
+        cover = minimal_ind_cover(premises)
+        assert equivalent_ind_sets(cover, premises)
+        assert redundant_inds(cover) == []
+
+
+class TestEquivalence:
+    def test_projection_split_equivalence(self):
+        wide = [parse_dependency("R[A,B] <= S[C,D]")]
+        narrow = parse_dependencies(["R[A] <= S[C]", "R[B] <= S[D]"])
+        # Projections follow from the binary IND, but not conversely.
+        assert all(decide_ind(n, wide).implied for n in narrow)
+        assert not equivalent_ind_sets(wide, narrow)

@@ -1,0 +1,138 @@
+"""Constructive completeness and the polynomial special cases."""
+
+import pytest
+
+from repro.core.ind_axioms import check_proof
+from repro.core.ind_prover import (
+    decide_bounded_arity,
+    decide_typed,
+    implies_ind,
+    prove_ind,
+)
+from repro.deps.parser import parse_dependencies, parse_dependency
+from repro.exceptions import UnsupportedDependencyError
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {
+            "R": ("A", "B", "C"),
+            "S": ("A", "B", "C"),
+            "T": ("A", "B", "C"),
+        }
+    )
+
+
+class TestProver:
+    def test_proof_for_chain(self, schema):
+        premises = parse_dependencies(["R[A,B] <= S[A,B]", "S[A] <= T[A]"])
+        target = parse_dependency("R[A] <= T[A]")
+        proof = prove_ind(target, premises)
+        assert proof is not None
+        assert check_proof(proof, schema, target)
+
+    def test_proof_for_trivial(self, schema):
+        target = parse_dependency("R[A,C] <= R[A,C]")
+        proof = prove_ind(target, [])
+        assert proof is not None
+        assert check_proof(proof, schema, target)
+
+    def test_none_when_not_implied(self):
+        premises = [parse_dependency("R[A] <= S[A]")]
+        assert prove_ind(parse_dependency("S[A] <= R[A]"), premises) is None
+
+    def test_proof_reuses_premise_without_projection(self, schema):
+        # When a chain link uses a premise verbatim, no IND2 line is
+        # needed.
+        premises = parse_dependencies(["R[A] <= S[A]", "S[A] <= T[A]"])
+        target = parse_dependency("R[A] <= T[A]")
+        proof = prove_ind(target, premises)
+        rules = [step.justification.rule for step in proof]
+        assert rules == ["hypothesis", "hypothesis", "IND3"]
+
+    def test_proof_with_permutations(self, schema):
+        premises = [parse_dependency("R[A,B,C] <= S[B,C,A]")]
+        target = parse_dependency("R[C,A] <= S[A,B]")
+        proof = prove_ind(target, premises)
+        assert proof is not None
+        assert check_proof(proof, schema, target)
+
+    def test_implies_ind_boolean(self):
+        premises = parse_dependencies(["R[A] <= S[A]"])
+        assert implies_ind(premises, parse_dependency("R[A] <= S[A]"))
+        assert not implies_ind(premises, parse_dependency("R[B] <= S[B]"))
+
+    def test_every_proof_replays(self, schema, rng):
+        """Round-trip: every produced proof passes the checker."""
+        from repro.workloads.random_deps import random_implication_instance
+
+        for _ in range(30):
+            r_schema, premises, target = random_implication_instance(rng)
+            proof = prove_ind(target, premises)
+            if proof is not None:
+                assert check_proof(proof, r_schema, target)
+
+
+class TestTypedFragment:
+    def test_typed_decision(self):
+        premises = parse_dependencies(
+            ["R[A,B] <= S[A,B]", "S[A] <= T[A]"]
+        )
+        assert decide_typed(parse_dependency("R[A] <= T[A]"), premises)
+        assert not decide_typed(parse_dependency("T[A] <= R[A]"), premises)
+
+    def test_typed_projection_inside_hop(self):
+        # R[A,B] c S[A,B] lets the narrower R[B] c S[B] pass through.
+        premises = [parse_dependency("R[A,B] <= S[A,B]")]
+        assert decide_typed(parse_dependency("R[B] <= S[B]"), premises)
+
+    def test_typed_rejects_untyped_input(self):
+        with pytest.raises(UnsupportedDependencyError):
+            decide_typed(parse_dependency("R[A] <= S[B]"), [])
+        with pytest.raises(UnsupportedDependencyError):
+            decide_typed(
+                parse_dependency("R[A] <= S[A]"),
+                [parse_dependency("R[A] <= S[B]")],
+            )
+
+    def test_typed_agrees_with_general(self, rng):
+        """The typed fast path must agree with the general BFS."""
+        from repro.deps.ind import IND
+        from repro.core.ind_decision import decide_ind
+        import random
+
+        attrs = ("A", "B", "C")
+        relations = ("R", "S", "T", "U")
+        for trial in range(40):
+            local = random.Random(trial)
+            premises = []
+            for _ in range(5):
+                size = local.randint(1, 3)
+                cols = tuple(local.sample(attrs, size))
+                src, dst = local.sample(relations, 2)
+                premises.append(IND(src, cols, dst, cols))
+            size = local.randint(1, 3)
+            cols = tuple(local.sample(attrs, size))
+            src, dst = local.sample(relations, 2)
+            target = IND(src, cols, dst, cols)
+            assert decide_typed(target, premises) == (
+                decide_ind(target, premises).implied
+            )
+
+
+class TestBoundedArity:
+    def test_bounded_decision(self):
+        premises = parse_dependencies(["R[A] <= S[B]", "S[B] <= T[C]"])
+        result = decide_bounded_arity(
+            parse_dependency("R[A] <= T[C]"), premises, bound=1
+        )
+        assert result.implied
+
+    def test_bound_violation_rejected(self):
+        premises = [parse_dependency("R[A,B] <= S[B,C]")]
+        with pytest.raises(UnsupportedDependencyError):
+            decide_bounded_arity(
+                parse_dependency("R[A] <= S[B]"), premises, bound=1
+            )

@@ -1,0 +1,165 @@
+"""Propositions 4.1-4.3 as inference rules: shape checks and soundness."""
+
+import random
+
+import pytest
+
+from repro.core.interaction import derive_rd, merge_inds, pullback_fd
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.rd import RD
+from repro.exceptions import DependencyError
+from repro.model.schema import DatabaseSchema
+from repro.workloads.random_db import random_database
+
+
+class TestPullback41:
+    def test_paper_shape(self):
+        # {R[XY] c S[TU], S: T -> U} |= R: X -> Y
+        ind = IND("R", ("X", "Y"), "S", ("T", "U"))
+        fd = FD("S", ("T",), ("U",))
+        assert pullback_fd(ind, fd) == FD("R", ("X",), ("Y",))
+
+    def test_wider_ind(self):
+        ind = IND("R", ("X1", "X2", "Y"), "S", ("T1", "T2", "U"))
+        fd = FD("S", ("T1", "T2"), ("U",))
+        assert pullback_fd(ind, fd) == FD("R", ("X1", "X2"), ("Y",))
+
+    def test_partial_u_coverage(self):
+        # Only the image attributes inside U are determined.
+        ind = IND("R", ("X", "Y", "W"), "S", ("T", "U", "V"))
+        fd = FD("S", ("T",), ("U",))
+        assert pullback_fd(ind, fd) == FD("R", ("X",), ("Y",))
+
+    def test_fd_lhs_not_covered_rejected(self):
+        ind = IND("R", ("X",), "S", ("U",))
+        fd = FD("S", ("T",), ("U",))
+        with pytest.raises(DependencyError):
+            pullback_fd(ind, fd)
+
+    def test_wrong_relation_rejected(self):
+        ind = IND("R", ("X", "Y"), "S", ("T", "U"))
+        fd = FD("Q", ("T",), ("U",))
+        with pytest.raises(DependencyError):
+            pullback_fd(ind, fd)
+
+    def test_soundness_on_random_databases(self):
+        from repro.workloads.random_db import random_database_satisfying
+
+        schema = DatabaseSchema.from_dict(
+            {"R": ("X", "Y"), "S": ("T", "U")}
+        )
+        ind = IND("R", ("X", "Y"), "S", ("T", "U"))
+        fd = FD("S", ("T",), ("U",))
+        derived = pullback_fd(ind, fd)
+        checked = 0
+        for seed in range(25):
+            db = random_database_satisfying(
+                random.Random(seed), schema, [ind, fd]
+            )
+            if db.total_tuples() and db.satisfies_all([ind, fd]):
+                checked += 1
+                assert db.satisfies(derived), f"seed {seed}"
+        assert checked > 0  # the premise filter must actually fire
+
+
+class TestMerge42:
+    def test_paper_shape(self):
+        first = IND("R", ("X", "Y"), "S", ("T", "U"))
+        second = IND("R", ("X", "Z"), "S", ("T", "V"))
+        fd = FD("S", ("T",), ("U",))
+        merged = merge_inds(first, second, fd)
+        assert merged == IND("R", ("X", "Y", "Z"), "S", ("T", "U", "V"))
+
+    def test_mismatched_x_rejected(self):
+        first = IND("R", ("X", "Y"), "S", ("T", "U"))
+        second = IND("R", ("W", "Z"), "S", ("T", "V"))
+        fd = FD("S", ("T",), ("U",))
+        with pytest.raises(DependencyError):
+            merge_inds(first, second, fd)
+
+    def test_fd_must_determine_u(self):
+        first = IND("R", ("X", "Y"), "S", ("T", "U"))
+        second = IND("R", ("X", "Z"), "S", ("T", "V"))
+        wrong_fd = FD("S", ("T",), ("V",))  # determines V, not U
+        with pytest.raises(DependencyError):
+            merge_inds(first, second, wrong_fd)
+
+    def test_overlapping_parts_rejected(self):
+        first = IND("R", ("X", "Y"), "S", ("T", "U"))
+        second = IND("R", ("X", "Y"), "S", ("T", "U"))
+        fd = FD("S", ("T",), ("U",))
+        with pytest.raises(DependencyError):
+            merge_inds(first, second, fd)
+
+    def test_soundness_on_random_databases(self):
+        from repro.workloads.random_db import random_database_satisfying
+
+        schema = DatabaseSchema.from_dict(
+            {"R": ("X", "Y", "Z"), "S": ("T", "U", "V")}
+        )
+        first = IND("R", ("X", "Y"), "S", ("T", "U"))
+        second = IND("R", ("X", "Z"), "S", ("T", "V"))
+        fd = FD("S", ("T",), ("U",))
+        merged = merge_inds(first, second, fd)
+        premises = [first, second, fd]
+        checked = 0
+        for seed in range(25):
+            db = random_database_satisfying(
+                random.Random(seed), schema, premises
+            )
+            if db.total_tuples() and db.satisfies_all(premises):
+                checked += 1
+                assert db.satisfies(merged), f"seed {seed}"
+        assert checked > 0
+
+
+class TestDeriveRd43:
+    def test_paper_shape(self):
+        first = IND("R", ("X", "Y"), "S", ("T", "U"))
+        second = IND("R", ("X", "Z"), "S", ("T", "U"))
+        fd = FD("S", ("T",), ("U",))
+        assert derive_rd(first, second, fd) == RD("R", ("Y",), ("Z",))
+
+    def test_different_images_rejected(self):
+        first = IND("R", ("X", "Y"), "S", ("T", "U"))
+        second = IND("R", ("X", "Z"), "S", ("T", "V"))
+        fd = FD("S", ("T",), ("U",))
+        with pytest.raises(DependencyError):
+            derive_rd(first, second, fd)
+
+    def test_soundness_on_random_databases(self):
+        schema = DatabaseSchema.from_dict(
+            {"R": ("X", "Y", "Z"), "S": ("T", "U")}
+        )
+        first = IND("R", ("X", "Y"), "S", ("T", "U"))
+        second = IND("R", ("X", "Z"), "S", ("T", "U"))
+        fd = FD("S", ("T",), ("U",))
+        derived = derive_rd(first, second, fd)
+        checked = 0
+        for seed in range(400):
+            db = random_database(random.Random(seed), schema,
+                                 tuples_per_relation=2, domain_size=2)
+            if db.satisfies_all([first, second, fd]):
+                checked += 1
+                assert db.satisfies(derived), f"seed {seed}"
+        assert checked > 0
+
+    def test_rd_is_genuinely_new(self):
+        """A nontrivial RD is not equivalent to any FD/IND combination
+        over its scheme — spot-checked: the RD distinguishes databases
+        that all FDs/INDs over the scheme cannot separate in the same
+        pattern (the paper's remark after Proposition 4.3)."""
+        from repro.deps.enumeration import dependency_universe
+        from repro.model.builders import database
+
+        schema = DatabaseSchema.from_dict({"R": ("Y", "Z")})
+        rd = RD("R", ("Y",), ("Z",))
+        good = database(schema, {"R": [(1, 1), (2, 2)]})
+        bad = database(schema, {"R": [(1, 2), (2, 1)]})
+        assert good.satisfies(rd) and not bad.satisfies(rd)
+        # Every FD and IND over the scheme fails to make the same cut:
+        for dep in dependency_universe(schema, with_rds=False,
+                                       include_trivial=True):
+            if good.satisfies(dep) and not bad.satisfies(dep):
+                pytest.fail(f"{dep} separates like the RD")

@@ -1,0 +1,144 @@
+"""Section 5: the k-ary axiomatizability characterization."""
+
+import pytest
+
+from repro.core.kary import (
+    certify_no_kary_axiomatization,
+    corollary_5_2_conditions,
+    find_kary_violation,
+    implication_closure,
+    is_closed_under_implication,
+    is_closed_under_kary_implication,
+)
+from repro.deps.fd import FD
+from repro.core.fd_closure import fd_implies
+
+
+def fd_oracle(premises, target):
+    """FDs have a complete (2-ary) axiomatization; use closure as the
+    oracle for the generic machinery tests."""
+    return fd_implies(list(premises), target)
+
+
+def fd_universe():
+    from repro.deps.enumeration import all_fds
+    from repro.model.schema import RelationSchema
+
+    return list(
+        all_fds(RelationSchema("R", ("A", "B", "C")), include_trivial=True,
+                allow_empty_lhs=False)
+    )
+
+
+class TestClosureMachinery:
+    def test_implication_closure(self):
+        gamma = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        closure = implication_closure(gamma, fd_universe(), fd_oracle)
+        assert FD("R", ("A",), ("C",)) in closure
+
+    def test_closed_detection(self):
+        universe = fd_universe()
+        gamma = implication_closure(
+            [FD("R", ("A",), ("B",))], universe, fd_oracle
+        )
+        assert is_closed_under_implication(gamma, universe, fd_oracle)
+
+    def test_open_detection(self):
+        gamma = {FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))}
+        assert not is_closed_under_implication(gamma, fd_universe(), fd_oracle)
+
+    def test_kary_violation_found(self):
+        # Close {A->B} and {B->C} under single-premise implication;
+        # the *pair* still implies the missing A->C, which only a
+        # 2-ary check can see.
+        universe = fd_universe()
+        sigma = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        gamma = set()
+        for fd in sigma:
+            gamma |= implication_closure([fd], universe, fd_oracle)
+        violation = find_kary_violation(gamma, universe, 2, fd_oracle)
+        assert violation is not None
+        assert violation.consequence == FD("R", ("A",), ("C",))
+        # The witnessing pair varies with set order (e.g. {A->B, AB->C}
+        # also works); it must be a valid <=2-subset of gamma implying
+        # the missing FD.
+        assert len(violation.premises) <= 2
+        assert set(violation.premises) <= gamma
+        assert fd_oracle(list(violation.premises), violation.consequence)
+
+    def test_kary_violation_respects_k(self):
+        # With k = 1, the pair above cannot fire (no single FD implies
+        # A -> C), but trivial consequences of single members can:
+        # close the set under single-premise consequences first.
+        universe = fd_universe()
+        gamma = set()
+        for fd in (FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))):
+            gamma |= implication_closure([fd], universe, fd_oracle)
+        assert is_closed_under_kary_implication(gamma, universe, 1, fd_oracle)
+        assert not is_closed_under_kary_implication(gamma, universe, 2, fd_oracle)
+
+    def test_zero_ary_means_tautologies(self):
+        universe = fd_universe()
+        gamma = {fd for fd in universe if fd.is_trivial()}
+        assert is_closed_under_kary_implication(gamma, universe, 0, fd_oracle)
+        assert not is_closed_under_kary_implication(set(), universe, 0, fd_oracle)
+
+
+class TestCertification:
+    def test_certificate_for_fd_gap_at_k1(self):
+        """FDs admit no 1-ary complete axiomatization over R[A,B,C]
+        (transitivity is essentially binary) — certified via
+        Theorem 5.1's criterion."""
+        universe = fd_universe()
+        sigma = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        gamma = set()
+        for fd in sigma:
+            gamma |= implication_closure([fd], universe, fd_oracle)
+        witness = certify_no_kary_axiomatization(
+            gamma, universe, 1, fd_oracle,
+            implying_subset=sigma,
+            missing=FD("R", ("A",), ("C",)),
+        )
+        assert witness.k == 1
+
+    def test_certificate_rejects_bad_gamma(self):
+        universe = fd_universe()
+        gamma = {FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))}
+        with pytest.raises(AssertionError, match="NOT closed"):
+            certify_no_kary_axiomatization(
+                gamma, universe, 2, fd_oracle,
+                implying_subset=list(gamma),
+                missing=FD("R", ("A",), ("C",)),
+            )
+
+    def test_certificate_rejects_member_target(self):
+        universe = fd_universe()
+        sigma = [FD("R", ("A",), ("B",))]
+        gamma = implication_closure(sigma, universe, fd_oracle)
+        with pytest.raises(AssertionError, match="already in gamma"):
+            certify_no_kary_axiomatization(
+                gamma, universe, 1, fd_oracle,
+                implying_subset=sigma, missing=FD("R", ("A",), ("B",)),
+            )
+
+
+class TestCorollary52:
+    def test_fd_family_fails_condition_iii(self):
+        """The warning at the end of Section 5: the FD chain
+        ``A1 -> A2, ..., A(k+1) -> A(k+2)`` has an irredundant
+        (k+1)-ary rule, yet FDs have a 2-ary axiomatization — so
+        condition (iii) of Corollary 5.2 must FAIL for it."""
+        from repro.deps.enumeration import all_fds
+        from repro.model.schema import RelationSchema
+
+        attrs = ("A1", "A2", "A3", "A4")
+        schema = RelationSchema("R", attrs)
+        universe = list(all_fds(schema, include_trivial=True,
+                                allow_empty_lhs=False))
+        sigma = [FD("R", (attrs[i],), (attrs[i + 1],)) for i in range(3)]
+        target = FD("R", ("A1",), ("A4",))
+        report = corollary_5_2_conditions(sigma, target, universe, 2, fd_oracle)
+        assert report.condition_i      # the chain implies the target
+        assert report.condition_ii     # no single link does
+        assert not report.condition_iii  # but pairs compose: (iii) fails
+        assert not report.all_hold

@@ -1,0 +1,78 @@
+"""Savitch-style reachability and the nondeterministic guesser."""
+
+from repro.core.ind_decision import decide_ind
+from repro.core.pspace import (
+    expression_space_size,
+    nondeterministic_guess,
+    savitch_reachable,
+)
+from repro.deps.parser import parse_dependencies, parse_dependency
+from repro.model.schema import DatabaseSchema
+
+
+def small_schema():
+    return DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+
+
+class TestExpressionSpace:
+    def test_size_formula(self):
+        schema = small_schema()
+        target = parse_dependency("R[A] <= S[C]")
+        # Unary expressions: 2 per relation = 4.
+        assert expression_space_size(target, schema) == 4
+
+    def test_binary_size(self):
+        schema = small_schema()
+        target = parse_dependency("R[A,B] <= S[C,D]")
+        # P(2,2) = 2 per relation = 4.
+        assert expression_space_size(target, schema) == 4
+
+
+class TestSavitch:
+    def test_agrees_with_bfs_positive(self):
+        schema = small_schema()
+        premises = parse_dependencies(["R[A] <= S[C]", "S[C] <= R[B]"])
+        target = parse_dependency("R[A] <= R[B]")
+        assert savitch_reachable(target, premises, schema) == (
+            decide_ind(target, premises).implied
+        )
+
+    def test_agrees_with_bfs_negative(self):
+        schema = small_schema()
+        premises = [parse_dependency("R[A] <= S[C]")]
+        target = parse_dependency("S[C] <= R[A]")
+        assert savitch_reachable(target, premises, schema) == (
+            decide_ind(target, premises).implied
+        )
+
+    def test_trivial(self):
+        schema = small_schema()
+        target = parse_dependency("R[A] <= R[A]")
+        assert savitch_reachable(target, [], schema)
+
+    def test_exhaustive_agreement_on_unary(self):
+        """All unary questions over the small schema: Savitch == BFS."""
+        from repro.deps.enumeration import all_unary_inds
+
+        schema = small_schema()
+        premises = parse_dependencies(["R[A] <= S[D]", "S[D] <= S[C]"])
+        for target in all_unary_inds(schema, include_trivial=True):
+            assert savitch_reachable(target, premises, schema) == (
+                decide_ind(target, premises).implied
+            ), str(target)
+
+
+class TestGuesser:
+    def test_finds_easy_witness(self):
+        premises = parse_dependencies(["R[A] <= S[C]", "S[C] <= R[B]"])
+        target = parse_dependency("R[A] <= R[B]")
+        assert nondeterministic_guess(target, premises, seed=1)
+
+    def test_sound_on_non_implication(self):
+        # The guesser may miss witnesses but must never invent one.
+        premises = [parse_dependency("R[A] <= S[C]")]
+        target = parse_dependency("R[B] <= S[D]")
+        assert not nondeterministic_guess(target, premises, seed=1)
+
+    def test_trivial(self):
+        assert nondeterministic_guess(parse_dependency("R[A] <= R[A]"), [])

@@ -1,0 +1,181 @@
+"""Section 7: the F/G/H family, Figures 7.1-7.5, Theorem 7.1."""
+
+import pytest
+
+from repro.core.fdind_chase import chase_implies
+from repro.core.section7 import (
+    figure_7_1,
+    figure_7_2,
+    figure_7_3,
+    figure_7_4,
+    figure_7_5,
+    gamma_7,
+    phi_all,
+    phi_sets,
+    section7_family,
+    section7_schema,
+    theorem_7_1_report,
+    verify_figure_7_1,
+    verify_figure_7_2,
+    verify_figure_7_3,
+    verify_figure_7_4,
+    verify_figure_7_5,
+    verify_lemma_7_2,
+    verify_lemma_7_8,
+)
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+
+
+class TestFamilyConstruction:
+    def test_schema_shape(self):
+        schema = section7_schema(3)
+        assert schema.relation("F").attributes == ("A", "B", "C")
+        assert schema.relation("G0").attributes == ("A", "B", "C")
+        assert schema.relation("G1").attributes == ("B", "C")
+        assert schema.relation("H2").attributes == ("B", "C")
+        assert schema.relation("H3").attributes == ("B", "C", "D")
+
+    def test_dependency_counts(self):
+        n = 3
+        family = section7_family(n)
+        assert len(family.alpha) == n + 1
+        assert len(family.beta) == n + 1
+        assert len(family.gamma) == n + 1
+        assert len(family.gamma_prime) == n
+        assert len(family.epsilon) == n + 1
+        # INDs: alpha + beta + gamma + gamma' = 3(n+1) + n
+        assert len(family.inds) == 3 * (n + 1) + n
+
+    def test_beta_n_is_the_binary_bridge(self):
+        family = section7_family(2)
+        assert family.beta[-1] == IND("F", ("B", "C"), "H2", ("B", "D"))
+
+    def test_paper_size_claims(self):
+        """No scheme has more than three attributes, each FD is unary,
+        each IND is at most binary."""
+        family = section7_family(4)
+        assert all(rel.arity <= 3 for rel in family.schema)
+        assert all(fd.is_unary() for fd in family.fds)
+        assert all(ind.arity <= 2 for ind in family.inds)
+
+    def test_phi_sets_structure(self):
+        family = section7_family(2)
+        phi = phi_sets(family)
+        assert FD("F", ("A",), ("C",)) in phi["F"]
+        assert FD("H2", ("C",), ("D",)) in phi["H2"]
+        assert phi["G1"] == [FD("G1", ("B",), ("C",))]
+
+
+class TestLemma72:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_sigma_implied(self, n):
+        report = verify_lemma_7_2(n)
+        assert report.implied, str(report)
+
+    def test_dropping_beta_j_breaks_it(self):
+        n = 2
+        family = section7_family(n)
+        for j in range(n):
+            kept = [d for d in family.dependencies if d is not family.beta[j]]
+            cert = chase_implies(family.schema, kept, family.sigma)
+            assert not cert.implied, f"still implied without beta_{j}"
+
+    def test_dropping_gamma_n_breaks_it(self):
+        """gamma_n = Hn[BC] c Gn[BC] is the final hop of the equality
+        chain; without it the derivation must fail (this pins down the
+        garbled range in the OCR: gamma runs to i = n)."""
+        n = 2
+        family = section7_family(n)
+        kept = [d for d in family.dependencies if d != family.gamma[n]]
+        cert = chase_implies(family.schema, kept, family.sigma)
+        assert not cert.implied
+
+    def test_dropping_theta_breaks_it(self):
+        n = 2
+        family = section7_family(n)
+        kept = [d for d in family.dependencies if d != family.theta_n]
+        cert = chase_implies(family.schema, kept, family.sigma)
+        assert not cert.implied
+
+
+class TestFigures:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_figure_7_1(self, n):
+        report = verify_figure_7_1(n)
+        assert report.holds, str(report)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_figure_7_2(self, n):
+        report = verify_figure_7_2(n)
+        assert report.holds, str(report)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_figure_7_3(self, n):
+        report = verify_figure_7_3(n)
+        assert report.holds, str(report)
+
+    @pytest.mark.parametrize("n,j", [(2, 0), (2, 1), (3, 1)])
+    def test_figure_7_4(self, n, j):
+        report = verify_figure_7_4(n, j)
+        assert report.holds, str(report)
+
+    @pytest.mark.parametrize("n,j", [(2, 0), (2, 1), (3, 2)])
+    def test_figure_7_5(self, n, j):
+        report = verify_figure_7_5(n, j)
+        assert report.holds, str(report)
+
+    def test_figure_7_1_has_single_tuple_relations(self):
+        db = figure_7_1(2)
+        assert all(len(rel) == 1 for rel in db)
+
+    def test_figure_7_5_violates_sigma_concretely(self):
+        family = section7_family(2)
+        db = figure_7_5(2, 0)
+        assert not db.satisfies(family.sigma)
+
+    def test_figure_7_4_isolates_hj(self):
+        family = section7_family(2)
+        db = figure_7_4(2, 1)
+        assert not db.satisfies(family.beta[1])
+        assert db.satisfies(family.beta[0])
+
+
+class TestLemma78:
+    @pytest.mark.parametrize("n,j", [(2, 0), (2, 1), (3, 0)])
+    def test_identity(self, n, j):
+        assert verify_lemma_7_8(n, j)
+
+
+class TestGamma7:
+    def test_sigma_excluded(self):
+        family = section7_family(2)
+        gamma = gamma_7(family)
+        assert family.sigma not in gamma
+
+    def test_contains_lambda_and_phi_consequences(self):
+        family = section7_family(2)
+        gamma = gamma_7(family)
+        assert set(family.inds) <= gamma
+        for fd in phi_all(family):
+            if fd != family.sigma:
+                assert fd in gamma
+        # A projected consequence of alpha_0:
+        assert IND("F", ("A",), "G0", ("A",)) in gamma
+
+    def test_excludes_non_consequences(self):
+        family = section7_family(2)
+        gamma = gamma_7(family)
+        assert IND("G1", ("B",), "F", ("B",)) not in gamma
+        assert FD("F", ("C",), ("A",)) not in gamma
+
+
+class TestTheorem71:
+    @pytest.mark.parametrize("n,k", [(2, 1), (3, 2)])
+    def test_report_establishes(self, n, k):
+        report = theorem_7_1_report(n, k)
+        assert report.establishes_theorem, str(report)
+
+    def test_k_must_be_less_than_n(self):
+        with pytest.raises(ValueError):
+            theorem_7_1_report(2, 2)

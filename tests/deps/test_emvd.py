@@ -1,0 +1,100 @@
+"""Embedded multivalued dependencies (Section 5)."""
+
+import pytest
+
+from repro.deps.emvd import EMVD, MVD
+from repro.exceptions import DependencyError
+from repro.model.builders import database
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"R": ("A", "B", "C", "D")})
+
+
+class TestConstruction:
+    def test_y_z_disjointness_enforced(self):
+        with pytest.raises(DependencyError):
+            EMVD("R", ("A",), ("B", "C"), ("C",))
+
+    def test_empty_y_rejected(self):
+        with pytest.raises(DependencyError):
+            EMVD("R", ("A",), (), ("C",))
+
+    def test_empty_x_allowed(self):
+        emvd = EMVD("R", None, ("B",), ("C",))
+        assert emvd.x == frozenset()
+
+    def test_validate(self, schema):
+        EMVD("R", ("A",), ("B",), ("C",)).validate(schema)
+        with pytest.raises(DependencyError):
+            EMVD("R", ("Z",), ("B",), ("C",)).validate(schema)
+
+
+class TestSemantics:
+    def test_holds_with_witness(self, schema):
+        # t1 = (a, b1, c1, *), t2 = (a, b2, c2, *): need (a, b1, c2, *)
+        # and symmetric combinations.
+        db = database(
+            schema,
+            {
+                "R": [
+                    (0, 1, 1, 0),
+                    (0, 2, 2, 0),
+                    (0, 1, 2, 0),
+                    (0, 2, 1, 0),
+                ]
+            },
+        )
+        assert db.satisfies(EMVD("R", ("A",), ("B",), ("C",)))
+
+    def test_violated_without_witness(self, schema):
+        db = database(schema, {"R": [(0, 1, 1, 0), (0, 2, 2, 0)]})
+        assert not db.satisfies(EMVD("R", ("A",), ("B",), ("C",)))
+
+    def test_embedded_ignores_outside_attributes(self, schema):
+        # The witness's D column may hold anything.
+        db = database(
+            schema,
+            {
+                "R": [
+                    (0, 1, 1, 7),
+                    (0, 2, 2, 8),
+                    (0, 1, 2, 999),
+                    (0, 2, 1, 999),
+                ]
+            },
+        )
+        assert db.satisfies(EMVD("R", ("A",), ("B",), ("C",)))
+
+    def test_different_x_groups_independent(self, schema):
+        db = database(schema, {"R": [(0, 1, 1, 0), (1, 2, 2, 0)]})
+        assert db.satisfies(EMVD("R", ("A",), ("B",), ("C",)))
+
+    def test_vacuous_on_empty(self, schema):
+        assert database(schema).satisfies(EMVD("R", ("A",), ("B",), ("C",)))
+
+    def test_trivial_when_y_inside_x(self):
+        assert EMVD("R", ("A", "B"), ("B",), ("C",)).is_trivial()
+        assert not EMVD("R", ("A",), ("B",), ("C",)).is_trivial()
+
+
+class TestMVD:
+    def test_complement_computed(self):
+        mvd = MVD("R", ("A", "B", "C", "D"), ("A",), ("B",))
+        assert mvd.y == {"B"}
+        assert mvd.z == {"C", "D"}
+
+    def test_mvd_satisfaction_matches_manual(self, schema):
+        # The classic MVD example: A ->> B with complement {C, D}.
+        rows = [
+            (0, 1, 5, 5),
+            (0, 2, 6, 6),
+            (0, 1, 6, 6),
+            (0, 2, 5, 5),
+        ]
+        db = database(schema, {"R": rows})
+        assert db.satisfies(MVD("R", ("A", "B", "C", "D"), ("A",), ("B",)))
+        db_bad = database(schema, {"R": rows[:2]})
+        assert not db_bad.satisfies(MVD("R", ("A", "B", "C", "D"), ("A",), ("B",)))

@@ -1,0 +1,121 @@
+"""Dependency enumeration: coverage and canonicality."""
+
+from repro.deps.enumeration import (
+    all_emvds,
+    all_fds,
+    all_inds,
+    all_rds,
+    all_unary_inds,
+    all_unary_rds,
+    dependency_universe,
+)
+from repro.model.schema import DatabaseSchema, RelationSchema
+
+
+class TestFdEnumeration:
+    def test_two_attribute_counts(self):
+        schema = RelationSchema("R", ("A", "B"))
+        fds = list(all_fds(schema))
+        # Nontrivial with empty lhs allowed: 0->A, 0->B, A->B, B->A.
+        assert len(fds) == 4
+
+    def test_no_empty_lhs(self):
+        schema = RelationSchema("R", ("A", "B"))
+        fds = list(all_fds(schema, allow_empty_lhs=False))
+        assert len(fds) == 2
+
+    def test_trivial_included_when_asked(self):
+        schema = RelationSchema("R", ("A", "B"))
+        with_trivial = set(all_fds(schema, include_trivial=True))
+        without = set(all_fds(schema))
+        assert without < with_trivial
+        assert all(fd.is_trivial() for fd in with_trivial - without)
+
+    def test_canonical_no_duplicates(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        fds = list(all_fds(schema, include_trivial=True))
+        assert len(fds) == len(set(fds))
+
+
+class TestIndEnumeration:
+    def test_unary_count_two_relations(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+        inds = list(all_unary_inds(schema, include_trivial=True))
+        # 4 columns x 4 columns = 16 ordered pairs.
+        assert len(inds) == 16
+
+    def test_nontrivial_excludes_identity(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B")})
+        inds = set(all_unary_inds(schema))
+        assert all(not ind.is_trivial() for ind in inds)
+        assert len(inds) == 2  # A c B and B c A
+
+    def test_binary_canonical_representatives(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B")})
+        inds = list(all_inds(schema, include_trivial=True))
+        assert len(inds) == len(set(inds))
+        # Binary: lhs sorted (A,B), rhs in {(A,B), (B,A)}.
+        binary = [ind for ind in inds if ind.arity == 2]
+        assert len(binary) == 2
+
+    def test_max_arity_respected(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B", "C")})
+        inds = list(all_inds(schema, max_arity=2))
+        assert all(ind.arity <= 2 for ind in inds)
+
+    def test_cross_arity_relations(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B", "C"), "S": ("D",)})
+        inds = list(all_inds(schema))
+        # R[X] c S[D] only for unary X; S[D] c R[*] unary as well.
+        assert any(i.lhs_relation == "R" and i.rhs_relation == "S" for i in inds)
+        assert all(
+            i.arity == 1
+            for i in inds
+            if "S" in (i.lhs_relation, i.rhs_relation)
+        )
+
+
+class TestRdEnumeration:
+    def test_pairs(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        rds = list(all_unary_rds(schema))
+        assert len(rds) == 3  # AB, AC, BC
+
+    def test_trivial_flag(self):
+        schema = RelationSchema("R", ("A", "B"))
+        rds = list(all_unary_rds(schema, include_trivial=True))
+        assert len(rds) == 3  # A=A, B=B, A=B
+
+    def test_database_wide(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+        assert len(list(all_rds(schema))) == 2
+
+
+class TestEmvdEnumeration:
+    def test_three_attributes(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        emvds = list(all_emvds(schema))
+        assert len(emvds) > 0
+        assert all(not e.is_trivial() for e in emvds)
+        # Canonical: min(Y) < min(Z), disjoint roles.
+        for e in emvds:
+            assert min(e.y) < min(e.z)
+            assert not (e.x & e.y or e.x & e.z or e.y & e.z)
+
+    def test_no_duplicates(self):
+        schema = RelationSchema("R", ("A", "B", "C", "D"))
+        emvds = list(all_emvds(schema))
+        assert len(emvds) == len(set(emvds))
+
+
+class TestUniverse:
+    def test_composition(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B")})
+        universe = dependency_universe(schema, include_trivial=True)
+        kinds = {type(dep).__name__ for dep in universe}
+        assert kinds == {"FD", "IND", "RD"}
+
+    def test_without_rds(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B")})
+        universe = dependency_universe(schema, with_rds=False)
+        assert all(type(dep).__name__ != "RD" for dep in universe)

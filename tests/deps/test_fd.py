@@ -1,0 +1,95 @@
+"""Functional dependencies."""
+
+import pytest
+
+from repro.deps.fd import FD
+from repro.exceptions import DependencyError
+from repro.model.builders import database
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"R": ("A", "B", "C")})
+
+
+class TestConstruction:
+    def test_sequences_kept(self):
+        fd = FD("R", ("B", "A"), ("C",))
+        assert fd.lhs == ("B", "A")
+
+    def test_empty_lhs_via_none(self):
+        fd = FD("R", None, ("A",))
+        assert fd.lhs == ()
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(DependencyError):
+            FD("R", ("A",), ())
+
+    def test_duplicate_lhs_rejected(self):
+        with pytest.raises(DependencyError):
+            FD("R", ("A", "A"), ("B",))
+
+    def test_validate_against_schema(self, schema):
+        FD("R", ("A",), ("B",)).validate(schema)
+        with pytest.raises(DependencyError):
+            FD("R", ("Z",), ("B",)).validate(schema)
+
+
+class TestSemantics:
+    def test_holds(self, schema):
+        db = database(schema, {"R": [(1, 2, 3), (1, 2, 3), (4, 5, 6)]})
+        assert db.satisfies(FD("R", ("A",), ("B",)))
+
+    def test_violated(self, schema):
+        db = database(schema, {"R": [(1, 2, 3), (1, 9, 3)]})
+        assert not db.satisfies(FD("R", ("A",), ("B",)))
+
+    def test_empty_lhs_means_constant_column(self, schema):
+        constant = database(schema, {"R": [(1, 2, 3), (4, 2, 6)]})
+        varying = database(schema, {"R": [(1, 2, 3), (4, 7, 6)]})
+        fd = FD("R", None, ("B",))
+        assert constant.satisfies(fd)
+        assert not varying.satisfies(fd)
+
+    def test_vacuous_on_empty_relation(self, schema):
+        db = database(schema)
+        assert db.satisfies(FD("R", ("A",), ("B", "C")))
+
+    def test_multi_attribute_rhs(self, schema):
+        db = database(schema, {"R": [(1, 2, 3), (1, 2, 9)]})
+        assert not db.satisfies(FD("R", ("A",), ("B", "C")))
+
+    def test_violations_return_pairs(self, schema):
+        db = database(schema, {"R": [(1, 2, 3), (1, 9, 3)]})
+        witnesses = FD("R", ("A",), ("B",)).violations(db)
+        assert len(witnesses) == 1
+        t1, t2 = witnesses[0]
+        assert t1[0] == t2[0] and t1[1] != t2[1]
+
+
+class TestIdentity:
+    def test_set_semantics_equality(self):
+        assert FD("R", ("A", "B"), ("C",)) == FD("R", ("B", "A"), ("C",))
+
+    def test_relation_distinguishes(self):
+        assert FD("R", ("A",), ("B",)) != FD("S", ("A",), ("B",))
+
+    def test_trivial(self):
+        assert FD("R", ("A", "B"), ("A",)).is_trivial()
+        assert not FD("R", ("A",), ("B",)).is_trivial()
+
+    def test_unary(self):
+        assert FD("R", ("A",), ("B",)).is_unary()
+        assert not FD("R", ("A", "B"), ("C",)).is_unary()
+        assert not FD("R", None, ("C",)).is_unary()
+
+    def test_decompose(self):
+        parts = FD("R", ("A",), ("B", "C")).decompose()
+        assert parts == [FD("R", ("A",), ("B",)), FD("R", ("A",), ("C",))]
+
+    def test_rename(self):
+        assert FD("R", ("A",), ("B",)).rename({"R": "S"}) == FD("S", ("A",), ("B",))
+
+    def test_str_empty_lhs(self):
+        assert str(FD("R", None, ("A",))) == "R: 0 -> A"

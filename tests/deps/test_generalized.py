@@ -1,0 +1,97 @@
+"""Generalized INDs and the RD equivalence (Section 4's remark)."""
+
+import itertools
+
+import pytest
+
+from repro.deps.generalized import (
+    GeneralizedIND,
+    generalized_ind_as_rd,
+    rd_as_generalized_ind,
+)
+from repro.deps.rd import RD
+from repro.exceptions import DependencyError
+from repro.model.builders import database
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"R": ("A", "B", "C")})
+
+
+class TestConstruction:
+    def test_repeats_allowed(self):
+        gind = GeneralizedIND("R", ("A", "B"), "R", ("A", "A"))
+        assert gind.has_repeats()
+
+    def test_ordinary_detection(self):
+        gind = GeneralizedIND("R", ("A", "B"), "R", ("B", "C"))
+        assert gind.is_ordinary()
+        ordinary = gind.to_ordinary()
+        assert ordinary.lhs_attributes == ("A", "B")
+
+    def test_to_ordinary_rejects_repeats(self):
+        gind = GeneralizedIND("R", ("A", "B"), "R", ("A", "A"))
+        with pytest.raises(DependencyError):
+            gind.to_ordinary()
+
+    def test_arity_mismatch(self):
+        with pytest.raises(DependencyError):
+            GeneralizedIND("R", ("A",), "R", ("A", "B"))
+
+
+class TestSemantics:
+    def test_rd_shape_satisfaction(self, schema):
+        gind = GeneralizedIND("R", ("A", "B"), "R", ("A", "A"))
+        equal_db = database(schema, {"R": [(1, 1, 5), (2, 2, 9)]})
+        unequal_db = database(schema, {"R": [(1, 2, 5)]})
+        assert equal_db.satisfies(gind)
+        assert not unequal_db.satisfies(gind)
+
+    def test_ordinary_shape_agrees_with_ind(self, schema):
+        from repro.deps.ind import IND
+
+        gind = GeneralizedIND("R", ("A",), "R", ("B",))
+        ind = IND("R", ("A",), "R", ("B",))
+        for rows in ([(1, 1, 0)], [(1, 2, 0)], [(1, 2, 0), (2, 2, 0)]):
+            db = database(schema, {"R": rows})
+            assert db.satisfies(gind) == db.satisfies(ind)
+
+
+class TestRdEquivalence:
+    def test_translation_shape(self):
+        rd = RD("R", ("A",), ("B",))
+        gind = rd_as_generalized_ind(rd)
+        assert gind == GeneralizedIND("R", ("A", "B"), "R", ("A", "A"))
+
+    def test_roundtrip(self):
+        rd = RD("R", ("A", "B"), ("B", "C"))
+        assert generalized_ind_as_rd(rd_as_generalized_ind(rd)) == rd
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(DependencyError):
+            generalized_ind_as_rd(GeneralizedIND("R", ("A",), "S", ("B",)))
+        with pytest.raises(DependencyError):
+            generalized_ind_as_rd(
+                GeneralizedIND("R", ("A", "B"), "R", ("B", "A"))
+            )
+
+    def test_semantic_equivalence_exhaustive(self, schema):
+        """RD and its generalized-IND translation agree on every small
+        database (the paper's equivalence claim, brute-forced)."""
+        rd = RD("R", ("A",), ("B",))
+        gind = rd_as_generalized_ind(rd)
+        values = (0, 1)
+        all_rows = list(itertools.product(values, repeat=3))
+        for size in range(0, 3):
+            for combo in itertools.combinations(all_rows, size):
+                db = database(schema, {"R": combo})
+                assert db.satisfies(rd) == db.satisfies(gind), combo
+
+    def test_multi_pair_equivalence(self, schema):
+        rd = RD("R", ("A", "B"), ("B", "C"))
+        gind = rd_as_generalized_ind(rd)
+        for rows in ([(1, 1, 1)], [(1, 1, 2)], [(2, 2, 2), (1, 1, 1)]):
+            db = database(schema, {"R": rows})
+            assert db.satisfies(rd) == db.satisfies(gind)

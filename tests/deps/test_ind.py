@@ -1,0 +1,121 @@
+"""Inclusion dependencies."""
+
+import pytest
+
+from repro.deps.ind import IND
+from repro.exceptions import DependencyError
+from repro.model.builders import database
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+
+
+class TestConstruction:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(DependencyError):
+            IND("R", ("A", "B"), "S", ("C",))
+
+    def test_duplicates_rejected_each_side(self):
+        with pytest.raises(DependencyError):
+            IND("R", ("A", "A"), "S", ("C", "D"))
+        with pytest.raises(DependencyError):
+            IND("R", ("A", "B"), "S", ("C", "C"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DependencyError):
+            IND("R", (), "S", ())
+
+    def test_validate(self, schema):
+        IND("R", ("A",), "S", ("D",)).validate(schema)
+        with pytest.raises(DependencyError):
+            IND("R", ("Z",), "S", ("D",)).validate(schema)
+
+
+class TestSemantics:
+    def test_holds(self, schema):
+        db = database(schema, {"R": [(1, 2)], "S": [(1, 9), (5, 5)]})
+        assert db.satisfies(IND("R", ("A",), "S", ("C",)))
+
+    def test_violated(self, schema):
+        db = database(schema, {"R": [(7, 2)], "S": [(1, 9)]})
+        ind = IND("R", ("A",), "S", ("C",))
+        assert not db.satisfies(ind)
+        assert ind.violations(db) == [(7,)]
+
+    def test_binary_needs_pairs_not_columns(self, schema):
+        # Column-wise inclusion alone is not enough: pairs must match.
+        db = database(
+            schema, {"R": [(1, 2)], "S": [(1, 9), (8, 2)]}
+        )
+        assert not db.satisfies(IND("R", ("A", "B"), "S", ("C", "D")))
+
+    def test_empty_source_vacuous(self, schema):
+        db = database(schema, {"S": [(1, 2)]})
+        assert db.satisfies(IND("R", ("A", "B"), "S", ("C", "D")))
+
+    def test_self_inclusion(self, schema):
+        db = database(schema, {"R": [(1, 1), (2, 1)]})
+        assert db.satisfies(IND("R", ("B",), "R", ("A",)))
+        assert not db.satisfies(IND("R", ("A",), "R", ("B",)))
+
+
+class TestIdentity:
+    def test_simultaneous_permutation_equal(self):
+        first = IND("R", ("A", "B"), "S", ("C", "D"))
+        second = IND("R", ("B", "A"), "S", ("D", "C"))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_one_sided_permutation_not_equal(self):
+        first = IND("R", ("A", "B"), "S", ("C", "D"))
+        second = IND("R", ("A", "B"), "S", ("D", "C"))
+        assert first != second
+
+    def test_trivial(self):
+        assert IND("R", ("A",), "R", ("A",)).is_trivial()
+        assert not IND("R", ("A",), "R", ("B",)).is_trivial()
+        assert not IND("R", ("A",), "S", ("A",)).is_trivial()
+
+    def test_typed(self):
+        assert IND("R", ("A", "B"), "S", ("A", "B")).is_typed()
+        assert not IND("R", ("A", "B"), "S", ("B", "A")).is_typed()
+
+    def test_reversed(self):
+        ind = IND("R", ("A",), "S", ("C",))
+        assert ind.reversed() == IND("S", ("C",), "R", ("A",))
+
+    def test_attribute_mapping(self):
+        ind = IND("R", ("A", "B"), "S", ("D", "C"))
+        assert ind.attribute_mapping() == {"A": "D", "B": "C"}
+
+
+class TestProjection:
+    """Rule IND2 on the IND object."""
+
+    def test_project_onto_subset(self):
+        ind = IND("R", ("A", "B"), "S", ("C", "D"))
+        assert ind.project_onto([0]) == IND("R", ("A",), "S", ("C",))
+
+    def test_project_onto_permutation(self):
+        ind = IND("R", ("A", "B"), "S", ("C", "D"))
+        projected = ind.project_onto([1, 0])
+        assert projected.lhs_attributes == ("B", "A")
+        assert projected.rhs_attributes == ("D", "C")
+
+    def test_project_rejects_duplicates(self):
+        ind = IND("R", ("A", "B"), "S", ("C", "D"))
+        with pytest.raises(DependencyError):
+            ind.project_onto([0, 0])
+
+    def test_project_rejects_out_of_range(self):
+        ind = IND("R", ("A",), "S", ("C",))
+        with pytest.raises(DependencyError):
+            ind.project_onto([1])
+
+    def test_project_rejects_empty(self):
+        ind = IND("R", ("A",), "S", ("C",))
+        with pytest.raises(DependencyError):
+            ind.project_onto([])

@@ -1,0 +1,105 @@
+"""The dependency text DSL."""
+
+import pytest
+
+from repro.deps.emvd import EMVD
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.parser import parse_dependencies, parse_dependency
+from repro.deps.rd import RD
+from repro.exceptions import ParseError
+
+
+class TestIndParsing:
+    def test_basic(self):
+        assert parse_dependency("R[A] <= S[B]") == IND("R", ("A",), "S", ("B",))
+
+    def test_multi_attribute(self):
+        parsed = parse_dependency("MGR[NAME,DEPT] <= EMP[NAME,DEPT]")
+        assert parsed == IND("MGR", ("NAME", "DEPT"), "EMP", ("NAME", "DEPT"))
+
+    def test_subset_symbol(self):
+        assert parse_dependency("R[A] ⊆ S[B]") == IND("R", ("A",), "S", ("B",))
+
+    def test_whitespace_insensitive(self):
+        assert parse_dependency("  R[ A , B ]<=S[ C , D ]  ") == IND(
+            "R", ("A", "B"), "S", ("C", "D")
+        )
+
+    def test_positional_attributes(self):
+        # LBA-reduction attributes contain '@'.
+        parsed = parse_dependency("R[s@1,a@2] <= R[h@1,B@2]")
+        assert parsed.lhs_attributes == ("s@1", "a@2")
+
+
+class TestFdParsing:
+    def test_basic(self):
+        assert parse_dependency("R: A -> B") == FD("R", ("A",), ("B",))
+
+    def test_compound(self):
+        assert parse_dependency("R: A,B -> C,D") == FD("R", ("A", "B"), ("C", "D"))
+
+    def test_empty_lhs_zero(self):
+        assert parse_dependency("R: 0 -> A") == FD("R", None, ("A",))
+
+    def test_empty_lhs_blank(self):
+        assert parse_dependency("R:  -> A") == FD("R", None, ("A",))
+
+
+class TestRdParsing:
+    def test_basic(self):
+        assert parse_dependency("R[A = B]") == RD("R", ("A",), ("B",))
+
+    def test_multi(self):
+        assert parse_dependency("R[A,B = C,D]") == RD("R", ("A", "B"), ("C", "D"))
+
+
+class TestEmvdParsing:
+    def test_basic(self):
+        parsed = parse_dependency("R: A ->> B | C")
+        assert parsed == EMVD("R", ("A",), ("B",), ("C",))
+
+    def test_empty_x(self):
+        parsed = parse_dependency("R: 0 ->> B | C")
+        assert parsed == EMVD("R", None, ("B",), ("C",))
+
+    def test_emvd_not_mistaken_for_fd(self):
+        parsed = parse_dependency("R: A ->> B | C")
+        assert isinstance(parsed, EMVD)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "garbage",
+            "R[A] <= S",
+            "R: ->",
+            "R[A,B <= S[C,D]",
+            "R[] <= S[]",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_dependency(text)
+
+
+class TestBulkParsing:
+    def test_multiline_with_comments(self):
+        deps = parse_dependencies(
+            """
+            # referential
+            R[A] <= S[B]
+            R: A -> B
+            """
+        )
+        assert len(deps) == 2
+
+    def test_semicolon_separated(self):
+        deps = parse_dependencies("R[A] <= S[B]; S: B -> C")
+        assert len(deps) == 2
+
+    def test_iterable_input(self):
+        deps = parse_dependencies(["R[A] <= S[B]", "", "R[A = B]"])
+        assert len(deps) == 2

@@ -1,0 +1,78 @@
+"""Repeating dependencies (Section 4)."""
+
+import pytest
+
+from repro.deps.rd import RD
+from repro.exceptions import DependencyError
+from repro.model.builders import database
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"R": ("A", "B", "C")})
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DependencyError):
+            RD("R", ("A", "B"), ("C",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DependencyError):
+            RD("R", (), ())
+
+    def test_pairs(self):
+        rd = RD("R", ("A", "B"), ("B", "C"))
+        assert rd.pairs == (("A", "B"), ("B", "C"))
+
+    def test_validate(self, schema):
+        RD("R", ("A",), ("B",)).validate(schema)
+        with pytest.raises(DependencyError):
+            RD("R", ("Z",), ("B",)).validate(schema)
+
+
+class TestSemantics:
+    def test_holds(self, schema):
+        db = database(schema, {"R": [(1, 1, 2), (5, 5, 9)]})
+        assert db.satisfies(RD("R", ("A",), ("B",)))
+
+    def test_violated(self, schema):
+        db = database(schema, {"R": [(1, 2, 3)]})
+        rd = RD("R", ("A",), ("B",))
+        assert not db.satisfies(rd)
+        assert rd.violations(db) == [(1, 2, 3)]
+
+    def test_multi_pair_conjunction(self, schema):
+        db = database(schema, {"R": [(1, 1, 1)]})
+        assert db.satisfies(RD("R", ("A", "B"), ("B", "C")))
+        db2 = database(schema, {"R": [(1, 1, 2)]})
+        assert not db2.satisfies(RD("R", ("A", "B"), ("B", "C")))
+
+    def test_vacuous_on_empty(self, schema):
+        assert database(schema).satisfies(RD("R", ("A",), ("B",)))
+
+    def test_decomposition_equivalent(self, schema):
+        # The paper: R[A1..Am = B1..Bm] is equivalent to the set of
+        # unary RDs — check on a sample of databases.
+        rd = RD("R", ("A", "B"), ("B", "C"))
+        parts = rd.decompose()
+        for rows in ([(1, 1, 1)], [(1, 1, 2)], [(1, 2, 2)], [(2, 2, 2), (3, 3, 3)]):
+            db = database(schema, {"R": rows})
+            assert db.satisfies(rd) == all(db.satisfies(p) for p in parts)
+
+
+class TestIdentity:
+    def test_symmetric_pairs_equal(self):
+        assert RD("R", ("A",), ("B",)) == RD("R", ("B",), ("A",))
+
+    def test_trivial(self):
+        assert RD("R", ("A",), ("A",)).is_trivial()
+        assert RD("R", ("A", "B"), ("A", "B")).is_trivial()
+        assert not RD("R", ("A",), ("B",)).is_trivial()
+
+    def test_trivial_pairs_ignored_in_identity(self):
+        assert RD("R", ("A", "A"), ("A", "B")) == RD("R", ("A",), ("B",))
+
+    def test_rename(self):
+        assert RD("R", ("A",), ("B",)).rename({"R": "S"}) == RD("S", ("A",), ("B",))

@@ -1,0 +1,39 @@
+"""Every example script must run cleanly and print its headline facts."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ["IMPLIED", "Independent checker accepts the proof: True"],
+    "schema_design.py": ["Candidate keys", "Minimal cover"],
+    "referential_integrity.py": ["VIOLATED", "INDs now hold: True"],
+    "pspace_reduction.py": ["AGREE", "h B B B B"],
+    "finite_vs_unrestricted.py": [
+        "Sigma |=fin R[B] <= R[A]:  True",
+        "Sigma |= R[B] <= R[A]:  False",
+    ],
+    "no_kary_axiomatization.py": [
+        "Theorem 6.1 for k=2: ESTABLISHED",
+        "Theorem 7.1 for n=3, k=2: ESTABLISHED",
+    ],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for expected in EXPECTATIONS[script]:
+        assert expected in result.stdout, (
+            f"{script}: missing {expected!r} in output"
+        )

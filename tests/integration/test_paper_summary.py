@@ -1,0 +1,84 @@
+"""One-command reproduction summary.
+
+A single test that re-establishes every headline result of the paper
+in sequence — the executable abstract.  If this test passes, the
+reproduction stands.
+"""
+
+from repro.core.armstrong6 import theorem_6_1_report
+from repro.core.emvd_chase import emvd_implies, sagiv_walecka_family
+from repro.core.finite_unary import (
+    finitely_implies_unary,
+    unrestricted_implies_unary,
+)
+from repro.core.ind_axioms import check_proof
+from repro.core.ind_chase import decide_by_rule_star
+from repro.core.ind_decision import decide_ind
+from repro.core.ind_prover import prove_ind
+from repro.core.section7 import theorem_7_1_report
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.lba.examples import even_length_machine
+from repro.lba.reduction import verify_reduction
+from repro.model.schema import DatabaseSchema, RelationSchema
+from repro.model.symbolic import (
+    SymbolicDatabase,
+    figure_4_1_relation,
+    figure_4_2_relation,
+)
+from repro.perms.ind_encoding import chain_decision
+from repro.perms.landau import landau, landau_witness_permutation
+
+
+def test_the_paper():
+    # ------------------------------------------------------------- §3
+    # Theorem 3.1: the axiomatization is complete; |- = |= = |=fin.
+    schema3 = DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+    premises = [IND("R", ("A",), "S", ("C",)), IND("S", ("C",), "R", ("B",))]
+    target = IND("R", ("A",), "R", ("B",))
+    assert decide_ind(target, premises).implied
+    assert decide_by_rule_star(target, premises, schema3)
+    proof = prove_ind(target, premises)
+    assert check_proof(proof, schema3, target)
+
+    # The superpolynomial example: g(12) = 60; the naive chain needs 59
+    # applications of step (2).
+    gamma = landau_witness_permutation(12)
+    assert gamma.order() == landau(12) == 60
+    assert chain_decision(gamma, 59).chain_steps == 59
+
+    # Theorem 3.3: LBA acceptance <=> IND implication, both directions.
+    machine = even_length_machine()
+    assert verify_reduction(machine, "aaaa").agree
+    assert verify_reduction(machine, "aaa").agree
+
+    # ------------------------------------------------------------- §4
+    # Theorem 4.4: finite implication strictly exceeds unrestricted.
+    sigma = [FD("R", ("A",), ("B",)), IND("R", ("A",), "R", ("B",))]
+    reverse_ind = IND("R", ("B",), "R", ("A",))
+    reverse_fd = FD("R", ("B",), ("A",))
+    assert finitely_implies_unary(sigma, reverse_ind)
+    assert finitely_implies_unary(sigma, reverse_fd)
+    assert not unrestricted_implies_unary(sigma, reverse_ind)
+    assert not unrestricted_implies_unary(sigma, reverse_fd)
+    # Figures 4.1/4.2: the infinite witnesses, checked exactly.
+    schema4 = DatabaseSchema.of(RelationSchema("R", ("A", "B")))
+    fig41 = SymbolicDatabase(schema4, {"R": figure_4_1_relation()})
+    assert fig41.satisfies_all(sigma) and not fig41.satisfies(reverse_ind)
+    fig42 = SymbolicDatabase(schema4, {"R": figure_4_2_relation()})
+    assert fig42.satisfies_all(sigma) and not fig42.satisfies(reverse_fd)
+
+    # ------------------------------------------------------------- §5
+    # Theorem 5.3 (Sagiv-Walecka): the cyclic EMVD family.
+    family = sagiv_walecka_family(2)
+    assert emvd_implies(family.schema, family.sigma, family.target).implied
+    assert all(
+        emvd_implies(family.schema, [member], family.target).implied is False
+        for member in family.sigma
+    )
+
+    # ------------------------------------------------------------- §6
+    assert theorem_6_1_report(2).establishes_theorem
+
+    # ------------------------------------------------------------- §7
+    assert theorem_7_1_report(3, 2).establishes_theorem

@@ -1,0 +1,71 @@
+"""Theorem 3.1 end to end: |- == |= == |=fin for INDs.
+
+Three independent engines must agree on every instance:
+
+1. the syntactic prover (IND1-IND3 via Corollary 3.2 reachability);
+2. the Rule (*) canonical finite database (finite semantics);
+3. random finite models (sampled refutation).
+"""
+
+import random
+
+from repro.core.ind_axioms import check_proof
+from repro.core.ind_chase import decide_by_rule_star, rule_star_database
+from repro.core.ind_decision import decide_ind
+from repro.core.ind_prover import prove_ind
+from repro.workloads.random_deps import random_implication_instance
+from repro.workloads.random_db import random_database
+
+
+class TestThreeWayAgreement:
+    def test_on_random_workloads(self):
+        agreements = 0
+        implied_count = 0
+        for seed in range(120):
+            rng = random.Random(seed)
+            schema, premises, target = random_implication_instance(rng)
+            syntactic = decide_ind(target, premises).implied
+            semantic = decide_by_rule_star(target, premises, schema)
+            assert syntactic == semantic, f"seed {seed}"
+            agreements += 1
+            implied_count += syntactic
+        assert agreements == 120
+        # The workload must exercise both answers.
+        assert 0 < implied_count < 120
+
+    def test_proofs_replay_for_every_positive(self):
+        for seed in range(60):
+            rng = random.Random(seed)
+            schema, premises, target = random_implication_instance(
+                rng, force_implied=True
+            )
+            proof = prove_ind(target, premises)
+            assert proof is not None, f"seed {seed}"
+            assert check_proof(proof, schema, target)
+
+    def test_negative_instances_have_finite_counterexamples(self):
+        """|=fin direction: a non-implication is witnessed by the
+        Rule (*) database — so finite implication cannot exceed
+        provability, closing the |= = |=fin loop for INDs."""
+        negatives = 0
+        for seed in range(120):
+            rng = random.Random(seed)
+            schema, premises, target = random_implication_instance(rng)
+            if decide_ind(target, premises).implied:
+                continue
+            negatives += 1
+            construction = rule_star_database(target, premises, schema)
+            assert construction.database.satisfies_all(premises)
+            assert not construction.database.satisfies(target)
+        assert negatives > 10
+
+    def test_random_models_never_contradict_positives(self):
+        for seed in range(40):
+            rng = random.Random(seed)
+            schema, premises, target = random_implication_instance(
+                rng, force_implied=True
+            )
+            for sample in range(3):
+                db = random_database(rng, schema, tuples_per_relation=4)
+                if db.satisfies_all(premises):
+                    assert db.satisfies(target), f"seed {seed}/{sample}"

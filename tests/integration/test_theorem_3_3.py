@@ -1,0 +1,69 @@
+"""Theorem 3.3 end to end: the PSPACE reduction on a machine suite."""
+
+import pytest
+
+from repro.lba.examples import (
+    accept_all_machine,
+    contains_b_machine,
+    even_length_machine,
+    looping_machine,
+)
+from repro.lba.reduction import verify_reduction
+
+MACHINES = {
+    "accept_all": accept_all_machine,
+    "even_length": even_length_machine,
+    "contains_b": contains_b_machine,
+    "looping": looping_machine,
+}
+
+WORDS = {
+    "accept_all": ["aa", "aaa", "aaaa", "aaaaa"],
+    "even_length": ["aa", "aaa", "aaaa", "aaaaa", "aaaaaa"],
+    "contains_b": ["aa", "ab", "ba", "bb", "aab", "bab", "aaa", "aaab"],
+    "looping": ["aa", "aaa", "aaaa"],
+}
+
+
+@pytest.mark.parametrize(
+    "name,word",
+    [(name, word) for name, words in WORDS.items() for word in words],
+)
+def test_reduction_agrees(name, word):
+    machine = MACHINES[name]()
+    verification = verify_reduction(machine, word)
+    assert verification.agree, str(verification)
+
+
+def test_witness_chains_decode_for_all_accepting_runs():
+    from repro.lba.configuration import initial_configuration, successors
+
+    for name, words in WORDS.items():
+        machine = MACHINES[name]()
+        for word in words:
+            verification = verify_reduction(machine, word)
+            if not verification.decision.implied:
+                continue
+            computation = verification.computation_from_chain()
+            assert computation[0] == initial_configuration(machine, word)
+            for current, nxt in zip(computation, computation[1:]):
+                assert nxt in set(successors(machine, current))
+
+
+def test_reduction_size_polynomial():
+    """|Sigma| = O(rules * n); arity = O(|symbols| * n): the reduction
+    is polynomial, as PSPACE-hardness requires."""
+    machine = even_length_machine()
+    sizes = []
+    for n in (2, 4, 6, 8):
+        from repro.lba.reduction import reduce_to_inds
+
+        instance = reduce_to_inds(machine, "a" * n)
+        report = instance.size_report()
+        sizes.append(report)
+        assert report["ind_count"] == len(machine.rules) * (n - 1)
+        assert report["relation_arity"] == len(machine.symbols) * (n + 1)
+    # Linear growth in n, not exponential.
+    counts = [r["ind_count"] for r in sizes]
+    diffs = [b - a for a, b in zip(counts, counts[1:])]
+    assert len(set(diffs)) == 1

@@ -1,0 +1,85 @@
+"""Theorem 4.4 end to end: the finite/unrestricted gap, with both the
+engines and the symbolic witnesses in one picture."""
+
+import itertools
+
+from repro.core.finite_unary import (
+    finitely_implies_unary,
+    unrestricted_implies_unary,
+)
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.model.builders import database
+from repro.model.schema import DatabaseSchema, RelationSchema
+from repro.model.symbolic import (
+    SymbolicDatabase,
+    figure_4_1_relation,
+    figure_4_2_relation,
+)
+
+SCHEMA = DatabaseSchema.of(RelationSchema("R", ("A", "B")))
+SIGMA = [FD("R", ("A",), ("B",)), IND("R", ("A",), "R", ("B",))]
+TARGET_IND = IND("R", ("B",), "R", ("A",))
+TARGET_FD = FD("R", ("B",), ("A",))
+
+
+class TestFiniteSide:
+    def test_engine_answers(self):
+        assert finitely_implies_unary(SIGMA, TARGET_IND)
+        assert finitely_implies_unary(SIGMA, TARGET_FD)
+
+    def test_exhaustive_finite_models_confirm(self):
+        """Every database with <= 3 tuples over a 4-value domain that
+        satisfies Sigma also satisfies both targets — brute force."""
+        rows = list(itertools.product(range(4), repeat=2))
+        count = 0
+        for size in range(4):
+            for combo in itertools.combinations(rows, size):
+                db = database(SCHEMA, {"R": combo})
+                if db.satisfies_all(SIGMA):
+                    count += 1
+                    assert db.satisfies(TARGET_IND)
+                    assert db.satisfies(TARGET_FD)
+        assert count > 5  # the check was not vacuous
+
+
+class TestUnrestrictedSide:
+    def test_engine_answers(self):
+        assert not unrestricted_implies_unary(SIGMA, TARGET_IND)
+        assert not unrestricted_implies_unary(SIGMA, TARGET_FD)
+
+    def test_figure_4_1_separates_part_a(self):
+        db = SymbolicDatabase(SCHEMA, {"R": figure_4_1_relation()})
+        assert db.satisfies_all(SIGMA)
+        assert not db.satisfies(TARGET_IND)
+
+    def test_figure_4_2_separates_part_b(self):
+        db = SymbolicDatabase(SCHEMA, {"R": figure_4_2_relation()})
+        assert db.satisfies_all(SIGMA)
+        assert not db.satisfies(TARGET_FD)
+
+    def test_no_finite_witness_exists_for_the_gap(self):
+        """Sanity for the whole theorem: the separating databases are
+        necessarily infinite — no finite database over a small domain
+        satisfies Sigma while violating either target."""
+        rows = list(itertools.product(range(3), repeat=2))
+        for size in range(4):
+            for combo in itertools.combinations(rows, size):
+                db = database(SCHEMA, {"R": combo})
+                if db.satisfies_all(SIGMA):
+                    assert db.satisfies(TARGET_IND)
+                    assert db.satisfies(TARGET_FD)
+
+
+class TestContrastWithPureClasses:
+    def test_inds_alone_have_no_gap(self):
+        premises = [IND("R", ("A",), "R", ("B",))]
+        assert finitely_implies_unary(
+            premises, TARGET_IND
+        ) == unrestricted_implies_unary(premises, TARGET_IND)
+
+    def test_fds_alone_have_no_gap(self):
+        premises = [FD("R", ("A",), ("B",))]
+        assert finitely_implies_unary(
+            premises, TARGET_FD
+        ) == unrestricted_implies_unary(premises, TARGET_FD)

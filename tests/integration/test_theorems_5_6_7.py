@@ -1,0 +1,80 @@
+"""Theorems 5.1/5.3, 6.1, and 7.1 end to end."""
+
+import pytest
+
+from repro.core.armstrong6 import (
+    cycle_family,
+    gamma_6,
+    make_finite_oracle,
+    theorem_6_1_report,
+)
+from repro.core.emvd_chase import theorem_5_3_report
+from repro.core.kary import certify_no_kary_axiomatization
+from repro.core.section7 import theorem_7_1_report
+from repro.deps.enumeration import dependency_universe
+
+
+class TestTheorem53:
+    def test_k2_full(self):
+        report = theorem_5_3_report(2, max_universe=60)
+        assert report.establishes_theorem, str(report)
+
+    @pytest.mark.slow
+    def test_k3_conditions_i_ii(self):
+        from repro.core.emvd_chase import emvd_implies, sagiv_walecka_family
+
+        family = sagiv_walecka_family(3)
+        assert emvd_implies(family.schema, family.sigma, family.target).implied
+        for member in family.sigma:
+            decision = emvd_implies(family.schema, [member], family.target)
+            assert decision.implied is False
+
+
+class TestTheorem61:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4])
+    def test_reports(self, k):
+        report = theorem_6_1_report(k)
+        assert report.establishes_theorem, str(report)
+
+    def test_theorem_5_1_certificate_k1(self):
+        """Assemble the full Theorem 5.1 certificate for k=1: Gamma is
+        closed under 1-ary finite implication, yet Sigma inside Gamma
+        finitely implies sigma outside Gamma."""
+        k = 1
+        family = cycle_family(k)
+        gamma = gamma_6(family)
+        universe = dependency_universe(family.schema, include_trivial=True)
+        oracle = make_finite_oracle(k)
+        witness = certify_no_kary_axiomatization(
+            gamma, universe, k, oracle,
+            implying_subset=family.dependencies,
+            missing=family.sigma,
+        )
+        assert witness.k == k
+        assert witness.missing_consequence == family.sigma
+
+    @pytest.mark.slow
+    def test_theorem_5_1_certificate_k2(self):
+        k = 2
+        family = cycle_family(k)
+        gamma = gamma_6(family)
+        universe = dependency_universe(family.schema, include_trivial=True)
+        oracle = make_finite_oracle(k)
+        witness = certify_no_kary_axiomatization(
+            gamma, universe, k, oracle,
+            implying_subset=family.dependencies,
+            missing=family.sigma,
+        )
+        assert witness.k == k
+
+
+class TestTheorem71:
+    @pytest.mark.parametrize("n,k", [(2, 1), (3, 2)])
+    def test_reports(self, n, k):
+        report = theorem_7_1_report(n, k)
+        assert report.establishes_theorem, str(report)
+
+    @pytest.mark.slow
+    def test_larger_instance(self):
+        report = theorem_7_1_report(4, 3)
+        assert report.establishes_theorem, str(report)

@@ -1,0 +1,65 @@
+"""Acceptance decisions and witness computations."""
+
+import pytest
+
+from repro.lba.acceptance import accepts
+from repro.lba.configuration import successors
+from repro.lba.examples import (
+    accept_all_machine,
+    contains_b_machine,
+    even_length_machine,
+    looping_machine,
+)
+
+
+class TestAcceptAll:
+    @pytest.mark.parametrize("word", ["aa", "aaa", "aaaa", "aaaaaa"])
+    def test_accepts(self, word):
+        assert accepts(accept_all_machine(), word).accepted
+
+
+class TestEvenLength:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [("aa", True), ("aaa", False), ("aaaa", True), ("aaaaa", False),
+         ("aaaaaa", True)],
+    )
+    def test_parity(self, word, expected):
+        assert accepts(even_length_machine(), word).accepted == expected
+
+
+class TestContainsB:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [("aa", False), ("ab", True), ("ba", True), ("bb", True),
+         ("aab", True), ("aba", True), ("aaa", False), ("baa", True)],
+    )
+    def test_detection(self, word, expected):
+        assert accepts(contains_b_machine(), word).accepted == expected
+
+
+class TestLooping:
+    def test_never_accepts_but_terminates(self):
+        result = accepts(looping_machine(), "aaaa")
+        assert not result.accepted
+        assert result.explored >= 2  # searched the whole (tiny) cycle
+
+
+class TestWitness:
+    def test_computation_is_a_valid_run(self):
+        machine = even_length_machine()
+        result = accepts(machine, "aaaa")
+        assert result.accepted
+        computation = result.computation
+        assert computation[0] == ("s0", "a", "a", "a", "a")
+        assert computation[-1] == ("h", "B", "B", "B", "B")
+        for current, nxt in zip(computation, computation[1:]):
+            assert nxt in set(successors(machine, current)), (current, nxt)
+
+    def test_no_witness_on_reject(self):
+        result = accepts(even_length_machine(), "aaa")
+        assert result.computation is None
+
+    def test_describe(self):
+        result = accepts(even_length_machine(), "aa")
+        assert "ACCEPTED" in result.describe()

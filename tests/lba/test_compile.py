@@ -1,0 +1,71 @@
+"""The classical-transition-table compiler."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.lba.acceptance import accepts
+from repro.lba.compile import compile_lba, sweep_and_home_machine
+from repro.lba.reduction import verify_reduction
+
+
+class TestCompiler:
+    def test_right_move_rule_count(self):
+        machine = compile_lba(
+            states=("s", "h"),
+            alphabet=("a", "B"),
+            start="s",
+            halt="h",
+            transitions={("s", "a"): [("s", "B", "R")]},
+        )
+        # One rule per tape symbol after the window.
+        assert len(machine.rules) == 2
+
+    def test_stay_move_rule_count(self):
+        machine = compile_lba(
+            states=("s", "h"),
+            alphabet=("a", "B"),
+            start="s",
+            halt="h",
+            transitions={("s", "a"): [("h", "a", "S")]},
+        )
+        # Two alignments per tape symbol.
+        assert len(machine.rules) == 4
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ReproError, match="direction"):
+            compile_lba(
+                states=("s", "h"),
+                alphabet=("a", "B"),
+                start="s",
+                halt="h",
+                transitions={("s", "a"): [("h", "a", "X")]},
+            )
+
+    def test_nondeterminism_supported(self):
+        machine = compile_lba(
+            states=("s", "t", "h"),
+            alphabet=("a", "B"),
+            start="s",
+            halt="h",
+            transitions={("s", "a"): [("s", "a", "R"), ("t", "a", "R")]},
+        )
+        assert len(machine.rules) == 4
+
+
+class TestSweepAndHome:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_accepts_all_lengths(self, n):
+        machine = sweep_and_home_machine()
+        assert accepts(machine, "a" * n).accepted
+
+    def test_computation_ends_at_home(self):
+        machine = sweep_and_home_machine()
+        result = accepts(machine, "aaaa")
+        assert result.computation[-1] == ("h", "B", "B", "B", "B")
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_reduction_agrees(self, n):
+        machine = sweep_and_home_machine()
+        verification = verify_reduction(machine, "a" * n)
+        assert verification.agree
+        assert verification.decision.implied

@@ -1,0 +1,76 @@
+"""Configurations and successor generation."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.lba.configuration import (
+    accepting_configuration,
+    initial_configuration,
+    is_valid_configuration,
+    reachable_configurations,
+    successors,
+)
+from repro.lba.examples import accept_all_machine, looping_machine
+
+
+@pytest.fixture
+def machine():
+    return accept_all_machine()
+
+
+class TestConfigurations:
+    def test_initial(self, machine):
+        assert initial_configuration(machine, "aaa") == ("s", "a", "a", "a")
+
+    def test_initial_rejects_bad_symbols(self, machine):
+        with pytest.raises(ReproError):
+            initial_configuration(machine, "ax")
+
+    def test_initial_rejects_empty(self, machine):
+        with pytest.raises(ReproError):
+            initial_configuration(machine, "")
+
+    def test_accepting(self, machine):
+        assert accepting_configuration(machine, 3) == ("h", "B", "B", "B")
+
+    def test_validity(self, machine):
+        assert is_valid_configuration(machine, ("s", "a", "a"))
+        assert not is_valid_configuration(machine, ("a", "a", "a"))  # no state
+        assert not is_valid_configuration(machine, ("s", "h", "a"))  # two states
+        assert not is_valid_configuration(machine, ("a", "a", "s"))  # state last
+
+
+class TestSuccessors:
+    def test_single_step(self, machine):
+        config = ("s", "a", "a", "a")
+        steps = set(successors(machine, config))
+        assert steps == {("B", "s", "a", "a")}
+
+    def test_rules_fire_at_any_matching_window(self):
+        machine = looping_machine()
+        config = ("s", "a", "a")
+        assert set(successors(machine, config)) == {("t", "a", "a")}
+
+    def test_successors_preserve_validity(self, machine):
+        frontier = [initial_configuration(machine, "aaaa")]
+        for _ in range(4):
+            nxt = []
+            for config in frontier:
+                for succ in successors(machine, config):
+                    assert is_valid_configuration(machine, succ)
+                    nxt.append(succ)
+            frontier = nxt
+
+
+class TestReachability:
+    def test_closure_finite(self, machine):
+        start = initial_configuration(machine, "aaa")
+        closure = reachable_configurations(machine, start)
+        assert start in closure
+        assert accepting_configuration(machine, 3) in closure
+
+    def test_looping_machine_closure_small(self):
+        machine = looping_machine()
+        start = initial_configuration(machine, "aaa")
+        closure = reachable_configurations(machine, start)
+        assert closure == {("s", "a", "a", "a"), ("t", "a", "a", "a")}

@@ -1,0 +1,80 @@
+"""LBA structure and rule validation."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.lba.machine import LBA, left_rules, right_rules, stay_rules
+
+
+def tiny_machine(rules):
+    return LBA(
+        states=("s", "h"),
+        alphabet=("a", "B"),
+        start="s",
+        halt="h",
+        rules=rules,
+    )
+
+
+class TestValidation:
+    def test_states_alphabet_disjoint(self):
+        with pytest.raises(ReproError):
+            LBA(states=("s", "a"), alphabet=("a", "B"), start="s", halt="s",
+                rules=[])
+
+    def test_start_halt_must_be_states(self):
+        with pytest.raises(ReproError):
+            LBA(states=("s",), alphabet=("a", "B"), start="s", halt="h",
+                rules=[])
+
+    def test_blank_in_alphabet(self):
+        with pytest.raises(ReproError):
+            LBA(states=("s", "h"), alphabet=("a",), start="s", halt="h",
+                rules=[], blank="B")
+
+    def test_rule_window_width(self):
+        with pytest.raises(ReproError):
+            tiny_machine([(("s", "a"), ("h", "a"))])
+
+    def test_rule_needs_one_state_each_side(self):
+        with pytest.raises(ReproError):
+            tiny_machine([(("a", "a", "a"), ("h", "a", "a"))])
+        with pytest.raises(ReproError):
+            tiny_machine([(("s", "a", "a"), ("a", "a", "a"))])
+        with pytest.raises(ReproError):
+            tiny_machine([(("s", "h", "a"), ("s", "a", "a"))])
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(ReproError):
+            tiny_machine([(("s", "z", "a"), ("h", "a", "a"))])
+
+    def test_valid_machine(self):
+        machine = tiny_machine([(("s", "a", "a"), ("h", "a", "a"))])
+        assert machine.symbols == {"s", "h", "a", "B"}
+        assert "rewrite rules" in machine.describe()
+
+
+class TestMoveCompilers:
+    def test_right_rules_shape(self):
+        rules = right_rules("s", "a", "X", "t", ("a", "B"))
+        assert (("s", "a", "a"), ("X", "t", "a")) in rules
+        assert (("s", "a", "B"), ("X", "t", "B")) in rules
+        assert len(rules) == 2
+
+    def test_left_rules_shape(self):
+        rules = left_rules("s", "a", "X", "t", ("a", "B"))
+        assert (("a", "s", "a"), ("t", "a", "X")) in rules
+        assert len(rules) == 2
+
+    def test_stay_rules_both_alignments(self):
+        rules = stay_rules("s", "a", "X", "t", ("a",))
+        assert (("s", "a", "a"), ("t", "X", "a")) in rules
+        assert (("a", "s", "a"), ("a", "t", "X")) in rules
+
+    def test_compiled_rules_accepted_by_lba(self):
+        rules = (
+            right_rules("s", "a", "B", "s", ("a", "B"))
+            + left_rules("s", "B", "B", "h", ("a", "B"))
+        )
+        machine = tiny_machine(rules)
+        assert len(machine.rules) == 4

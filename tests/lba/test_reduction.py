@@ -1,0 +1,110 @@
+"""Theorem 3.3: the reduction and its two-way verification."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.lba.configuration import initial_configuration, successors
+from repro.lba.examples import (
+    accept_all_machine,
+    contains_b_machine,
+    even_length_machine,
+    looping_machine,
+)
+from repro.lba.reduction import (
+    attr,
+    configuration_to_expression,
+    expression_to_configuration,
+    reduce_to_inds,
+    reduction_schema,
+    split_attr,
+    verify_reduction,
+)
+
+
+class TestAttributeEncoding:
+    def test_roundtrip(self):
+        assert split_attr(attr("s0", 3)) == ("s0", 3)
+
+    def test_configuration_roundtrip(self):
+        config = ("s", "a", "B", "a")
+        expression = configuration_to_expression(config)
+        assert expression_to_configuration(expression) == config
+
+    def test_out_of_order_expression_rejected(self):
+        with pytest.raises(ReproError):
+            expression_to_configuration(("R", (attr("s", 2), attr("a", 1))))
+
+
+class TestInstanceShape:
+    def test_schema_covers_all_symbol_positions(self):
+        machine = even_length_machine()
+        schema = reduction_schema(machine, 3)
+        rel = schema.relation("R")
+        assert rel.arity == len(machine.symbols) * 4
+
+    def test_premise_count(self):
+        machine = even_length_machine()
+        instance = reduce_to_inds(machine, "aaaa")
+        # One IND per rule per window position (n-1 = 3 windows).
+        assert len(instance.premises) == len(machine.rules) * 3
+
+    def test_premise_arity(self):
+        machine = even_length_machine()
+        instance = reduce_to_inds(machine, "aaaa")
+        # |P_j| + 3 = |Gamma| * (n+1-3) + 3 = 2*2 + 3 = 7.
+        assert all(p.arity == 7 for p in instance.premises)
+
+    def test_target_encodes_start_and_halt(self):
+        machine = even_length_machine()
+        instance = reduce_to_inds(machine, "aa")
+        assert instance.target.lhs_attributes[0] == attr("s0", 1)
+        assert instance.target.rhs_attributes[0] == attr("h", 1)
+
+    def test_short_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            reduce_to_inds(even_length_machine(), "a")
+
+    def test_bad_symbols_rejected(self):
+        with pytest.raises(ReproError):
+            reduce_to_inds(even_length_machine(), "ax")
+
+
+class TestBothDirections:
+    @pytest.mark.parametrize("word", ["aa", "aaa", "aaaa", "aaaaa"])
+    def test_even_machine_agrees(self, word):
+        verification = verify_reduction(even_length_machine(), word)
+        assert verification.agree, str(verification)
+
+    @pytest.mark.parametrize("word", ["ab", "aa", "ba", "aab", "aaa"])
+    def test_contains_b_agrees(self, word):
+        verification = verify_reduction(contains_b_machine(), word)
+        assert verification.agree, str(verification)
+
+    def test_looping_machine_not_implied(self):
+        verification = verify_reduction(looping_machine(), "aaa")
+        assert not verification.decision.implied
+        assert not verification.acceptance.accepted
+
+    def test_chain_decodes_to_valid_computation(self):
+        machine = accept_all_machine()
+        verification = verify_reduction(machine, "aaaa")
+        assert verification.agree and verification.decision.implied
+        computation = verification.computation_from_chain()
+        assert computation[0] == initial_configuration(machine, "aaaa")
+        for current, nxt in zip(computation, computation[1:]):
+            assert nxt in set(successors(machine, current))
+
+    def test_expression_exploration_matches_configurations(self):
+        """The IND BFS explores exactly the machine's configuration
+        graph (the heart of the PSPACE-completeness argument)."""
+        from repro.lba.configuration import reachable_configurations
+
+        machine = even_length_machine()
+        word = "aaa"
+        verification = verify_reduction(machine, word)
+        configs = reachable_configurations(
+            machine, initial_configuration(machine, word)
+        )
+        # BFS explored-count counts popped nodes; both sides see the
+        # same reachable set.
+        assert verification.decision.explored == len(configs)

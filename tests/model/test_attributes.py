@@ -1,0 +1,58 @@
+"""Attribute-sequence helpers."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.model.attributes import (
+    as_attribute_sequence,
+    check_distinct,
+    is_distinct_sequence,
+)
+
+
+class TestAsAttributeSequence:
+    def test_single_string_is_one_attribute(self):
+        assert as_attribute_sequence("A") == ("A",)
+
+    def test_single_multichar_string_is_one_attribute(self):
+        # Never split strings into characters.
+        assert as_attribute_sequence("NAME") == ("NAME",)
+
+    def test_list_of_names(self):
+        assert as_attribute_sequence(["A", "B"]) == ("A", "B")
+
+    def test_tuple_passthrough(self):
+        assert as_attribute_sequence(("A", "B", "C")) == ("A", "B", "C")
+
+    def test_generator_input(self):
+        assert as_attribute_sequence(a for a in ("X", "Y")) == ("X", "Y")
+
+    def test_rejects_non_string_elements(self):
+        with pytest.raises(SchemaError):
+            as_attribute_sequence([1, 2])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            as_attribute_sequence(["A", ""])
+
+    def test_empty_iterable_allowed(self):
+        assert as_attribute_sequence([]) == ()
+
+
+class TestDistinctness:
+    def test_distinct_true(self):
+        assert is_distinct_sequence(("A", "B", "C"))
+
+    def test_distinct_false(self):
+        assert not is_distinct_sequence(("A", "B", "A"))
+
+    def test_check_distinct_passes(self):
+        assert check_distinct(("A", "B")) == ("A", "B")
+
+    def test_check_distinct_names_duplicate(self):
+        with pytest.raises(SchemaError, match="duplicate attribute 'A'"):
+            check_distinct(("A", "B", "A"))
+
+    def test_check_distinct_includes_context(self):
+        with pytest.raises(SchemaError, match="my context"):
+            check_distinct(("A", "A"), context="my context")

@@ -1,0 +1,79 @@
+"""Database instances."""
+
+import pytest
+
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.exceptions import SchemaError
+from repro.model.builders import database
+from repro.model.database import project
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+
+
+class TestConstruction:
+    def test_missing_relations_are_empty(self, schema):
+        db = database(schema, {"R": [(1, 2)]})
+        assert db["S"].is_empty
+
+    def test_stray_relation_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            database(schema, {"X": [(1,)]})
+
+    def test_unknown_lookup_rejected(self, schema):
+        db = database(schema)
+        with pytest.raises(SchemaError):
+            db.relation("X")
+
+    def test_from_plain_dict_spec(self):
+        db = database({"R": ("A",)}, {"R": [(1,)]})
+        assert len(db["R"]) == 1
+
+
+class TestQueries:
+    def test_total_tuples(self, schema):
+        db = database(schema, {"R": [(1, 2)], "S": [(3, 4), (5, 6)]})
+        assert db.total_tuples() == 3
+
+    def test_active_domain(self, schema):
+        db = database(schema, {"R": [(1, 2)], "S": [(2, 3)]})
+        assert db.active_domain() == {1, 2, 3}
+
+    def test_project_helper(self, schema):
+        db = database(schema, {"R": [(1, 2)]})
+        assert project(db, "R", ("B", "A")) == {(2, 1)}
+
+    def test_satisfies_dispatch(self, schema):
+        db = database(schema, {"R": [(1, 2)], "S": [(1, 9)]})
+        assert db.satisfies(IND("R", ("A",), "S", ("C",)))
+        assert not db.satisfies(IND("R", ("B",), "S", ("C",)))
+
+    def test_satisfies_all_and_violated(self, schema):
+        db = database(schema, {"R": [(1, 2), (1, 3)]})
+        deps = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("A",))]
+        assert not db.satisfies_all(deps)
+        assert db.violated(deps) == [deps[0]]
+
+
+class TestUpdates:
+    def test_with_tuples_returns_new(self, schema):
+        db = database(schema, {"R": [(1, 2)]})
+        updated = db.with_tuples("R", [(3, 4)])
+        assert len(updated["R"]) == 2
+        assert len(db["R"]) == 1
+
+    def test_with_relation_schema_checked(self, schema):
+        from repro.model.builders import relation
+
+        db = database(schema)
+        with pytest.raises(SchemaError):
+            db.with_relation(relation("X", ("A",), [(1,)]))
+
+    def test_describe_is_deterministic(self, schema):
+        db = database(schema, {"R": [(1, 2)], "S": [(3, 4)]})
+        assert db.describe() == db.describe()
+        assert "R[A,B]" in db.describe()

@@ -1,0 +1,82 @@
+"""Finite relations and projection semantics."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.model.builders import relation
+from repro.model.relation import Relation
+from repro.model.schema import RelationSchema
+
+
+class TestConstruction:
+    def test_rows_deduplicated(self):
+        r = relation("R", ("A", "B"), [(1, 2), (1, 2)])
+        assert len(r) == 1
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            relation("R", ("A", "B"), [(1, 2, 3)])
+
+    def test_empty_relation(self):
+        r = relation("R", ("A",))
+        assert r.is_empty
+        assert len(r) == 0
+
+    def test_membership(self):
+        r = relation("R", ("A", "B"), [(1, 2)])
+        assert (1, 2) in r
+        assert (2, 1) not in r
+
+    def test_equality(self):
+        a = relation("R", ("A",), [(1,), (2,)])
+        b = relation("R", ("A",), [(2,), (1,)])
+        assert a == b
+
+
+class TestProjection:
+    def test_project_single_column(self):
+        r = relation("R", ("A", "B"), [(1, 2), (3, 4)])
+        assert r.project("A") == {(1,), (3,)}
+
+    def test_project_preserves_sequence_order(self):
+        # r[X] follows the order of X, not the scheme: the paper's
+        # sequence semantics.
+        r = relation("R", ("A", "B"), [(1, 2)])
+        assert r.project(("B", "A")) == {(2, 1)}
+
+    def test_project_duplicates_collapse(self):
+        r = relation("R", ("A", "B"), [(1, 2), (1, 3)])
+        assert r.project("A") == {(1,)}
+
+    def test_project_tuple(self):
+        r = relation("R", ("A", "B", "C"), [(1, 2, 3)])
+        assert r.project_tuple((1, 2, 3), ("C", "A")) == (3, 1)
+
+    def test_column(self):
+        r = relation("R", ("A", "B"), [(1, 2), (3, 2)])
+        assert r.column("B") == {2}
+
+    def test_unknown_attribute_raises(self):
+        r = relation("R", ("A",), [(1,)])
+        with pytest.raises(SchemaError):
+            r.project("Z")
+
+
+class TestManipulation:
+    def test_with_tuples(self):
+        r = relation("R", ("A",), [(1,)])
+        bigger = r.with_tuples([(2,)])
+        assert len(bigger) == 2
+        assert len(r) == 1  # original untouched
+
+    def test_active_domain(self):
+        r = relation("R", ("A", "B"), [(1, "x")])
+        assert r.active_domain() == {1, "x"}
+
+    def test_sorted_rows_deterministic(self):
+        r = relation("R", ("A",), [(3,), (1,), (2,)])
+        assert r.sorted_rows() == sorted(r.sorted_rows(), key=repr)
+
+    def test_str_contains_schema(self):
+        r = relation("R", ("A", "B"), [(1, 2)])
+        assert "R[A,B]" in str(r)

@@ -1,0 +1,99 @@
+"""Relation and database schemes."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.model.schema import DatabaseSchema, RelationSchema
+
+
+class TestRelationSchema:
+    def test_basic_construction(self):
+        schema = RelationSchema("R", ("A", "B"))
+        assert schema.name == "R"
+        assert schema.attributes == ("A", "B")
+        assert schema.arity == 2
+
+    def test_single_attribute_via_string(self):
+        schema = RelationSchema("R", "A")
+        assert schema.attributes == ("A",)
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ("A", "A"))
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("A",))
+
+    def test_contains(self):
+        schema = RelationSchema("R", ("A", "B"))
+        assert "A" in schema
+        assert "Z" not in schema
+
+    def test_position(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        assert schema.position("B") == 1
+
+    def test_position_unknown_attribute(self):
+        schema = RelationSchema("R", ("A",))
+        with pytest.raises(SchemaError):
+            schema.position("Z")
+
+    def test_positions_preserve_order(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        assert schema.positions(("C", "A")) == (2, 0)
+
+    def test_equality_and_hash(self):
+        assert RelationSchema("R", ("A", "B")) == RelationSchema("R", ("A", "B"))
+        assert hash(RelationSchema("R", ("A",))) == hash(RelationSchema("R", ("A",)))
+
+    def test_attribute_order_matters(self):
+        assert RelationSchema("R", ("A", "B")) != RelationSchema("R", ("B", "A"))
+
+    def test_str(self):
+        assert str(RelationSchema("R", ("A", "B"))) == "R[A,B]"
+
+
+class TestDatabaseSchema:
+    def test_of_and_lookup(self):
+        db = DatabaseSchema.of(
+            RelationSchema("R", ("A",)), RelationSchema("S", ("B",))
+        )
+        assert db.relation("R").attributes == ("A",)
+        assert "S" in db
+        assert len(db) == 2
+
+    def test_from_dict(self):
+        db = DatabaseSchema.from_dict({"R": ("A", "B"), "S": "C"})
+        assert db.relation("S").arity == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema.of(
+                RelationSchema("R", ("A",)), RelationSchema("R", ("B",))
+            )
+
+    def test_unknown_relation(self):
+        db = DatabaseSchema.from_dict({"R": ("A",)})
+        with pytest.raises(SchemaError):
+            db.relation("S")
+
+    def test_iteration_order(self):
+        db = DatabaseSchema.from_dict({"R": ("A",), "S": ("B",)})
+        assert [schema.name for schema in db] == ["R", "S"]
+
+    def test_extended_with(self):
+        db = DatabaseSchema.from_dict({"R": ("A",)})
+        bigger = db.extended_with(RelationSchema("S", ("B",)))
+        assert "S" in bigger
+        assert "S" not in db
+
+    def test_equality(self):
+        first = DatabaseSchema.from_dict({"R": ("A",)})
+        second = DatabaseSchema.from_dict({"R": ("A",)})
+        assert first == second
+        assert hash(first) == hash(second)

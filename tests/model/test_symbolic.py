@@ -1,0 +1,218 @@
+"""Symbolic infinite relations: exactness within the fragment.
+
+Every symbolic answer is cross-checked against large finite prefixes
+of the same families: a symbolic "violated" must be witnessed by (or
+at least consistent with) the prefix, and a symbolic "satisfied" must
+never be contradicted by the prefix.
+"""
+
+import pytest
+
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.rd import RD
+from repro.exceptions import SymbolicLimitationError
+from repro.model.builders import database
+from repro.model.schema import DatabaseSchema, RelationSchema
+from repro.model.symbolic import (
+    InfiniteRelation,
+    LinearColumn,
+    SymbolicDatabase,
+    TupleFamily,
+    figure_4_1_relation,
+    figure_4_2_relation,
+)
+
+
+def prefix_database(rel: InfiniteRelation, count: int = 60):
+    """A finite prefix of an infinite relation, as a real database."""
+    rows = list(rel.extras)
+    for family in rel.families:
+        rows.extend(family.sample(count))
+    schema = DatabaseSchema.of(rel.schema)
+    return database(schema, {rel.schema.name: rows})
+
+
+class TestLinearColumn:
+    def test_value(self):
+        assert LinearColumn(1, 3).value(4) == 7
+        assert LinearColumn(0, 5).value(100) == 5
+
+    def test_slope_restriction(self):
+        with pytest.raises(SymbolicLimitationError):
+            LinearColumn(2, 0)
+
+
+class TestTupleFamily:
+    def test_tuple_at(self):
+        family = TupleFamily.of((1, 1), (1, 0))
+        assert family.tuple_at(0) == (1, 0)
+        assert family.tuple_at(5) == (6, 5)
+
+    def test_start_respected(self):
+        family = TupleFamily.of((1, 0), start=3)
+        with pytest.raises(ValueError):
+            family.tuple_at(2)
+
+    def test_sample(self):
+        family = TupleFamily.of((1, 0), start=2)
+        assert family.sample(3) == [(2,), (3,), (4,)]
+
+
+class TestFigure41:
+    """Figure 4.1: r = {(i+1, i) : i >= 0} over R[A,B]."""
+
+    @pytest.fixture
+    def db(self):
+        schema = DatabaseSchema.of(RelationSchema("R", ("A", "B")))
+        return SymbolicDatabase(schema, {"R": figure_4_1_relation()})
+
+    def test_satisfies_fd_a_to_b(self, db):
+        assert db.satisfies(FD("R", ("A",), ("B",)))
+
+    def test_satisfies_ind_a_in_b(self, db):
+        assert db.satisfies(IND("R", ("A",), "R", ("B",)))
+
+    def test_violates_reverse_ind(self, db):
+        # 0 occurs in column B but not in column A.
+        assert not db.satisfies(IND("R", ("B",), "R", ("A",)))
+
+    def test_satisfies_fd_b_to_a(self, db):
+        # B -> A actually holds in Figure 4.1 (it is part (a)'s IND
+        # that fails, not the FD).
+        assert db.satisfies(FD("R", ("B",), ("A",)))
+
+    def test_violates_nontrivial_rd(self, db):
+        assert not db.satisfies(RD("R", ("A",), ("B",)))
+
+    def test_consistency_with_finite_prefix(self, db):
+        prefix = prefix_database(figure_4_1_relation())
+        # FDs that the symbolic engine claims satisfied must hold in
+        # every finite prefix.
+        for fd in (FD("R", ("A",), ("B",)), FD("R", ("B",), ("A",))):
+            assert db.satisfies(fd)
+            assert prefix.satisfies(fd)
+
+
+class TestFigure42:
+    """Figure 4.2: r = {(1,1)} u {(i+1, i) : i >= 1}."""
+
+    @pytest.fixture
+    def db(self):
+        schema = DatabaseSchema.of(RelationSchema("R", ("A", "B")))
+        return SymbolicDatabase(schema, {"R": figure_4_2_relation()})
+
+    def test_satisfies_sigma(self, db):
+        assert db.satisfies(FD("R", ("A",), ("B",)))
+        assert db.satisfies(IND("R", ("A",), "R", ("B",)))
+
+    def test_violates_fd_b_to_a(self, db):
+        # B = 1 appears with A = 1 (extra tuple) and A = 2 (family).
+        assert not db.satisfies(FD("R", ("B",), ("A",)))
+
+    def test_prefix_agrees_on_violation(self, db):
+        prefix = prefix_database(figure_4_2_relation())
+        assert not prefix.satisfies(FD("R", ("B",), ("A",)))
+
+
+class TestFdFamilyAnalysis:
+    def test_constant_column_fd(self):
+        # {(c, i)}: A is constant, so 0 -> A holds; A -> B fails.
+        schema = RelationSchema("R", ("A", "B"))
+        rel = InfiniteRelation(schema, [TupleFamily.of((0, 7), (1, 0))])
+        assert rel.satisfies_fd((), ("A",))
+        assert not rel.satisfies_fd(("A",), ("B",))
+
+    def test_two_families_cross_violation(self):
+        # {(i, i)} and {(i, i+1)} share A values but differ on B.
+        schema = RelationSchema("R", ("A", "B"))
+        rel = InfiniteRelation(
+            schema,
+            [TupleFamily.of((1, 0), (1, 0)), TupleFamily.of((1, 0), (1, 1))],
+        )
+        assert not rel.satisfies_fd(("A",), ("B",))
+
+    def test_two_disjoint_families_no_violation(self):
+        # Families with disjoint A ranges cannot clash... offsets make
+        # them overlap, so shift one family's A far away via intercept.
+        schema = RelationSchema("R", ("A", "B"))
+        rel = InfiniteRelation(
+            schema,
+            [
+                TupleFamily.of((0, 1), (0, 2)),
+                TupleFamily.of((0, 3), (0, 4)),
+            ],
+        )
+        assert rel.satisfies_fd(("A",), ("B",))
+
+    def test_family_vs_extra_violation(self):
+        schema = RelationSchema("R", ("A", "B"))
+        rel = InfiniteRelation(
+            schema, [TupleFamily.of((1, 0), (1, 0))], extras=[(5, 99)]
+        )
+        # (5, 5) from the family and (5, 99) share A = 5.
+        assert not rel.satisfies_fd(("A",), ("B",))
+
+
+class TestIndFamilyAnalysis:
+    def test_shifted_family_inclusion(self):
+        # {(i+1,)} c {(i,)} as sets of values: column inclusion via
+        # two single-column relations.
+        schema_a = RelationSchema("R", ("A",))
+        schema_b = RelationSchema("S", ("B",))
+        source = InfiniteRelation(schema_a, [TupleFamily.of((1, 1))])
+        target = InfiniteRelation(schema_b, [TupleFamily.of((1, 0))])
+        assert source.projection_contained_in(("A",), target, ("B",))
+        assert not target.projection_contained_in(("B",), source, ("A",))
+
+    def test_gap_covered_by_extras(self):
+        # {i : i >= 5} u {0} needs the extras to cover the gap when
+        # included into {i : i >= 0}; and conversely {i >= 0} is not
+        # inside {i >= 5} u {0,...} without full coverage.
+        schema = RelationSchema("R", ("A",))
+        low = InfiniteRelation(schema, [TupleFamily.of((1, 0))])
+        high = InfiniteRelation(
+            schema, [TupleFamily.of((1, 0), start=5)], extras=[(0,), (2,)]
+        )
+        assert high.projection_contained_in(("A",), low, ("A",))
+        assert not low.projection_contained_in(("A",), high, ("A",))
+
+    def test_constant_family_point_coverage(self):
+        schema = RelationSchema("R", ("A",))
+        constant = InfiniteRelation(schema, [TupleFamily.of((0, 3))])
+        covering = InfiniteRelation(schema, extras=[(3,)])
+        assert constant.projection_contained_in(("A",), covering, ("A",))
+        missing = InfiniteRelation(schema, extras=[(4,)])
+        assert not constant.projection_contained_in(("A",), missing, ("A",))
+
+
+class TestRdAnalysis:
+    def test_equal_columns_satisfy_rd(self):
+        schema = RelationSchema("R", ("A", "B"))
+        rel = InfiniteRelation(schema, [TupleFamily.of((1, 2), (1, 2))])
+        assert rel.satisfies_rd([("A", "B")])
+
+    def test_offset_columns_violate_rd(self):
+        schema = RelationSchema("R", ("A", "B"))
+        rel = InfiniteRelation(schema, [TupleFamily.of((1, 0), (1, 1))])
+        assert not rel.satisfies_rd([("A", "B")])
+
+    def test_extras_checked(self):
+        schema = RelationSchema("R", ("A", "B"))
+        rel = InfiniteRelation(schema, extras=[(1, 1), (2, 3)])
+        assert not rel.satisfies_rd([("A", "B")])
+
+
+class TestSymbolicDatabase:
+    def test_unsupported_dependency_raises(self):
+        from repro.deps.emvd import EMVD
+
+        schema = DatabaseSchema.of(RelationSchema("R", ("A", "B", "C")))
+        db = SymbolicDatabase(schema, {})
+        with pytest.raises(SymbolicLimitationError):
+            db.satisfies(EMVD("R", ("A",), ("B",), ("C",)))
+
+    def test_missing_relations_default_empty(self):
+        schema = DatabaseSchema.of(RelationSchema("R", ("A",)))
+        db = SymbolicDatabase(schema, {})
+        assert db.relation("R").is_finite

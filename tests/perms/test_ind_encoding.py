@@ -1,0 +1,115 @@
+"""Permutation INDs: the superpolynomial example and short proofs."""
+
+import pytest
+
+from repro.core.ind_axioms import check_proof
+from repro.core.ind_decision import decide_ind
+from repro.core.ind_prover import implies_ind
+from repro.perms.ind_encoding import (
+    chain_decision,
+    permutation_ind,
+    permutation_schema,
+    short_proof_of_power,
+    transposition_generators,
+)
+from repro.perms.landau import landau, landau_witness_permutation
+from repro.perms.permutation import Permutation
+
+
+class TestEncoding:
+    def test_identity_is_trivial(self):
+        ind = permutation_ind(Permutation.identity(3))
+        assert ind.is_trivial()
+
+    def test_cycle_encoding(self):
+        perm = Permutation.from_cycles(3, [(0, 1, 2)])  # 0->1->2->0
+        ind = permutation_ind(perm)
+        assert ind.lhs_attributes == ("A1", "A2", "A3")
+        assert ind.rhs_attributes == ("A2", "A3", "A1")
+
+
+class TestGenerators:
+    def test_generator_count(self):
+        assert len(transposition_generators(4)) == 4
+
+    def test_generators_imply_all_full_width_inds(self):
+        """Every permutation IND over R[A1..Am] follows from the
+        transpositions (the paper's generating-set remark)."""
+        from itertools import permutations as iter_perms
+
+        m = 3
+        generators = transposition_generators(m)
+        for image in iter_perms(range(m)):
+            target = permutation_ind(Permutation(image))
+            assert implies_ind(generators, target), image
+
+    def test_generators_imply_projected_inds(self):
+        m = 3
+        generators = transposition_generators(m)
+        from repro.deps.ind import IND
+
+        # An arbitrary narrow IND over the scheme.
+        target = IND("R", ("A1", "A3"), "R", ("A2", "A1"))
+        assert implies_ind(generators, target)
+
+
+class TestChainLengths:
+    def test_chain_is_power_steps(self):
+        perm = Permutation.from_cycles(5, [(0, 1, 2, 3, 4)])
+        for power in (1, 2, 3, 4):
+            report = chain_decision(perm, power)
+            assert report.decision.implied
+            assert report.chain_steps == power
+
+    def test_landau_worst_case(self):
+        m = 7  # g(7) = 12
+        perm = landau_witness_permutation(m)
+        report = chain_decision(perm, perm.order() - 1)
+        assert report.decision.implied
+        assert report.chain_steps == landau(m) - 1
+
+    def test_full_cycle_returns_to_identity(self):
+        perm = Permutation.from_cycles(4, [(0, 1, 2, 3)])
+        report = chain_decision(perm, perm.order())
+        # gamma^order = identity: the target is trivial.
+        assert report.decision.implied
+        assert report.chain_steps == 0
+
+
+class TestShortProofs:
+    @pytest.mark.parametrize("power", [1, 2, 3, 7, 12, 59])
+    def test_proof_verifies(self, power):
+        m = 12
+        perm = landau_witness_permutation(m)
+        proof = short_proof_of_power(perm, power)
+        target = permutation_ind(perm ** power)
+        assert check_proof(proof, permutation_schema(m), target)
+
+    def test_logarithmic_length(self):
+        m = 12
+        perm = landau_witness_permutation(m)  # order 60
+        power = perm.order() - 1  # 59
+        proof = short_proof_of_power(perm, power)
+        naive = chain_decision(perm, power).chain_steps
+        # Each squaring/multiplication costs <= 2 lines + 1 hypothesis.
+        assert len(proof) < 4 * power.bit_length() + 4
+        assert len(proof) < naive  # strictly beats the naive chain
+
+    def test_bad_power_rejected(self):
+        with pytest.raises(ValueError):
+            short_proof_of_power(Permutation.identity(2), 0)
+
+
+class TestSuperpolynomialGrowth:
+    def test_steps_grow_superlinearly_in_m(self):
+        """The naive procedure's step count on the Landau family grows
+        like g(m) - 1, far beyond any fixed polynomial's low-degree
+        behaviour on this range."""
+        steps = {}
+        for m in (5, 7, 9, 12):
+            perm = landau_witness_permutation(m)
+            steps[m] = chain_decision(perm, perm.order() - 1).chain_steps
+        assert steps[5] == landau(5) - 1 == 5
+        assert steps[12] == landau(12) - 1 == 59
+        # Ratio test: growth clearly outpaces m itself.
+        assert steps[12] / 12 > steps[5] / 5

@@ -1,0 +1,84 @@
+"""Landau's function g(m)."""
+
+import math
+
+from repro.perms.landau import (
+    landau,
+    landau_partition,
+    landau_witness_permutation,
+    log_landau_ratio,
+)
+
+
+class TestValues:
+    def test_known_sequence(self):
+        # OEIS A000793.
+        expected = [1, 2, 3, 4, 6, 6, 12, 15, 20, 30, 30, 60, 60, 84,
+                    105, 140, 210, 210, 420, 420]
+        assert [landau(m) for m in range(1, 21)] == expected
+
+    def test_monotone(self):
+        values = [landau(m) for m in range(1, 40)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_edge_cases(self):
+        assert landau(0) == 1
+        assert landau(1) == 1
+
+
+class TestPartition:
+    def test_parts_are_prime_powers(self):
+        for m in (7, 12, 19, 30):
+            for part in landau_partition(m):
+                # A prime power has exactly one distinct prime factor.
+                factors = set()
+                value = part
+                for p in range(2, part + 1):
+                    while value % p == 0:
+                        factors.add(p)
+                        value //= p
+                assert len(factors) == 1, (m, part)
+
+    def test_parts_coprime(self):
+        for m in (10, 15, 25):
+            parts = landau_partition(m)
+            for i, a in enumerate(parts):
+                for b in parts[i + 1:]:
+                    assert math.gcd(a, b) == 1
+
+    def test_sum_within_budget(self):
+        for m in range(2, 35):
+            assert sum(landau_partition(m)) <= m
+
+    def test_lcm_is_landau(self):
+        for m in range(2, 35):
+            assert math.lcm(*landau_partition(m)) == landau(m)
+
+
+class TestWitness:
+    def test_order_matches(self):
+        for m in (5, 9, 12, 20, 26):
+            perm = landau_witness_permutation(m)
+            assert perm.degree == m
+            assert perm.order() == landau(m)
+
+    def test_no_permutation_beats_landau_small(self):
+        """Exhaustive check for tiny m: g(m) really is the max order."""
+        from itertools import permutations as iter_perms
+
+        from repro.perms.permutation import Permutation
+
+        for m in range(1, 7):
+            best = max(
+                Permutation(image).order()
+                for image in iter_perms(range(m))
+            )
+            assert best == landau(m)
+
+
+class TestAsymptotics:
+    def test_ratio_approaches_one_from_below(self):
+        # log g(m) / sqrt(m log m) climbs toward 1 (Landau 1909).
+        ratios = [log_landau_ratio(m) for m in (20, 60, 120, 200)]
+        assert all(0.5 < r < 1.1 for r in ratios)
+        assert ratios == sorted(ratios)  # increasing on this range

@@ -1,0 +1,84 @@
+"""Permutation algebra."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.perms.permutation import Permutation
+
+
+class TestConstruction:
+    def test_identity(self):
+        perm = Permutation.identity(4)
+        assert perm.is_identity()
+        assert perm.order() == 1
+
+    def test_invalid_image_rejected(self):
+        with pytest.raises(ReproError):
+            Permutation((0, 0, 1))
+
+    def test_transposition(self):
+        perm = Permutation.transposition(3, 0, 2)
+        assert perm.image == (2, 1, 0)
+        assert perm.order() == 2
+
+    def test_from_cycles(self):
+        perm = Permutation.from_cycles(5, [(0, 1, 2), (3, 4)])
+        assert perm(0) == 1 and perm(2) == 0 and perm(3) == 4
+
+    def test_from_overlapping_cycles_rejected(self):
+        with pytest.raises(ReproError):
+            Permutation.from_cycles(4, [(0, 1), (1, 2)])
+
+
+class TestAlgebra:
+    def test_composition_function_order(self):
+        f = Permutation((1, 0, 2))  # swap 0,1
+        g = Permutation((0, 2, 1))  # swap 1,2
+        # (f o g)(1) = f(g(1)) = f(2) = 2
+        assert (f @ g)(1) == 2
+
+    def test_inverse(self):
+        perm = Permutation.from_cycles(4, [(0, 1, 2, 3)])
+        assert (perm @ perm.inverse()).is_identity()
+
+    def test_power_matches_iteration(self):
+        perm = Permutation.from_cycles(5, [(0, 1, 2), (3, 4)])
+        manual = Permutation.identity(5)
+        for exponent in range(8):
+            assert perm ** exponent == manual
+            manual = perm @ manual
+
+    def test_negative_power(self):
+        perm = Permutation.from_cycles(3, [(0, 1, 2)])
+        assert perm ** -1 == perm.inverse()
+
+    def test_degree_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            Permutation((0, 1)) @ Permutation((0, 1, 2))
+
+
+class TestStructure:
+    def test_cycles_partition(self):
+        perm = Permutation.from_cycles(6, [(0, 1, 2), (3, 4)])
+        elements = sorted(e for cycle in perm.cycles() for e in cycle)
+        assert elements == list(range(6))
+
+    def test_cycle_type(self):
+        perm = Permutation.from_cycles(6, [(0, 1, 2), (3, 4)])
+        assert perm.cycle_type() == (3, 2, 1)
+
+    def test_order_is_lcm(self):
+        perm = Permutation.from_cycles(5, [(0, 1, 2), (3, 4)])
+        assert perm.order() == 6
+
+    def test_order_definition(self):
+        perm = Permutation.from_cycles(7, [(0, 1, 2), (3, 4, 5, 6)])
+        order = perm.order()
+        assert (perm ** order).is_identity()
+        for smaller in range(1, order):
+            assert not (perm ** smaller).is_identity()
+
+    def test_str_cycles(self):
+        perm = Permutation.from_cycles(4, [(0, 1)])
+        assert str(perm) == "(0 1)"
+        assert str(Permutation.identity(3)) == "id"

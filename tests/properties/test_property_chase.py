@@ -1,0 +1,99 @@
+"""Property-based tests for the chase engines and the unary engine."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.finite_unary import unary_closure
+from repro.core.fdind_chase import chase_database
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.exceptions import ChaseBudgetExceeded, DependencyError
+from repro.model.schema import DatabaseSchema, RelationSchema
+
+from tests.properties.strategies import databases, inds, schemas
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    derandomize=True,
+)
+
+
+@COMMON
+@given(schemas(), st.data())
+def test_chase_repair_satisfies_inds(schema, data):
+    """Chasing a database with INDs yields a superset instance
+    satisfying them (when the chase terminates)."""
+    db = data.draw(databases(schema, max_tuples=3, domain=3))
+    ind_list = [data.draw(inds(schema)) for _ in range(data.draw(st.integers(0, 3)))]
+    try:
+        repaired = chase_database(db, ind_list, max_rounds=30, max_tuples=3000)
+    except ChaseBudgetExceeded:
+        return  # cyclic IND sets may legitimately diverge
+    assert repaired.satisfies_all(ind_list)
+    # Original tuples survive (as stringified constants).
+    for rel in db:
+        repaired_rows = repaired.relation(rel.name).tuples
+        rendered = {tuple(str(v) for v in row) for row in rel}
+        assert rendered <= {
+            tuple(str(v) for v in row) for row in repaired_rows
+        }
+
+
+def unary_premises():
+    """Random unary FD/IND sets over two 2-attribute relations."""
+
+    @st.composite
+    def build(draw):
+        deps = []
+        for _ in range(draw(st.integers(1, 5))):
+            rel = draw(st.sampled_from(["R", "S"]))
+            a = draw(st.sampled_from(["A", "B"]))
+            b = draw(st.sampled_from(["A", "B"]))
+            if draw(st.booleans()):
+                if a != b:
+                    deps.append(FD(rel, (a,), (b,)))
+            else:
+                rel2 = draw(st.sampled_from(["R", "S"]))
+                c = draw(st.sampled_from(["A", "B"]))
+                ind = IND(rel, (a,), rel2, (c,))
+                if not ind.is_trivial():
+                    deps.append(ind)
+        return deps
+
+    return build()
+
+
+@COMMON
+@given(unary_premises())
+def test_unary_finite_closure_contains_unrestricted(premises):
+    unrestricted = unary_closure(premises, finite=False)
+    finite = unary_closure(premises, finite=True)
+    assert unrestricted.fds <= finite.fds
+    assert unrestricted.inds <= finite.inds
+
+
+@COMMON
+@given(unary_premises())
+def test_unary_closure_idempotent(premises):
+    closure = unary_closure(premises, finite=True)
+    again = unary_closure(closure.derived_dependencies(), finite=True)
+    assert closure.fds <= again.fds
+    assert closure.inds <= again.inds
+
+
+@COMMON
+@given(unary_premises(), st.data())
+def test_unary_finite_engine_sound_on_models(premises, data):
+    """Whatever the finite engine derives holds in every random finite
+    model of the premises."""
+    schema = DatabaseSchema.of(
+        RelationSchema("R", ("A", "B")), RelationSchema("S", ("A", "B"))
+    )
+    db = data.draw(databases(schema, max_tuples=4, domain=3))
+    if not db.satisfies_all(premises):
+        return
+    closure = unary_closure(premises, finite=True)
+    for dep in closure.derived_dependencies():
+        assert db.satisfies(dep), f"{dep} derived but fails"

@@ -1,0 +1,85 @@
+"""Property-based tests for the FD substrate."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.fd_closure import (
+    attribute_closure,
+    equivalent_fd_sets,
+    fd_implies,
+    minimal_cover,
+)
+
+from tests.properties.strategies import databases, fds, schemas
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+
+
+@st.composite
+def fd_sets(draw):
+    schema = draw(schemas(max_relations=1, min_arity=2))
+    fd_list = [draw(fds(schema)) for _ in range(draw(st.integers(0, 5)))]
+    return schema, fd_list
+
+
+@COMMON
+@given(fd_sets(), st.data())
+def test_closure_is_extensive_monotone_idempotent(bundle, data):
+    schema, fd_list = bundle
+    rel = next(iter(schema))
+    attrs = set(
+        data.draw(st.lists(st.sampled_from(list(rel.attributes)), max_size=3))
+    )
+    closure = attribute_closure(attrs, fd_list, rel.name)
+    assert attrs <= closure  # extensive
+    assert attribute_closure(closure, fd_list, rel.name) == closure  # idempotent
+    bigger = attrs | {rel.attributes[0]}
+    assert closure <= attribute_closure(bigger, fd_list, rel.name)  # monotone
+
+
+@COMMON
+@given(fd_sets())
+def test_implication_soundness_via_closure_definition(bundle):
+    """fd_implies(S, X->Y) iff Y inside closure(X) — and every premise
+    is self-implied."""
+    schema, fd_list = bundle
+    for fd in fd_list:
+        assert fd_implies(fd_list, fd)
+
+
+@COMMON
+@given(fd_sets(), st.data())
+def test_implied_fds_hold_in_models(bundle, data):
+    """Semantic soundness: an implied FD holds in every model of the
+    premises."""
+    schema, fd_list = bundle
+    candidate = data.draw(fds(schema))
+    if not fd_implies(fd_list, candidate):
+        return
+    db = data.draw(databases(schema, max_tuples=4, domain=3))
+    if db.satisfies_all(fd_list):
+        assert db.satisfies(candidate)
+
+
+@COMMON
+@given(fd_sets())
+def test_minimal_cover_equivalent(bundle):
+    schema, fd_list = bundle
+    cover = minimal_cover(fd_list)
+    assert equivalent_fd_sets(cover, fd_list)
+    assert all(len(fd.rhs) == 1 for fd in cover)
+
+
+@COMMON
+@given(fd_sets())
+def test_minimal_cover_irredundant(bundle):
+    schema, fd_list = bundle
+    cover = minimal_cover(fd_list)
+    for index, fd in enumerate(cover):
+        rest = cover[:index] + cover[index + 1:]
+        assert not fd_implies(rest, fd), f"{fd} is redundant in cover"

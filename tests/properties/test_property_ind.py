@@ -1,0 +1,110 @@
+"""Property-based tests for the IND inference stack.
+
+The central soundness/completeness property is *exact*: when the
+decision procedure answers "not implied", the Rule (*) database is a
+concrete finite counterexample; when it answers "implied", the formal
+proof replays through the independent checker, and every random model
+of the premises satisfies the target.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ind_axioms import check_proof
+from repro.core.ind_chase import decide_by_rule_star, rule_star_database, witness_tuple
+from repro.core.ind_decision import chain_is_valid, decide_ind
+from repro.core.ind_prover import proof_from_decision, prove_ind
+
+from tests.properties.strategies import databases, inds, schemas
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    derandomize=True,
+)
+
+
+@st.composite
+def implication_questions(draw):
+    schema = draw(schemas())
+    premises = [draw(inds(schema)) for _ in range(draw(st.integers(0, 5)))]
+    target = draw(inds(schema))
+    return schema, premises, target
+
+
+@COMMON
+@given(implication_questions())
+def test_decision_agrees_with_rule_star(question):
+    """Syntactic BFS (Corollary 3.2) == semantic Rule (*) decision."""
+    schema, premises, target = question
+    syntactic = decide_ind(target, premises).implied
+    semantic = decide_by_rule_star(target, premises, schema)
+    assert syntactic == semantic
+
+
+@COMMON
+@given(implication_questions())
+def test_negative_answers_carry_counterexamples(question):
+    """Not implied => the Rule (*) database separates premises from
+    target (the completeness proof, executed)."""
+    schema, premises, target = question
+    result = decide_ind(target, premises)
+    if result.implied:
+        return
+    construction = rule_star_database(target, premises, schema)
+    db = construction.database
+    assert db.satisfies_all(premises)
+    assert not db.satisfies(target)
+
+
+@COMMON
+@given(implication_questions())
+def test_positive_answers_carry_checked_proofs(question):
+    """Implied => a formal IND1-3 proof exists and replays."""
+    schema, premises, target = question
+    proof = prove_ind(target, premises)
+    if proof is None:
+        return
+    assert check_proof(proof, schema, target)
+
+
+@COMMON
+@given(implication_questions())
+def test_witness_chains_validate(question):
+    schema, premises, target = question
+    result = decide_ind(target, premises)
+    if result.implied:
+        assert chain_is_valid(target, result.chain, result.links)
+
+
+@COMMON
+@given(implication_questions(), st.data())
+def test_soundness_on_random_models(question, data):
+    """Implied targets hold in every random model of the premises."""
+    schema, premises, target = question
+    if not decide_ind(target, premises).implied:
+        return
+    db = data.draw(databases(schema))
+    if db.satisfies_all(premises):
+        assert db.satisfies(target)
+
+
+@COMMON
+@given(implication_questions())
+def test_premises_are_implied(question):
+    """Every premise is implied by the premise set (extensivity)."""
+    schema, premises, target = question
+    for premise in premises:
+        assert decide_ind(premise, premises).implied
+
+
+@COMMON
+@given(implication_questions())
+def test_monotonicity(question):
+    """Adding premises never loses consequences."""
+    schema, premises, target = question
+    if decide_ind(target, premises).implied:
+        assert decide_ind(target, premises + [target]).implied
+        if premises:
+            assert decide_ind(target, premises + [premises[0]]).implied

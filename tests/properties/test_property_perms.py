@@ -1,0 +1,83 @@
+"""Property-based tests for permutation algebra and its IND encoding."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ind_decision import decide_ind
+from repro.perms.ind_encoding import chain_decision, permutation_ind
+from repro.perms.permutation import Permutation
+
+COMMON = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+
+
+def permutations_of(max_degree=6):
+    return st.integers(2, max_degree).flatmap(
+        lambda m: st.permutations(list(range(m))).map(Permutation)
+    )
+
+
+@COMMON
+@given(permutations_of(), permutations_of())
+def test_composition_degree_guard(f, g):
+    if f.degree == g.degree:
+        composed = f @ g
+        for i in range(f.degree):
+            assert composed(i) == f(g(i))
+
+
+@COMMON
+@given(permutations_of())
+def test_inverse_cancels(perm):
+    assert (perm @ perm.inverse()).is_identity()
+    assert (perm.inverse() @ perm).is_identity()
+
+
+@COMMON
+@given(permutations_of())
+def test_order_annihilates(perm):
+    assert (perm ** perm.order()).is_identity()
+
+
+@COMMON
+@given(permutations_of(), st.integers(0, 20))
+def test_power_respects_order_modulus(perm, exponent):
+    assert perm ** exponent == perm ** (exponent % perm.order())
+
+
+@COMMON
+@given(permutations_of())
+def test_cycle_type_sums_to_degree(perm):
+    assert sum(perm.cycle_type()) == perm.degree
+
+
+@settings(max_examples=25, deadline=None, derandomize=True,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(permutations_of(max_degree=5), st.integers(1, 12))
+def test_encoded_powers_always_implied(perm, power):
+    """sigma(gamma) |= sigma(gamma^p) for every p — with the chain
+    length equal to p modulo the order."""
+    report = chain_decision(perm, power)
+    assert report.decision.implied
+    assert report.chain_steps == power % perm.order()
+
+
+@settings(max_examples=25, deadline=None, derandomize=True,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(permutations_of(max_degree=5), permutations_of(max_degree=5))
+def test_non_powers_not_implied(gamma, delta):
+    """sigma(gamma) implies sigma(delta) only when delta is a power of
+    gamma (the expression orbit is exactly the cyclic group)."""
+    if gamma.degree != delta.degree:
+        return
+    implied = decide_ind(
+        permutation_ind(delta), [permutation_ind(gamma)]
+    ).implied
+    is_power = any(
+        gamma ** exponent == delta for exponent in range(gamma.order())
+    )
+    assert implied == is_power

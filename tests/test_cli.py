@@ -1,0 +1,104 @@
+"""The command-line interface, driven through its main() entry."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def bundle_path(tmp_path):
+    payload = {
+        "schema": {
+            "MGR": ["NAME", "DEPT"],
+            "EMP": ["NAME", "DEPT"],
+            "PERSON": ["NAME"],
+        },
+        "dependencies": [
+            "MGR[NAME,DEPT] <= EMP[NAME,DEPT]",
+            "EMP[NAME] <= PERSON[NAME]",
+            "EMP: NAME -> DEPT",
+        ],
+        "database": {
+            "MGR": [["Hilbert", "Math"]],
+            "EMP": [["Hilbert", "Math"], ["Noether", "Math"]],
+            "PERSON": [["Hilbert"], ["Noether"]],
+        },
+    }
+    path = tmp_path / "bundle.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+@pytest.fixture
+def violated_bundle_path(tmp_path):
+    payload = {
+        "schema": {"MGR": ["NAME"], "EMP": ["NAME"]},
+        "dependencies": ["MGR[NAME] <= EMP[NAME]"],
+        "database": {"MGR": [["Ghost"]], "EMP": []},
+    }
+    path = tmp_path / "violated.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestCheck:
+    def test_all_ok(self, bundle_path, capsys):
+        assert main(["check", bundle_path]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 dependencies hold" in out
+
+    def test_violation_reported(self, violated_bundle_path, capsys):
+        assert main(["check", violated_bundle_path]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "Ghost" in out
+
+    def test_bundle_without_database(self, tmp_path):
+        path = tmp_path / "nodb.json"
+        path.write_text(json.dumps({"schema": {"R": ["A"]}}))
+        assert main(["check", str(path)]) == 2
+
+
+class TestImplies:
+    def test_implied(self, bundle_path, capsys):
+        assert main(["implies", bundle_path, "MGR[NAME] <= PERSON[NAME]"]) == 0
+        assert "IMPLIED" in capsys.readouterr().out
+
+    def test_not_implied(self, bundle_path, capsys):
+        assert main(["implies", bundle_path, "PERSON[NAME] <= MGR[NAME]"]) == 1
+
+    def test_fd_target_via_chase(self, bundle_path, capsys):
+        assert main(["implies", bundle_path, "MGR: NAME -> DEPT"]) == 0
+        assert "chase" in capsys.readouterr().out
+
+    def test_malformed_target(self, bundle_path, capsys):
+        assert main(["implies", bundle_path, "NOT A DEP"]) == 2
+
+
+class TestProve:
+    def test_proof_printed(self, bundle_path, capsys):
+        assert main(["prove", bundle_path, "MGR[NAME] <= PERSON[NAME]"]) == 0
+        out = capsys.readouterr().out
+        assert "IND3" in out
+        assert "verified" in out
+
+    def test_unprovable(self, bundle_path, capsys):
+        assert main(["prove", bundle_path, "PERSON[NAME] <= MGR[NAME]"]) == 1
+
+
+class TestKeysAndSummary:
+    def test_keys(self, bundle_path, capsys):
+        assert main(["keys", bundle_path]) == 0
+        out = capsys.readouterr().out
+        assert "EMP[NAME,DEPT]: {NAME}" in out
+
+    def test_summary(self, bundle_path, capsys):
+        assert main(["summary", bundle_path]) == 0
+        out = capsys.readouterr().out
+        assert "2 INDs" in out
+        assert "5 tuples" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["summary", "/nonexistent/bundle.json"]) == 2

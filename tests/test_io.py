@@ -1,0 +1,69 @@
+"""JSON bundle serialization."""
+
+import json
+
+import pytest
+
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.exceptions import DependencyError, ParseError
+from repro.io import (
+    bundle_from_json,
+    bundle_to_json,
+    database_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.model.builders import database
+from repro.model.schema import DatabaseSchema
+from repro.workloads.schemas import library_dependencies, library_schema
+
+
+class TestSchemaRoundtrip:
+    def test_roundtrip(self):
+        schema = library_schema()
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+
+class TestBundleRoundtrip:
+    def test_full_bundle(self):
+        schema = library_schema()
+        deps = library_dependencies()
+        db = database(
+            schema,
+            {"BOOK": [("isbn1", "Title", "Author")], "MEMBER": [("m1", "Ann")]},
+        )
+        text = bundle_to_json(schema, deps, db)
+        schema2, deps2, db2 = bundle_from_json(text)
+        assert schema2 == schema
+        assert set(deps2) == set(deps)
+        assert db2 == db
+
+    def test_bundle_without_database(self):
+        schema = library_schema()
+        text = bundle_to_json(schema, library_dependencies())
+        _schema, deps, db = bundle_from_json(text)
+        assert db is None
+        assert len(deps) == len(library_dependencies())
+
+    def test_dependencies_validated_on_load(self):
+        text = json.dumps(
+            {"schema": {"R": ["A"]}, "dependencies": ["R[Z] <= R[A]"]}
+        )
+        with pytest.raises(DependencyError):
+            bundle_from_json(text)
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(ParseError):
+            bundle_from_json(json.dumps({"dependencies": []}))
+
+    def test_database_rows_ordered_deterministically(self):
+        schema = DatabaseSchema.from_dict({"R": ("A",)})
+        db = database(schema, {"R": [(2,), (1,)]})
+        assert database_to_dict(db) == {"R": [[1], [2]]}
+
+    def test_dsl_dependencies_survive(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("C", "D")})
+        deps = [IND("R", ("A", "B"), "S", ("C", "D")), FD("R", ("A",), ("B",))]
+        _s, parsed, _db = bundle_from_json(bundle_to_json(schema, deps))
+        assert set(parsed) == set(deps)

@@ -1,0 +1,59 @@
+"""File-object IO helpers and the module CLI entry point."""
+
+import io as _io
+import json
+import subprocess
+import sys
+
+from repro.io import dump_bundle, load_bundle
+from repro.workloads.schemas import library_dependencies, library_schema
+
+
+class TestFileHelpers:
+    def test_dump_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "bundle.json"
+        with open(path, "w", encoding="utf-8") as fp:
+            dump_bundle(fp, library_schema(), library_dependencies())
+        with open(path, encoding="utf-8") as fp:
+            schema, deps, db = load_bundle(fp)
+        assert schema == library_schema()
+        assert set(deps) == set(library_dependencies())
+        assert db is None
+
+    def test_dump_to_string_buffer(self):
+        buffer = _io.StringIO()
+        dump_bundle(buffer, library_schema())
+        payload = json.loads(buffer.getvalue())
+        assert "BOOK" in payload["schema"]
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, tmp_path):
+        bundle = tmp_path / "bundle.json"
+        bundle.write_text(
+            json.dumps(
+                {
+                    "schema": {"R": ["A"], "S": ["B"]},
+                    "dependencies": ["R[A] <= S[B]"],
+                    "database": {"R": [[1]], "S": [[1]]},
+                }
+            )
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "check", str(bundle)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "1/1 dependencies hold" in result.stdout
+
+    def test_help_text(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "Casanova" in result.stdout

@@ -1,0 +1,102 @@
+"""Odds and ends: exceptions, base-class contracts, budget fields."""
+
+import pytest
+
+from repro.deps.base import validate_all
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.exceptions import (
+    ChaseBudgetExceeded,
+    DependencyError,
+    ParseError,
+    ProofError,
+    ReproError,
+    SchemaError,
+    SearchBudgetExceeded,
+    SymbolicLimitationError,
+    UnsupportedDependencyError,
+)
+from repro.model.schema import DatabaseSchema
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            SchemaError,
+            DependencyError,
+            ParseError,
+            ProofError,
+            ChaseBudgetExceeded,
+            SearchBudgetExceeded,
+            UnsupportedDependencyError,
+            SymbolicLimitationError,
+        ],
+    )
+    def test_all_subclass_reproerror(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_chase_budget_carries_state(self):
+        exc = ChaseBudgetExceeded("boom", rounds=7, tuples=42)
+        assert exc.rounds == 7
+        assert exc.tuples == 42
+
+    def test_search_budget_carries_state(self):
+        exc = SearchBudgetExceeded("boom", explored=99)
+        assert exc.explored == 99
+
+    def test_single_catch_clause_suffices(self):
+        try:
+            raise ProofError("x")
+        except ReproError as exc:
+            assert str(exc) == "x"
+
+
+class TestValidateAll:
+    def test_passes_on_valid(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B")})
+        validate_all([FD("R", ("A",), ("B",)), IND("R", ("A",), "R", ("B",))],
+                     schema)
+
+    def test_raises_on_first_bad(self):
+        schema = DatabaseSchema.from_dict({"R": ("A", "B")})
+        with pytest.raises(DependencyError):
+            validate_all([FD("R", ("Z",), ("B",))], schema)
+
+
+class TestDefaultViolations:
+    def test_base_violations_fallback(self):
+        """EMVD has no specialized violations(); the base fallback
+        returns the dependency itself as the witness."""
+        from repro.deps.emvd import EMVD
+        from repro.model.builders import database
+
+        schema = DatabaseSchema.from_dict({"R": ("A", "B", "C")})
+        emvd = EMVD("R", ("A",), ("B",), ("C",))
+        bad = database(schema, {"R": [(0, 1, 1), (0, 2, 2)]})
+        good = database(schema, {"R": [(0, 1, 1)]})
+        assert emvd.violations(bad) == [emvd]
+        assert emvd.violations(good) == []
+
+
+class TestOracleRaisePath:
+    def test_section6_oracle_refuses_out_of_fragment(self):
+        from repro.core.armstrong6 import make_finite_oracle
+        from repro.deps.rd import RD
+
+        oracle = make_finite_oracle(1)
+        # A nontrivial RD implied by nothing refutable by the figures:
+        # premises that the figures violate make refutation impossible,
+        # and the unary engine cannot take RD targets.
+        with pytest.raises(UnsupportedDependencyError):
+            oracle(
+                [RD("R0", ("A",), ("B",))],  # figures violate this premise
+                FD("R0", ("A",), ("B",)),
+            )
+
+
+class TestVersionExport:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

@@ -1,0 +1,100 @@
+"""Workload generators: determinism and contract checks."""
+
+import random
+
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.workloads.random_db import random_database, random_database_satisfying
+from repro.workloads.random_deps import (
+    random_fds,
+    random_implication_instance,
+    random_inds,
+    random_schema,
+)
+from repro.workloads.schemas import (
+    employee_dependencies,
+    employee_schema,
+    library_dependencies,
+    library_schema,
+)
+
+
+class TestRandomSchema:
+    def test_deterministic_given_seed(self):
+        first = random_schema(random.Random(5))
+        second = random_schema(random.Random(5))
+        assert first == second
+
+    def test_arity_bounds(self):
+        schema = random_schema(random.Random(1), min_arity=2, max_arity=3)
+        assert all(2 <= rel.arity <= 3 for rel in schema)
+
+
+class TestRandomDependencies:
+    def test_inds_valid_over_schema(self):
+        rng = random.Random(2)
+        schema = random_schema(rng)
+        for ind in random_inds(rng, schema, count=10):
+            ind.validate(schema)
+            assert not ind.is_trivial()
+
+    def test_fds_valid_over_schema(self):
+        rng = random.Random(3)
+        schema = random_schema(rng)
+        for fd in random_fds(rng, schema, count=10):
+            fd.validate(schema)
+            assert not fd.is_trivial()
+
+    def test_forced_implied_instances(self):
+        for seed in range(15):
+            rng = random.Random(seed)
+            schema, premises, target = random_implication_instance(
+                rng, force_implied=True
+            )
+            from repro.core.ind_prover import implies_ind
+
+            assert implies_ind(premises, target), f"seed {seed}"
+
+    def test_instances_well_formed(self):
+        for seed in range(10):
+            rng = random.Random(seed)
+            schema, premises, target = random_implication_instance(rng)
+            target.validate(schema)
+            for premise in premises:
+                premise.validate(schema)
+
+
+class TestRandomDatabases:
+    def test_shape(self):
+        rng = random.Random(4)
+        schema = random_schema(rng)
+        db = random_database(rng, schema, tuples_per_relation=5)
+        assert all(len(rel) <= 5 for rel in db)
+
+    def test_satisfying_generator_meets_contract(self):
+        for seed in range(6):
+            rng = random.Random(seed)
+            db = random_database_satisfying(
+                rng, library_schema(), library_dependencies()
+            )
+            assert db.satisfies_all(library_dependencies())
+
+
+class TestNamedSchemas:
+    def test_employee_dependencies_valid(self):
+        schema = employee_schema()
+        for dep in employee_dependencies():
+            dep.validate(schema)
+
+    def test_employee_has_papers_ind(self):
+        deps = employee_dependencies()
+        assert IND("MGR", ("NAME", "DEPT"), "EMP", ("NAME", "DEPT")) in deps
+
+    def test_library_dependencies_valid(self):
+        schema = library_schema()
+        for dep in library_dependencies():
+            dep.validate(schema)
+
+    def test_library_keys_present(self):
+        deps = library_dependencies()
+        assert FD("BOOK", ("ISBN",), ("TITLE",)) in deps
