@@ -1,0 +1,120 @@
+"""E15 — the session facade at production premise counts.
+
+The ROADMAP north star is heavy query traffic over large dependency
+sets.  These benchmarks measure the two optimizations the
+``ReasoningSession`` facade introduces:
+
+* premise indexing — ``successors`` consults only the bucket of INDs
+  whose left relation matches the expanded expression, instead of
+  scanning all premises per node (the seed behaviour, kept reachable
+  by passing a plain list);
+* batch amortization — ``implies_all`` shares one premise index and
+  one expression-graph exploration per left expression across a whole
+  query batch.
+"""
+
+import random
+
+import pytest
+
+from repro.core.ind_decision import decide_ind, index_by_lhs
+from repro.deps.ind import IND
+from repro.engine import ReasoningSession
+from repro.model.schema import DatabaseSchema, RelationSchema
+from repro.workloads.random_deps import random_inds, random_schema
+
+PREMISES = 500
+RELATIONS = 100
+
+
+def large_workload():
+    """~500 premises over 100 relations with a long implication chain."""
+    rng = random.Random(19841982)
+    schema = DatabaseSchema(
+        RelationSchema(f"R{i}", ("A", "B", "C")) for i in range(RELATIONS)
+    )
+    chain = [
+        IND(f"R{i}", ("A", "B"), f"R{i+1}", ("A", "B"))
+        for i in range(RELATIONS - 1)
+    ]
+    noise = random_inds(
+        rng, schema, count=PREMISES - len(chain), max_arity=2
+    )
+    premises = chain + noise
+    target = IND("R0", ("A",), f"R{RELATIONS - 1}", ("A",))
+    return schema, premises, target
+
+
+def decide_ind_linear(target, premises, max_nodes=2_000_000):
+    """The seed's behaviour: BFS with a full premise scan per node.
+
+    ``decide_ind`` short-circuits the scan through ``index_by_lhs``;
+    forcing the flat list through ``successors`` reproduces the
+    pre-index cost for comparison.
+    """
+    from collections import deque
+
+    from repro.core.ind_decision import (
+        expression_of_lhs,
+        expression_of_rhs,
+        successors,
+    )
+
+    premise_list = list(premises)
+    start, goal = expression_of_lhs(target), expression_of_rhs(target)
+    visited, queue = {start}, deque([start])
+    while queue:
+        current = queue.popleft()
+        for nxt, _link in successors(current, premise_list):
+            if nxt == goal:
+                return True
+            if nxt not in visited:
+                visited.add(nxt)
+                queue.append(nxt)
+    return False
+
+
+@pytest.mark.artifact("session-premise-index")
+def test_decision_with_premise_index(benchmark):
+    schema, premises, target = large_workload()
+    index = index_by_lhs(premises)
+    result = benchmark(lambda: decide_ind(target, index))
+    assert result.implied
+
+
+@pytest.mark.artifact("session-premise-index")
+def test_decision_with_linear_scan(benchmark):
+    schema, premises, target = large_workload()
+    implied = benchmark(lambda: decide_ind_linear(target, premises))
+    assert implied
+
+
+@pytest.mark.artifact("session-batch")
+def test_batch_via_session(benchmark):
+    """N queries through one session: index + explorations shared."""
+    schema, premises, _target = large_workload()
+    targets = [
+        IND("R0", ("A",), f"R{i}", ("A",)) for i in range(1, 40)
+    ]
+
+    def batch():
+        session = ReasoningSession(schema, premises)
+        return session.implies_all(targets)
+
+    answers = benchmark(batch)
+    assert all(answer.verdict for answer in answers)
+
+
+@pytest.mark.artifact("session-batch")
+def test_batch_via_free_function(benchmark):
+    """The same N queries as independent decide_ind calls."""
+    schema, premises, _target = large_workload()
+    targets = [
+        IND("R0", ("A",), f"R{i}", ("A",)) for i in range(1, 40)
+    ]
+
+    def batch():
+        return [decide_ind(target, premises) for target in targets]
+
+    results = benchmark(batch)
+    assert all(result.implied for result in results)

@@ -11,6 +11,7 @@ Run:  python examples/quickstart.py
 
 from repro import (
     DatabaseSchema,
+    ReasoningSession,
     RelationSchema,
     check_proof,
     database,
@@ -95,6 +96,33 @@ def main() -> None:
     non_target = parse_dependency("EMP[NAME] <= MGR[NAME]")
     print(f"\nIs {non_target} implied?  "
           f"{decide_ind(non_target, inds).implied} (employees need not manage)")
+
+    # ------------------------------------------------------------------
+    # 6. The session facade: one object, every engine.
+    # ------------------------------------------------------------------
+    session = ReasoningSession(schema, dependencies, db=db)
+    print("\nReasoningSession:", session)
+
+    report = session.check()
+    print(f"database check: {report.satisfied_count}/"
+          f"{len(report.results)} dependencies hold")
+
+    print("candidate keys:", {
+        name: sorted(sorted(key) for key in keys)
+        for name, keys in session.keys().items()
+    })
+
+    # Batch implication: premises are indexed once, the expression
+    # exploration is shared, and each answer names its engine.
+    questions = [
+        "MGR[NAME] <= PERSON[NAME]",   # routed to the chase (mixed premises)
+        "EMP: NAME -> SALARY",
+        "MGR[DEPT] <= EMP[DEPT]",
+    ]
+    print("\nBatch answers:")
+    for answer in session.implies_all(questions):
+        print(f"  {answer.target}:  {answer.verdict_word}  "
+              f"[{answer.engine.value}]")
 
 
 if __name__ == "__main__":

@@ -23,13 +23,20 @@ Papadimitriou's PODS 1982 / JCSS 1984 paper:
 
 Quickstart::
 
-    from repro import parse_dependency, decide_ind, prove_ind
+    from repro import DatabaseSchema, ReasoningSession, parse_dependencies
 
-    premises = [parse_dependency("MGR[NAME,DEPT] <= EMP[NAME,DEPT]"),
-                parse_dependency("EMP[NAME] <= PERSON[NAME]")]
-    target = parse_dependency("MGR[NAME] <= PERSON[NAME]")
-    print(decide_ind(target, premises).implied)   # True
-    print(prove_ind(target, premises))            # a checked IND1-3 proof
+    schema = DatabaseSchema.from_dict(
+        {"MGR": ("NAME", "DEPT"), "EMP": ("NAME", "DEPT"),
+         "PERSON": ("NAME",)})
+    session = ReasoningSession(schema, parse_dependencies(
+        "MGR[NAME,DEPT] <= EMP[NAME,DEPT]\\nEMP[NAME] <= PERSON[NAME]"))
+    answer = session.implies("MGR[NAME] <= PERSON[NAME]")
+    print(answer.verdict, answer.engine)          # True corollary-3.2
+    print(session.prove("MGR[NAME] <= PERSON[NAME]").proof)
+
+The session facade indexes premises once and routes each question to
+the optimal engine; the individual procedures remain available as free
+functions (``decide_ind``, ``fd_implies``, ``chase_implies``, ...).
 """
 
 from repro.exceptions import (
@@ -82,8 +89,23 @@ from repro.core.finite_unary import (
     finitely_implies_unary,
     unrestricted_implies_unary,
 )
+from repro.engine import (
+    Answer,
+    CheckReport,
+    Engine,
+    PremiseIndex,
+    ReasoningSession,
+    Semantics,
+)
+from repro.io import (
+    bundle_from_json,
+    bundle_to_json,
+    load_bundle,
+    load_session,
+    session_from_json,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # exceptions
@@ -131,5 +153,18 @@ __all__ = [
     "chase_database",
     "finitely_implies_unary",
     "unrestricted_implies_unary",
+    # session facade
+    "Answer",
+    "CheckReport",
+    "Engine",
+    "PremiseIndex",
+    "ReasoningSession",
+    "Semantics",
+    # bundle io
+    "bundle_from_json",
+    "bundle_to_json",
+    "load_bundle",
+    "load_session",
+    "session_from_json",
     "__version__",
 ]

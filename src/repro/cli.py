@@ -2,14 +2,19 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro check  bundle.json        # database vs dependencies
+    python -m repro check   bundle.json       # database vs dependencies
     python -m repro implies bundle.json "MGR[NAME] <= PERSON[NAME]"
+    python -m repro implies bundle.json --finite "R[B] <= R[A]"
     python -m repro prove   bundle.json "MGR[NAME] <= PERSON[NAME]"
+    python -m repro batch   bundle.json targets.txt   # many questions, one load
     python -m repro keys    bundle.json       # candidate keys per relation
     python -m repro summary bundle.json       # structural profile
 
 ``bundle.json`` follows the :mod:`repro.io` format: a schema, a list
 of dependencies in the text DSL, and optionally a database instance.
+Every subcommand loads the bundle into one
+:class:`~repro.engine.session.ReasoningSession`, which indexes the
+premises once and routes each question to the right engine.
 """
 
 from __future__ import annotations
@@ -18,83 +23,91 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.fd_closure import candidate_keys
-from repro.core.ind_axioms import check_proof
-from repro.core.ind_decision import decide_ind
-from repro.core.ind_prover import prove_ind
-from repro.core.fdind_chase import chase_implies
-from repro.deps.fd import FD
-from repro.deps.ind import IND
-from repro.deps.parser import parse_dependency
+from repro.engine.answer import Semantics
+from repro.engine.session import ReasoningSession
 from repro.exceptions import ReproError
-from repro.io import bundle_from_json
+from repro.io import load_session
 
 
-def _load(path: str):
+def _load(path: str) -> ReasoningSession:
     with open(path, encoding="utf-8") as fp:
-        return bundle_from_json(fp.read())
+        return load_session(fp)
+
+
+def _semantics(args: argparse.Namespace) -> Semantics:
+    return Semantics.FINITE if getattr(args, "finite", False) else Semantics.UNRESTRICTED
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    schema, dependencies, db = _load(args.bundle)
-    if db is None:
+    session = _load(args.bundle)
+    if session.db is None:
         print("bundle has no database to check", file=sys.stderr)
         return 2
-    failures = 0
-    for dep in dependencies:
-        if db.satisfies(dep):
+    report = session.check()
+    for dep, holds in report.results:
+        if holds:
             print(f"OK        {dep}")
         else:
-            failures += 1
-            witnesses = dep.violations(db)
             print(f"VIOLATED  {dep}")
-            for witness in witnesses[:3]:
+            for witness in report.witnesses[dep][:3]:
                 print(f"          witness: {witness}")
-    print(f"\n{len(dependencies) - failures}/{len(dependencies)} dependencies hold")
-    return 1 if failures else 0
+    total = len(report.results)
+    print(f"\n{report.satisfied_count}/{total} dependencies hold")
+    return 0 if report.ok else 1
 
 
 def _cmd_implies(args: argparse.Namespace) -> int:
-    schema, dependencies, _db = _load(args.bundle)
-    target = parse_dependency(args.dependency)
-    target.validate(schema)
-    inds = [d for d in dependencies if isinstance(d, IND)]
-    if isinstance(target, IND) and len(inds) == len(dependencies):
-        result = decide_ind(target, inds)
-        print(result.describe())
-        return 0 if result.implied else 1
-    # Mixed premises: fall back to the (budgeted) chase.
-    certificate = chase_implies(schema, dependencies, target)
-    verdict = "IMPLIED" if certificate.implied else "NOT implied"
-    print(f"{target}: {verdict} (via chase, "
-          f"{certificate.outcome.rounds} rounds)")
-    return 0 if certificate.implied else 1
+    session = _load(args.bundle)
+    answer = session.implies(args.dependency, semantics=_semantics(args))
+    print(answer.describe())
+    return 0 if answer.verdict else 1
 
 
 def _cmd_prove(args: argparse.Namespace) -> int:
-    schema, dependencies, _db = _load(args.bundle)
-    target = parse_dependency(args.dependency)
-    target.validate(schema)
-    inds = [d for d in dependencies if isinstance(d, IND)]
-    if not isinstance(target, IND):
-        print("prove handles IND targets; use 'implies' for FDs/RDs",
-              file=sys.stderr)
-        return 2
-    proof = prove_ind(target, inds)
-    if proof is None:
-        print(f"{target} is NOT implied by the IND premises")
+    session = _load(args.bundle)
+    answer = session.prove(args.dependency)
+    if not answer.verdict:
+        if answer.stats.get("subset_complete", True):
+            print(f"{answer.target} is NOT implied by the premises")
+        else:
+            # The proof calculus only saw the class-matching premises;
+            # mixed sets can imply more (Section 4), so don't overclaim.
+            kind = "IND" if answer.engine.value == "corollary-3.2" else "FD"
+            print(f"{answer.target} is NOT provable from the {kind} premises "
+                  f"alone (premises are mixed; 'implies' decides via the "
+                  f"chase)")
         return 1
-    check_proof(proof, schema, target)
-    print(proof)
+    print(answer.proof)
     print("\nproof verified by the independent checker")
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    session = _load(args.bundle)
+    with open(args.targets, encoding="utf-8") as fp:
+        lines = [line.strip() for line in fp]
+    targets = [line for line in lines if line and not line.startswith("#")]
+    if not targets:
+        print("targets file has no dependencies to decide", file=sys.stderr)
+        return 2
+    answers = session.implies_all(targets, semantics=_semantics(args))
+    width = max(len(str(answer.target)) for answer in answers)
+    implied = 0
+    for answer in answers:
+        implied += answer.verdict
+        print(f"{str(answer.target):<{width}}  {answer.verdict_word:<12} "
+              f"{answer.engine.value}")
+    stats = session.stats()
+    print(f"\n{implied}/{len(answers)} implied "
+          f"(premises indexed once; {stats['reach_cache_hits']} "
+          f"exploration cache hit(s))")
+    return 0 if implied == len(answers) else 1
+
+
 def _cmd_keys(args: argparse.Namespace) -> int:
-    schema, dependencies, _db = _load(args.bundle)
-    fds = [d for d in dependencies if isinstance(d, FD)]
-    for rel in schema:
-        keys = candidate_keys(rel, fds)
+    session = _load(args.bundle)
+    for rel in session.schema:
+        keys = session.keys(rel.name)[rel.name]
         rendered = ", ".join(
             "{" + ",".join(sorted(key)) + "}" for key in keys
         )
@@ -105,17 +118,17 @@ def _cmd_keys(args: argparse.Namespace) -> int:
 def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.analysis.ind_graph import summarize_ind_set
 
-    schema, dependencies, db = _load(args.bundle)
-    inds = [d for d in dependencies if isinstance(d, IND)]
-    fds = [d for d in dependencies if isinstance(d, FD)]
-    print(f"schema: {schema}")
+    session = _load(args.bundle)
+    inds, fds = session.index.inds, session.index.fds
+    total = len(session.dependencies)
+    print(f"schema: {session.schema}")
     print(f"dependencies: {len(inds)} INDs, {len(fds)} FDs, "
-          f"{len(dependencies) - len(inds) - len(fds)} other")
+          f"{total - len(inds) - len(fds)} other")
     if inds:
         print(f"IND profile: {summarize_ind_set(inds)}")
-    if db is not None:
-        print(f"database: {db.total_tuples()} tuples, "
-              f"{len(db.active_domain())} distinct values")
+    if session.db is not None:
+        print(f"database: {session.db.total_tuples()} tuples, "
+              f"{len(session.db.active_domain())} distinct values")
     return 0
 
 
@@ -136,12 +149,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_implies = sub.add_parser("implies", help="decide an implication question")
     p_implies.add_argument("bundle")
     p_implies.add_argument("dependency", help="target in the text DSL")
+    p_implies.add_argument(
+        "--finite", action="store_true",
+        help="finite implication (unary FD/IND fragment)",
+    )
     p_implies.set_defaults(func=_cmd_implies)
 
-    p_prove = sub.add_parser("prove", help="produce a formal IND1-3 proof")
+    p_prove = sub.add_parser("prove", help="produce a formal checked proof")
     p_prove.add_argument("bundle")
     p_prove.add_argument("dependency")
     p_prove.set_defaults(func=_cmd_prove)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="decide many implication questions in one session",
+    )
+    p_batch.add_argument("bundle")
+    p_batch.add_argument(
+        "targets",
+        help="file with one DSL dependency per line ('#' comments allowed)",
+    )
+    p_batch.add_argument(
+        "--finite", action="store_true",
+        help="finite implication (unary FD/IND fragment)",
+    )
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_keys = sub.add_parser("keys", help="candidate keys per relation")
     p_keys.add_argument("bundle")

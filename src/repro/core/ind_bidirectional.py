@@ -24,24 +24,29 @@ from repro.core.ind_decision import (
     ChainLink,
     DecisionResult,
     Expression,
+    Premises,
+    _candidates_for,
     expression_of_lhs,
     expression_of_rhs,
+    index_by_lhs,
+    index_by_rhs,
     successors,
 )
 
 
 def predecessors(
-    expression: Expression, premises: list[IND]
+    expression: Expression, premises: Premises
 ) -> Iterable[tuple[Expression, ChainLink]]:
     """All expressions with an edge *into* ``expression``.
 
     A premise applies backwards when the expression's relation is the
     premise's right relation and every attribute occurs on the right
     side; the predecessor maps attributes through the inverse
-    positional correspondence.
+    positional correspondence.  ``premises`` may be a flat collection
+    or an ``index_by_rhs`` mapping.
     """
     relation, attrs = expression
-    for premise in premises:
+    for premise in _candidates_for(premises, relation):
         if premise.rhs_relation != relation:
             continue
         rhs = premise.rhs_attributes
@@ -71,6 +76,8 @@ def decide_ind_bidirectional(
     witness.
     """
     premise_list = list(premises)
+    forward_index = index_by_lhs(premise_list)
+    backward_index = index_by_rhs(premise_list)
     start = expression_of_lhs(target)
     goal = expression_of_rhs(target)
     if start == goal:
@@ -127,7 +134,7 @@ def decide_ind_bidirectional(
                         f"bidirectional search exceeded {max_nodes} nodes",
                         explored=explored,
                     )
-                for nxt, link in successors(current, premise_list):
+                for nxt, link in successors(current, forward_index):
                     if nxt in forward_seen:
                         continue
                     forward_seen.add(nxt)
@@ -144,7 +151,7 @@ def decide_ind_bidirectional(
                         f"bidirectional search exceeded {max_nodes} nodes",
                         explored=explored,
                     )
-                for prev, link in predecessors(current, premise_list):
+                for prev, link in predecessors(current, backward_index):
                     if prev in backward_seen:
                         continue
                     backward_seen.add(prev)

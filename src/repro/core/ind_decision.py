@@ -19,13 +19,46 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Mapping, Optional, Union
 
 from repro.exceptions import DependencyError, SearchBudgetExceeded
 from repro.deps.ind import IND
 
 Expression = tuple[str, tuple[str, ...]]
 """An expression ``S[X]``: a relation name plus an attribute sequence."""
+
+PremiseIndexMap = Mapping[str, tuple[IND, ...]]
+"""Premises bucketed by a relation name (left side for forward search)."""
+
+Premises = Union[Iterable[IND], PremiseIndexMap]
+"""Either a flat premise collection or a pre-built relation index."""
+
+
+def index_by_lhs(premises: Iterable[IND]) -> dict[str, tuple[IND, ...]]:
+    """Bucket premises by their left-hand relation.
+
+    ``successors`` only ever applies premises whose left relation
+    matches the expression's relation, so the bucket lookup replaces a
+    linear scan over the whole premise set at every expanded node.
+    """
+    buckets: dict[str, list[IND]] = {}
+    for premise in premises:
+        buckets.setdefault(premise.lhs_relation, []).append(premise)
+    return {name: tuple(bucket) for name, bucket in buckets.items()}
+
+
+def index_by_rhs(premises: Iterable[IND]) -> dict[str, tuple[IND, ...]]:
+    """Bucket premises by their right-hand relation (backward search)."""
+    buckets: dict[str, list[IND]] = {}
+    for premise in premises:
+        buckets.setdefault(premise.rhs_relation, []).append(premise)
+    return {name: tuple(bucket) for name, bucket in buckets.items()}
+
+
+def _candidates_for(premises: Premises, relation: str) -> Iterable[IND]:
+    if isinstance(premises, Mapping):
+        return premises.get(relation, ())
+    return premises
 
 
 @dataclass(frozen=True)
@@ -77,7 +110,7 @@ def expression_of_rhs(ind: IND) -> Expression:
 
 
 def successors(
-    expression: Expression, premises: list[IND]
+    expression: Expression, premises: Premises
 ) -> Iterable[tuple[Expression, ChainLink]]:
     """All expressions reachable from ``expression`` in one step.
 
@@ -85,9 +118,12 @@ def successors(
     relation is ``Ri`` and every attribute of the expression occurs in
     ``C1..Ck``; the successor maps each attribute through the premise's
     positional correspondence (this is rule IND2).
+
+    ``premises`` may be a flat collection or an :func:`index_by_lhs`
+    mapping; with the index only the matching bucket is scanned.
     """
     relation, attrs = expression
-    for premise in premises:
+    for premise in _candidates_for(premises, relation):
         if premise.lhs_relation != relation:
             continue
         positions: list[int] = []
@@ -107,7 +143,7 @@ def successors(
 
 def decide_ind(
     target: IND,
-    premises: Iterable[IND],
+    premises: Premises,
     max_nodes: int = 2_000_000,
 ) -> DecisionResult:
     """Decide ``premises |= target`` via expression-graph reachability.
@@ -116,7 +152,9 @@ def decide_ind(
     decides finite and unrestricted implication simultaneously, which
     coincide for INDs).  Returns a witness chain when implied.
     """
-    premise_list = list(premises)
+    premise_index = (
+        premises if isinstance(premises, Mapping) else index_by_lhs(premises)
+    )
     start = expression_of_lhs(target)
     goal = expression_of_rhs(target)
     if start == goal:
@@ -138,7 +176,7 @@ def decide_ind(
             raise SearchBudgetExceeded(
                 f"IND decision exceeded {max_nodes} expressions", explored=explored
             )
-        for nxt, link in successors(current, premise_list):
+        for nxt, link in successors(current, premise_index):
             if nxt in visited:
                 continue
             visited.add(nxt)
@@ -172,14 +210,23 @@ def decide_ind(
     )
 
 
-def reachable_expressions(
+def explore_expressions(
     start: Expression,
-    premises: Iterable[IND],
+    premises: Premises,
     max_nodes: int = 2_000_000,
-) -> set[Expression]:
-    """The full set ``Z`` of the paper's procedure (all reachable
-    expressions from ``start``), for analysis and benchmarks."""
-    premise_list = list(premises)
+) -> tuple[set[Expression], dict[Expression, tuple[Expression, ChainLink]]]:
+    """Exhaustive BFS from ``start``: the full reachable set ``Z`` plus
+    a predecessor map for witness-chain extraction.
+
+    Unlike :func:`decide_ind` this never stops early, so the result can
+    be cached and answers *every* implication question whose target has
+    left expression ``start`` (``ReasoningSession.implies_all`` relies
+    on this to share one exploration across a batch of queries).
+    """
+    premise_index = (
+        premises if isinstance(premises, Mapping) else index_by_lhs(premises)
+    )
+    parents: dict[Expression, tuple[Expression, ChainLink]] = {}
     visited: set[Expression] = {start}
     queue: deque[Expression] = deque([start])
     while queue:
@@ -189,10 +236,60 @@ def reachable_expressions(
                 f"expression closure exceeded {max_nodes} nodes",
                 explored=len(visited),
             )
-        for nxt, _link in successors(current, premise_list):
+        for nxt, link in successors(current, premise_index):
             if nxt not in visited:
                 visited.add(nxt)
+                parents[nxt] = (current, link)
                 queue.append(nxt)
+    return visited, parents
+
+
+def decision_from_exploration(
+    target: IND,
+    visited: set[Expression],
+    parents: dict[Expression, tuple[Expression, ChainLink]],
+) -> DecisionResult:
+    """Answer one implication question from a cached exploration.
+
+    ``visited``/``parents`` must come from :func:`explore_expressions`
+    started at the target's left expression.
+    """
+    start = expression_of_lhs(target)
+    goal = expression_of_rhs(target)
+    if start == goal:
+        return DecisionResult(
+            implied=True, target=target, chain=[start], links=[],
+            explored=len(visited),
+        )
+    if goal not in visited:
+        return DecisionResult(implied=False, target=target, explored=len(visited))
+    chain = [goal]
+    links: list[ChainLink] = []
+    node = goal
+    while node != start:
+        prev, via = parents[node]
+        chain.append(prev)
+        links.append(via)
+        node = prev
+    chain.reverse()
+    links.reverse()
+    return DecisionResult(
+        implied=True,
+        target=target,
+        chain=chain,
+        links=links,
+        explored=len(visited),
+    )
+
+
+def reachable_expressions(
+    start: Expression,
+    premises: Premises,
+    max_nodes: int = 2_000_000,
+) -> set[Expression]:
+    """The full set ``Z`` of the paper's procedure (all reachable
+    expressions from ``start``), for analysis and benchmarks."""
+    visited, _parents = explore_expressions(start, premises, max_nodes=max_nodes)
     return visited
 
 

@@ -1,0 +1,28 @@
+"""Unified reasoning facade over the paper's decision procedures.
+
+* ``answer`` — the uniform :class:`Answer` result type and the
+  :class:`Engine` / :class:`Semantics` vocabularies.
+* ``index`` — :class:`PremiseIndex`: premises bucketed by relation,
+  with memoized attribute closures.
+* ``routing`` — dependency-class analysis placing each question into
+  the paper's fragment table.
+* ``session`` — :class:`ReasoningSession`: construct once per premise
+  set, then ``implies`` / ``implies_all`` / ``prove`` / ``check`` /
+  ``keys`` / ``closure``.
+"""
+
+from repro.engine.answer import Answer, Engine, Semantics
+from repro.engine.index import PremiseIndex
+from repro.engine.routing import choose_engine, classify
+from repro.engine.session import CheckReport, ReasoningSession
+
+__all__ = [
+    "Answer",
+    "CheckReport",
+    "Engine",
+    "PremiseIndex",
+    "ReasoningSession",
+    "Semantics",
+    "choose_engine",
+    "classify",
+]

@@ -1,0 +1,108 @@
+"""The uniform answer type shared by every reasoning engine.
+
+The paper's four decision procedures return four unrelated result
+shapes (a :class:`~repro.core.ind_decision.DecisionResult`, a bare
+bool with a closure derivation, an
+:class:`~repro.core.fdind_chase.ImplicationCertificate`, a
+:class:`~repro.core.finite_unary.UnaryClosure`).  The session facade
+normalizes all of them into :class:`Answer` so callers can treat an
+implication question uniformly regardless of which engine answered it,
+while keeping the engine-native certificate attached for inspection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.deps.base import Dependency
+
+
+class Engine(str, enum.Enum):
+    """Which decision procedure produced an :class:`Answer`.
+
+    The members are the paper's four procedures; the string values are
+    stable identifiers used by the CLI and the routing tests.
+    """
+
+    COROLLARY_32 = "corollary-3.2"
+    """Expression-graph reachability for pure-IND implication
+    (Corollary 3.2; finite and unrestricted implication coincide)."""
+
+    FD_CLOSURE = "fd-closure"
+    """Attribute-set closure for pure-FD implication (the classical
+    procedure the paper cites as its template)."""
+
+    CHASE = "chase"
+    """The FD+IND(+RD) chase — semi-decision for unrestricted
+    implication of mixed sets (budgeted; the problem is undecidable)."""
+
+    FINITE_UNARY = "finite-unary"
+    """The cycle-rule closure for *finite* implication of unary FDs and
+    INDs (Theorem 4.4 / the [KCV] axiomatization)."""
+
+    UNARY_UNRESTRICTED = "unary-unrestricted"
+    """Transitive closure for *unrestricted* implication of unary FDs
+    and INDs — the cycle-free half of [KCV], exact where the general
+    chase may diverge."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Semantics(str, enum.Enum):
+    """Which notion of implication a question asked about."""
+
+    UNRESTRICTED = "unrestricted"
+    FINITE = "finite"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class Answer:
+    """One decided question, whatever engine decided it.
+
+    ``certificate`` holds the engine-native evidence: a
+    ``DecisionResult`` (witness chain) for ``corollary-3.2``, a closure
+    derivation for ``fd-closure``, an ``ImplicationCertificate`` for
+    ``chase``, a ``UnaryClosure`` for ``finite-unary``, and a formal
+    ``Proof``/``FdProof`` for :meth:`ReasoningSession.prove`.
+    """
+
+    verdict: bool
+    target: Dependency
+    engine: Engine
+    semantics: Semantics = Semantics.UNRESTRICTED
+    certificate: Any = None
+    proof: Any = None
+    cached: bool = False
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.verdict
+
+    @property
+    def verdict_word(self) -> str:
+        return "IMPLIED" if self.verdict else "NOT implied"
+
+    def describe(self) -> str:
+        """Human-readable account, uniform across engines."""
+        from repro.core.ind_decision import DecisionResult
+
+        if isinstance(self.certificate, DecisionResult):
+            body = self.certificate.describe()
+        else:
+            body = f"{self.target}: {self.verdict_word}"
+        extras = [f"engine={self.engine.value}"]
+        if self.semantics is Semantics.FINITE:
+            extras.append("finite semantics")
+        if self.cached:
+            extras.append("cached")
+        extras.extend(f"{key}={value}" for key, value in self.stats.items())
+        return f"{body}\n  [{', '.join(extras)}]"
+
+    def __str__(self) -> str:
+        return self.describe()

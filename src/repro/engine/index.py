@@ -1,0 +1,125 @@
+"""Premise indexing for :class:`~repro.engine.session.ReasoningSession`.
+
+A session classifies and buckets its dependency set exactly once, at
+construction:
+
+* INDs bucketed by left-hand relation (what ``successors`` consumes)
+  and by right-hand relation (backward search);
+* FDs bucketed by relation, with memoized attribute closures — every
+  FD question over the same premises reuses closures already computed;
+* the structural facts routing needs (which classes are present,
+  whether everything is unary) computed up front.
+
+``PremiseIndex.builds_total`` counts constructions process-wide so
+tests can assert that a batch of N queries indexes the premises
+exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterable, Optional
+
+from repro.deps.base import Dependency
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.rd import RD
+from repro.model.schema import DatabaseSchema
+from repro.core.fd_closure import attribute_closure
+from repro.core.ind_decision import index_by_lhs, index_by_rhs
+
+
+class PremiseIndex:
+    """A dependency set, pre-bucketed for engine dispatch and search."""
+
+    builds_total: ClassVar[int] = 0
+    """Process-wide construction counter (for amortization tests)."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        dependencies: Iterable[Dependency] = (),
+        validate: bool = True,
+    ):
+        PremiseIndex.builds_total += 1
+        self.schema = schema
+        self.dependencies: tuple[Dependency, ...] = tuple(dependencies)
+        inds: list[IND] = []
+        fds: list[FD] = []
+        rds: list[RD] = []
+        others: list[Dependency] = []
+        for dep in self.dependencies:
+            if validate:
+                dep.validate(schema)
+            if isinstance(dep, IND):
+                inds.append(dep)
+            elif isinstance(dep, FD):
+                fds.append(dep)
+            elif isinstance(dep, RD):
+                rds.append(dep)
+            else:
+                others.append(dep)
+        self.inds: tuple[IND, ...] = tuple(inds)
+        self.fds: tuple[FD, ...] = tuple(fds)
+        self.rds: tuple[RD, ...] = tuple(rds)
+        self.others: tuple[Dependency, ...] = tuple(others)
+
+        self.inds_by_lhs: dict[str, tuple[IND, ...]] = index_by_lhs(inds)
+        self.inds_by_rhs: dict[str, tuple[IND, ...]] = index_by_rhs(inds)
+        fd_buckets: dict[str, list[FD]] = {}
+        for fd in fds:
+            fd_buckets.setdefault(fd.relation, []).append(fd)
+        self.fds_by_relation: dict[str, tuple[FD, ...]] = {
+            name: tuple(bucket) for name, bucket in fd_buckets.items()
+        }
+
+        self.all_unary: bool = all(d.is_unary() for d in inds) and all(
+            d.is_unary() for d in fds
+        )
+        self._closure_cache: dict[tuple[str, frozenset[str]], frozenset[str]] = {}
+
+    # -- structural profile ----------------------------------------------
+
+    @property
+    def pure_ind(self) -> bool:
+        """Only IND premises (the Corollary 3.2 fragment)."""
+        return not (self.fds or self.rds or self.others)
+
+    @property
+    def pure_fd(self) -> bool:
+        """Only FD premises (the attribute-closure fragment)."""
+        return not (self.inds or self.rds or self.others)
+
+    def fds_of(self, relation: str) -> tuple[FD, ...]:
+        return self.fds_by_relation.get(relation, ())
+
+    def inds_from(self, relation: str) -> tuple[IND, ...]:
+        return self.inds_by_lhs.get(relation, ())
+
+    # -- memoized FD reasoning ---------------------------------------------
+
+    def closure(self, relation: str, attrs: Iterable[str]) -> frozenset[str]:
+        """Memoized attribute closure ``X+`` over this index's FDs."""
+        key = (relation, frozenset(attrs))
+        cached = self._closure_cache.get(key)
+        if cached is None:
+            cached = attribute_closure(key[1], self.fds_of(relation))
+            self._closure_cache[key] = cached
+        return cached
+
+    def fd_implied(self, fd: FD) -> bool:
+        """Closure-based FD implication using the memo."""
+        return fd.rhs_set <= self.closure(fd.relation, fd.lhs_set)
+
+    @property
+    def closure_cache_size(self) -> int:
+        return len(self._closure_cache)
+
+    def stats(self) -> dict[str, int]:
+        """Headline sizes, reported in :class:`Answer` stats."""
+        return {
+            "inds": len(self.inds),
+            "fds": len(self.fds),
+            "rds": len(self.rds),
+            "relations_with_outgoing_inds": len(self.inds_by_lhs),
+            "closures_memoized": len(self._closure_cache),
+        }

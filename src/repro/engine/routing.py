@@ -1,0 +1,99 @@
+"""Engine routing: dependency-class analysis of premises and target.
+
+The paper's results carve the implication problem into fragments with
+very different procedures and complexities:
+
+========================  =========================  ==================
+premises + target         unrestricted implication   finite implication
+========================  =========================  ==================
+INDs only                 Corollary 3.2 (PSPACE)     same (they coincide)
+FDs only                  attribute closure (linear) same (they coincide)
+unary FDs + INDs          transitive closure         cycle rule ([KCV])
+general FDs + INDs        chase (semi-decision)      not even r.e.
+========================  =========================  ==================
+
+:func:`choose_engine` places one question into this table.  The chase
+row is budgeted; the bottom-right cell raises — no sound procedure
+exists to route to (Theorem 4.4 is exactly the news that the two
+columns differ once FDs and INDs mix).
+"""
+
+from __future__ import annotations
+
+from repro.deps.base import Dependency
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.rd import RD
+from repro.exceptions import UnsupportedDependencyError
+from repro.engine.answer import Engine, Semantics
+from repro.engine.index import PremiseIndex
+
+
+def _is_unary(dep: Dependency) -> bool:
+    return isinstance(dep, (FD, IND)) and dep.is_unary()
+
+
+def choose_engine(
+    index: PremiseIndex,
+    target: Dependency,
+    semantics: Semantics = Semantics.UNRESTRICTED,
+) -> Engine:
+    """The optimal sound-and-complete engine for one question.
+
+    Raises :class:`UnsupportedDependencyError` when no implemented
+    procedure is sound for the premise/target mix (finite implication
+    of non-unary mixed sets, or dependency classes outside FD/IND/RD).
+    """
+    if index.others:
+        raise UnsupportedDependencyError(
+            f"no engine handles premise {index.others[0]} "
+            "(FDs, INDs and RDs are supported)"
+        )
+    if not isinstance(target, (FD, IND, RD)):
+        raise UnsupportedDependencyError(
+            f"no engine decides targets of type {type(target).__name__}"
+        )
+
+    # Single-class questions: finite and unrestricted implication
+    # coincide (Theorem 3.1 for INDs; classical for FDs), so the exact
+    # polynomial/PSPACE procedures serve both semantics.
+    if isinstance(target, IND) and index.pure_ind:
+        return Engine.COROLLARY_32
+    if isinstance(target, FD) and index.pure_fd:
+        return Engine.FD_CLOSURE
+
+    unary_fragment = index.all_unary and not index.rds and _is_unary(target)
+
+    if semantics is Semantics.FINITE:
+        if unary_fragment:
+            return Engine.FINITE_UNARY
+        raise UnsupportedDependencyError(
+            "finite implication for mixed FD/IND sets is only decidable "
+            f"in the unary fragment (Theorem 4.4); cannot decide {target}"
+        )
+
+    # Unary mixed sets have an exact polynomial procedure for the
+    # unrestricted column too (transitive closure, no cycle rule);
+    # preferring it over the chase matters because the chase diverges
+    # on exactly the cyclic instances this fragment is famous for.
+    if unary_fragment:
+        return Engine.UNARY_UNRESTRICTED
+
+    # Mixed premises (or a target crossing classes), unrestricted
+    # semantics: the chase is the only (semi-)decision procedure.
+    return Engine.CHASE
+
+
+def classify(dependencies) -> dict[str, int]:
+    """Counts per dependency class, for summaries and diagnostics."""
+    counts = {"ind": 0, "fd": 0, "rd": 0, "other": 0}
+    for dep in dependencies:
+        if isinstance(dep, IND):
+            counts["ind"] += 1
+        elif isinstance(dep, FD):
+            counts["fd"] += 1
+        elif isinstance(dep, RD):
+            counts["rd"] += 1
+        else:
+            counts["other"] += 1
+    return counts

@@ -1,0 +1,390 @@
+"""The :class:`ReasoningSession` facade.
+
+One object per (schema, dependency set) that answers every question
+the library knows how to answer, routing each to the optimal engine:
+
+>>> from repro import ReasoningSession, parse_dependencies
+>>> from repro.model.schema import DatabaseSchema
+>>> schema = DatabaseSchema.from_dict(
+...     {"MGR": ("NAME", "DEPT"), "EMP": ("NAME", "DEPT"), "PERSON": ("NAME",)})
+>>> session = ReasoningSession(schema, parse_dependencies(
+...     "MGR[NAME,DEPT] <= EMP[NAME,DEPT]\\nEMP[NAME] <= PERSON[NAME]"))
+>>> answer = session.implies("MGR[NAME] <= PERSON[NAME]")
+>>> answer.verdict, answer.engine.value
+(True, 'corollary-3.2')
+
+Premises are indexed once at construction (see
+:class:`~repro.engine.index.PremiseIndex`); the expression-graph
+exploration behind IND answers is cached per left expression, so a
+batch of queries (:meth:`ReasoningSession.implies_all`) shares both
+the index and the explorations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.deps.base import Dependency
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.parser import parse_dependency
+from repro.exceptions import UnsupportedDependencyError
+from repro.model.database import Database
+from repro.model.schema import DatabaseSchema
+from repro.core.fd_closure import candidate_keys, closure_derivation
+from repro.core.fd_axioms import check_fd_proof, prove_fd
+from repro.core.fdind_chase import chase_implies
+from repro.core.finite_unary import UnaryClosure, unary_closure
+from repro.core.ind_axioms import check_proof
+from repro.core.ind_decision import (
+    DecisionResult,
+    Expression,
+    decide_ind,
+    decision_from_exploration,
+    expression_of_lhs,
+    explore_expressions,
+)
+from repro.core.ind_prover import proof_from_decision
+from repro.engine.answer import Answer, Engine, Semantics
+from repro.engine.index import PremiseIndex
+from repro.engine.routing import choose_engine
+
+Target = Union[Dependency, str]
+"""A question: a dependency object or its text-DSL rendering."""
+
+
+@dataclass
+class CheckReport:
+    """Outcome of checking a database against the session's premises."""
+
+    results: list[tuple[Dependency, bool]]
+    witnesses: dict[Dependency, list[tuple]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(holds for _dep, holds in self.results)
+
+    @property
+    def violated(self) -> list[Dependency]:
+        return [dep for dep, holds in self.results if not holds]
+
+    @property
+    def satisfied_count(self) -> int:
+        return sum(1 for _dep, holds in self.results if holds)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class ReasoningSession:
+    """Facade over the paper's four decision procedures.
+
+    Parameters
+    ----------
+    schema:
+        The database scheme every dependency must be well-formed over.
+    dependencies:
+        The premise set Sigma.  Indexed once, here.
+    db:
+        Optional bundled instance (used by :meth:`check` when no
+        explicit database is passed).
+    max_nodes / max_rounds / max_tuples:
+        Budgets forwarded to the exact search and to the chase.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        dependencies: Iterable[Dependency] = (),
+        db: Optional[Database] = None,
+        *,
+        max_nodes: int = 2_000_000,
+        max_rounds: int = 200,
+        max_tuples: int = 100_000,
+    ):
+        self.schema = schema
+        self.index = PremiseIndex(schema, dependencies)
+        self.db = db
+        self.max_nodes = max_nodes
+        self.max_rounds = max_rounds
+        self.max_tuples = max_tuples
+        self._reach_cache: dict[Expression, tuple[set, dict]] = {}
+        self._unary_cache: dict[Semantics, UnaryClosure] = {}
+        self.queries = 0
+        self.cache_hits = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def dependencies(self) -> tuple[Dependency, ...]:
+        return self.index.dependencies
+
+    def _coerce(self, target: Target) -> Dependency:
+        if isinstance(target, str):
+            target = parse_dependency(target)
+        target.validate(self.schema)
+        return target
+
+    def route(self, target: Target,
+              semantics: Union[Semantics, str] = Semantics.UNRESTRICTED) -> Engine:
+        """Which engine :meth:`implies` would use, without running it."""
+        return choose_engine(self.index, self._coerce(target), Semantics(semantics))
+
+    def _decide_ind(
+        self, target: IND, exhaustive: bool = False
+    ) -> tuple[DecisionResult, bool]:
+        """Decide one IND question, via the exploration cache.
+
+        A cache entry answers instantly.  On a miss, ``exhaustive``
+        selects between the early-exit BFS of :func:`decide_ind` (right
+        for one-off questions — it can stop after a handful of nodes in
+        graphs whose full closure would blow the budget) and a full
+        :func:`explore_expressions` whose result is cached for every
+        later question sharing the same left expression (right when a
+        batch is known to revisit it).
+        """
+        start = expression_of_lhs(target)
+        entry = self._reach_cache.get(start)
+        if entry is not None:
+            self.cache_hits += 1
+            return decision_from_exploration(target, entry[0], entry[1]), True
+        if exhaustive:
+            visited, parents = explore_expressions(
+                start, self.index.inds_by_lhs, max_nodes=self.max_nodes
+            )
+            self._reach_cache[start] = (visited, parents)
+            return decision_from_exploration(target, visited, parents), False
+        return decide_ind(
+            target, self.index.inds_by_lhs, max_nodes=self.max_nodes
+        ), False
+
+    def _unary_closure(self, semantics: Semantics) -> UnaryClosure:
+        closure = self._unary_cache.get(semantics)
+        if closure is None:
+            closure = unary_closure(
+                list(self.index.inds) + list(self.index.fds),
+                finite=semantics is Semantics.FINITE,
+            )
+            self._unary_cache[semantics] = closure
+        return closure
+
+    # -- implication -------------------------------------------------------
+
+    def implies(
+        self,
+        target: Target,
+        semantics: Union[Semantics, str] = Semantics.UNRESTRICTED,
+        _exhaustive: bool = False,
+    ) -> Answer:
+        """Decide ``Sigma |= target`` with the optimal engine.
+
+        ``semantics`` selects unrestricted (default) or finite
+        implication; the two coincide on pure-IND and pure-FD
+        questions, differ on unary mixed sets (Theorem 4.4), and finite
+        implication of non-unary mixed sets raises — it is not even
+        recursively enumerable, so there is nothing sound to route to.
+        """
+        semantics = Semantics(semantics)
+        target = self._coerce(target)
+        engine = choose_engine(self.index, target, semantics)
+        self.queries += 1
+
+        if engine is Engine.COROLLARY_32:
+            assert isinstance(target, IND)
+            result, cached = self._decide_ind(target, exhaustive=_exhaustive)
+            return Answer(
+                verdict=result.implied,
+                target=target,
+                engine=engine,
+                semantics=semantics,
+                certificate=result,
+                cached=cached,
+                stats={"explored": result.explored,
+                       "chain_length": result.chain_length},
+            )
+
+        if engine is Engine.FD_CLOSURE:
+            assert isinstance(target, FD)
+            closure = self.index.closure(target.relation, target.lhs_set)
+            implied = target.rhs_set <= closure
+            derivation = closure_derivation(
+                target.lhs_set, self.index.fds_of(target.relation)
+            ) if implied else None
+            return Answer(
+                verdict=implied,
+                target=target,
+                engine=engine,
+                semantics=semantics,
+                certificate=derivation,
+                stats={"closure_size": len(closure),
+                       "closures_memoized": self.index.closure_cache_size},
+            )
+
+        if engine in (Engine.FINITE_UNARY, Engine.UNARY_UNRESTRICTED):
+            closure = self._unary_closure(semantics)
+            return Answer(
+                verdict=closure.implies(target),
+                target=target,
+                engine=engine,
+                semantics=semantics,
+                certificate=closure,
+                stats={"derived_fds": len(closure.fds),
+                       "derived_inds": len(closure.inds)},
+            )
+
+        certificate = chase_implies(
+            self.schema,
+            self.dependencies,
+            target,
+            max_rounds=self.max_rounds,
+            max_tuples=self.max_tuples,
+        )
+        return Answer(
+            verdict=certificate.implied,
+            target=target,
+            engine=Engine.CHASE,
+            semantics=semantics,
+            certificate=certificate,
+            stats={"rounds": certificate.outcome.rounds,
+                   "tuples": certificate.outcome.instance.total_tuples()},
+        )
+
+    def implies_all(
+        self,
+        targets: Iterable[Target],
+        semantics: Union[Semantics, str] = Semantics.UNRESTRICTED,
+    ) -> list[Answer]:
+        """Batch implication: one answer per target, in order.
+
+        The premise index was built once at construction, and when
+        several targets share a left expression their expression-graph
+        exploration runs exhaustively once and is served from the
+        reachability cache afterwards, so asking N questions costs far
+        less than N independent calls to the free functions.  Targets
+        whose left expression occurs only once keep the early-exit
+        search of :func:`~repro.core.ind_decision.decide_ind`.
+        """
+        coerced = [self._coerce(target) for target in targets]
+        start_counts: dict[Expression, int] = {}
+        for target in coerced:
+            if isinstance(target, IND):
+                start = expression_of_lhs(target)
+                start_counts[start] = start_counts.get(start, 0) + 1
+        return [
+            self.implies(
+                target,
+                semantics,
+                _exhaustive=isinstance(target, IND)
+                and start_counts[expression_of_lhs(target)] > 1,
+            )
+            for target in coerced
+        ]
+
+    # -- proofs ------------------------------------------------------------
+
+    def prove(self, target: Target) -> Answer:
+        """A formal, independently checked proof for ``target``.
+
+        IND targets get an IND1-IND3
+        :class:`~repro.core.ind_axioms.Proof` from the IND premises; FD
+        targets get an Armstrong
+        :class:`~repro.core.fd_axioms.FdProof` from the FD premises.
+        Both are run through their independent checkers before being
+        returned.  A proof from the class-matching premise *subset* is
+        a sound proof from the whole set; when the premises are mixed a
+        *negative* answer is only "not provable in this calculus" (the
+        interaction results of Section 4 mean the subset can be
+        incomplete), which the answer flags with
+        ``stats["subset_complete"] = False``.
+        """
+        target = self._coerce(target)
+
+        if isinstance(target, IND):
+            self.queries += 1
+            result, cached = self._decide_ind(target)
+            subset_complete = self.index.pure_ind
+            answer = Answer(
+                verdict=result.implied,
+                target=target,
+                engine=Engine.COROLLARY_32,
+                certificate=result,
+                cached=cached,
+                stats={"explored": result.explored,
+                       "subset_complete": subset_complete},
+            )
+            if result.implied:
+                proof = proof_from_decision(result, list(self.index.inds))
+                check_proof(proof, self.schema, target)
+                answer.proof = proof
+            return answer
+
+        if isinstance(target, FD):
+            self.queries += 1
+            implied = self.index.fd_implied(target)
+            subset_complete = self.index.pure_fd
+            answer = Answer(
+                verdict=implied,
+                target=target,
+                engine=Engine.FD_CLOSURE,
+                stats={"subset_complete": subset_complete},
+            )
+            if implied:
+                proof = prove_fd(target, list(self.index.fds_of(target.relation)))
+                check_fd_proof(proof, target)
+                answer.proof = proof
+            return answer
+
+        raise UnsupportedDependencyError(
+            f"no proof calculus for targets of type {type(target).__name__} "
+            "(IND1-IND3 proves INDs, Armstrong's axioms prove FDs)"
+        )
+
+    # -- database-level questions -----------------------------------------
+
+    def check(self, db: Optional[Database] = None) -> CheckReport:
+        """Check a database (or the bundled one) against the premises."""
+        instance = db if db is not None else self.db
+        if instance is None:
+            raise ValueError("session has no database to check")
+        results: list[tuple[Dependency, bool]] = []
+        witnesses: dict[Dependency, list[tuple]] = {}
+        for dep in self.dependencies:
+            holds = instance.satisfies(dep)
+            results.append((dep, holds))
+            if not holds:
+                witnesses[dep] = dep.violations(instance)
+        return CheckReport(results=results, witnesses=witnesses)
+
+    def keys(self, relation: Optional[str] = None) -> dict[str, list[frozenset[str]]]:
+        """Candidate keys per relation under the session's FDs."""
+        if relation is not None:
+            rel = self.schema.relation(relation)
+            return {rel.name: candidate_keys(rel, self.index.fds_of(rel.name))}
+        return {
+            rel.name: candidate_keys(rel, self.index.fds_of(rel.name))
+            for rel in self.schema
+        }
+
+    def closure(self, relation: str, attrs: Iterable[str]) -> frozenset[str]:
+        """Memoized attribute closure ``X+`` in ``relation``."""
+        self.schema.relation(relation)  # validate the name
+        return self.index.closure(relation, attrs)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Counters for the session's caches and workload."""
+        return {
+            "queries": self.queries,
+            "reach_cache_entries": len(self._reach_cache),
+            "reach_cache_hits": self.cache_hits,
+            **self.index.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ReasoningSession({len(self.schema)} relations, "
+            f"{len(self.index.inds)} INDs, {len(self.index.fds)} FDs, "
+            f"{len(self.index.rds)} RDs)"
+        )

@@ -13,7 +13,14 @@ shipped between tools:
     }
 
 Dependencies use the text DSL (round-tripping through the parser), so
-the files stay human-editable.
+the files stay human-editable.  Loading validates the payload shape
+strictly — unknown top-level keys, rows over unknown relations, and
+rows of the wrong arity all raise :class:`ParseError` with enough
+context to find the offending entry.
+
+Bundles can be loaded straight into a
+:class:`~repro.engine.session.ReasoningSession` with
+:func:`session_from_json` / :func:`load_session`.
 """
 
 from __future__ import annotations
@@ -24,9 +31,12 @@ from typing import Any, TextIO
 from repro.exceptions import ParseError
 from repro.deps.base import Dependency
 from repro.deps.parser import parse_dependency
+from repro.engine.session import ReasoningSession
 from repro.model.builders import database as build_database
 from repro.model.database import Database
 from repro.model.schema import DatabaseSchema
+
+_BUNDLE_KEYS = ("schema", "dependencies", "database")
 
 
 def schema_to_dict(schema: DatabaseSchema) -> dict[str, list[str]]:
@@ -58,27 +68,121 @@ def bundle_to_json(
     return json.dumps(payload, indent=indent, default=str)
 
 
+def _schema_from_payload(payload: Any) -> DatabaseSchema:
+    """Validate the shape of the schema section before building it.
+
+    JSON bundles must spell attributes as arrays of strings; anything
+    else (a bare string would otherwise be iterated character by
+    character) is reported as a :class:`ParseError`.
+    """
+    if not isinstance(payload, dict):
+        raise ParseError(
+            f"bundle 'schema' must be an object mapping relation names to "
+            f"attribute lists, got {type(payload).__name__}"
+        )
+    for name, attrs in payload.items():
+        if not isinstance(attrs, list) or not all(
+            isinstance(attr, str) for attr in attrs
+        ):
+            raise ParseError(
+                f"schema entry {name!r} must be a list of attribute "
+                f"names, got {attrs!r}"
+            )
+    return schema_from_dict(payload)
+
+
+def _database_from_payload(
+    schema: DatabaseSchema, payload: Any
+) -> Database:
+    """Validate and build the optional database section.
+
+    Row problems are reported with relation/row context instead of the
+    bare arity error the model layer would raise.
+    """
+    if not isinstance(payload, dict):
+        raise ParseError(
+            f"bundle 'database' must be an object mapping relation names "
+            f"to row lists, got {type(payload).__name__}"
+        )
+    contents: dict[str, list[tuple]] = {}
+    for name, rows in payload.items():
+        if name not in schema:
+            raise ParseError(
+                f"database mentions relation {name!r} which is not in the "
+                f"schema (known: {', '.join(schema.names)})"
+            )
+        arity = schema.relation(name).arity
+        checked: list[tuple] = []
+        if not isinstance(rows, list):
+            raise ParseError(
+                f"database entry for relation {name!r} must be a list of "
+                f"rows, got {type(rows).__name__}"
+            )
+        for position, row in enumerate(rows):
+            if not isinstance(row, (list, tuple)):
+                raise ParseError(
+                    f"row {position} of relation {name!r} must be an "
+                    f"array, got {row!r}"
+                )
+            if len(row) != arity:
+                raise ParseError(
+                    f"row {position} of relation {name!r} has {len(row)} "
+                    f"value(s) but {schema.relation(name)} has arity "
+                    f"{arity}: {row!r}"
+                )
+            checked.append(tuple(row))
+        contents[name] = checked
+    return build_database(schema, contents)
+
+
 def bundle_from_json(
     text: str,
 ) -> tuple[DatabaseSchema, list[Dependency], Database | None]:
-    """Parse a bundle; validates dependencies against the schema."""
+    """Parse a bundle; validates shape and dependencies against the schema."""
     payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ParseError(
+            f"bundle must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - set(_BUNDLE_KEYS))
+    if unknown:
+        raise ParseError(
+            f"bundle has unknown top-level key(s) {', '.join(map(repr, unknown))}; "
+            f"expected only {', '.join(map(repr, _BUNDLE_KEYS))}"
+        )
     if "schema" not in payload:
         raise ParseError("bundle is missing the 'schema' key")
-    schema = schema_from_dict(payload["schema"])
+    schema = _schema_from_payload(payload["schema"])
+    lines = payload.get("dependencies", [])
+    if not isinstance(lines, list):
+        raise ParseError(
+            f"bundle 'dependencies' must be a list of DSL strings, got "
+            f"{type(lines).__name__}"
+        )
     dependencies: list[Dependency] = []
-    for line in payload.get("dependencies", []):
+    for line in lines:
+        if not isinstance(line, str):
+            raise ParseError(
+                f"dependency entries must be DSL strings, got {line!r}"
+            )
         dep = parse_dependency(line)
         dep.validate(schema)
         dependencies.append(dep)
     db = None
     if "database" in payload:
-        contents = {
-            name: [tuple(row) for row in rows]
-            for name, rows in payload["database"].items()
-        }
-        db = build_database(schema, contents)
+        db = _database_from_payload(schema, payload["database"])
     return schema, dependencies, db
+
+
+def session_from_json(text: str, **session_options: Any) -> ReasoningSession:
+    """Load a bundle directly into a :class:`ReasoningSession`.
+
+    The schema, dependencies, and optional database all land in the
+    session; keyword options (budgets) are forwarded to its
+    constructor.
+    """
+    schema, dependencies, db = bundle_from_json(text)
+    return ReasoningSession(schema, dependencies, db=db, **session_options)
 
 
 def dump_bundle(
@@ -92,3 +196,8 @@ def dump_bundle(
 
 def load_bundle(fp: TextIO):
     return bundle_from_json(fp.read())
+
+
+def load_session(fp: TextIO, **session_options: Any) -> ReasoningSession:
+    """File-object variant of :func:`session_from_json`."""
+    return session_from_json(fp.read(), **session_options)

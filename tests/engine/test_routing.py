@@ -1,0 +1,133 @@
+"""Engine routing: each premise/target mix lands on the right engine."""
+
+import pytest
+
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.deps.rd import RD
+from repro.engine import Engine, PremiseIndex, ReasoningSession, Semantics, choose_engine
+from repro.engine.routing import classify
+from repro.exceptions import UnsupportedDependencyError
+from repro.model.schema import DatabaseSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {"R": ("A", "B", "C"), "S": ("A", "B", "C")}
+    )
+
+
+class TestChooseEngine:
+    def test_pure_ind_targets_corollary_32(self, schema):
+        index = PremiseIndex(schema, [IND("R", ("A", "B"), "S", ("A", "B"))])
+        target = IND("R", ("A",), "S", ("A",))
+        assert choose_engine(index, target) is Engine.COROLLARY_32
+        # Finite and unrestricted implication coincide for pure INDs.
+        assert choose_engine(index, target, Semantics.FINITE) is Engine.COROLLARY_32
+
+    def test_pure_fd_targets_fd_closure(self, schema):
+        index = PremiseIndex(schema, [FD("R", "A", "B"), FD("R", "B", "C")])
+        target = FD("R", "A", "C")
+        assert choose_engine(index, target) is Engine.FD_CLOSURE
+        assert choose_engine(index, target, Semantics.FINITE) is Engine.FD_CLOSURE
+
+    def test_mixed_targets_chase(self, schema):
+        index = PremiseIndex(
+            schema,
+            [IND("R", ("A", "B"), "S", ("A", "B")), FD("S", "A", "B")],
+        )
+        assert choose_engine(index, IND("R", ("A",), "S", ("A",))) is Engine.CHASE
+        assert choose_engine(index, FD("R", "A", "B")) is Engine.CHASE
+
+    def test_cross_class_question_targets_chase(self, schema):
+        # Non-unary FD premises asked about an IND: no single-class
+        # engine applies and the unary fragment is off the table.
+        index = PremiseIndex(schema, [FD("R", ("A", "B"), "C")])
+        assert choose_engine(index, IND("R", ("A",), "S", ("A",))) is Engine.CHASE
+
+    def test_unary_cross_class_prefers_unary_engine(self, schema):
+        # Unary FD premises + unary IND target stay inside the exact
+        # unary fragment even though the classes differ.
+        index = PremiseIndex(schema, [FD("R", "A", "B")])
+        assert (
+            choose_engine(index, IND("R", ("A",), "S", ("A",)))
+            is Engine.UNARY_UNRESTRICTED
+        )
+
+    def test_unary_mix_finite_targets_finite_unary(self, schema):
+        index = PremiseIndex(
+            schema, [IND("R", ("A",), "R", ("B",)), FD("R", "A", "B")]
+        )
+        target = IND("R", ("B",), "R", ("A",))
+        assert choose_engine(index, target, Semantics.FINITE) is Engine.FINITE_UNARY
+
+    def test_unary_mix_unrestricted_targets_unary_engine(self, schema):
+        # The chase diverges on cyclic unary instances; routing must
+        # prefer the exact transitive-closure procedure.
+        index = PremiseIndex(
+            schema, [IND("R", ("A",), "R", ("B",)), FD("R", "A", "B")]
+        )
+        target = IND("R", ("B",), "R", ("A",))
+        assert choose_engine(index, target) is Engine.UNARY_UNRESTRICTED
+
+    def test_finite_nonunary_mix_unsupported(self, schema):
+        index = PremiseIndex(
+            schema,
+            [IND("R", ("A", "B"), "S", ("A", "B")), FD("S", "A", "B")],
+        )
+        with pytest.raises(UnsupportedDependencyError):
+            choose_engine(index, IND("R", ("A",), "S", ("A",)), Semantics.FINITE)
+
+    def test_rd_premises_route_to_chase(self, schema):
+        index = PremiseIndex(schema, [RD("R", ("A",), ("B",))])
+        assert choose_engine(index, FD("R", "A", "B")) is Engine.CHASE
+
+
+class TestAnswerEngineField:
+    """The acceptance criterion: Answer.engine names the engine used."""
+
+    def test_all_four_mixes(self, schema):
+        ind_session = ReasoningSession(
+            schema, [IND("R", ("A", "B"), "S", ("A", "B"))]
+        )
+        assert (
+            ind_session.implies(IND("R", ("A",), "S", ("A",))).engine
+            is Engine.COROLLARY_32
+        )
+
+        fd_session = ReasoningSession(schema, [FD("R", "A", "B"), FD("R", "B", "C")])
+        assert fd_session.implies(FD("R", "A", "C")).engine is Engine.FD_CLOSURE
+
+        mixed_session = ReasoningSession(
+            schema,
+            [IND("R", ("A", "B"), "S", ("A", "B")), FD("S", "A", "B")],
+        )
+        assert mixed_session.implies(FD("R", "A", "B")).engine is Engine.CHASE
+
+        unary_session = ReasoningSession(
+            schema, [IND("R", ("A",), "R", ("B",)), FD("R", "A", "B")]
+        )
+        assert (
+            unary_session.implies(
+                IND("R", ("B",), "R", ("A",)), semantics="finite"
+            ).engine
+            is Engine.FINITE_UNARY
+        )
+
+    def test_engine_values_are_stable_strings(self):
+        assert Engine.COROLLARY_32.value == "corollary-3.2"
+        assert Engine.FD_CLOSURE.value == "fd-closure"
+        assert Engine.CHASE.value == "chase"
+        assert Engine.FINITE_UNARY.value == "finite-unary"
+
+
+class TestClassify:
+    def test_counts(self, schema):
+        deps = [
+            IND("R", ("A",), "S", ("A",)),
+            FD("R", "A", "B"),
+            FD("R", "B", "C"),
+            RD("R", ("A",), ("B",)),
+        ]
+        assert classify(deps) == {"ind": 1, "fd": 2, "rd": 1, "other": 0}

@@ -87,6 +87,85 @@ class TestProve:
     def test_unprovable(self, bundle_path, capsys):
         assert main(["prove", bundle_path, "PERSON[NAME] <= MGR[NAME]"]) == 1
 
+    def test_mixed_premises_negative_does_not_overclaim(self, tmp_path, capsys):
+        # The IND calculus only saw the IND premises; with an FD in the
+        # bundle a failed proof search must not print "NOT implied".
+        payload = {
+            "schema": {"R": ["A", "B"], "S": ["A", "B"]},
+            "dependencies": ["R[A,B] <= S[A,B]", "S: A -> B"],
+        }
+        path = tmp_path / "mixed.json"
+        path.write_text(json.dumps(payload))
+        assert main(["prove", str(path), "S[A] <= R[A]"]) == 1
+        out = capsys.readouterr().out
+        assert "NOT provable from the IND premises alone" in out
+        assert "NOT implied by the premises" not in out
+
+
+class TestBatch:
+    @pytest.fixture
+    def targets_path(self, tmp_path):
+        path = tmp_path / "targets.txt"
+        path.write_text(
+            "# implied ones first\n"
+            "MGR[NAME] <= PERSON[NAME]\n"
+            "MGR[DEPT] <= EMP[DEPT]\n"
+            "\n"
+            "PERSON[NAME] <= MGR[NAME]\n"
+        )
+        return str(path)
+
+    def test_verdict_table(self, bundle_path, targets_path, capsys):
+        # One unimplied target: exit code 1, all verdicts printed.
+        assert main(["batch", bundle_path, targets_path]) == 1
+        out = capsys.readouterr().out
+        assert "MGR[NAME] <= PERSON[NAME]" in out
+        assert out.count("IMPLIED") >= 2  # NOT implied also contains IMPLIED
+        assert "NOT implied" in out
+        assert "2/3 implied" in out
+        assert "indexed once" in out
+
+    def test_all_implied_exits_zero(self, bundle_path, tmp_path, capsys):
+        path = tmp_path / "ok.txt"
+        path.write_text("MGR[NAME] <= PERSON[NAME]\nMGR[NAME] <= EMP[NAME]\n")
+        assert main(["batch", bundle_path, str(path)]) == 0
+        assert "2/2 implied" in capsys.readouterr().out
+
+    def test_engine_column_present(self, bundle_path, targets_path, capsys):
+        main(["batch", bundle_path, targets_path])
+        # The fixture bundle mixes INDs and an FD, so IND questions
+        # route to the chase.
+        assert "chase" in capsys.readouterr().out
+
+    def test_empty_targets_file(self, bundle_path, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only a comment\n")
+        assert main(["batch", bundle_path, str(path)]) == 2
+
+    def test_malformed_target_reported(self, bundle_path, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("NOT A DEP\n")
+        assert main(["batch", bundle_path, str(path)]) == 2
+
+
+class TestImpliesFinite:
+    @pytest.fixture
+    def unary_bundle_path(self, tmp_path):
+        payload = {
+            "schema": {"R": ["A", "B"]},
+            "dependencies": ["R[A] <= R[B]", "R: A -> B"],
+        }
+        path = tmp_path / "unary.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_finite_flag_flips_the_verdict(self, unary_bundle_path, capsys):
+        # The Theorem 4.4 split: finitely implied, not unrestrictedly.
+        assert main(["implies", unary_bundle_path, "--finite",
+                     "R[B] <= R[A]"]) == 0
+        assert "finite-unary" in capsys.readouterr().out
+        assert main(["implies", unary_bundle_path, "R[B] <= R[A]"]) == 1
+
 
 class TestKeysAndSummary:
     def test_keys(self, bundle_path, capsys):

@@ -67,3 +67,61 @@ class TestBundleRoundtrip:
         deps = [IND("R", ("A", "B"), "S", ("C", "D")), FD("R", ("A",), ("B",))]
         _s, parsed, _db = bundle_from_json(bundle_to_json(schema, deps))
         assert set(parsed) == set(deps)
+
+
+class TestBundleValidation:
+    def test_unknown_top_level_key_rejected(self):
+        text = json.dumps({"schema": {"R": ["A"]}, "shcema_typo": {}})
+        with pytest.raises(ParseError, match="shcema_typo"):
+            bundle_from_json(text)
+
+    def test_non_object_bundle_rejected(self):
+        with pytest.raises(ParseError, match="JSON object"):
+            bundle_from_json(json.dumps(["not", "a", "bundle"]))
+
+    def test_dependencies_must_be_a_list(self):
+        text = json.dumps({"schema": {"R": ["A"]}, "dependencies": "R[A] <= R[A]"})
+        with pytest.raises(ParseError, match="list"):
+            bundle_from_json(text)
+
+    def test_dependency_entries_must_be_strings(self):
+        text = json.dumps({"schema": {"R": ["A"]}, "dependencies": [42]})
+        with pytest.raises(ParseError, match="42"):
+            bundle_from_json(text)
+
+    def test_database_row_arity_mismatch_names_relation_and_row(self):
+        text = json.dumps(
+            {"schema": {"R": ["A", "B"]}, "database": {"R": [[1, 2], [3]]}}
+        )
+        with pytest.raises(ParseError) as excinfo:
+            bundle_from_json(text)
+        message = str(excinfo.value)
+        assert "'R'" in message and "row 1" in message and "[3]" in message
+
+    def test_database_unknown_relation_rejected(self):
+        text = json.dumps({"schema": {"R": ["A"]}, "database": {"Q": [[1]]}})
+        with pytest.raises(ParseError, match="'Q'"):
+            bundle_from_json(text)
+
+    def test_database_row_must_be_an_array(self):
+        text = json.dumps({"schema": {"R": ["A"]}, "database": {"R": ["scalar"]}})
+        with pytest.raises(ParseError, match="row 0"):
+            bundle_from_json(text)
+
+    def test_database_section_must_be_an_object(self):
+        text = json.dumps({"schema": {"R": ["A"]}, "database": [[1]]})
+        with pytest.raises(ParseError, match="database"):
+            bundle_from_json(text)
+
+    def test_schema_section_must_be_an_object(self):
+        with pytest.raises(ParseError, match="schema"):
+            bundle_from_json(json.dumps({"schema": ["R"]}))
+
+    def test_schema_attributes_must_be_a_list(self):
+        # A bare string would be iterated character by character.
+        with pytest.raises(ParseError, match="'AB'"):
+            bundle_from_json(json.dumps({"schema": {"R": "AB"}}))
+
+    def test_schema_attributes_must_be_strings(self):
+        with pytest.raises(ParseError, match="'R'"):
+            bundle_from_json(json.dumps({"schema": {"R": [1, 2]}}))
