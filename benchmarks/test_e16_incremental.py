@@ -1,0 +1,173 @@
+"""E16 — the premise lifecycle at production premise counts.
+
+The ROADMAP north star is a long-lived serving session whose premise
+set evolves.  PR 2 makes ``ReasoningSession`` incrementally
+maintainable; these benchmarks establish the cost model the redesign
+promises on the E15 workload (~500 premises, 100 relations):
+
+* ``add`` + re-query is at least 5x cheaper than rebuilding the
+  session and re-querying (asserted, not just measured — this is an
+  acceptance criterion, so the suite fails if the incremental path
+  regresses to rebuild-like cost);
+* a mutation whose left-hand relation is outside every cached
+  exploration's footprint *preserves* the reachability cache.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.deps.ind import IND
+from repro.engine import ReasoningSession
+from repro.model.schema import DatabaseSchema, RelationSchema
+from repro.workloads.random_deps import random_inds
+
+PREMISES = 500
+RELATIONS = 100
+QUERY_RELATIONS = 40
+
+
+def large_workload():
+    """The E15 workload plus two quiet relations no premise touches."""
+    rng = random.Random(19841982)
+    schema = DatabaseSchema(
+        [RelationSchema(f"R{i}", ("A", "B", "C")) for i in range(RELATIONS)]
+        + [RelationSchema("QUIET", ("A", "B")), RelationSchema("QUIET2", ("A", "B"))]
+    )
+    chain = [
+        IND(f"R{i}", ("A", "B"), f"R{i+1}", ("A", "B"))
+        for i in range(RELATIONS - 1)
+    ]
+    busy_part = DatabaseSchema(
+        RelationSchema(f"R{i}", ("A", "B", "C")) for i in range(RELATIONS)
+    )
+    noise = random_inds(
+        rng, busy_part, count=PREMISES - len(chain), max_arity=2
+    )
+    premises = chain + noise
+    targets = [
+        IND("R0", ("A",), f"R{i}", ("A",)) for i in range(1, QUERY_RELATIONS)
+    ]
+    return schema, premises, targets
+
+
+def _median_seconds(fn, reset=None, repeats=9):
+    """Median wall-clock of ``fn`` with ``reset`` run outside the clock."""
+    samples = []
+    for _ in range(repeats):
+        if reset is not None:
+            reset()
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2]
+
+
+@pytest.mark.artifact("session-incremental")
+def test_incremental_add_at_least_5x_cheaper_than_rebuild():
+    """Acceptance criterion: single-premise add + re-query >= 5x faster
+    than rebuild + re-query on a ~500-premise session."""
+    schema, premises, targets = large_workload()
+    session = ReasoningSession(schema, premises)
+    session.implies_all(targets)  # warm the exploration cache
+    quiet_ind = IND("QUIET", ("A",), "QUIET2", ("A",))
+
+    def add_and_requery():
+        session.add(quiet_ind)
+        return session.implies_all(targets)
+
+    def reset():
+        if quiet_ind in session.dependencies:
+            session.retract(quiet_ind)
+
+    def rebuild_and_requery():
+        rebuilt = ReasoningSession(schema, premises + [quiet_ind])
+        return rebuilt.implies_all(targets)
+
+    assert all(a.verdict for a in add_and_requery())
+    reset()
+    assert all(a.verdict for a in rebuild_and_requery())
+
+    incremental_cost = _median_seconds(add_and_requery, reset=reset)
+    rebuild_cost = _median_seconds(rebuild_and_requery)
+    speedup = rebuild_cost / incremental_cost
+    assert speedup >= 5.0, (
+        f"incremental add+re-query must be >=5x cheaper than rebuild, "
+        f"got {speedup:.1f}x ({incremental_cost*1e3:.2f}ms vs "
+        f"{rebuild_cost*1e3:.2f}ms)"
+    )
+
+
+@pytest.mark.artifact("session-incremental")
+def test_unrelated_mutation_preserves_the_reachability_cache():
+    """Acceptance criterion: a mutation outside every exploration
+    footprint keeps (does not clear) the reachability cache."""
+    schema, premises, targets = large_workload()
+    session = ReasoningSession(schema, premises)
+    session.implies_all(targets)
+    warmed = set(session._reach_cache)
+    assert warmed  # the batch shares R0[A]'s exploration
+
+    session.add(IND("QUIET", ("A",), "QUIET2", ("A",)))
+    assert set(session._reach_cache) == warmed
+    answer = session.implies(targets[0])
+    assert answer.cached and answer.verdict
+
+    # ...while a mutation inside the footprint drops the entry.
+    session.retract(premises[0])  # R0[A,B] <= R1[A,B], on the chain
+    assert ("R0", ("A",)) not in session._reach_cache
+
+
+@pytest.mark.artifact("session-incremental")
+def test_incremental_add_and_requery(benchmark):
+    """Timed artifact: the incremental path on the E15 workload.
+
+    The retract between rounds is harness reset (the measured
+    operation is ``add`` + re-query), so it runs in pedantic setup,
+    outside the clock.
+    """
+    schema, premises, targets = large_workload()
+    session = ReasoningSession(schema, premises)
+    session.implies_all(targets)
+    quiet_ind = IND("QUIET", ("A",), "QUIET2", ("A",))
+
+    def reset():
+        if quiet_ind in session.dependencies:
+            session.retract(quiet_ind)
+
+    def add_and_requery():
+        session.add(quiet_ind)
+        return session.implies_all(targets)
+
+    answers = benchmark.pedantic(
+        add_and_requery, setup=reset, rounds=30, warmup_rounds=2
+    )
+    assert all(answer.verdict for answer in answers)
+
+
+@pytest.mark.artifact("session-incremental")
+def test_rebuild_and_requery(benchmark):
+    """Timed artifact: the rebuild path the redesign replaces."""
+    schema, premises, targets = large_workload()
+    quiet_ind = IND("QUIET", ("A",), "QUIET2", ("A",))
+
+    def rebuild_and_requery():
+        session = ReasoningSession(schema, premises + [quiet_ind])
+        return session.implies_all(targets)
+
+    answers = benchmark(rebuild_and_requery)
+    assert all(answer.verdict for answer in answers)
+
+
+@pytest.mark.artifact("session-fork")
+def test_fork_is_cheap(benchmark):
+    """Forking copies cache skeletons; it must not re-index 500
+    premises or re-run any exploration."""
+    schema, premises, targets = large_workload()
+    session = ReasoningSession(schema, premises)
+    session.implies_all(targets)
+
+    child = benchmark(session.fork)
+    answer = child.implies(targets[0])
+    assert answer.cached and answer.verdict

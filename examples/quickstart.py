@@ -124,6 +124,37 @@ def main() -> None:
         print(f"  {answer.target}:  {answer.verdict_word}  "
               f"[{answer.engine.value}]")
 
+    # ------------------------------------------------------------------
+    # 7. The premise lifecycle: add/retract/fork/version.
+    # ------------------------------------------------------------------
+    # Premises evolve in place; every mutation bumps session.version and
+    # invalidates only the caches it can actually affect, and every
+    # answer is stamped with the version it was computed against.
+    ind_session = ReasoningSession(schema, parse_dependencies(
+        "MGR[NAME,DEPT] <= EMP[NAME,DEPT]"))
+    target = "MGR[NAME] <= PERSON[NAME]"
+    print(f"\nLifecycle (v{ind_session.version}): {target} -> "
+          f"{ind_session.implies(target).verdict}")
+    ind_session.add("EMP[NAME] <= PERSON[NAME]")
+    answer = ind_session.implies(target)
+    print(f"after add (v{answer.version}): {target} -> {answer.verdict}")
+    ind_session.retract("EMP[NAME] <= PERSON[NAME]")
+    answer = ind_session.implies(target)
+    print(f"after retract (v{answer.version}): {target} -> {answer.verdict}")
+
+    # fork() is a copy-on-write child; whatif() uses it to diff verdicts
+    # across a hypothetical change without touching this session.
+    print("\nWhat if every employee were a person?")
+    for flip in ind_session.whatif(
+        [target, "MGR[NAME] <= EMP[NAME]"],
+        add="EMP[NAME] <= PERSON[NAME]",
+    ):
+        marker = "  <- FLIPPED" if flip.flipped else ""
+        print(f"  {flip.target}: {flip.before.verdict} -> "
+              f"{flip.after.verdict}{marker}")
+    print(f"session untouched: v{ind_session.version}, "
+          f"{len(ind_session.dependencies)} premise(s)")
+
 
 if __name__ == "__main__":
     main()

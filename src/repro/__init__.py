@@ -93,15 +93,21 @@ from repro.engine import (
     Answer,
     CheckReport,
     Engine,
+    MutationDelta,
     PremiseIndex,
     ReasoningSession,
     Semantics,
+    VerdictFlip,
 )
 from repro.io import (
+    apply_patch,
     bundle_from_json,
     bundle_to_json,
     load_bundle,
+    load_patch,
     load_session,
+    patch_from_json,
+    patch_to_json,
     session_from_json,
 )
 
@@ -157,14 +163,20 @@ __all__ = [
     "Answer",
     "CheckReport",
     "Engine",
+    "MutationDelta",
     "PremiseIndex",
     "ReasoningSession",
     "Semantics",
+    "VerdictFlip",
     # bundle io
+    "apply_patch",
     "bundle_from_json",
     "bundle_to_json",
     "load_bundle",
+    "load_patch",
     "load_session",
+    "patch_from_json",
+    "patch_to_json",
     "session_from_json",
     "__version__",
 ]

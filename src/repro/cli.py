@@ -5,8 +5,11 @@ Usage (after ``pip install -e .``)::
     python -m repro check   bundle.json       # database vs dependencies
     python -m repro implies bundle.json "MGR[NAME] <= PERSON[NAME]"
     python -m repro implies bundle.json --finite "R[B] <= R[A]"
+    python -m repro implies bundle.json --json "MGR[NAME] <= PERSON[NAME]"
     python -m repro prove   bundle.json "MGR[NAME] <= PERSON[NAME]"
     python -m repro batch   bundle.json targets.txt   # many questions, one load
+    python -m repro whatif  bundle.json targets.txt --add "R[A] <= S[A]"
+    python -m repro shell   bundle.json       # interactive lifecycle REPL
     python -m repro keys    bundle.json       # candidate keys per relation
     python -m repro summary bundle.json       # structural profile
 
@@ -14,19 +17,23 @@ Usage (after ``pip install -e .``)::
 of dependencies in the text DSL, and optionally a database instance.
 Every subcommand loads the bundle into one
 :class:`~repro.engine.session.ReasoningSession`, which indexes the
-premises once and routes each question to the right engine.
+premises once and routes each question to the right engine.  The
+lifecycle subcommands (``shell``, ``whatif``) then evolve that session
+in place — add/retract premises, compare verdicts across versions —
+instead of reloading per question.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
 from repro.engine.answer import Semantics
 from repro.engine.session import ReasoningSession
 from repro.exceptions import ReproError
-from repro.io import load_session
+from repro.io import load_session, patch_from_json
 
 
 def _load(path: str) -> ReasoningSession:
@@ -38,12 +45,21 @@ def _semantics(args: argparse.Namespace) -> Semantics:
     return Semantics.FINITE if getattr(args, "finite", False) else Semantics.UNRESTRICTED
 
 
+def _read_targets(path: str) -> list[str]:
+    with open(path, encoding="utf-8") as fp:
+        lines = [line.strip() for line in fp]
+    return [line for line in lines if line and not line.startswith("#")]
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     session = _load(args.bundle)
     if session.db is None:
         print("bundle has no database to check", file=sys.stderr)
         return 2
     report = session.check()
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+        return 0 if report.ok else 1
     for dep, holds in report.results:
         if holds:
             print(f"OK        {dep}")
@@ -59,7 +75,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_implies(args: argparse.Namespace) -> int:
     session = _load(args.bundle)
     answer = session.implies(args.dependency, semantics=_semantics(args))
-    print(answer.describe())
+    if args.json:
+        print(json.dumps(answer.to_json(), indent=2))
+    else:
+        print(answer.describe())
     return 0 if answer.verdict else 1
 
 
@@ -84,17 +103,23 @@ def _cmd_prove(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     session = _load(args.bundle)
-    with open(args.targets, encoding="utf-8") as fp:
-        lines = [line.strip() for line in fp]
-    targets = [line for line in lines if line and not line.startswith("#")]
+    targets = _read_targets(args.targets)
     if not targets:
         print("targets file has no dependencies to decide", file=sys.stderr)
         return 2
     answers = session.implies_all(targets, semantics=_semantics(args))
+    implied = sum(answer.verdict for answer in answers)
+    if args.json:
+        stats = session.stats()
+        print(json.dumps({
+            "answers": [answer.to_json() for answer in answers],
+            "implied": implied,
+            "total": len(answers),
+            "reach_cache_hits": stats["reach_cache_hits"],
+        }, indent=2))
+        return 0 if implied == len(answers) else 1
     width = max(len(str(answer.target)) for answer in answers)
-    implied = 0
     for answer in answers:
-        implied += answer.verdict
         print(f"{str(answer.target):<{width}}  {answer.verdict_word:<12} "
               f"{answer.engine.value}")
     stats = session.stats()
@@ -102,6 +127,147 @@ def _cmd_batch(args: argparse.Namespace) -> int:
           f"(premises indexed once; {stats['reach_cache_hits']} "
           f"exploration cache hit(s))")
     return 0 if implied == len(answers) else 1
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    """Diff verdicts across a hypothetical premise change."""
+    session = _load(args.bundle)
+    targets = _read_targets(args.targets)
+    if not targets:
+        print("targets file has no dependencies to decide", file=sys.stderr)
+        return 2
+    add = list(args.add or [])
+    retract = list(args.retract or [])
+    if args.patch:
+        with open(args.patch, encoding="utf-8") as fp:
+            patch_add, patch_retract = patch_from_json(fp.read(), session.schema)
+        add.extend(patch_add)
+        retract.extend(patch_retract)
+    if not add and not retract:
+        print("whatif needs --add, --retract, or --patch", file=sys.stderr)
+        return 2
+    flips = session.whatif(
+        targets, add=add, retract=retract, semantics=_semantics(args)
+    )
+    flipped = sum(flip.flipped for flip in flips)
+    if args.json:
+        print(json.dumps({
+            "flips": [
+                {
+                    "target": str(flip.target),
+                    "before": flip.before.to_json(),
+                    "after": flip.after.to_json(),
+                    "flipped": flip.flipped,
+                }
+                for flip in flips
+            ],
+            "flipped": flipped,
+            "total": len(flips),
+        }, indent=2))
+        return 1 if flipped else 0
+    width = max(len(str(flip.target)) for flip in flips)
+    for flip in flips:
+        marker = "  FLIPPED" if flip.flipped else ""
+        print(f"{str(flip.target):<{width}}  {flip.before.verdict_word:<12} "
+              f"-> {flip.after.verdict_word:<12}{marker}")
+    base = flips[0].before.version if flips else 0
+    variant = flips[0].after.version if flips else 0
+    print(f"\n{flipped}/{len(flips)} verdicts flipped "
+          f"(base v{base} -> variant v{variant})")
+    return 1 if flipped else 0
+
+
+_SHELL_HELP = """\
+commands:
+  implies [-f] <dep>   decide Sigma |= dep (-f: finite semantics)
+  prove <dep>          formal checked proof for dep
+  add <dep>            assert a premise (bumps the version)
+  retract <dep>        withdraw a premise (bumps the version)
+  keys [REL]           candidate keys (one relation or all)
+  closure REL A,B      attribute closure X+ within REL
+  deps                 list the current premises
+  stats                session cache/workload counters
+  version              current session version
+  help                 this text
+  quit                 leave the shell (also: exit, Ctrl-D)"""
+
+
+def _shell_dispatch(session: ReasoningSession, line: str) -> bool:
+    """Run one shell command; returns False when the shell should exit."""
+    words = line.split(None, 1)
+    command, rest = words[0], (words[1].strip() if len(words) > 1 else "")
+    if command in ("quit", "exit"):
+        return False
+    if command == "help":
+        print(_SHELL_HELP)
+    elif command == "version":
+        print(f"v{session.version}")
+    elif command == "stats":
+        for key, value in session.stats().items():
+            print(f"  {key}: {value}")
+    elif command == "deps":
+        for dep in session.dependencies:
+            print(f"  {dep}")
+        print(f"({len(session.dependencies)} premises, v{session.version})")
+    elif command == "add":
+        delta = session.add(rest)
+        print(f"v{session.version}: +{len(delta.added)} premise")
+    elif command == "retract":
+        delta = session.retract(rest)
+        print(f"v{session.version}: -{len(delta.removed)} premise")
+    elif command == "implies":
+        semantics = Semantics.UNRESTRICTED
+        for flag in ("-f", "--finite"):
+            if rest.startswith(flag + " "):
+                semantics = Semantics.FINITE
+                rest = rest[len(flag):].strip()
+                break
+        print(session.implies(rest, semantics=semantics).describe())
+    elif command == "prove":
+        answer = session.prove(rest)
+        print(answer.proof if answer.verdict
+              else f"{answer.target} is not provable here")
+    elif command == "keys":
+        for name, keys in session.keys(rest or None).items():
+            rendered = ", ".join(
+                "{" + ",".join(sorted(key)) + "}" for key in keys
+            )
+            print(f"  {name}: {rendered}")
+    elif command == "closure":
+        parts = rest.split(None, 1)
+        if len(parts) != 2:
+            print("usage: closure REL A,B", file=sys.stderr)
+        else:
+            attrs = [a.strip() for a in parts[1].split(",") if a.strip()]
+            closed = session.closure(parts[0], attrs)
+            print("{" + ",".join(sorted(closed)) + "}")
+    else:
+        print(f"unknown command {command!r} (try 'help')", file=sys.stderr)
+    return True
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    """Interactive premise-lifecycle REPL over one bundle."""
+    session = _load(args.bundle)
+    print(f"repro shell — {session!r}")
+    print("type 'help' for commands, 'quit' to leave")
+    interactive = sys.stdin.isatty()
+    while True:
+        if interactive:
+            sys.stdout.write("repro> ")
+            sys.stdout.flush()
+        line = sys.stdin.readline()
+        if not line:  # EOF
+            break
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            if not _shell_dispatch(session, line):
+                break
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+    return 0
 
 
 def _cmd_keys(args: argparse.Namespace) -> int:
@@ -144,6 +310,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser("check", help="check a database against its dependencies")
     p_check.add_argument("bundle", help="path to a bundle JSON file")
+    p_check.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report"
+    )
     p_check.set_defaults(func=_cmd_check)
 
     p_implies = sub.add_parser("implies", help="decide an implication question")
@@ -152,6 +321,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_implies.add_argument(
         "--finite", action="store_true",
         help="finite implication (unary FD/IND fragment)",
+    )
+    p_implies.add_argument(
+        "--json", action="store_true", help="machine-readable JSON answer"
     )
     p_implies.set_defaults(func=_cmd_implies)
 
@@ -173,7 +345,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--finite", action="store_true",
         help="finite implication (unary FD/IND fragment)",
     )
+    p_batch.add_argument(
+        "--json", action="store_true", help="machine-readable JSON answers"
+    )
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_whatif = sub.add_parser(
+        "whatif",
+        help="diff verdicts across a hypothetical premise change",
+    )
+    p_whatif.add_argument("bundle")
+    p_whatif.add_argument(
+        "targets",
+        help="file with one DSL dependency per line ('#' comments allowed)",
+    )
+    p_whatif.add_argument(
+        "--add", action="append", metavar="DEP",
+        help="premise to add in the variant (repeatable)",
+    )
+    p_whatif.add_argument(
+        "--retract", action="append", metavar="DEP",
+        help="premise to retract in the variant (repeatable)",
+    )
+    p_whatif.add_argument(
+        "--patch", metavar="PATCH_JSON",
+        help="JSON patch file with 'add'/'retract' sections (repro.io)",
+    )
+    p_whatif.add_argument(
+        "--finite", action="store_true",
+        help="finite implication (unary FD/IND fragment)",
+    )
+    p_whatif.add_argument(
+        "--json", action="store_true", help="machine-readable JSON diff"
+    )
+    p_whatif.set_defaults(func=_cmd_whatif)
+
+    p_shell = sub.add_parser(
+        "shell",
+        help="interactive add/retract/implies REPL over one bundle",
+    )
+    p_shell.add_argument("bundle")
+    p_shell.set_defaults(func=_cmd_shell)
 
     p_keys = sub.add_parser("keys", help="candidate keys per relation")
     p_keys.add_argument("bundle")

@@ -210,18 +210,44 @@ def decide_ind(
     )
 
 
+@dataclass
+class Exploration:
+    """A cached exhaustive BFS: the reachable set plus its provenance.
+
+    ``footprint`` is the set of relation names whose premise bucket the
+    BFS consulted — the relation of every expanded expression.  A
+    premise mutation can only change this exploration's result if the
+    mutated IND's *left* relation is in the footprint: an IND whose
+    left relation was never expanded can neither have contributed an
+    edge nor contribute a new one.  ``ReasoningSession`` uses this for
+    scoped invalidation of its reachability cache.
+    """
+
+    start: Expression
+    visited: set[Expression]
+    parents: dict[Expression, tuple[Expression, ChainLink]]
+    footprint: frozenset[str]
+
+    def decide(self, target: IND) -> DecisionResult:
+        """Answer one question whose left expression is ``start``."""
+        return decision_from_exploration(target, self.visited, self.parents)
+
+
 def explore_expressions(
     start: Expression,
     premises: Premises,
     max_nodes: int = 2_000_000,
-) -> tuple[set[Expression], dict[Expression, tuple[Expression, ChainLink]]]:
+) -> Exploration:
     """Exhaustive BFS from ``start``: the full reachable set ``Z`` plus
-    a predecessor map for witness-chain extraction.
+    a predecessor map for witness-chain extraction and the
+    premise-bucket footprint the search consulted.
 
     Unlike :func:`decide_ind` this never stops early, so the result can
     be cached and answers *every* implication question whose target has
     left expression ``start`` (``ReasoningSession.implies_all`` relies
-    on this to share one exploration across a batch of queries).
+    on this to share one exploration across a batch of queries, and the
+    session's add/retract lifecycle uses ``footprint`` to keep cached
+    explorations alive across mutations that cannot affect them).
     """
     premise_index = (
         premises if isinstance(premises, Mapping) else index_by_lhs(premises)
@@ -241,7 +267,8 @@ def explore_expressions(
                 visited.add(nxt)
                 parents[nxt] = (current, link)
                 queue.append(nxt)
-    return visited, parents
+    footprint = frozenset(relation for relation, _attrs in visited)
+    return Exploration(start, visited, parents, footprint)
 
 
 def decision_from_exploration(
@@ -289,8 +316,7 @@ def reachable_expressions(
 ) -> set[Expression]:
     """The full set ``Z`` of the paper's procedure (all reachable
     expressions from ``start``), for analysis and benchmarks."""
-    visited, _parents = explore_expressions(start, premises, max_nodes=max_nodes)
-    return visited
+    return explore_expressions(start, premises, max_nodes=max_nodes).visited
 
 
 def chain_is_valid(target: IND, chain: list[Expression], links: list[ChainLink]) -> bool:

@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class FD(Dependency):
     """The functional dependency ``R: X -> Y``."""
 
-    __slots__ = ("relation", "lhs", "rhs")
+    __slots__ = ("relation", "lhs", "rhs", "_key_memo")
 
     def __init__(
         self,
@@ -115,7 +115,13 @@ class FD(Dependency):
     # -- identity -------------------------------------------------------
 
     def _key(self) -> tuple:
-        return ("FD", self.relation, self.lhs_set, self.rhs_set)
+        # Memoized: equality/hashing is hot in the session lifecycle
+        # (retract scans the premise list), and the sides never change.
+        memo = getattr(self, "_key_memo", None)
+        if memo is None:
+            memo = ("FD", self.relation, self.lhs_set, self.rhs_set)
+            self._key_memo = memo
+        return memo
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FD):

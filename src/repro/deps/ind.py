@@ -25,7 +25,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class IND(Dependency):
     """The inclusion dependency ``R[X] c S[Y]``."""
 
-    __slots__ = ("lhs_relation", "lhs_attributes", "rhs_relation", "rhs_attributes")
+    __slots__ = (
+        "lhs_relation",
+        "lhs_attributes",
+        "rhs_relation",
+        "rhs_attributes",
+        "_key_memo",
+    )
 
     def __init__(
         self,
@@ -138,8 +144,14 @@ class IND(Dependency):
         return IND(self.lhs_relation, lhs, self.rhs_relation, rhs)
 
     def _key(self) -> tuple:
-        lhs, rhs = self._canonical_sides()
-        return ("IND", self.lhs_relation, lhs, self.rhs_relation, rhs)
+        # Memoized: equality/hashing is hot in the session lifecycle
+        # (retract scans the premise list), and the sides never change.
+        memo = getattr(self, "_key_memo", None)
+        if memo is None:
+            lhs, rhs = self._canonical_sides()
+            memo = ("IND", self.lhs_relation, lhs, self.rhs_relation, rhs)
+            self._key_memo = memo
+        return memo
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, IND):

@@ -3,26 +3,31 @@
 * ``answer`` — the uniform :class:`Answer` result type and the
   :class:`Engine` / :class:`Semantics` vocabularies.
 * ``index`` — :class:`PremiseIndex`: premises bucketed by relation,
-  with memoized attribute closures.
+  incrementally maintained across mutations, with memoized attribute
+  closures and candidate keys.
 * ``routing`` — dependency-class analysis placing each question into
   the paper's fragment table.
 * ``session`` — :class:`ReasoningSession`: construct once per premise
   set, then ``implies`` / ``implies_all`` / ``prove`` / ``check`` /
-  ``keys`` / ``closure``.
+  ``keys`` / ``closure``; evolve the premises with ``add`` /
+  ``retract`` / ``fork`` / ``whatif`` (every answer is stamped with
+  the session ``version`` it was computed against).
 """
 
 from repro.engine.answer import Answer, Engine, Semantics
-from repro.engine.index import PremiseIndex
+from repro.engine.index import MutationDelta, PremiseIndex
 from repro.engine.routing import choose_engine, classify
-from repro.engine.session import CheckReport, ReasoningSession
+from repro.engine.session import CheckReport, ReasoningSession, VerdictFlip
 
 __all__ = [
     "Answer",
     "CheckReport",
     "Engine",
+    "MutationDelta",
     "PremiseIndex",
     "ReasoningSession",
     "Semantics",
+    "VerdictFlip",
     "choose_engine",
     "classify",
 ]

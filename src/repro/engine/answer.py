@@ -79,6 +79,7 @@ class Answer:
     certificate: Any = None
     proof: Any = None
     cached: bool = False
+    version: int = 0
     stats: dict[str, Any] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
@@ -104,5 +105,46 @@ class Answer:
         extras.extend(f"{key}={value}" for key, value in self.stats.items())
         return f"{body}\n  [{', '.join(extras)}]"
 
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready dict for machine consumers (the CLI ``--json``).
+
+        Engine-native certificates stay Python objects on the answer;
+        the JSON view carries their portable core — the witness chain
+        for ``corollary-3.2`` answers — plus the verdict, routing, the
+        session version the answer was computed against, and stats.
+        """
+        from repro.core.ind_decision import DecisionResult
+
+        payload: dict[str, Any] = {
+            "target": str(self.target),
+            "verdict": self.verdict,
+            "engine": self.engine.value,
+            "semantics": self.semantics.value,
+            "cached": self.cached,
+            "version": self.version,
+            "stats": {key: jsonify(value) for key, value in self.stats.items()},
+        }
+        if isinstance(self.certificate, DecisionResult) and self.certificate.chain:
+            payload["chain"] = [
+                {"relation": relation, "attributes": list(attrs)}
+                for relation, attrs in self.certificate.chain
+            ]
+        return payload
+
     def __str__(self) -> str:
         return self.describe()
+
+
+def jsonify(value: Any) -> Any:
+    """Best-effort conversion to JSON-representable values.
+
+    Tuples (database rows, witness pairs) become lists recursively;
+    JSON scalars pass through; anything exotic falls back to ``str``.
+    """
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    return str(value)

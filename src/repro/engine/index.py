@@ -1,31 +1,80 @@
 """Premise indexing for :class:`~repro.engine.session.ReasoningSession`.
 
-A session classifies and buckets its dependency set exactly once, at
-construction:
+A session classifies and buckets its dependency set at construction
+and then maintains the buckets *incrementally* through the premise
+lifecycle (:meth:`PremiseIndex.add` / :meth:`PremiseIndex.retract`):
 
 * INDs bucketed by left-hand relation (what ``successors`` consumes)
   and by right-hand relation (backward search);
-* FDs bucketed by relation, with memoized attribute closures — every
-  FD question over the same premises reuses closures already computed;
+* FDs bucketed by relation, with memoized attribute closures and
+  candidate keys — both invalidated per affected relation only, never
+  wholesale;
 * the structural facts routing needs (which classes are present,
-  whether everything is unary) computed up front.
+  whether everything is unary) maintained as counters and per-class
+  lists, with the flat tuple views (what the chase, the unary engine,
+  and ``prove`` consume) materialized lazily per class — a mutation
+  that only touches INDs never rebuilds the FD view, and the
+  Corollary 3.2 query path never rebuilds any of them.
+
+Each mutation returns a :class:`MutationDelta` describing exactly
+which relation buckets changed, which is what the session's scoped
+cache invalidation consumes.
 
 ``PremiseIndex.builds_total`` counts constructions process-wide so
 tests can assert that a batch of N queries indexes the premises
-exactly once.
+exactly once; :meth:`clone` (copy-on-write forking) does not count as
+a build because it copies buckets instead of rebuilding them.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import ClassVar, Iterable, Optional
 
+from repro.exceptions import DependencyError
 from repro.deps.base import Dependency
 from repro.deps.fd import FD
 from repro.deps.ind import IND
 from repro.deps.rd import RD
 from repro.model.schema import DatabaseSchema
-from repro.core.fd_closure import attribute_closure
-from repro.core.ind_decision import index_by_lhs, index_by_rhs
+from repro.core.fd_closure import attribute_closure, candidate_keys
+
+
+@dataclass(frozen=True)
+class MutationDelta:
+    """What one :meth:`PremiseIndex.add` / ``retract`` call changed.
+
+    ``ind_lhs_relations`` are the left-hand relations of every mutated
+    IND (the buckets the Corollary 3.2 search reads); ``fd_relations``
+    are the relations of every mutated FD.  The session's scoped cache
+    invalidation is driven entirely by these two sets.
+    """
+
+    added: tuple[Dependency, ...] = ()
+    removed: tuple[Dependency, ...] = ()
+    ind_lhs_relations: frozenset[str] = frozenset()
+    fd_relations: frozenset[str] = frozenset()
+
+    @property
+    def mutated_inds(self) -> bool:
+        return bool(self.ind_lhs_relations)
+
+    @property
+    def mutated_fds(self) -> bool:
+        return bool(self.fd_relations)
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+
+def _class_of(dep: Dependency) -> str:
+    if isinstance(dep, IND):
+        return "ind"
+    if isinstance(dep, FD):
+        return "fd"
+    if isinstance(dep, RD):
+        return "rd"
+    return "other"
 
 
 class PremiseIndex:
@@ -42,52 +91,225 @@ class PremiseIndex:
     ):
         PremiseIndex.builds_total += 1
         self.schema = schema
-        self.dependencies: tuple[Dependency, ...] = tuple(dependencies)
-        inds: list[IND] = []
-        fds: list[FD] = []
-        rds: list[RD] = []
-        others: list[Dependency] = []
-        for dep in self.dependencies:
-            if validate:
+        self._deps: list[Dependency] = list(dependencies)
+        if validate:
+            for dep in self._deps:
                 dep.validate(schema)
-            if isinstance(dep, IND):
-                inds.append(dep)
-            elif isinstance(dep, FD):
-                fds.append(dep)
-            elif isinstance(dep, RD):
-                rds.append(dep)
-            else:
-                others.append(dep)
-        self.inds: tuple[IND, ...] = tuple(inds)
-        self.fds: tuple[FD, ...] = tuple(fds)
-        self.rds: tuple[RD, ...] = tuple(rds)
-        self.others: tuple[Dependency, ...] = tuple(others)
 
-        self.inds_by_lhs: dict[str, tuple[IND, ...]] = index_by_lhs(inds)
-        self.inds_by_rhs: dict[str, tuple[IND, ...]] = index_by_rhs(inds)
-        fd_buckets: dict[str, list[FD]] = {}
-        for fd in fds:
-            fd_buckets.setdefault(fd.relation, []).append(fd)
-        self.fds_by_relation: dict[str, tuple[FD, ...]] = {
-            name: tuple(bucket) for name, bucket in fd_buckets.items()
-        }
+        self._counts: dict[str, int] = {"ind": 0, "fd": 0, "rd": 0, "other": 0}
+        self._views: dict[str, tuple] = {}  # lazily rebuilt per class
+        self._deps_view: Optional[tuple[Dependency, ...]] = None
+        self._non_unary = 0
+        self.inds_by_lhs: dict[str, tuple[IND, ...]] = {}
+        self.inds_by_rhs: dict[str, tuple[IND, ...]] = {}
+        self.fds_by_relation: dict[str, tuple[FD, ...]] = {}
+        for dep in self._deps:
+            self._classify_insert(dep)
 
-        self.all_unary: bool = all(d.is_unary() for d in inds) and all(
-            d.is_unary() for d in fds
-        )
         self._closure_cache: dict[tuple[str, frozenset[str]], frozenset[str]] = {}
+        self._keys_cache: dict[str, list[frozenset[str]]] = {}
+
+    # -- bucket maintenance ------------------------------------------------
+
+    def _classify_insert(self, dep: Dependency) -> None:
+        kind = _class_of(dep)
+        self._counts[kind] += 1
+        self._views.pop(kind, None)
+        self._deps_view = None
+        if isinstance(dep, IND):
+            self.inds_by_lhs[dep.lhs_relation] = (
+                self.inds_by_lhs.get(dep.lhs_relation, ()) + (dep,)
+            )
+            self.inds_by_rhs[dep.rhs_relation] = (
+                self.inds_by_rhs.get(dep.rhs_relation, ()) + (dep,)
+            )
+            self._non_unary += not dep.is_unary()
+        elif isinstance(dep, FD):
+            self.fds_by_relation[dep.relation] = (
+                self.fds_by_relation.get(dep.relation, ()) + (dep,)
+            )
+            self._non_unary += not dep.is_unary()
+
+    def _classify_remove(self, dep: Dependency) -> None:
+        kind = _class_of(dep)
+        self._counts[kind] -= 1
+        self._views.pop(kind, None)
+        self._deps_view = None
+        if isinstance(dep, IND):
+            self._bucket_remove(self.inds_by_lhs, dep.lhs_relation, dep)
+            self._bucket_remove(self.inds_by_rhs, dep.rhs_relation, dep)
+            self._non_unary -= not dep.is_unary()
+        elif isinstance(dep, FD):
+            self._bucket_remove(self.fds_by_relation, dep.relation, dep)
+            self._non_unary -= not dep.is_unary()
+
+    @staticmethod
+    def _bucket_remove(
+        buckets: dict[str, tuple], key: str, dep: Dependency
+    ) -> None:
+        bucket = list(buckets.get(key, ()))
+        bucket.remove(dep)
+        if bucket:
+            buckets[key] = tuple(bucket)
+        else:
+            del buckets[key]
+
+    def _view(self, kind: str) -> tuple:
+        view = self._views.get(kind)
+        if view is None:
+            view = tuple(
+                dep for dep in self._deps if _class_of(dep) == kind
+            )
+            self._views[kind] = view
+        return view
+
+    # -- flat views (lazy, per class) --------------------------------------
+
+    @property
+    def dependencies(self) -> tuple[Dependency, ...]:
+        if self._deps_view is None:
+            self._deps_view = tuple(self._deps)
+        return self._deps_view
+
+    @property
+    def inds(self) -> tuple[IND, ...]:
+        return self._view("ind")
+
+    @property
+    def fds(self) -> tuple[FD, ...]:
+        return self._view("fd")
+
+    @property
+    def rds(self) -> tuple[RD, ...]:
+        return self._view("rd")
+
+    @property
+    def others(self) -> tuple[Dependency, ...]:
+        return self._view("other")
+
+    @property
+    def all_unary(self) -> bool:
+        """Whether every FD and IND premise is unary (counter-maintained)."""
+        return self._non_unary == 0
+
+    # -- the premise lifecycle ---------------------------------------------
+
+    def add(
+        self, dependencies: Iterable[Dependency], validate: bool = True
+    ) -> MutationDelta:
+        """Insert premises in place, updating buckets incrementally.
+
+        Returns the :class:`MutationDelta` naming the touched buckets.
+        Affected memoized closures and candidate keys are dropped here
+        (per relation); reachability/unary caches live in the session,
+        which scopes its own invalidation from the returned delta.
+        """
+        added = tuple(dependencies)
+        if validate:
+            for dep in added:
+                dep.validate(self.schema)
+        for dep in added:
+            self._deps.append(dep)
+            self._classify_insert(dep)
+        delta = self._delta(added=added, removed=())
+        self._apply_fd_invalidation(delta)
+        return delta
+
+    def retract(self, dependencies: Iterable[Dependency]) -> MutationDelta:
+        """Remove premises in place (one occurrence each).
+
+        Raises :class:`~repro.exceptions.DependencyError` when a
+        dependency is not among the premises — retracting something
+        that was never asserted is a caller bug worth surfacing — and
+        the whole batch is checked before anything is removed, so a
+        failed retract leaves the index unchanged.
+        """
+        removed = tuple(dependencies)
+        # One scan per dependency to locate its position; the whole
+        # batch is resolved before anything is mutated, so a failed
+        # retract leaves the index unchanged.
+        taken: set[int] = set()
+        for dep in removed:
+            position = -1
+            for i, existing in enumerate(self._deps):
+                if i not in taken and existing == dep:
+                    position = i
+                    break
+            if position < 0:
+                raise DependencyError(
+                    f"cannot retract {dep}: not among the premises"
+                )
+            taken.add(position)
+        for position in sorted(taken, reverse=True):
+            dep = self._deps.pop(position)
+            self._classify_remove(dep)
+        delta = self._delta(added=(), removed=removed)
+        self._apply_fd_invalidation(delta)
+        return delta
+
+    @staticmethod
+    def _delta(
+        added: tuple[Dependency, ...], removed: tuple[Dependency, ...]
+    ) -> MutationDelta:
+        ind_lhs: set[str] = set()
+        fd_rels: set[str] = set()
+        for dep in added + removed:
+            if isinstance(dep, IND):
+                ind_lhs.add(dep.lhs_relation)
+            elif isinstance(dep, FD):
+                fd_rels.add(dep.relation)
+        return MutationDelta(
+            added=added,
+            removed=removed,
+            ind_lhs_relations=frozenset(ind_lhs),
+            fd_relations=frozenset(fd_rels),
+        )
+
+    def _apply_fd_invalidation(self, delta: MutationDelta) -> None:
+        """Drop only the mutated relations' closure and key memos."""
+        for relation in delta.fd_relations:
+            self._keys_cache.pop(relation, None)
+        if delta.fd_relations and self._closure_cache:
+            for key in [
+                k for k in self._closure_cache if k[0] in delta.fd_relations
+            ]:
+                del self._closure_cache[key]
+
+    def clone(self) -> "PremiseIndex":
+        """A copy-on-write twin for :meth:`ReasoningSession.fork`.
+
+        Bucket *dicts* are copied; the bucket tuples, memoized closures
+        and key lists are shared (mutations replace whole tuples and
+        evict whole entries, so sharing is safe).  Does not count as a
+        build — nothing is re-validated or re-bucketed.
+        """
+        twin = PremiseIndex.__new__(PremiseIndex)
+        twin.schema = self.schema
+        twin._deps = list(self._deps)
+        twin._counts = dict(self._counts)
+        twin._views = dict(self._views)
+        twin._deps_view = self._deps_view
+        twin._non_unary = self._non_unary
+        twin.inds_by_lhs = dict(self.inds_by_lhs)
+        twin.inds_by_rhs = dict(self.inds_by_rhs)
+        twin.fds_by_relation = dict(self.fds_by_relation)
+        twin._closure_cache = dict(self._closure_cache)
+        twin._keys_cache = dict(self._keys_cache)
+        return twin
 
     # -- structural profile ----------------------------------------------
 
     @property
     def pure_ind(self) -> bool:
         """Only IND premises (the Corollary 3.2 fragment)."""
-        return not (self.fds or self.rds or self.others)
+        counts = self._counts
+        return not (counts["fd"] or counts["rd"] or counts["other"])
 
     @property
     def pure_fd(self) -> bool:
         """Only FD premises (the attribute-closure fragment)."""
-        return not (self.inds or self.rds or self.others)
+        counts = self._counts
+        return not (counts["ind"] or counts["rd"] or counts["other"])
 
     def fds_of(self, relation: str) -> tuple[FD, ...]:
         return self.fds_by_relation.get(relation, ())
@@ -110,16 +332,36 @@ class PremiseIndex:
         """Closure-based FD implication using the memo."""
         return fd.rhs_set <= self.closure(fd.relation, fd.lhs_set)
 
+    def keys_of(self, relation: str) -> list[frozenset[str]]:
+        """Memoized candidate keys of ``relation`` under this index's FDs.
+
+        Candidate-key search is exponential in the worst case, so the
+        memo matters for any session that asks repeatedly; the
+        FD-mutation path evicts exactly this relation's entry.
+        """
+        cached = self._keys_cache.get(relation)
+        if cached is None:
+            cached = candidate_keys(
+                self.schema.relation(relation), self.fds_of(relation)
+            )
+            self._keys_cache[relation] = cached
+        return list(cached)
+
     @property
     def closure_cache_size(self) -> int:
         return len(self._closure_cache)
 
+    @property
+    def keys_cache_size(self) -> int:
+        return len(self._keys_cache)
+
     def stats(self) -> dict[str, int]:
         """Headline sizes, reported in :class:`Answer` stats."""
         return {
-            "inds": len(self.inds),
-            "fds": len(self.fds),
-            "rds": len(self.rds),
+            "inds": self._counts["ind"],
+            "fds": self._counts["fd"],
+            "rds": self._counts["rd"],
             "relations_with_outgoing_inds": len(self.inds_by_lhs),
             "closures_memoized": len(self._closure_cache),
+            "keys_memoized": len(self._keys_cache),
         }

@@ -13,17 +13,31 @@ the library knows how to answer, routing each to the optimal engine:
 >>> answer.verdict, answer.engine.value
 (True, 'corollary-3.2')
 
-Premises are indexed once at construction (see
-:class:`~repro.engine.index.PremiseIndex`); the expression-graph
-exploration behind IND answers is cached per left expression, so a
-batch of queries (:meth:`ReasoningSession.implies_all`) shares both
-the index and the explorations.
+Premises are indexed at construction (see
+:class:`~repro.engine.index.PremiseIndex`) and then follow a
+*lifecycle*: :meth:`ReasoningSession.add` and
+:meth:`ReasoningSession.retract` mutate the premise set in place,
+bumping the monotonically increasing :attr:`ReasoningSession.version`
+that every :class:`~repro.engine.answer.Answer` is stamped with.
+Mutations invalidate caches *scoped to what actually changed*:
+
+* an IND mutation drops only the reachability-cache entries whose
+  exploration footprint touched the mutated left-hand relation bucket;
+* an FD mutation drops only that relation's memoized attribute
+  closures and candidate keys;
+* any mutation drops the unary-closure cache (its fixpoint mixes every
+  premise, so there is no sound narrower scope).
+
+:meth:`ReasoningSession.fork` gives a copy-on-write child for what-if
+comparison — mutate the child, and :meth:`ReasoningSession.whatif`
+reports which target verdicts flip — without the parent giving up any
+of its warmed caches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Union
+from typing import Any, Iterable, Optional, Union
 
 from repro.deps.base import Dependency
 from repro.deps.fd import FD
@@ -32,26 +46,29 @@ from repro.deps.parser import parse_dependency
 from repro.exceptions import UnsupportedDependencyError
 from repro.model.database import Database
 from repro.model.schema import DatabaseSchema
-from repro.core.fd_closure import candidate_keys, closure_derivation
+from repro.core.fd_closure import closure_derivation
 from repro.core.fd_axioms import check_fd_proof, prove_fd
 from repro.core.fdind_chase import chase_implies
 from repro.core.finite_unary import UnaryClosure, unary_closure
 from repro.core.ind_axioms import check_proof
 from repro.core.ind_decision import (
     DecisionResult,
+    Exploration,
     Expression,
     decide_ind,
-    decision_from_exploration,
     expression_of_lhs,
     explore_expressions,
 )
 from repro.core.ind_prover import proof_from_decision
-from repro.engine.answer import Answer, Engine, Semantics
-from repro.engine.index import PremiseIndex
+from repro.engine.answer import Answer, Engine, Semantics, jsonify
+from repro.engine.index import MutationDelta, PremiseIndex
 from repro.engine.routing import choose_engine
 
 Target = Union[Dependency, str]
 """A question: a dependency object or its text-DSL rendering."""
+
+Targets = Union[Target, Iterable[Target]]
+"""One target or many (what the mutation API accepts)."""
 
 
 @dataclass
@@ -76,6 +93,38 @@ class CheckReport:
     def __bool__(self) -> bool:
         return self.ok
 
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready dict for machine consumers (the CLI ``--json``)."""
+        return {
+            "ok": self.ok,
+            "satisfied": self.satisfied_count,
+            "total": len(self.results),
+            "results": [
+                {
+                    "dependency": str(dep),
+                    "holds": holds,
+                    "witnesses": [
+                        jsonify(witness)
+                        for witness in self.witnesses.get(dep, ())
+                    ],
+                }
+                for dep, holds in self.results
+            ],
+        }
+
+
+@dataclass
+class VerdictFlip:
+    """One target's before/after verdicts across a premise change."""
+
+    target: Dependency
+    before: Answer
+    after: Answer
+
+    @property
+    def flipped(self) -> bool:
+        return self.before.verdict != self.after.verdict
+
 
 class ReasoningSession:
     """Facade over the paper's four decision procedures.
@@ -85,7 +134,8 @@ class ReasoningSession:
     schema:
         The database scheme every dependency must be well-formed over.
     dependencies:
-        The premise set Sigma.  Indexed once, here.
+        The initial premise set Sigma.  Indexed here; evolved in place
+        afterwards through :meth:`add` / :meth:`retract`.
     db:
         Optional bundled instance (used by :meth:`check` when no
         explicit database is passed).
@@ -109,10 +159,12 @@ class ReasoningSession:
         self.max_nodes = max_nodes
         self.max_rounds = max_rounds
         self.max_tuples = max_tuples
-        self._reach_cache: dict[Expression, tuple[set, dict]] = {}
+        self.version = 0
+        self._reach_cache: dict[Expression, Exploration] = {}
         self._unary_cache: dict[Semantics, UnaryClosure] = {}
         self.queries = 0
         self.cache_hits = 0
+        self.invalidations = {"reach_dropped": 0, "reach_kept": 0}
 
     # -- plumbing ----------------------------------------------------------
 
@@ -126,10 +178,118 @@ class ReasoningSession:
         target.validate(self.schema)
         return target
 
+    def _coerce_many(self, targets: Targets) -> list[Dependency]:
+        if isinstance(targets, (str, Dependency)):
+            targets = [targets]
+        return [self._coerce(target) for target in targets]
+
     def route(self, target: Target,
               semantics: Union[Semantics, str] = Semantics.UNRESTRICTED) -> Engine:
         """Which engine :meth:`implies` would use, without running it."""
         return choose_engine(self.index, self._coerce(target), Semantics(semantics))
+
+    # -- the premise lifecycle ---------------------------------------------
+
+    def add(self, dependencies: Targets) -> MutationDelta:
+        """Assert new premises: ``Sigma := Sigma + deps``.
+
+        Accepts one target or an iterable, each a dependency object or
+        its DSL rendering.  Bumps :attr:`version` and invalidates only
+        the caches the mutation can actually affect (see the module
+        docstring).  Returns the :class:`MutationDelta`.
+        """
+        delta = self.index.add(self._coerce_many(dependencies), validate=False)
+        self._apply_delta(delta)
+        return delta
+
+    def retract(self, dependencies: Targets) -> MutationDelta:
+        """Withdraw premises: ``Sigma := Sigma - deps``.
+
+        Each dependency must currently be a premise (one occurrence is
+        removed per mention); otherwise
+        :class:`~repro.exceptions.DependencyError` is raised and the
+        session is left unchanged.
+        """
+        delta = self.index.retract(self._coerce_many(dependencies))
+        self._apply_delta(delta)
+        return delta
+
+    def _apply_delta(self, delta: MutationDelta) -> None:
+        """Version bump + scoped cache invalidation for one mutation.
+
+        The index has already evicted the affected closure/key memos;
+        here the session drops exactly the reachability-cache entries
+        whose exploration consulted a mutated IND bucket, and the
+        unary-closure cache (whole-set fixpoint) on any mutation.
+        An empty mutation is a no-op: no version bump, no eviction.
+        """
+        if not delta:
+            return
+        self.version += 1
+        if delta.mutated_inds:
+            stale = [
+                start
+                for start, exploration in self._reach_cache.items()
+                if exploration.footprint & delta.ind_lhs_relations
+            ]
+            for start in stale:
+                del self._reach_cache[start]
+            self.invalidations["reach_dropped"] += len(stale)
+        self.invalidations["reach_kept"] += len(self._reach_cache)
+        self._unary_cache.clear()
+
+    def fork(self) -> "ReasoningSession":
+        """A copy-on-write child session for what-if exploration.
+
+        The child starts with the parent's premises, version, and
+        warmed caches — cloning copies dict skeletons, never re-indexes
+        or re-explores — and the two evolve independently afterwards:
+        mutations on either side replace buckets and evict cache
+        entries rather than mutating shared values.
+        """
+        child = ReasoningSession.__new__(ReasoningSession)
+        child.schema = self.schema
+        child.index = self.index.clone()
+        child.db = self.db
+        child.max_nodes = self.max_nodes
+        child.max_rounds = self.max_rounds
+        child.max_tuples = self.max_tuples
+        child.version = self.version
+        child._reach_cache = dict(self._reach_cache)
+        child._unary_cache = dict(self._unary_cache)
+        child.queries = 0
+        child.cache_hits = 0
+        child.invalidations = {"reach_dropped": 0, "reach_kept": 0}
+        return child
+
+    def whatif(
+        self,
+        targets: Iterable[Target],
+        add: Targets = (),
+        retract: Targets = (),
+        semantics: Union[Semantics, str] = Semantics.UNRESTRICTED,
+    ) -> list[VerdictFlip]:
+        """Which targets change verdict under a hypothetical change?
+
+        Answers every target against the current premises, forks a
+        child, applies ``retract`` then ``add`` to the child, and
+        answers again — ``repro diff`` style.  The parent session is
+        untouched (and keeps any exploration warmed along the way).
+        """
+        coerced = [self._coerce(target) for target in targets]
+        before = self.implies_all(coerced, semantics)
+        child = self.fork()
+        retractions = child._coerce_many(retract)
+        if retractions:
+            child.retract(retractions)
+        additions = child._coerce_many(add)
+        if additions:
+            child.add(additions)
+        after = child.implies_all(coerced, semantics)
+        return [
+            VerdictFlip(target=target, before=b, after=a)
+            for target, b, a in zip(coerced, before, after)
+        ]
 
     def _decide_ind(
         self, target: IND, exhaustive: bool = False
@@ -145,16 +305,16 @@ class ReasoningSession:
         batch is known to revisit it).
         """
         start = expression_of_lhs(target)
-        entry = self._reach_cache.get(start)
-        if entry is not None:
+        exploration = self._reach_cache.get(start)
+        if exploration is not None:
             self.cache_hits += 1
-            return decision_from_exploration(target, entry[0], entry[1]), True
+            return exploration.decide(target), True
         if exhaustive:
-            visited, parents = explore_expressions(
+            exploration = explore_expressions(
                 start, self.index.inds_by_lhs, max_nodes=self.max_nodes
             )
-            self._reach_cache[start] = (visited, parents)
-            return decision_from_exploration(target, visited, parents), False
+            self._reach_cache[start] = exploration
+            return exploration.decide(target), False
         return decide_ind(
             target, self.index.inds_by_lhs, max_nodes=self.max_nodes
         ), False
@@ -176,6 +336,7 @@ class ReasoningSession:
         target: Target,
         semantics: Union[Semantics, str] = Semantics.UNRESTRICTED,
         _exhaustive: bool = False,
+        _coerced: bool = False,
     ) -> Answer:
         """Decide ``Sigma |= target`` with the optimal engine.
 
@@ -186,7 +347,8 @@ class ReasoningSession:
         recursively enumerable, so there is nothing sound to route to.
         """
         semantics = Semantics(semantics)
-        target = self._coerce(target)
+        if not _coerced:
+            target = self._coerce(target)
         engine = choose_engine(self.index, target, semantics)
         self.queries += 1
 
@@ -200,6 +362,7 @@ class ReasoningSession:
                 semantics=semantics,
                 certificate=result,
                 cached=cached,
+                version=self.version,
                 stats={"explored": result.explored,
                        "chain_length": result.chain_length},
             )
@@ -217,6 +380,7 @@ class ReasoningSession:
                 engine=engine,
                 semantics=semantics,
                 certificate=derivation,
+                version=self.version,
                 stats={"closure_size": len(closure),
                        "closures_memoized": self.index.closure_cache_size},
             )
@@ -229,6 +393,7 @@ class ReasoningSession:
                 engine=engine,
                 semantics=semantics,
                 certificate=closure,
+                version=self.version,
                 stats={"derived_fds": len(closure.fds),
                        "derived_inds": len(closure.inds)},
             )
@@ -246,6 +411,7 @@ class ReasoningSession:
             engine=Engine.CHASE,
             semantics=semantics,
             certificate=certificate,
+            version=self.version,
             stats={"rounds": certificate.outcome.rounds,
                    "tuples": certificate.outcome.instance.total_tuples()},
         )
@@ -257,7 +423,7 @@ class ReasoningSession:
     ) -> list[Answer]:
         """Batch implication: one answer per target, in order.
 
-        The premise index was built once at construction, and when
+        Each target is coerced and validated exactly once, and when
         several targets share a left expression their expression-graph
         exploration runs exhaustively once and is served from the
         reachability cache afterwards, so asking N questions costs far
@@ -277,6 +443,7 @@ class ReasoningSession:
                 semantics,
                 _exhaustive=isinstance(target, IND)
                 and start_counts[expression_of_lhs(target)] > 1,
+                _coerced=True,
             )
             for target in coerced
         ]
@@ -310,6 +477,7 @@ class ReasoningSession:
                 engine=Engine.COROLLARY_32,
                 certificate=result,
                 cached=cached,
+                version=self.version,
                 stats={"explored": result.explored,
                        "subset_complete": subset_complete},
             )
@@ -327,6 +495,7 @@ class ReasoningSession:
                 verdict=implied,
                 target=target,
                 engine=Engine.FD_CLOSURE,
+                version=self.version,
                 stats={"subset_complete": subset_complete},
             )
             if implied:
@@ -357,14 +526,15 @@ class ReasoningSession:
         return CheckReport(results=results, witnesses=witnesses)
 
     def keys(self, relation: Optional[str] = None) -> dict[str, list[frozenset[str]]]:
-        """Candidate keys per relation under the session's FDs."""
+        """Candidate keys per relation under the session's FDs.
+
+        Memoized in the premise index; the FD-mutation path evicts
+        exactly the mutated relation's entry.
+        """
         if relation is not None:
             rel = self.schema.relation(relation)
-            return {rel.name: candidate_keys(rel, self.index.fds_of(rel.name))}
-        return {
-            rel.name: candidate_keys(rel, self.index.fds_of(rel.name))
-            for rel in self.schema
-        }
+            return {rel.name: self.index.keys_of(rel.name)}
+        return {rel.name: self.index.keys_of(rel.name) for rel in self.schema}
 
     def closure(self, relation: str, attrs: Iterable[str]) -> frozenset[str]:
         """Memoized attribute closure ``X+`` in ``relation``."""
@@ -376,9 +546,11 @@ class ReasoningSession:
     def stats(self) -> dict[str, int]:
         """Counters for the session's caches and workload."""
         return {
+            "version": self.version,
             "queries": self.queries,
             "reach_cache_entries": len(self._reach_cache),
             "reach_cache_hits": self.cache_hits,
+            "reach_entries_dropped": self.invalidations["reach_dropped"],
             **self.index.stats(),
         }
 
@@ -386,5 +558,5 @@ class ReasoningSession:
         return (
             f"ReasoningSession({len(self.schema)} relations, "
             f"{len(self.index.inds)} INDs, {len(self.index.fds)} FDs, "
-            f"{len(self.index.rds)} RDs)"
+            f"{len(self.index.rds)} RDs, v{self.version})"
         )

@@ -21,6 +21,20 @@ context to find the offending entry.
 Bundles can be loaded straight into a
 :class:`~repro.engine.session.ReasoningSession` with
 :func:`session_from_json` / :func:`load_session`.
+
+A *patch* is the bundle's mutation companion — the on-disk form of one
+``add``/``retract`` step of the session lifecycle:
+
+.. code-block:: json
+
+    {
+      "retract": ["EMP: NAME -> DEPT"],
+      "add": ["EMP[NAME] <= PERSON[NAME]"]
+    }
+
+:func:`patch_from_json` parses and validates one against a schema, and
+:func:`apply_patch` plays it into a live session (retractions first,
+then additions, as one version bump each).
 """
 
 from __future__ import annotations
@@ -201,3 +215,92 @@ def load_bundle(fp: TextIO):
 def load_session(fp: TextIO, **session_options: Any) -> ReasoningSession:
     """File-object variant of :func:`session_from_json`."""
     return session_from_json(fp.read(), **session_options)
+
+
+# -- bundle patches (the lifecycle on disk) -------------------------------
+
+_PATCH_KEYS = ("add", "retract")
+
+
+def _patch_section(payload: dict, key: str, schema: DatabaseSchema) -> list[Dependency]:
+    lines = payload.get(key, [])
+    if not isinstance(lines, list):
+        raise ParseError(
+            f"patch {key!r} must be a list of DSL strings, got "
+            f"{type(lines).__name__}"
+        )
+    dependencies: list[Dependency] = []
+    for line in lines:
+        if not isinstance(line, str):
+            raise ParseError(
+                f"patch {key!r} entries must be DSL strings, got {line!r}"
+            )
+        dep = parse_dependency(line)
+        dep.validate(schema)
+        dependencies.append(dep)
+    return dependencies
+
+
+def patch_from_json(
+    text: str, schema: DatabaseSchema
+) -> tuple[list[Dependency], list[Dependency]]:
+    """Parse a patch as ``(additions, retractions)``.
+
+    Validated with the same strictness as bundles: the payload must be
+    an object, only ``add``/``retract`` keys are allowed, and every
+    entry must parse and be well-formed over ``schema``.
+    """
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ParseError(
+            f"patch must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - set(_PATCH_KEYS))
+    if unknown:
+        raise ParseError(
+            f"patch has unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"expected only {', '.join(map(repr, _PATCH_KEYS))}"
+        )
+    add = _patch_section(payload, "add", schema)
+    retract = _patch_section(payload, "retract", schema)
+    if not (add or retract):
+        raise ParseError("patch is empty: needs an 'add' or 'retract' entry")
+    return add, retract
+
+
+def patch_to_json(
+    add: list[Dependency] | None = None,
+    retract: list[Dependency] | None = None,
+    indent: int = 2,
+) -> str:
+    """Serialize a patch (DSL strings, human-editable like bundles)."""
+    payload: dict[str, list[str]] = {}
+    if add:
+        payload["add"] = [str(dep) for dep in add]
+    if retract:
+        payload["retract"] = [str(dep) for dep in retract]
+    if not payload:
+        raise ParseError("patch is empty: needs an 'add' or 'retract' section")
+    return json.dumps(payload, indent=indent)
+
+
+def load_patch(
+    fp: TextIO, schema: DatabaseSchema
+) -> tuple[list[Dependency], list[Dependency]]:
+    """File-object variant of :func:`patch_from_json`."""
+    return patch_from_json(fp.read(), schema)
+
+
+def apply_patch(session: ReasoningSession, text: str) -> int:
+    """Play a JSON patch into a live session; returns the new version.
+
+    Retractions are applied before additions, so a patch can replace a
+    premise in one file.  Each non-empty section is one mutation (one
+    version bump) with the session's scoped cache invalidation.
+    """
+    add, retract = patch_from_json(text, session.schema)
+    if retract:
+        session.retract(retract)
+    if add:
+        session.add(add)
+    return session.version

@@ -167,6 +167,180 @@ class TestImpliesFinite:
         assert main(["implies", unary_bundle_path, "R[B] <= R[A]"]) == 1
 
 
+class TestJsonOutput:
+    def test_implies_json(self, bundle_path, capsys):
+        assert main(["implies", bundle_path, "--json",
+                     "MGR[NAME] <= PERSON[NAME]"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] is True
+        assert payload["engine"] == "chase"  # bundle mixes INDs and an FD
+        assert payload["version"] == 0
+
+    def test_implies_json_exit_code_still_tracks_verdict(
+        self, bundle_path, capsys
+    ):
+        assert main(["implies", bundle_path, "--json",
+                     "PERSON[NAME] <= MGR[NAME]"]) == 1
+        assert json.loads(capsys.readouterr().out)["verdict"] is False
+
+    def test_batch_json(self, bundle_path, tmp_path, capsys):
+        targets = tmp_path / "targets.txt"
+        targets.write_text(
+            "MGR[NAME] <= PERSON[NAME]\nPERSON[NAME] <= MGR[NAME]\n"
+        )
+        assert main(["batch", bundle_path, str(targets), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 2 and payload["implied"] == 1
+        assert [a["verdict"] for a in payload["answers"]] == [True, False]
+
+    def test_check_json(self, violated_bundle_path, capsys):
+        assert main(["check", violated_bundle_path, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["results"][0]["witnesses"] == [["Ghost"]]
+
+
+class TestWhatIf:
+    @pytest.fixture
+    def ind_bundle_path(self, tmp_path):
+        payload = {
+            "schema": {
+                "MGR": ["NAME", "DEPT"],
+                "EMP": ["NAME", "DEPT"],
+                "PERSON": ["NAME"],
+            },
+            "dependencies": ["MGR[NAME,DEPT] <= EMP[NAME,DEPT]"],
+        }
+        path = tmp_path / "inds.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    @pytest.fixture
+    def targets_path(self, tmp_path):
+        path = tmp_path / "targets.txt"
+        path.write_text(
+            "MGR[NAME] <= PERSON[NAME]\nMGR[NAME] <= EMP[NAME]\n"
+        )
+        return str(path)
+
+    def test_add_flips_a_verdict(self, ind_bundle_path, targets_path, capsys):
+        # diff semantics: exit 1 when verdicts differ
+        assert main(["whatif", ind_bundle_path, targets_path,
+                     "--add", "EMP[NAME] <= PERSON[NAME]"]) == 1
+        out = capsys.readouterr().out
+        assert "FLIPPED" in out
+        assert "1/2 verdicts flipped" in out
+        assert "base v0 -> variant v1" in out
+
+    def test_no_flips_exits_zero(self, ind_bundle_path, targets_path, capsys):
+        assert main(["whatif", ind_bundle_path, targets_path,
+                     "--add", "PERSON[NAME] <= EMP[NAME]"]) == 0
+        assert "0/2 verdicts flipped" in capsys.readouterr().out
+
+    def test_patch_file(self, ind_bundle_path, targets_path, tmp_path, capsys):
+        patch = tmp_path / "patch.json"
+        patch.write_text(json.dumps({"add": ["EMP[NAME] <= PERSON[NAME]"]}))
+        assert main(["whatif", ind_bundle_path, targets_path,
+                     "--patch", str(patch)]) == 1
+        assert "FLIPPED" in capsys.readouterr().out
+
+    def test_retract_option(self, ind_bundle_path, targets_path, capsys):
+        assert main(["whatif", ind_bundle_path, targets_path,
+                     "--retract", "MGR[NAME,DEPT] <= EMP[NAME,DEPT]"]) == 1
+        assert "verdicts flipped" in capsys.readouterr().out
+
+    def test_json_output(self, ind_bundle_path, targets_path, capsys):
+        assert main(["whatif", ind_bundle_path, targets_path, "--json",
+                     "--add", "EMP[NAME] <= PERSON[NAME]"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flipped"] == 1 and payload["total"] == 2
+        assert payload["flips"][0]["before"]["verdict"] is False
+        assert payload["flips"][0]["after"]["verdict"] is True
+
+    def test_requires_a_mutation(self, ind_bundle_path, targets_path, capsys):
+        assert main(["whatif", ind_bundle_path, targets_path]) == 2
+        assert "needs --add" in capsys.readouterr().err
+
+    def test_bad_patch_reported(self, ind_bundle_path, targets_path, tmp_path):
+        patch = tmp_path / "patch.json"
+        patch.write_text(json.dumps({"nonsense": []}))
+        assert main(["whatif", ind_bundle_path, targets_path,
+                     "--patch", str(patch)]) == 2
+
+
+class TestShell:
+    def _run(self, monkeypatch, bundle, script):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        return main(["shell", bundle])
+
+    def test_lifecycle_round_trip(self, monkeypatch, capsys, tmp_path):
+        payload = {
+            "schema": {
+                "MGR": ["NAME", "DEPT"],
+                "EMP": ["NAME", "DEPT"],
+                "PERSON": ["NAME"],
+            },
+            "dependencies": ["MGR[NAME,DEPT] <= EMP[NAME,DEPT]"],
+        }
+        path = tmp_path / "inds.json"
+        path.write_text(json.dumps(payload))
+        script = (
+            "version\n"
+            "implies MGR[NAME] <= PERSON[NAME]\n"
+            "add EMP[NAME] <= PERSON[NAME]\n"
+            "implies MGR[NAME] <= PERSON[NAME]\n"
+            "retract EMP[NAME] <= PERSON[NAME]\n"
+            "deps\n"
+            "quit\n"
+        )
+        assert self._run(monkeypatch, str(path), script) == 0
+        out = capsys.readouterr().out
+        assert "v0" in out
+        assert "NOT implied" in out
+        assert "v1: +1 premise" in out
+        assert "v2: -1 premise" in out
+        assert "(1 premises, v2)" in out
+
+    def test_errors_do_not_kill_the_shell(self, monkeypatch, capsys, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": {"R": ["A", "B"]}}))
+        script = (
+            "retract R[A] <= R[B]\n"   # not a premise
+            "implies NOT A DEP\n"      # parse error
+            "bogus\n"                  # unknown command
+            "add R[A] <= R[B]\n"
+            "version\n"
+        )  # no quit: EOF ends the shell
+        assert self._run(monkeypatch, str(path), script) == 0
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "unknown command" in captured.err
+        assert "v1" in captured.out
+
+    def test_keys_closure_stats_and_finite(self, monkeypatch, capsys, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({
+            "schema": {"R": ["A", "B"]},
+            "dependencies": ["R[A] <= R[B]", "R: A -> B"],
+        }))
+        script = (
+            "implies -f R[B] <= R[A]\n"
+            "keys R\n"
+            "closure R A\n"
+            "stats\n"
+            "help\n"
+            "exit\n"
+        )
+        assert self._run(monkeypatch, str(path), script) == 0
+        out = capsys.readouterr().out
+        assert "finite-unary" in out
+        assert "R: {A}" in out
+        assert "{A,B}" in out
+        assert "queries:" in out
+        assert "commands:" in out
+
+
 class TestKeysAndSummary:
     def test_keys(self, bundle_path, capsys):
         assert main(["keys", bundle_path]) == 0

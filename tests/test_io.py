@@ -8,9 +8,12 @@ from repro.deps.fd import FD
 from repro.deps.ind import IND
 from repro.exceptions import DependencyError, ParseError
 from repro.io import (
+    apply_patch,
     bundle_from_json,
     bundle_to_json,
     database_to_dict,
+    patch_from_json,
+    patch_to_json,
     schema_from_dict,
     schema_to_dict,
 )
@@ -125,3 +128,57 @@ class TestBundleValidation:
     def test_schema_attributes_must_be_strings(self):
         with pytest.raises(ParseError, match="'R'"):
             bundle_from_json(json.dumps({"schema": {"R": [1, 2]}}))
+
+
+class TestPatchFormat:
+    SCHEMA = DatabaseSchema.from_dict({"R": ("A", "B"), "S": ("A", "B")})
+
+    def test_round_trip(self):
+        add = [IND("R", ("A",), "S", ("A",))]
+        retract = [FD("R", "A", "B")]
+        text = patch_to_json(add=add, retract=retract)
+        add2, retract2 = patch_from_json(text, self.SCHEMA)
+        assert add2 == add and retract2 == retract
+
+    def test_sections_are_optional(self):
+        add, retract = patch_from_json(
+            json.dumps({"add": ["R[A] <= S[A]"]}), self.SCHEMA
+        )
+        assert len(add) == 1 and retract == []
+
+    def test_empty_patch_rejected(self):
+        with pytest.raises(ParseError, match="empty"):
+            patch_from_json(json.dumps({}), self.SCHEMA)
+        with pytest.raises(ParseError, match="empty"):
+            patch_from_json(json.dumps({"add": [], "retract": []}), self.SCHEMA)
+        with pytest.raises(ParseError, match="empty"):
+            patch_to_json()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ParseError, match="'remove'"):
+            patch_from_json(
+                json.dumps({"remove": ["R[A] <= S[A]"]}), self.SCHEMA
+            )
+
+    def test_entries_validated_against_the_schema(self):
+        with pytest.raises(DependencyError):
+            patch_from_json(json.dumps({"add": ["R[Z] <= S[Z]"]}), self.SCHEMA)
+
+    def test_entries_must_be_strings(self):
+        with pytest.raises(ParseError, match="DSL strings"):
+            patch_from_json(json.dumps({"add": [42]}), self.SCHEMA)
+
+    def test_payload_must_be_an_object(self):
+        with pytest.raises(ParseError, match="object"):
+            patch_from_json(json.dumps(["R[A] <= S[A]"]), self.SCHEMA)
+
+    def test_apply_patch_retracts_then_adds(self):
+        from repro.engine import ReasoningSession
+
+        session = ReasoningSession(self.SCHEMA, [FD("R", "A", "B")])
+        version = apply_patch(
+            session,
+            json.dumps({"retract": ["R: A -> B"], "add": ["R[A] <= S[A]"]}),
+        )
+        assert version == session.version == 2
+        assert session.dependencies == (IND("R", ("A",), "S", ("A",)),)
