@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Standalone entry point for the recorded benchmark harness.
+
+Equivalent to ``python -m repro bench``; exists so the benchmark
+trajectory can be (re)recorded without an installed package::
+
+    python benchmarks/harness.py --out BENCH_e17.json
+    python benchmarks/harness.py --baseline BENCH_e17.json --out BENCH_new.json
+
+The workload definitions, report format, and baseline comparison live
+in :mod:`repro.bench`; the pytest suite ``test_e17_kernels.py`` in
+this directory asserts the speedups the report records.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench", *sys.argv[1:]]))

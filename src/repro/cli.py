@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro shell   bundle.json       # interactive lifecycle REPL
     python -m repro keys    bundle.json       # candidate keys per relation
     python -m repro summary bundle.json       # structural profile
+    python -m repro bench   --out BENCH_e17.json   # recorded perf workloads
 
 ``bundle.json`` follows the :mod:`repro.io` format: a schema, a list
 of dependencies in the text DSL, and optionally a database instance.
@@ -270,6 +271,52 @@ def _cmd_shell(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the recorded benchmark workloads; optionally gate on a baseline."""
+    from repro import bench
+
+    if args.list:
+        for name in sorted(bench.WORKLOADS):
+            print(name)
+        return 0
+    try:
+        report = bench.run_benchmarks(
+            names=args.workload or None, repeats=args.repeats
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # With --json, stdout carries exactly one JSON document; the
+    # progress/verdict chatter moves to stderr so pipelines can parse.
+    def info(message: str) -> None:
+        print(message, file=sys.stderr if args.json else sys.stdout)
+
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(bench.format_report(report))
+    if args.out:
+        bench.write_report(report, args.out)
+        info(f"report written to {args.out}")
+    if args.baseline:
+        baseline = bench.load_report(args.baseline)
+        regressions = bench.compare_reports(
+            report, baseline, threshold=args.threshold
+        )
+        if regressions:
+            print(
+                f"\n{len(regressions)} workload(s) regressed more than "
+                f"{args.threshold:.0%} against {args.baseline}:",
+                file=sys.stderr,
+            )
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            return 1
+        info(f"no workload regressed more than {args.threshold:.0%} "
+             f"against {args.baseline}")
+    return 0
+
+
 def _cmd_keys(args: argparse.Namespace) -> int:
     session = _load(args.bundle)
     for rel in session.schema:
@@ -386,6 +433,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_shell.add_argument("bundle")
     p_shell.set_defaults(func=_cmd_shell)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the recorded benchmark workloads (BENCH_*.json trajectory)",
+    )
+    p_bench.add_argument(
+        "--out", metavar="REPORT_JSON",
+        help="write the report JSON here (e.g. BENCH_e17.json)",
+    )
+    p_bench.add_argument(
+        "--workload", action="append", metavar="NAME",
+        help="run only this workload (repeatable; default: all)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=15,
+        help="timed repetitions per workload; the best is recorded",
+    )
+    p_bench.add_argument(
+        "--baseline", metavar="BASELINE_JSON",
+        help="compare against this report; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative slowdown tolerated against the baseline (default 0.25)",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", help="list workload names and exit"
+    )
+    p_bench.add_argument(
+        "--json", action="store_true", help="print the report JSON to stdout"
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_keys = sub.add_parser("keys", help="candidate keys per relation")
     p_keys.add_argument("bundle")

@@ -10,9 +10,11 @@
 * ``pspace`` — Savitch-style quadratic-space reachability and the
   nondeterministic linear-space guesser (Theorem 3.3 upper bound).
 * ``fd_closure`` — the FD substrate (attribute closure, implication,
-  covers, keys).
+  covers, keys), with the linear-time [BB] counter kernel.
 * ``fdind_chase`` — the general chase for FDs + INDs (semi-decision;
-  the combined problem is undecidable).
+  the combined problem is undecidable), semi-naive by default.
+* ``ind_kernel`` — compiled premise kernels for the Corollary 3.2
+  search (memoized successor maps, interned expressions).
 * ``interaction`` — Propositions 4.1-4.3 as checked inference rules.
 * ``finite_unary`` — finite implication for unary FDs + INDs (the
   counting/cycle arguments of Theorem 4.4 and Section 6, algorithmic).
@@ -23,12 +25,15 @@
 """
 
 from repro.core.fd_closure import (
+    FDClosureKernel,
     attribute_closure,
+    attribute_closure_naive,
     candidate_keys,
     fd_implies,
     implied_fds,
     minimal_cover,
 )
+from repro.core.ind_kernel import INDKernel, KernelIndex, compile_ind
 from repro.core.ind_axioms import (
     Proof,
     ProofStep,
@@ -38,7 +43,7 @@ from repro.core.ind_axioms import (
     reflexivity,
 )
 from repro.core.ind_bidirectional import decide_ind_bidirectional
-from repro.core.ind_decision import DecisionResult, decide_ind
+from repro.core.ind_decision import DecisionResult, decide_ind, decide_ind_naive
 from repro.core.ind_prover import (
     decide_bounded_arity,
     decide_typed,
@@ -52,7 +57,12 @@ from repro.core.armstrong_ind import armstrong_database, is_armstrong_database
 from repro.core.fd_axioms import FdProof, check_fd_proof, prove_fd
 
 __all__ = [
+    "FDClosureKernel",
+    "INDKernel",
+    "KernelIndex",
     "attribute_closure",
+    "attribute_closure_naive",
+    "compile_ind",
     "candidate_keys",
     "fd_implies",
     "implied_fds",
@@ -65,6 +75,7 @@ __all__ = [
     "reflexivity",
     "DecisionResult",
     "decide_ind",
+    "decide_ind_naive",
     "decide_ind_bidirectional",
     "decide_bounded_arity",
     "decide_typed",

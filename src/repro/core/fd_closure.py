@@ -27,6 +27,71 @@ def _relevant(fds: Iterable[FD], relation: str) -> list[FD]:
     return [fd for fd in fds if fd.relation == relation]
 
 
+class FDClosureKernel:
+    """An FD set compiled for linear-time attribute closure.
+
+    The Beeri–Bernstein procedure the paper cites as the template for
+    its own IND algorithm ("[BB]"): per-FD counters of left-hand
+    attributes not yet in the closure, plus attribute -> FD incidence
+    lists.  Each attribute enters the closure once and decrements each
+    incident counter once, so one closure query is ``O(total FD
+    size)`` instead of the quadratic re-scan fixpoint (retained as
+    :func:`attribute_closure_naive` for differential testing).
+
+    Compile once per FD set — ``PremiseIndex`` keeps one kernel per
+    relation and reuses it across every closure, implication,
+    candidate-key, and session-memo query until that relation's FDs
+    mutate.
+    """
+
+    __slots__ = ("fds", "_lhs_sizes", "_rhs", "_by_attr", "_instant")
+
+    def __init__(self, fds: Iterable[FD]):
+        self.fds: tuple[FD, ...] = tuple(fds)
+        self._lhs_sizes: list[int] = []
+        self._rhs: list[tuple[str, ...]] = []
+        by_attr: dict[str, list[int]] = {}
+        self._instant: list[int] = []  # empty-lhs FDs fire unconditionally
+        for index, fd in enumerate(self.fds):
+            lhs = fd.lhs_set
+            self._lhs_sizes.append(len(lhs))
+            self._rhs.append(tuple(fd.rhs_set))
+            if not lhs:
+                self._instant.append(index)
+            for attr in lhs:
+                by_attr.setdefault(attr, []).append(index)
+        self._by_attr: dict[str, tuple[int, ...]] = {
+            attr: tuple(indices) for attr, indices in by_attr.items()
+        }
+
+    def closure(self, attrs: Iterable[str]) -> frozenset[str]:
+        """The closure ``X+`` of ``attrs``, in linear time."""
+        closure = set(attrs)
+        counts = list(self._lhs_sizes)
+        queue = list(closure)
+        rhs = self._rhs
+        by_attr = self._by_attr
+        for index in self._instant:
+            for attr in rhs[index]:
+                if attr not in closure:
+                    closure.add(attr)
+                    queue.append(attr)
+        while queue:
+            attr = queue.pop()
+            for index in by_attr.get(attr, ()):
+                counts[index] -= 1
+                if counts[index] == 0:
+                    for added in rhs[index]:
+                        if added not in closure:
+                            closure.add(added)
+                            queue.append(added)
+        return frozenset(closure)
+
+    def implies(self, fd: FD) -> bool:
+        """Whether this kernel's FD set implies ``fd`` (same relation)."""
+        return fd.rhs_set <= self.closure(fd.lhs_set)
+
+
 def attribute_closure(
     attrs: Iterable[str],
     fds: Iterable[FD],
@@ -34,14 +99,28 @@ def attribute_closure(
 ) -> frozenset[str]:
     """The closure ``X+`` of an attribute set under a set of FDs.
 
-    Implements the standard fixpoint: repeatedly add ``Y`` whenever
-    some FD ``W -> Y`` has ``W`` inside the current set.  When
-    ``relation`` is given, only FDs over that relation participate.
+    Linear in the total size of the FD set (the [BB] counter
+    procedure; see :class:`FDClosureKernel`).  When ``relation`` is
+    given, only FDs over that relation participate.  Callers issuing
+    many queries against one FD set should compile a kernel once and
+    reuse it instead.
 
     >>> fds = [FD("R", "A", "B"), FD("R", "B", "C")]
     >>> sorted(attribute_closure({"A"}, fds))
     ['A', 'B', 'C']
     """
+    pool = list(fds) if relation is None else _relevant(fds, relation)
+    return FDClosureKernel(pool).closure(attrs)
+
+
+def attribute_closure_naive(
+    attrs: Iterable[str],
+    fds: Iterable[FD],
+    relation: str | None = None,
+) -> frozenset[str]:
+    """The textbook quadratic fixpoint, retained as the differential
+    reference for :class:`FDClosureKernel`: repeatedly add ``Y``
+    whenever some FD ``W -> Y`` has ``W`` inside the current set."""
     closure = set(attrs)
     pool = list(fds) if relation is None else _relevant(fds, relation)
     changed = True
@@ -84,13 +163,14 @@ def implied_fds(
     """
     from repro.deps.enumeration import all_fds
 
+    kernel = FDClosureKernel(_relevant(fds, schema.name))
     result: set[FD] = set()
     for candidate in all_fds(
         schema,
         include_trivial=include_trivial,
         singleton_rhs=singleton_rhs,
     ):
-        if fd_implies(fds, candidate):
+        if kernel.implies(candidate):
             result.add(candidate)
     return result
 
@@ -141,13 +221,20 @@ def minimal_cover(fds: Iterable[FD]) -> list[FD]:
     return result
 
 
-def candidate_keys(schema: RelationSchema, fds: Iterable[FD]) -> list[frozenset[str]]:
+def candidate_keys(
+    schema: RelationSchema,
+    fds: Iterable[FD],
+    kernel: FDClosureKernel | None = None,
+) -> list[frozenset[str]]:
     """All candidate keys of ``schema`` under ``fds``.
 
     A key is a minimal attribute set whose closure covers the scheme.
-    Exponential in the worst case (unavoidable); fine at paper scale.
+    Exponential in the worst case (unavoidable), so the FD set is
+    compiled once (or passed in pre-compiled) and every candidate is a
+    linear-time closure query.
     """
-    fds = _relevant(fds, schema.name)
+    if kernel is None:
+        kernel = FDClosureKernel(_relevant(fds, schema.name))
     attrs = tuple(sorted(schema.attributes))
     universe = frozenset(attrs)
     keys: list[frozenset[str]] = []
@@ -156,7 +243,7 @@ def candidate_keys(schema: RelationSchema, fds: Iterable[FD]) -> list[frozenset[
             candidate = frozenset(combo)
             if any(key <= candidate for key in keys):
                 continue
-            if attribute_closure(candidate, fds, schema.name) == universe:
+            if kernel.closure(candidate) == universe:
                 keys.append(candidate)
     return keys
 

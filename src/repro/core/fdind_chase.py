@@ -18,6 +18,22 @@ implication:
 The engine keeps an event log (tuple additions with the responsible
 IND, value merges with the responsible FD) so that derivations like
 the equality chain of Lemma 7.2 can be replayed and inspected.
+
+Two evaluation strategies share the rule semantics:
+
+* ``"semi-naive"`` (the default) is delta-driven: every rule keeps a
+  cursor into an append-only per-relation journal of added/rewritten
+  rows, FD group tables and IND projection-counts persist across
+  rounds, and a value merge repairs the affected rows and indexes in
+  place (``rows_by_value`` reverse index) instead of re-canonicalizing
+  every stored tuple through :meth:`ChaseInstance.normalize`.  A round
+  in which nothing changed scans nothing — O(deltas), not O(rows).
+* ``"naive"`` is the textbook re-scan-everything formulation, retained
+  as the differential-testing and benchmarking reference.
+
+Both strategies fire the same logical rule instances in the same round
+structure, so they decide identically and chase to isomorphic
+fixpoints (asserted over random instances by the property suite).
 """
 
 from __future__ import annotations
@@ -166,22 +182,252 @@ class ChaseInstance:
         return Database(self.schema, relations)
 
 
+class _SemiNaiveState:
+    """Delta-evaluation state for one semi-naive run over one instance.
+
+    Maintains, across rounds:
+
+    * ``logs`` — an append-only journal per relation of every row
+      added or rewritten (canonical at append time); every rule holds
+      a cursor into the journal of the relation it reads, so a rule
+      application only examines rows it has never seen in their
+      current form;
+    * ``fd_groups`` — per-FD lhs-values -> rhs-values tables that
+      persist across rounds (the naive engine rebuilds them from all
+      rows on every invocation).  Entries whose values are merged away
+      become unreachable garbage; correctness is preserved because
+      lookups key on canonical values and every comparison goes
+      through the union-find;
+    * ``ind_existing`` — per-IND counted multiset of the right-side
+      projections of the rows currently stored, so the "is this tuple
+      already witnessed" test is one dict probe;
+    * ``rows_by_value`` — value -> rows reverse index driving
+      :meth:`merge` repair: when two values are equated, exactly the
+      rows containing the dead root are rewritten (and re-journaled),
+      instead of re-canonicalizing every tuple via ``normalize()``.
+    """
+
+    def __init__(self, engine: "ChaseEngine", instance: ChaseInstance):
+        self.engine = engine
+        self.instance = instance
+        instance.normalize()
+        self.logs: dict[str, list[tuple[int, ...]]] = {
+            rel: list(rows) for rel, rows in instance.relations.items()
+        }
+        self.rows_by_value: dict[int, set[tuple[str, tuple[int, ...]]]] = {}
+        for rel, rows in instance.relations.items():
+            for row in rows:
+                self._index_row(rel, row)
+        self.fd_groups: list[dict[tuple[int, ...], tuple[int, ...]]] = [
+            {} for _ in engine.fds
+        ]
+        self.fd_cursors = [0] * len(engine.fds)
+        self.rd_cursors = [0] * len(engine.rds)
+        self.ind_cursors = [0] * len(engine.inds)
+        self.ind_existing: list[dict[tuple[int, ...], int]] = []
+        for index, ind in enumerate(engine.inds):
+            dst_pos = engine._ind_positions[index][1]
+            counts: dict[tuple[int, ...], int] = {}
+            for row in instance.relations[ind.rhs_relation]:
+                proj = tuple(row[p] for p in dst_pos)
+                counts[proj] = counts.get(proj, 0) + 1
+            self.ind_existing.append(counts)
+        self.rows_scanned = 0
+
+    # -- row bookkeeping ---------------------------------------------------
+
+    def _index_row(self, rel: str, row: tuple[int, ...]) -> None:
+        for value in set(row):
+            self.rows_by_value.setdefault(value, set()).add((rel, row))
+
+    def _unindex_row(self, rel: str, row: tuple[int, ...]) -> None:
+        for value in set(row):
+            bucket = self.rows_by_value.get(value)
+            if bucket is not None:
+                bucket.discard((rel, row))
+
+    def _track_projections(self, rel: str, row: tuple[int, ...], delta: int) -> None:
+        """Adjust the projection counts of every IND targeting ``rel``."""
+        engine = self.engine
+        for index in engine._inds_into.get(rel, ()):
+            dst_pos = engine._ind_positions[index][1]
+            proj = tuple(row[p] for p in dst_pos)
+            counts = self.ind_existing[index]
+            updated = counts.get(proj, 0) + delta
+            if updated:
+                counts[proj] = updated
+            else:
+                counts.pop(proj, None)
+
+    def add_row(
+        self, rel: str, row: Sequence[int], dependency: IND | None = None
+    ) -> bool:
+        """Journal-aware :meth:`ChaseInstance.add_row`."""
+        instance = self.instance
+        canonical = instance.canonical_row(row)
+        if canonical in instance.relations[rel]:
+            return False
+        instance.relations[rel].add(canonical)
+        if dependency is not None:
+            instance.events.append(AddEvent(dependency, rel, canonical))
+        self._index_row(rel, canonical)
+        self._track_projections(rel, canonical, +1)
+        self.logs[rel].append(canonical)
+        return True
+
+    def merge(self, a: int, b: int, dependency: Dependency) -> bool:
+        """Merge two values, then repair rows and indexes in place.
+
+        Only rows containing the merged-away root are rewritten; each
+        rewritten row is re-journaled so every rule revisits it.  Rows
+        that collapse into an already-present row just disappear (the
+        surviving row carries no new information).
+        """
+        instance = self.instance
+        if not instance.merge(a, b, dependency):
+            return False
+        dead = instance.events[-1].merged
+        affected = self.rows_by_value.pop(dead, None)
+        if not affected:
+            return True
+        for rel, old in affected:
+            rows = instance.relations[rel]
+            rows.discard(old)
+            self._unindex_row(rel, old)
+            self._track_projections(rel, old, -1)
+            rewritten = instance.canonical_row(old)
+            if rewritten in rows:
+                continue
+            rows.add(rewritten)
+            self._index_row(rel, rewritten)
+            self._track_projections(rel, rewritten, +1)
+            self.logs[rel].append(rewritten)
+        return True
+
+    # -- rule applications (delta-driven) ----------------------------------
+
+    def apply_fd(self, index: int, fd: FD) -> bool:
+        instance = self.instance
+        lhs_pos, rhs_pos = self.engine._fd_positions[index]
+        rows = instance.relations[fd.relation]
+        log = self.logs[fd.relation]
+        groups = self.fd_groups[index]
+        cursor = self.fd_cursors[index]
+        end = len(log)  # repair appends are processed on the next pass
+        changed = False
+        find = instance.find
+        while cursor < end:
+            row = log[cursor]
+            cursor += 1
+            self.rows_scanned += 1
+            if row not in rows:
+                continue  # rewritten away since it was journaled
+            key = tuple(row[p] for p in lhs_pos)
+            other = groups.get(key)
+            if other is None:
+                groups[key] = tuple(row[p] for p in rhs_pos)
+                continue
+            for a, b in zip(other, (row[p] for p in rhs_pos)):
+                if find(a) != find(b):
+                    try:
+                        self.merge(a, b, fd)
+                    finally:
+                        self.fd_cursors[index] = cursor
+                    changed = True
+        self.fd_cursors[index] = cursor
+        return changed
+
+    def apply_rd(self, index: int, rd: RD) -> bool:
+        instance = self.instance
+        pair_pos = self.engine._rd_positions[index]
+        rows = instance.relations[rd.relation]
+        log = self.logs[rd.relation]
+        cursor = self.rd_cursors[index]
+        end = len(log)
+        changed = False
+        find = instance.find
+        while cursor < end:
+            row = log[cursor]
+            cursor += 1
+            self.rows_scanned += 1
+            if row not in rows:
+                continue
+            for left, right in pair_pos:
+                a, b = row[left], row[right]
+                if find(a) != find(b):
+                    try:
+                        self.merge(a, b, rd)
+                    finally:
+                        self.rd_cursors[index] = cursor
+                    changed = True
+        self.rd_cursors[index] = cursor
+        return changed
+
+    def apply_ind(self, index: int, ind: IND) -> bool:
+        instance = self.instance
+        src_pos, dst_pos, dst_arity = self.engine._ind_positions[index]
+        rows = instance.relations[ind.lhs_relation]
+        log = self.logs[ind.lhs_relation]
+        existing = self.ind_existing[index]
+        cursor = self.ind_cursors[index]
+        end = len(log)  # self-INDs pick up their own additions next round
+        changed = False
+        while cursor < end:
+            row = log[cursor]
+            cursor += 1
+            self.rows_scanned += 1
+            if row not in rows:
+                continue
+            needed = tuple(row[p] for p in src_pos)
+            if existing.get(needed):
+                continue
+            new_row: list[int] = [
+                instance.fresh_null() for _ in range(dst_arity)
+            ]
+            for value, pos in zip(needed, dst_pos):
+                new_row[pos] = value
+            self.add_row(ind.rhs_relation, new_row, ind)
+            changed = True
+        self.ind_cursors[index] = cursor
+        return changed
+
+
 @dataclass
 class ChaseOutcome:
-    """Result of running the chase to fixpoint (or budget)."""
+    """Result of running the chase to fixpoint (or budget).
+
+    ``rows_scanned`` counts the rows the run's rule applications
+    examined — the work measure that separates the semi-naive strategy
+    (O(deltas) per round) from the naive rescan (O(rows) per rule per
+    round).
+    """
 
     instance: ChaseInstance
     rounds: int
     reached_fixpoint: bool
     failed: bool = False
     failure_reason: str = ""
+    rows_scanned: int = 0
+
+
+STRATEGIES = ("semi-naive", "naive")
 
 
 class ChaseEngine:
     """Runs FD/IND/RD chase steps over a :class:`ChaseInstance`."""
 
-    def __init__(self, schema: DatabaseSchema, dependencies: Iterable[Dependency]):
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        dependencies: Iterable[Dependency],
+        strategy: str = "semi-naive",
+    ):
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown chase strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
         self.schema = schema
+        self.strategy = strategy
         self.fds: list[FD] = []
         self.inds: list[IND] = []
         self.rds: list[RD] = []
@@ -197,8 +443,41 @@ class ChaseEngine:
                 raise UnsupportedDependencyError(
                     f"chase supports FDs, INDs and RDs, got {dep}"
                 )
+        # Position tuples are a per-rule constant; compile them once
+        # instead of re-deriving from the schema at every application.
+        self._fd_positions = [
+            (
+                self.schema.relation(fd.relation).positions(fd.lhs),
+                self.schema.relation(fd.relation).positions(fd.rhs),
+            )
+            for fd in self.fds
+        ]
+        self._rd_positions = [
+            tuple(
+                (
+                    self.schema.relation(rd.relation).position(left),
+                    self.schema.relation(rd.relation).position(right),
+                )
+                for left, right in rd.pairs
+            )
+            for rd in self.rds
+        ]
+        self._ind_positions = []
+        self._inds_into: dict[str, list[int]] = {}
+        for index, ind in enumerate(self.inds):
+            src_schema = self.schema.relation(ind.lhs_relation)
+            dst_schema = self.schema.relation(ind.rhs_relation)
+            self._ind_positions.append(
+                (
+                    src_schema.positions(ind.lhs_attributes),
+                    dst_schema.positions(ind.rhs_attributes),
+                    dst_schema.arity,
+                )
+            )
+            self._inds_into.setdefault(ind.rhs_relation, []).append(index)
+        self.rows_scanned = 0
 
-    # -- single steps -------------------------------------------------------
+    # -- single steps (naive reference) ------------------------------------
 
     def _apply_fd(self, instance: ChaseInstance, fd: FD) -> bool:
         rel_schema = self.schema.relation(fd.relation)
@@ -207,6 +486,7 @@ class ChaseEngine:
         changed = False
         groups: dict[tuple[int, ...], tuple[int, ...]] = {}
         for row in list(instance.relations[fd.relation]):
+            self.rows_scanned += 1
             row = instance.canonical_row(row)
             key = tuple(row[p] for p in lhs_pos)
             image = tuple(row[p] for p in rhs_pos)
@@ -226,6 +506,7 @@ class ChaseEngine:
         rel_schema = self.schema.relation(rd.relation)
         changed = False
         for row in list(instance.relations[rd.relation]):
+            self.rows_scanned += 1
             row = instance.canonical_row(row)
             for left, right in rd.pairs:
                 a = row[rel_schema.position(left)]
@@ -251,6 +532,7 @@ class ChaseEngine:
         }
         changed = False
         for row in list(instance.relations[ind.lhs_relation]):
+            self.rows_scanned += 1
             row = instance.canonical_row(row)
             needed = tuple(row[p] for p in src_pos)
             if needed in existing:
@@ -285,10 +567,74 @@ class ChaseEngine:
         every chase step is a logical consequence, so a goal reached at
         any finite stage certifies the implication even when the full
         chase would diverge).
+
+        The engine's ``strategy`` selects semi-naive (delta-driven,
+        the default) or naive (full rescan) evaluation; both apply the
+        same rule instances in the same round structure.
+        """
+        self.rows_scanned = 0
+        if self.strategy == "semi-naive":
+            return self._run_semi_naive(instance, max_rounds, max_tuples, goal)
+        return self._run_naive(instance, max_rounds, max_tuples, goal)
+
+    def _run_naive(
+        self,
+        instance: ChaseInstance,
+        max_rounds: int,
+        max_tuples: int,
+        goal,
+    ) -> ChaseOutcome:
+        return self._drive(
+            instance, max_rounds, max_tuples, goal,
+            fd_step=lambda _i, fd: self._apply_fd(instance, fd),
+            rd_step=lambda _i, rd: self._apply_rd(instance, rd),
+            ind_step=lambda _i, ind: self._apply_ind(instance, ind),
+            scanned=lambda: self.rows_scanned,
+        )
+
+    def _run_semi_naive(
+        self,
+        instance: ChaseInstance,
+        max_rounds: int,
+        max_tuples: int,
+        goal,
+    ) -> ChaseOutcome:
+        state = _SemiNaiveState(self, instance)
+
+        def scanned() -> int:
+            self.rows_scanned = state.rows_scanned
+            return state.rows_scanned
+
+        return self._drive(
+            instance, max_rounds, max_tuples, goal,
+            fd_step=state.apply_fd,
+            rd_step=state.apply_rd,
+            ind_step=state.apply_ind,
+            scanned=scanned,
+        )
+
+    def _drive(
+        self,
+        instance: ChaseInstance,
+        max_rounds: int,
+        max_tuples: int,
+        goal,
+        fd_step,
+        rd_step,
+        ind_step,
+        scanned,
+    ) -> ChaseOutcome:
+        """The round loop both strategies share.
+
+        ``*_step(index, rule) -> changed`` applies one rule (naive:
+        engine methods; semi-naive: state methods); ``scanned()``
+        reports the work counter.  One driver is what guarantees the
+        two strategies fire rules in the same round structure.
         """
         rounds = 0
         if goal is not None and goal(instance):
-            return ChaseOutcome(instance, rounds, reached_fixpoint=False)
+            return ChaseOutcome(instance, rounds, reached_fixpoint=False,
+                                rows_scanned=scanned())
         while rounds < max_rounds:
             rounds += 1
             changed = False
@@ -296,38 +642,44 @@ class ChaseEngine:
             equality_changed = True
             while equality_changed:
                 equality_changed = False
-                for fd in self.fds:
+                for index, fd in enumerate(self.fds):
                     try:
-                        if self._apply_fd(instance, fd):
+                        if fd_step(index, fd):
                             equality_changed = True
                     except DependencyError as exc:
                         return ChaseOutcome(
                             instance, rounds, reached_fixpoint=False,
                             failed=True, failure_reason=str(exc),
+                            rows_scanned=scanned(),
                         )
-                for rd in self.rds:
+                for index, rd in enumerate(self.rds):
                     try:
-                        if self._apply_rd(instance, rd):
+                        if rd_step(index, rd):
                             equality_changed = True
                     except DependencyError as exc:
                         return ChaseOutcome(
                             instance, rounds, reached_fixpoint=False,
                             failed=True, failure_reason=str(exc),
+                            rows_scanned=scanned(),
                         )
                 changed = changed or equality_changed
-            for ind in self.inds:
-                if self._apply_ind(instance, ind):
+            for index, ind in enumerate(self.inds):
+                if ind_step(index, ind):
                     changed = True
             if goal is not None and goal(instance):
-                return ChaseOutcome(instance, rounds, reached_fixpoint=False)
+                return ChaseOutcome(instance, rounds, reached_fixpoint=False,
+                                    rows_scanned=scanned())
             if instance.total_tuples() > max_tuples:
+                scanned()
                 raise ChaseBudgetExceeded(
                     f"chase exceeded {max_tuples} tuples after {rounds} rounds",
                     rounds=rounds,
                     tuples=instance.total_tuples(),
                 )
             if not changed:
-                return ChaseOutcome(instance, rounds, reached_fixpoint=True)
+                return ChaseOutcome(instance, rounds, reached_fixpoint=True,
+                                    rows_scanned=scanned())
+        scanned()
         raise ChaseBudgetExceeded(
             f"chase did not converge within {max_rounds} rounds",
             rounds=rounds,
@@ -361,6 +713,7 @@ def chase_implies(
     target: Dependency,
     max_rounds: int = 200,
     max_tuples: int = 100_000,
+    strategy: str = "semi-naive",
 ) -> ImplicationCertificate:
     """Decide ``premises |= target`` (unrestricted) by chasing.
 
@@ -368,7 +721,7 @@ def chase_implies(
     :class:`ChaseBudgetExceeded`.  The target may be an FD, IND, or RD.
     """
     target.validate(schema)
-    engine = ChaseEngine(schema, premises)
+    engine = ChaseEngine(schema, premises, strategy=strategy)
     instance = ChaseInstance(schema)
 
     if isinstance(target, FD):
@@ -446,6 +799,7 @@ def chase_database(
     dependencies: Iterable[Dependency],
     max_rounds: int = 200,
     max_tuples: int = 100_000,
+    strategy: str = "semi-naive",
 ) -> Database:
     """Repair ``db`` into a superset instance satisfying ``dependencies``.
 
@@ -455,7 +809,7 @@ def chase_database(
     the referential-integrity example and workload generators.
     """
     schema = db.schema
-    engine = ChaseEngine(schema, dependencies)
+    engine = ChaseEngine(schema, dependencies, strategy=strategy)
     instance = ChaseInstance(schema)
     ids: dict[object, int] = {}
     for rel in db:

@@ -23,6 +23,12 @@ from typing import Iterable, Mapping, Optional, Union
 
 from repro.exceptions import DependencyError, SearchBudgetExceeded
 from repro.deps.ind import IND
+from repro.core.ind_kernel import (
+    INDKernel,
+    KernelIndex,
+    compile_ind,
+    intern_expression,
+)
 
 Expression = tuple[str, tuple[str, ...]]
 """An expression ``S[X]``: a relation name plus an attribute sequence."""
@@ -30,8 +36,9 @@ Expression = tuple[str, tuple[str, ...]]
 PremiseIndexMap = Mapping[str, tuple[IND, ...]]
 """Premises bucketed by a relation name (left side for forward search)."""
 
-Premises = Union[Iterable[IND], PremiseIndexMap]
-"""Either a flat premise collection or a pre-built relation index."""
+Premises = Union[Iterable[IND], PremiseIndexMap, KernelIndex]
+"""A flat premise collection, a pre-built relation index, or the
+kernel-compiled index a :class:`~repro.engine.index.PremiseIndex` owns."""
 
 
 def index_by_lhs(premises: Iterable[IND]) -> dict[str, tuple[IND, ...]]:
@@ -55,10 +62,49 @@ def index_by_rhs(premises: Iterable[IND]) -> dict[str, tuple[IND, ...]]:
     return {name: tuple(bucket) for name, bucket in buckets.items()}
 
 
-def _candidates_for(premises: Premises, relation: str) -> Iterable[IND]:
+def _candidates_for(
+    premises: Union[Iterable[IND], PremiseIndexMap], relation: str
+) -> Iterable[IND]:
+    """Premises possibly applicable at ``relation`` (flat or bucketed).
+
+    Used by the backward direction of the bidirectional search, whose
+    buckets are keyed by *right*-hand relation and therefore cannot
+    reuse the forward kernels.
+    """
     if isinstance(premises, Mapping):
         return premises.get(relation, ())
     return premises
+
+
+def _as_kernels(premises: Premises) -> KernelIndex:
+    """Whatever premise shape the caller has, as a kernel index.
+
+    A :class:`KernelIndex` passes through untouched — this is how the
+    session shares one compilation across queries and mutations.  Flat
+    collections and ``index_by_lhs`` mappings are bucketed here; the
+    per-IND kernel compilation itself is memoized on the IND objects,
+    so re-wrapping the same premises is cheap.
+    """
+    if isinstance(premises, KernelIndex):
+        return premises
+    if isinstance(premises, Mapping):
+        return KernelIndex.from_lhs_buckets(premises)
+    return KernelIndex(premises)
+
+
+def _kernel_bucket_for(premises: Premises, relation: str) -> tuple[INDKernel, ...]:
+    if isinstance(premises, KernelIndex):
+        return premises.bucket(relation)
+    if isinstance(premises, Mapping):
+        # A mapping's buckets are not necessarily lhs-keyed (callers
+        # also hold index_by_rhs maps); only lhs-matching premises can
+        # move an expression over ``relation``.
+        bucket = [
+            p for p in premises.get(relation, ()) if p.lhs_relation == relation
+        ]
+    else:
+        bucket = [p for p in premises if p.lhs_relation == relation]
+    return tuple(compile_ind(premise) for premise in bucket)
 
 
 @dataclass(frozen=True)
@@ -119,11 +165,32 @@ def successors(
     ``C1..Ck``; the successor maps each attribute through the premise's
     positional correspondence (this is rule IND2).
 
-    ``premises`` may be a flat collection or an :func:`index_by_lhs`
-    mapping; with the index only the matching bucket is scanned.
+    ``premises`` may be a flat collection, an :func:`index_by_lhs`
+    mapping, or a pre-compiled :class:`KernelIndex`; each applicable
+    premise is evaluated through its memoized kernel, so repeated
+    calls over the same expressions are dictionary hits.
+    :func:`successors_naive` is the retained textbook reference.
     """
+    _relation, attrs = expression
+    for kernel in _kernel_bucket_for(premises, _relation):
+        entry = kernel.successor_of(attrs)
+        if entry is not None:
+            nxt, positions = entry
+            yield nxt, ChainLink(kernel.ind, positions)
+
+
+def successors_naive(
+    expression: Expression, premises: Union[Iterable[IND], PremiseIndexMap]
+) -> Iterable[tuple[Expression, ChainLink]]:
+    """The uncompiled successor computation, kept as the differential
+    reference for the kernel path: per-attribute ``lhs.index`` scans,
+    one :class:`ChainLink` per applicable premise."""
     relation, attrs = expression
-    for premise in _candidates_for(premises, relation):
+    if isinstance(premises, Mapping):
+        candidates: Iterable[IND] = premises.get(relation, ())
+    else:
+        candidates = premises
+    for premise in candidates:
         if premise.lhs_relation != relation:
             continue
         positions: list[int] = []
@@ -152,6 +219,93 @@ def decide_ind(
     decides finite and unrestricted implication simultaneously, which
     coincide for INDs).  Returns a witness chain when implied.
     """
+    kernels = _as_kernels(premises)
+    start = intern_expression(expression_of_lhs(target))
+    goal = intern_expression(expression_of_rhs(target))
+    if start == goal:
+        return DecisionResult(
+            implied=True, target=target, chain=[start], links=[], explored=1,
+            frontier_peak=1,
+        )
+
+    parents: dict[Expression, tuple[Expression, INDKernel, tuple[int, ...]]] = {}
+    visited: set[Expression] = {start}
+    queue: deque[Expression] = deque([start])
+    buckets = kernels.buckets
+    explored = 0
+    frontier_peak = 1
+
+    while queue:
+        if len(queue) > frontier_peak:
+            frontier_peak = len(queue)
+        current = queue.popleft()
+        explored += 1
+        if explored > max_nodes:
+            raise SearchBudgetExceeded(
+                f"IND decision exceeded {max_nodes} expressions", explored=explored
+            )
+        relation, attrs = current
+        for kernel in buckets.get(relation, ()):
+            entry = kernel.successor_of(attrs)
+            if entry is None:
+                continue
+            nxt = entry[0]
+            if nxt in visited:
+                continue
+            visited.add(nxt)
+            parents[nxt] = (current, kernel, entry[1])
+            if nxt == goal:
+                chain, links = _extract_chain(start, nxt, parents)
+                return DecisionResult(
+                    implied=True,
+                    target=target,
+                    chain=chain,
+                    links=links,
+                    explored=explored,
+                    frontier_peak=frontier_peak,
+                )
+            queue.append(nxt)
+
+    return DecisionResult(
+        implied=False,
+        target=target,
+        explored=explored,
+        frontier_peak=frontier_peak,
+    )
+
+
+def _extract_chain(
+    start: Expression,
+    goal: Expression,
+    parents: Mapping[Expression, tuple[Expression, INDKernel, tuple[int, ...]]],
+) -> tuple[list[Expression], list[ChainLink]]:
+    """Walk the predecessor map back to ``start``.
+
+    :class:`ChainLink` objects are allocated here — once per edge of
+    the *witness chain* — rather than for every edge the BFS merely
+    inspected.
+    """
+    chain = [goal]
+    links: list[ChainLink] = []
+    node = goal
+    while node != start:
+        prev, kernel, positions = parents[node]
+        chain.append(prev)
+        links.append(ChainLink(kernel.ind, positions))
+        node = prev
+    chain.reverse()
+    links.reverse()
+    return chain, links
+
+
+def decide_ind_naive(
+    target: IND,
+    premises: Union[Iterable[IND], PremiseIndexMap],
+    max_nodes: int = 2_000_000,
+) -> DecisionResult:
+    """The pre-kernel decision procedure, retained verbatim as the
+    differential-testing and benchmarking reference for
+    :func:`decide_ind` (same contract, same BFS order)."""
     premise_index = (
         premises if isinstance(premises, Mapping) else index_by_lhs(premises)
     )
@@ -159,7 +313,8 @@ def decide_ind(
     goal = expression_of_rhs(target)
     if start == goal:
         return DecisionResult(
-            implied=True, target=target, chain=[start], links=[], explored=1
+            implied=True, target=target, chain=[start], links=[], explored=1,
+            frontier_peak=1,
         )
 
     parents: dict[Expression, tuple[Expression, ChainLink]] = {}
@@ -176,7 +331,7 @@ def decide_ind(
             raise SearchBudgetExceeded(
                 f"IND decision exceeded {max_nodes} expressions", explored=explored
             )
-        for nxt, link in successors(current, premise_index):
+        for nxt, link in successors_naive(current, premise_index):
             if nxt in visited:
                 continue
             visited.add(nxt)
@@ -210,6 +365,14 @@ def decide_ind(
     )
 
 
+ParentEntry = tuple[Expression, INDKernel, tuple[int, ...]]
+"""Predecessor-map entry: (previous expression, kernel, positions).
+
+The :class:`ChainLink` for an edge is only materialized when a witness
+chain is extracted through it, never during the search itself.
+"""
+
+
 @dataclass
 class Exploration:
     """A cached exhaustive BFS: the reachable set plus its provenance.
@@ -225,12 +388,16 @@ class Exploration:
 
     start: Expression
     visited: set[Expression]
-    parents: dict[Expression, tuple[Expression, ChainLink]]
+    parents: dict[Expression, ParentEntry]
     footprint: frozenset[str]
+    frontier_peak: int = 0
 
     def decide(self, target: IND) -> DecisionResult:
         """Answer one question whose left expression is ``start``."""
-        return decision_from_exploration(target, self.visited, self.parents)
+        return decision_from_exploration(
+            target, self.visited, self.parents,
+            frontier_peak=self.frontier_peak,
+        )
 
 
 def explore_expressions(
@@ -249,63 +416,69 @@ def explore_expressions(
     session's add/retract lifecycle uses ``footprint`` to keep cached
     explorations alive across mutations that cannot affect them).
     """
-    premise_index = (
-        premises if isinstance(premises, Mapping) else index_by_lhs(premises)
-    )
-    parents: dict[Expression, tuple[Expression, ChainLink]] = {}
+    kernels = _as_kernels(premises)
+    start = intern_expression(start)
+    parents: dict[Expression, ParentEntry] = {}
     visited: set[Expression] = {start}
     queue: deque[Expression] = deque([start])
+    buckets = kernels.buckets
+    frontier_peak = 1
     while queue:
+        if len(queue) > frontier_peak:
+            frontier_peak = len(queue)
         current = queue.popleft()
         if len(visited) > max_nodes:
             raise SearchBudgetExceeded(
                 f"expression closure exceeded {max_nodes} nodes",
                 explored=len(visited),
             )
-        for nxt, link in successors(current, premise_index):
+        relation, attrs = current
+        for kernel in buckets.get(relation, ()):
+            entry = kernel.successor_of(attrs)
+            if entry is None:
+                continue
+            nxt = entry[0]
             if nxt not in visited:
                 visited.add(nxt)
-                parents[nxt] = (current, link)
+                parents[nxt] = (current, kernel, entry[1])
                 queue.append(nxt)
     footprint = frozenset(relation for relation, _attrs in visited)
-    return Exploration(start, visited, parents, footprint)
+    return Exploration(start, visited, parents, footprint, frontier_peak)
 
 
 def decision_from_exploration(
     target: IND,
     visited: set[Expression],
-    parents: dict[Expression, tuple[Expression, ChainLink]],
+    parents: Mapping[Expression, ParentEntry],
+    frontier_peak: int = 0,
 ) -> DecisionResult:
     """Answer one implication question from a cached exploration.
 
     ``visited``/``parents`` must come from :func:`explore_expressions`
-    started at the target's left expression.
+    started at the target's left expression; ``frontier_peak`` is that
+    exploration's peak, threaded through so cached answers report the
+    same stats shape as fresh ones.
     """
     start = expression_of_lhs(target)
     goal = expression_of_rhs(target)
     if start == goal:
         return DecisionResult(
             implied=True, target=target, chain=[start], links=[],
-            explored=len(visited),
+            explored=len(visited), frontier_peak=frontier_peak,
         )
     if goal not in visited:
-        return DecisionResult(implied=False, target=target, explored=len(visited))
-    chain = [goal]
-    links: list[ChainLink] = []
-    node = goal
-    while node != start:
-        prev, via = parents[node]
-        chain.append(prev)
-        links.append(via)
-        node = prev
-    chain.reverse()
-    links.reverse()
+        return DecisionResult(
+            implied=False, target=target, explored=len(visited),
+            frontier_peak=frontier_peak,
+        )
+    chain, links = _extract_chain(start, goal, parents)
     return DecisionResult(
         implied=True,
         target=target,
         chain=chain,
         links=links,
         explored=len(visited),
+        frontier_peak=frontier_peak,
     )
 
 

@@ -31,6 +31,7 @@ class IND(Dependency):
         "rhs_relation",
         "rhs_attributes",
         "_key_memo",
+        "_kernel_memo",
     )
 
     def __init__(

@@ -37,7 +37,8 @@ from repro.deps.fd import FD
 from repro.deps.ind import IND
 from repro.deps.rd import RD
 from repro.model.schema import DatabaseSchema
-from repro.core.fd_closure import attribute_closure, candidate_keys
+from repro.core.fd_closure import FDClosureKernel, candidate_keys
+from repro.core.ind_kernel import KernelIndex
 
 
 @dataclass(frozen=True)
@@ -103,9 +104,11 @@ class PremiseIndex:
         self.inds_by_lhs: dict[str, tuple[IND, ...]] = {}
         self.inds_by_rhs: dict[str, tuple[IND, ...]] = {}
         self.fds_by_relation: dict[str, tuple[FD, ...]] = {}
+        self.ind_kernels = KernelIndex()
         for dep in self._deps:
             self._classify_insert(dep)
 
+        self._fd_kernels: dict[str, FDClosureKernel] = {}
         self._closure_cache: dict[tuple[str, frozenset[str]], frozenset[str]] = {}
         self._keys_cache: dict[str, list[frozenset[str]]] = {}
 
@@ -123,6 +126,7 @@ class PremiseIndex:
             self.inds_by_rhs[dep.rhs_relation] = (
                 self.inds_by_rhs.get(dep.rhs_relation, ()) + (dep,)
             )
+            self.ind_kernels.add(dep)
             self._non_unary += not dep.is_unary()
         elif isinstance(dep, FD):
             self.fds_by_relation[dep.relation] = (
@@ -138,6 +142,7 @@ class PremiseIndex:
         if isinstance(dep, IND):
             self._bucket_remove(self.inds_by_lhs, dep.lhs_relation, dep)
             self._bucket_remove(self.inds_by_rhs, dep.rhs_relation, dep)
+            self.ind_kernels.discard(dep)
             self._non_unary -= not dep.is_unary()
         elif isinstance(dep, FD):
             self._bucket_remove(self.fds_by_relation, dep.relation, dep)
@@ -266,9 +271,11 @@ class PremiseIndex:
         )
 
     def _apply_fd_invalidation(self, delta: MutationDelta) -> None:
-        """Drop only the mutated relations' closure and key memos."""
+        """Drop only the mutated relations' closure/key memos and
+        compiled closure kernels."""
         for relation in delta.fd_relations:
             self._keys_cache.pop(relation, None)
+            self._fd_kernels.pop(relation, None)
         if delta.fd_relations and self._closure_cache:
             for key in [
                 k for k in self._closure_cache if k[0] in delta.fd_relations
@@ -293,6 +300,8 @@ class PremiseIndex:
         twin.inds_by_lhs = dict(self.inds_by_lhs)
         twin.inds_by_rhs = dict(self.inds_by_rhs)
         twin.fds_by_relation = dict(self.fds_by_relation)
+        twin.ind_kernels = self.ind_kernels.copy()
+        twin._fd_kernels = dict(self._fd_kernels)
         twin._closure_cache = dict(self._closure_cache)
         twin._keys_cache = dict(self._keys_cache)
         return twin
@@ -319,12 +328,25 @@ class PremiseIndex:
 
     # -- memoized FD reasoning ---------------------------------------------
 
+    def fd_kernel(self, relation: str) -> FDClosureKernel:
+        """The relation's FDs compiled for linear-time closure.
+
+        Compiled lazily, once per relation, and evicted exactly when
+        that relation's FDs mutate — every closure, implication, and
+        candidate-key query in between reuses the compilation.
+        """
+        kernel = self._fd_kernels.get(relation)
+        if kernel is None:
+            kernel = FDClosureKernel(self.fds_of(relation))
+            self._fd_kernels[relation] = kernel
+        return kernel
+
     def closure(self, relation: str, attrs: Iterable[str]) -> frozenset[str]:
         """Memoized attribute closure ``X+`` over this index's FDs."""
         key = (relation, frozenset(attrs))
         cached = self._closure_cache.get(key)
         if cached is None:
-            cached = attribute_closure(key[1], self.fds_of(relation))
+            cached = self.fd_kernel(relation).closure(key[1])
             self._closure_cache[key] = cached
         return cached
 
@@ -342,7 +364,9 @@ class PremiseIndex:
         cached = self._keys_cache.get(relation)
         if cached is None:
             cached = candidate_keys(
-                self.schema.relation(relation), self.fds_of(relation)
+                self.schema.relation(relation),
+                self.fds_of(relation),
+                kernel=self.fd_kernel(relation),
             )
             self._keys_cache[relation] = cached
         return list(cached)
@@ -364,4 +388,5 @@ class PremiseIndex:
             "relations_with_outgoing_inds": len(self.inds_by_lhs),
             "closures_memoized": len(self._closure_cache),
             "keys_memoized": len(self._keys_cache),
+            "fd_kernels_compiled": len(self._fd_kernels),
         }

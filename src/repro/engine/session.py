@@ -311,12 +311,12 @@ class ReasoningSession:
             return exploration.decide(target), True
         if exhaustive:
             exploration = explore_expressions(
-                start, self.index.inds_by_lhs, max_nodes=self.max_nodes
+                start, self.index.ind_kernels, max_nodes=self.max_nodes
             )
             self._reach_cache[start] = exploration
             return exploration.decide(target), False
         return decide_ind(
-            target, self.index.inds_by_lhs, max_nodes=self.max_nodes
+            target, self.index.ind_kernels, max_nodes=self.max_nodes
         ), False
 
     def _unary_closure(self, semantics: Semantics) -> UnaryClosure:
@@ -364,6 +364,7 @@ class ReasoningSession:
                 cached=cached,
                 version=self.version,
                 stats={"explored": result.explored,
+                       "frontier_peak": result.frontier_peak,
                        "chain_length": result.chain_length},
             )
 
@@ -413,7 +414,8 @@ class ReasoningSession:
             certificate=certificate,
             version=self.version,
             stats={"rounds": certificate.outcome.rounds,
-                   "tuples": certificate.outcome.instance.total_tuples()},
+                   "tuples": certificate.outcome.instance.total_tuples(),
+                   "rows_scanned": certificate.outcome.rows_scanned},
         )
 
     def implies_all(

@@ -185,6 +185,19 @@ class TestBatch:
             str(parse_dependency(t)) for t in self.TARGETS
         ]
 
+    def test_cached_answers_report_a_real_frontier_peak(self, ind_session):
+        # Fresh and cached answers must report the same stats shape:
+        # a cached exploration carries its BFS frontier peak instead of
+        # falling back to 0.
+        answers = ind_session.implies_all(self.TARGETS)
+        cached = [a for a in answers if a.cached]
+        assert cached  # MGR[NAME] repeats, so its second answer is cached
+        for answer in answers:
+            assert answer.stats["frontier_peak"] >= 1
+        fresh = ind_session.implies("MGR[NAME] <= PERSON[NAME]")
+        assert fresh.cached
+        assert fresh.stats["frontier_peak"] >= 1
+
 
 class TestProve:
     def test_ind_proof_checks(self, ind_session, paper_schema):
