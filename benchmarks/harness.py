@@ -4,12 +4,19 @@
 Equivalent to ``python -m repro bench``; exists so the benchmark
 trajectory can be (re)recorded without an installed package::
 
-    python benchmarks/harness.py --out BENCH_e17.json
-    python benchmarks/harness.py --baseline BENCH_e17.json --out BENCH_new.json
+    python benchmarks/harness.py --out BENCH_e18.json \\
+        --trajectory BENCH_trajectory.json
+    python benchmarks/harness.py --baseline BENCH_trajectory.json \\
+        --blocking single_decide --blocking repeated_decide_hot
 
-The workload definitions, report format, and baseline comparison live
-in :mod:`repro.bench`; the pytest suite ``test_e17_kernels.py`` in
-this directory asserts the speedups the report records.
+``--trajectory`` appends every run — stamped with the current commit —
+to the committed ``BENCH_trajectory.json`` history, and ``--baseline``
+accepts either a single report or that trajectory (gating against its
+last entry), so the repo records a perf *trend* rather than one
+overwritten snapshot.  The workload definitions, report format, and
+baseline comparison live in :mod:`repro.bench`; the pytest suites
+``test_e17_kernels.py`` / ``test_e18_reach.py`` in this directory
+assert the speedups the reports record.
 """
 
 from __future__ import annotations

@@ -115,23 +115,28 @@ def test_incremental_add_at_least_5x_cheaper_than_rebuild():
 
 
 @pytest.mark.artifact("session-incremental")
-def test_unrelated_mutation_preserves_the_reachability_cache():
-    """Acceptance criterion: a mutation outside every exploration
-    footprint keeps (does not clear) the reachability cache."""
+def test_unrelated_mutation_preserves_the_reach_index():
+    """Acceptance criterion: a mutation outside the reach index's
+    materialized footprint keeps the compiled closure (monotone
+    extension, zero recompiles)."""
     schema, premises, targets = large_workload()
     session = ReasoningSession(schema, premises)
     session.implies_all(targets)
-    warmed = set(session._reach_cache)
-    assert warmed  # the batch shares R0[A]'s exploration
+    reach = session.index.reach_index
+    epoch, compiles = reach.epoch, reach.compiles
+    assert compiles >= 1  # the batch compiled R0[A]'s component
 
     session.add(IND("QUIET", ("A",), "QUIET2", ("A",)))
-    assert set(session._reach_cache) == warmed
+    assert reach.epoch == epoch and not reach.dirty
     answer = session.implies(targets[0])
     assert answer.cached and answer.verdict
+    assert reach.compiles == compiles  # served without a recompile
 
-    # ...while a mutation inside the footprint drops the entry.
+    # ...while a mutation inside the footprint invalidates the epoch
+    # (lazily: the recompile happens on the next query, not here).
     session.retract(premises[0])  # R0[A,B] <= R1[A,B], on the chain
-    assert ("R0", ("A",)) not in session._reach_cache
+    assert reach.dirty
+    assert not reach.is_hot(("R0", ("A",)))
 
 
 @pytest.mark.artifact("session-incremental")

@@ -11,8 +11,9 @@ code in the same process:
 * the single-decision microbenchmark must be >=3x faster than the
   naive BFS;
 * chase-to-fixpoint must be >=2x faster than the naive rescan;
-* ``repro bench`` must produce the committed ``BENCH_e17.json``
-  trajectory and its baseline comparison must gate regressions.
+* ``repro bench`` must produce the committed baseline report
+  (``BENCH_e18.json`` since E18) and its baseline comparison must
+  gate regressions.
 """
 
 import json
@@ -26,7 +27,7 @@ from repro.core.ind_decision import decide_ind, decide_ind_naive, index_by_lhs
 from repro.core.ind_kernel import KernelIndex
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-COMMITTED_REPORT = os.path.join(REPO_ROOT, "BENCH_e17.json")
+COMMITTED_REPORT = os.path.join(REPO_ROOT, bench.COMMITTED_BASELINE)
 
 
 @pytest.mark.artifact("kernel-decision")
@@ -113,11 +114,11 @@ def test_bench_harness_writes_a_report(tmp_path):
 
 
 @pytest.mark.artifact("bench-harness")
-def test_committed_trajectory_report_is_complete():
-    """BENCH_e17.json is committed and covers every named workload."""
+def test_committed_baseline_report_is_complete():
+    """The committed baseline snapshot covers every named workload."""
     assert os.path.exists(COMMITTED_REPORT), (
-        "BENCH_e17.json missing; record it with "
-        "`python -m repro bench --out BENCH_e17.json`"
+        f"{bench.COMMITTED_BASELINE} missing; record it with "
+        f"`python -m repro bench --out {bench.COMMITTED_BASELINE}`"
     )
     with open(COMMITTED_REPORT, encoding="utf-8") as fp:
         report = json.load(fp)

@@ -19,6 +19,11 @@ Workloads (all deterministic, seeded):
   the naive rescan strategy.
 * ``incremental_add_requery`` — premise ``add`` plus batch re-query on
   a warmed session (the PR 2 lifecycle path).
+* ``repeated_decide_hot`` — 10k ``implies`` calls, mixed hit/miss,
+  against one long-lived session (the reach-index serving shape).
+  Reference: the PR-3 kernel BFS over the same queries.
+* ``implies_all_grouped`` — a warm batch whose targets are grouped by
+  source expression, all served from one compiled closure.
 
 The report format is one JSON object::
 
@@ -31,16 +36,24 @@ what :func:`compare_reports` checks against a committed baseline (a
 workload regresses when its ``seconds`` grows more than ``threshold``
 relative); ``meta`` carries workload sizes and measured naive/kernel
 speedups for human trend-reading.
+
+Besides per-run reports, every ``repro bench --trajectory`` run
+appends a ``{commit, created, calibration_seconds, workloads}`` entry
+to the committed ``BENCH_trajectory.json`` — the repo's perf history —
+and the regression gate reads its *last* entry as the baseline
+(:func:`baseline_from` accepts either format).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
+import subprocess
 import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Union
 
 from repro.deps.fd import FD
 from repro.deps.ind import IND
@@ -51,8 +64,17 @@ from repro.core.ind_decision import decide_ind, decide_ind_naive, index_by_lhs
 from repro.core.ind_kernel import KernelIndex
 
 SCHEMA_VERSION = 1
-SUITE = "e17-kernels"
+SUITE = "e18-reach"
 DEFAULT_REPEATS = 15
+
+COMMITTED_BASELINE = "BENCH_e18.json"
+"""The committed single-report snapshot of the current suite."""
+
+COMMITTED_TRAJECTORY = "BENCH_trajectory.json"
+"""The committed multi-run history (list of trajectory entries)."""
+
+HOT_CALLS = 10_000
+"""``implies`` calls per ``repeated_decide_hot`` repetition."""
 
 SEED = 19841982
 """One seed for every workload: reports are comparable across runs."""
@@ -157,6 +179,46 @@ def decision_workload():
         IND("R0", ("A",), f"R{i}", ("A",)) for i in range(1, 40)
     ]
     return schema, premises, target, targets
+
+
+def serving_workload():
+    """The decision workload plus a mixed hit/miss serving target pool.
+
+    The pool mixes shallow and deep chain hits (cheap vs expensive for
+    a per-query BFS, identical for the compiled index), misses into the
+    quiet relation (the BFS worst case: full exploration), and a
+    handful of distinct source expressions so the index amortizes
+    across more than one compiled component.
+    """
+    schema, premises, _target, _targets = decision_workload()
+    pool = [
+        IND("R0", ("A",), f"R{i}", ("A",)) for i in (1, 5, 20, 40, 60, 80, 99)
+    ]
+    pool += [
+        IND("R10", ("A",), "R70", ("A",)),
+        IND("R25", ("B",), "R90", ("B",)),
+        IND("R0", ("B",), "R50", ("B",)),
+        IND("R0", ("A",), "QUIET", ("A",)),
+        IND("R0", ("B",), "QUIET", ("B",)),
+        IND("R40", ("A",), "QUIET", ("A",)),
+        IND("R99", ("A",), "R0", ("A",)),
+        IND("R99", ("B",), "QUIET", ("B",)),
+    ]
+    return schema, premises, pool
+
+
+def grouped_targets():
+    """Batch targets grouped by source expression (the serving batch
+    shape ``implies_all`` amortizes best: one compiled component per
+    group, every member an O(1) lookup)."""
+    sources = [("R0", "A"), ("R10", "A"), ("R30", "B"), ("R60", "A")]
+    targets = []
+    for relation, attr in sources:
+        targets.extend(
+            IND(relation, (attr,), f"R{j}", (attr,)) for j in range(0, 100, 2)
+        )
+        targets.append(IND(relation, (attr,), "QUIET", (attr,)))
+    return targets
 
 
 def chase_workload():
@@ -298,12 +360,102 @@ def bench_incremental_add_requery(repeats: int = DEFAULT_REPEATS) -> WorkloadRes
     )
 
 
+def bench_repeated_decide_hot(repeats: int = DEFAULT_REPEATS) -> WorkloadResult:
+    """10k mixed hit/miss ``implies`` calls against one warm session.
+
+    The serving cost model the reach index exists for: the session
+    compiles each source's component once, then every call is a bitset
+    membership test (plus chain extraction on hits).  The reference is
+    the PR-3 kernel BFS over the identical query stream, measured on a
+    subsample (a full 10k-query BFS pass costs seconds) and scaled.
+    """
+    schema, premises, pool = serving_workload()
+    session = ReasoningSession(schema, premises)
+    queries = [pool[i % len(pool)] for i in range(HOT_CALLS)]
+    warm = session.implies_all(pool)  # compile every component once
+
+    def hot():
+        implies = session.implies
+        for target in queries:
+            implies(target)
+
+    seconds = best_seconds(hot, repeats=min(repeats, 5))
+
+    kernels = session.index.ind_kernels
+    sample = queries[: max(1, HOT_CALLS // 10)]
+
+    def bfs_sample():
+        for target in sample:
+            decide_ind(target, kernels)
+
+    bfs_seconds = best_seconds(bfs_sample, repeats=3) * (
+        HOT_CALLS / len(sample)
+    )
+    hits = sum(answer.verdict for answer in warm)
+    return WorkloadResult(
+        name="repeated_decide_hot",
+        seconds=seconds,
+        ops=HOT_CALLS,
+        meta={
+            "premises": len(premises),
+            "calls": HOT_CALLS,
+            "pool": len(pool),
+            "hit_targets": hits,
+            "miss_targets": len(pool) - hits,
+            "reach_compiles": session.index.reach_index.compiles,
+            "bfs_seconds": bfs_seconds,
+            "speedup_vs_bfs": bfs_seconds / seconds,
+        },
+    )
+
+
+def bench_implies_all_grouped(repeats: int = DEFAULT_REPEATS) -> WorkloadResult:
+    """A warm source-grouped batch served from one compiled closure.
+
+    Reference: one kernel BFS per target (what the batch would cost
+    without the shared index)."""
+    schema, premises, _pool = serving_workload()
+    targets = grouped_targets()
+    session = ReasoningSession(schema, premises)
+    session.implies_all(targets)  # compile the grouped components
+
+    seconds = best_seconds(
+        lambda: session.implies_all(targets), repeats=min(repeats, 7)
+    )
+    kernels = session.index.ind_kernels
+
+    def bfs():
+        for target in targets:
+            decide_ind(target, kernels)
+
+    bfs_seconds = best_seconds(bfs, repeats=3)
+    return WorkloadResult(
+        name="implies_all_grouped",
+        seconds=seconds,
+        ops=len(targets),
+        meta={
+            "premises": len(premises),
+            "targets": len(targets),
+            "source_groups": 4,
+            "bfs_seconds": bfs_seconds,
+            "speedup_vs_bfs": bfs_seconds / seconds,
+        },
+    )
+
+
 WORKLOADS: dict[str, Callable[[int], WorkloadResult]] = {
     "single_decide": bench_single_decide,
     "batch_implies_all": bench_batch_implies_all,
     "chase_fixpoint": bench_chase_fixpoint,
     "incremental_add_requery": bench_incremental_add_requery,
+    "repeated_decide_hot": bench_repeated_decide_hot,
+    "implies_all_grouped": bench_implies_all_grouped,
 }
+
+DECISION_WORKLOADS = ("single_decide", "repeated_decide_hot")
+"""The workloads whose regressions the CI gate treats as blocking
+(the chase workload stays advisory — shared runners are too noisy for
+a multi-millisecond fixpoint to gate merges)."""
 
 
 # ---------------------------------------------------------------------------
@@ -339,9 +491,74 @@ def write_report(report: dict, path: str) -> None:
         fp.write("\n")
 
 
-def load_report(path: str) -> dict:
+def load_report(path: str) -> Union[dict, list]:
+    """A recorded report (dict) or a trajectory history (list)."""
     with open(path, encoding="utf-8") as fp:
         return json.load(fp)
+
+
+def git_commit(default: str = "unknown") -> str:
+    """The current short commit hash, for trajectory entries."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return default
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else default
+
+
+def trajectory_entry(report: dict, commit: Optional[str] = None) -> dict:
+    """One committed-history entry distilled from a report."""
+    return {
+        "commit": commit if commit is not None else git_commit(),
+        "created": report.get("created"),
+        "suite": report.get("suite"),
+        "calibration_seconds": report.get("calibration_seconds"),
+        "workloads": report.get("workloads", {}),
+    }
+
+
+def append_trajectory(
+    report: dict, path: str, commit: Optional[str] = None
+) -> list[dict]:
+    """Append this run to the trajectory file (created if missing).
+
+    Every recorded run lands in the history — regressions included;
+    the gate decides what blocks, the trajectory just remembers —
+    which is what lets future PRs read a perf *trend* instead of a
+    single overwritten snapshot.
+    """
+    entries: list[dict] = []
+    if os.path.exists(path):
+        loaded = load_report(path)
+        if not isinstance(loaded, list):
+            raise ValueError(
+                f"{path} is not a trajectory (expected a JSON list)"
+            )
+        entries = loaded
+    entries.append(trajectory_entry(report, commit))
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(entries, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return entries
+
+
+def baseline_from(data: Union[dict, list]) -> dict:
+    """A report-shaped baseline from a report or a trajectory history.
+
+    A trajectory contributes its *last* entry — every entry carries
+    ``calibration_seconds`` and ``workloads``, which is all
+    :func:`compare_reports` reads — so the gate always compares
+    against the most recently recorded run.
+    """
+    if isinstance(data, list):
+        if not data:
+            raise ValueError("empty trajectory has no baseline entry")
+        return data[-1]
+    return data
 
 
 @dataclass
@@ -401,6 +618,10 @@ def format_report(report: dict) -> str:
         speedup = entry["meta"].get("speedup_vs_naive")
         if speedup is not None:
             extras = f"  {speedup:.1f}x vs naive"
+        else:
+            speedup = entry["meta"].get("speedup_vs_bfs")
+            if speedup is not None:
+                extras = f"  {speedup:.1f}x vs per-query BFS"
         lines.append(
             f"  {name:<{width}}  {entry['seconds']*1e3:9.2f}ms  "
             f"{entry['ops_per_sec']:12.1f} ops/s{extras}"

@@ -12,7 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro shell   bundle.json       # interactive lifecycle REPL
     python -m repro keys    bundle.json       # candidate keys per relation
     python -m repro summary bundle.json       # structural profile
-    python -m repro bench   --out BENCH_e17.json   # recorded perf workloads
+    python -m repro bench   --out BENCH_e18.json --trajectory BENCH_trajectory.json
 
 ``bundle.json`` follows the :mod:`repro.io` format: a schema, a list
 of dependencies in the text DSL, and optionally a database instance.
@@ -298,22 +298,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.out:
         bench.write_report(report, args.out)
         info(f"report written to {args.out}")
+    # Resolve the baseline BEFORE appending to the trajectory: CI points
+    # both flags at the same file, and appending first would make the
+    # gate compare the current run against itself (always passing).
+    baseline = None
     if args.baseline:
-        baseline = bench.load_report(args.baseline)
+        baseline = bench.baseline_from(bench.load_report(args.baseline))
+    if args.trajectory:
+        entries = bench.append_trajectory(report, args.trajectory)
+        info(f"trajectory {args.trajectory} now has {len(entries)} run(s)")
+    if baseline is not None:
         regressions = bench.compare_reports(
             report, baseline, threshold=args.threshold
         )
         if regressions:
+            # Without --blocking every regression blocks (exit 1); with
+            # it, only the named workloads do — the rest are warnings
+            # (the CI gate blocks on the decision workloads and keeps
+            # the noise-prone chase advisory).
+            blocking = set(args.blocking or [])
+            hard = [
+                r for r in regressions
+                if not blocking or r.workload in blocking
+            ]
             print(
                 f"\n{len(regressions)} workload(s) regressed more than "
                 f"{args.threshold:.0%} against {args.baseline}:",
                 file=sys.stderr,
             )
             for regression in regressions:
-                print(f"  {regression}", file=sys.stderr)
-            return 1
-        info(f"no workload regressed more than {args.threshold:.0%} "
-             f"against {args.baseline}")
+                advisory = (
+                    "" if not blocking or regression.workload in blocking
+                    else "  [advisory]"
+                )
+                print(f"  {regression}{advisory}", file=sys.stderr)
+            if hard:
+                return 1
+            info("only advisory workloads regressed; gate passes")
+        else:
+            info(f"no workload regressed more than {args.threshold:.0%} "
+                 f"against {args.baseline}")
     return 0
 
 
@@ -440,7 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--out", metavar="REPORT_JSON",
-        help="write the report JSON here (e.g. BENCH_e17.json)",
+        help="write the report JSON here (e.g. BENCH_e18.json)",
     )
     p_bench.add_argument(
         "--workload", action="append", metavar="NAME",
@@ -452,11 +476,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--baseline", metavar="BASELINE_JSON",
-        help="compare against this report; exit 1 on regression",
+        help="compare against this report or trajectory (its last entry); "
+             "exit 1 on regression",
     )
     p_bench.add_argument(
         "--threshold", type=float, default=0.25,
         help="relative slowdown tolerated against the baseline (default 0.25)",
+    )
+    p_bench.add_argument(
+        "--trajectory", metavar="TRAJECTORY_JSON",
+        help="append this run (with the current commit) to a trajectory file",
+    )
+    p_bench.add_argument(
+        "--blocking", action="append", metavar="NAME",
+        help="with --baseline: only these workloads' regressions exit 1, "
+             "others are advisory (repeatable; default: all block)",
     )
     p_bench.add_argument(
         "--list", action="store_true", help="list workload names and exit"

@@ -15,6 +15,8 @@
   the combined problem is undecidable), semi-naive by default.
 * ``ind_kernel`` — compiled premise kernels for the Corollary 3.2
   search (memoized successor maps, interned expressions).
+* ``reach_index`` — the SCC-condensed bitset closure index amortizing
+  IND reachability across a session's query stream.
 * ``interaction`` — Propositions 4.1-4.3 as checked inference rules.
 * ``finite_unary`` — finite implication for unary FDs + INDs (the
   counting/cycle arguments of Theorem 4.4 and Section 6, algorithmic).
@@ -34,6 +36,7 @@ from repro.core.fd_closure import (
     minimal_cover,
 )
 from repro.core.ind_kernel import INDKernel, KernelIndex, compile_ind
+from repro.core.reach_index import ReachIndex
 from repro.core.ind_axioms import (
     Proof,
     ProofStep,
@@ -60,6 +63,7 @@ __all__ = [
     "FDClosureKernel",
     "INDKernel",
     "KernelIndex",
+    "ReachIndex",
     "attribute_closure",
     "attribute_closure_naive",
     "compile_ind",

@@ -38,7 +38,9 @@ PremiseIndexMap = Mapping[str, tuple[IND, ...]]
 
 Premises = Union[Iterable[IND], PremiseIndexMap, KernelIndex]
 """A flat premise collection, a pre-built relation index, or the
-kernel-compiled index a :class:`~repro.engine.index.PremiseIndex` owns."""
+kernel-compiled index a :class:`~repro.engine.index.PremiseIndex` owns.
+:func:`decide_ind` additionally accepts a compiled
+:class:`~repro.core.reach_index.ReachIndex` and answers from it."""
 
 
 def index_by_lhs(premises: Iterable[IND]) -> dict[str, tuple[IND, ...]]:
@@ -87,6 +89,9 @@ def _as_kernels(premises: Premises) -> KernelIndex:
     """
     if isinstance(premises, KernelIndex):
         return premises
+    kernels = getattr(premises, "kernels", None)
+    if isinstance(kernels, KernelIndex):  # a compiled ReachIndex
+        return kernels
     if isinstance(premises, Mapping):
         return KernelIndex.from_lhs_buckets(premises)
     return KernelIndex(premises)
@@ -95,6 +100,9 @@ def _as_kernels(premises: Premises) -> KernelIndex:
 def _kernel_bucket_for(premises: Premises, relation: str) -> tuple[INDKernel, ...]:
     if isinstance(premises, KernelIndex):
         return premises.bucket(relation)
+    kernels = getattr(premises, "kernels", None)
+    if isinstance(kernels, KernelIndex):  # a compiled ReachIndex
+        return kernels.bucket(relation)
     if isinstance(premises, Mapping):
         # A mapping's buckets are not necessarily lhs-keyed (callers
         # also hold index_by_rhs maps); only lhs-matching premises can
@@ -218,7 +226,19 @@ def decide_ind(
     Sound and complete by Theorem 3.1 / Corollary 3.2 (and therefore
     decides finite and unrestricted implication simultaneously, which
     coincide for INDs).  Returns a witness chain when implied.
+
+    When ``premises`` is a session-managed, already-compiled
+    :class:`~repro.core.reach_index.ReachIndex`, the question is
+    answered from its SCC-condensed bitset closure — amortized O(1)
+    per decision — instead of a fresh BFS; one-shot premise
+    collections keep the early-exit kernel BFS below, which can stop
+    after a handful of nodes in graphs whose full closure would blow
+    the budget.
     """
+    from repro.core.reach_index import ReachIndex  # deferred: cyclic module pair
+
+    if isinstance(premises, ReachIndex):
+        return premises.decide(target, max_nodes=max_nodes)
     kernels = _as_kernels(premises)
     start = intern_expression(expression_of_lhs(target))
     goal = intern_expression(expression_of_rhs(target))

@@ -121,12 +121,19 @@ class KernelIndex:
     expression over ``R``.  Mutations replace whole bucket tuples, so
     :meth:`copy` (dict copy) gives a safely shareable twin for
     session forking.
+
+    ``mutations`` counts every bucket change.  The
+    :class:`~repro.core.reach_index.ReachIndex` compiled on top of
+    this index records the counter at compile time and
+    self-invalidates on drift, so a kernel index mutated outside the
+    ``PremiseIndex`` lifecycle can never serve a stale closure.
     """
 
-    __slots__ = ("buckets",)
+    __slots__ = ("buckets", "mutations")
 
     def __init__(self, premises: Iterable[IND] = ()):
         self.buckets: dict[str, tuple[INDKernel, ...]] = {}
+        self.mutations = 0
         for ind in premises:
             self.add(ind)
 
@@ -156,6 +163,7 @@ class KernelIndex:
     def add(self, ind: IND) -> None:
         name = intern(ind.lhs_relation)
         self.buckets[name] = self.buckets.get(name, ()) + (compile_ind(ind),)
+        self.mutations += 1
 
     def discard(self, ind: IND) -> None:
         """Remove one kernel whose premise equals ``ind`` (if any)."""
@@ -170,11 +178,13 @@ class KernelIndex:
                     self.buckets[name] = remaining
                 else:
                     del self.buckets[name]
+                self.mutations += 1
                 return
 
     def copy(self) -> "KernelIndex":
         twin = KernelIndex.__new__(KernelIndex)
         twin.buckets = dict(self.buckets)
+        twin.mutations = self.mutations
         return twin
 
     def __len__(self) -> int:

@@ -16,7 +16,7 @@
 
 from repro.engine.answer import Answer, Engine, Semantics
 from repro.engine.index import MutationDelta, PremiseIndex
-from repro.engine.routing import choose_engine, classify
+from repro.engine.routing import choose_engine, classify, routing_profile
 from repro.engine.session import CheckReport, ReasoningSession, VerdictFlip
 
 __all__ = [
@@ -30,4 +30,5 @@ __all__ = [
     "VerdictFlip",
     "choose_engine",
     "classify",
+    "routing_profile",
 ]

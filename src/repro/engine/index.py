@@ -5,7 +5,11 @@ and then maintains the buckets *incrementally* through the premise
 lifecycle (:meth:`PremiseIndex.add` / :meth:`PremiseIndex.retract`):
 
 * INDs bucketed by left-hand relation (what ``successors`` consumes)
-  and by right-hand relation (backward search);
+  and by right-hand relation (backward search), with the compiled
+  :class:`~repro.core.reach_index.ReachIndex` on top — the
+  SCC-condensed bitset closure the session's hot IND path queries —
+  maintained through an epoch/dirty policy (mutations outside the
+  materialized footprint are free; others recompile lazily);
 * FDs bucketed by relation, with memoized attribute closures and
   candidate keys — both invalidated per affected relation only, never
   wholesale;
@@ -39,6 +43,7 @@ from repro.deps.rd import RD
 from repro.model.schema import DatabaseSchema
 from repro.core.fd_closure import FDClosureKernel, candidate_keys
 from repro.core.ind_kernel import KernelIndex
+from repro.core.reach_index import ReachIndex
 
 
 @dataclass(frozen=True)
@@ -107,6 +112,7 @@ class PremiseIndex:
         self.ind_kernels = KernelIndex()
         for dep in self._deps:
             self._classify_insert(dep)
+        self.reach_index = ReachIndex(self.ind_kernels)
 
         self._fd_kernels: dict[str, FDClosureKernel] = {}
         self._closure_cache: dict[tuple[str, frozenset[str]], frozenset[str]] = {}
@@ -218,6 +224,7 @@ class PremiseIndex:
             self._classify_insert(dep)
         delta = self._delta(added=added, removed=())
         self._apply_fd_invalidation(delta)
+        self._apply_reach_policy(delta)
         return delta
 
     def retract(self, dependencies: Iterable[Dependency]) -> MutationDelta:
@@ -250,6 +257,7 @@ class PremiseIndex:
             self._classify_remove(dep)
         delta = self._delta(added=(), removed=removed)
         self._apply_fd_invalidation(delta)
+        self._apply_reach_policy(delta)
         return delta
 
     @staticmethod
@@ -282,6 +290,23 @@ class PremiseIndex:
             ]:
                 del self._closure_cache[key]
 
+    def _apply_reach_policy(self, delta: MutationDelta) -> None:
+        """Feed one mutation to the reach index's epoch/dirty policy.
+
+        The index decides for itself whether the mutation is a free
+        monotone extension (every mutated IND's left relation is
+        outside the materialized footprint) or marks it dirty for a
+        lazy recompile on the next query.
+        """
+        self.reach_index.note_mutation(
+            added_lhs=[
+                dep.lhs_relation for dep in delta.added if isinstance(dep, IND)
+            ],
+            removed_lhs=[
+                dep.lhs_relation for dep in delta.removed if isinstance(dep, IND)
+            ],
+        )
+
     def clone(self) -> "PremiseIndex":
         """A copy-on-write twin for :meth:`ReasoningSession.fork`.
 
@@ -301,6 +326,7 @@ class PremiseIndex:
         twin.inds_by_rhs = dict(self.inds_by_rhs)
         twin.fds_by_relation = dict(self.fds_by_relation)
         twin.ind_kernels = self.ind_kernels.copy()
+        twin.reach_index = self.reach_index.copy(twin.ind_kernels)
         twin._fd_kernels = dict(self._fd_kernels)
         twin._closure_cache = dict(self._closure_cache)
         twin._keys_cache = dict(self._keys_cache)
@@ -380,7 +406,15 @@ class PremiseIndex:
         return len(self._keys_cache)
 
     def stats(self) -> dict[str, int]:
-        """Headline sizes, reported in :class:`Answer` stats."""
+        """Headline sizes, reported in :class:`Answer` stats.
+
+        The ``reach_*`` keys surface the reach index's compiled state:
+        ``reach_compiles`` counts label recompilations (a hot query
+        stream holds this constant), ``reach_epoch`` counts
+        invalidation generations, ``reach_label_bits`` is the total
+        density of the SCC closure bitsets.
+        """
+        reach = self.reach_index.stats()
         return {
             "inds": self._counts["ind"],
             "fds": self._counts["fd"],
@@ -389,4 +423,5 @@ class PremiseIndex:
             "closures_memoized": len(self._closure_cache),
             "keys_memoized": len(self._keys_cache),
             "fd_kernels_compiled": len(self._fd_kernels),
+            **{f"reach_{key}": value for key, value in reach.items()},
         }

@@ -84,6 +84,22 @@ def choose_engine(
     return Engine.CHASE
 
 
+def routing_profile(index: PremiseIndex) -> dict[str, bool]:
+    """The structural facts :func:`choose_engine` reads, as a stats dict.
+
+    Surfaced through ``ReasoningSession.stats()`` so serving dashboards
+    can see *why* questions land on a given engine — e.g. a premise set
+    that silently stopped being pure-IND routes every IND question to
+    the chase, a very different cost profile.
+    """
+    return {
+        "pure_ind": index.pure_ind,
+        "pure_fd": index.pure_fd,
+        "all_unary": index.all_unary,
+        "mixed": not (index.pure_ind or index.pure_fd),
+    }
+
+
 def classify(dependencies) -> dict[str, int]:
     """Counts per dependency class, for summaries and diagnostics."""
     counts = {"ind": 0, "fd": 0, "rd": 0, "other": 0}

@@ -21,8 +21,12 @@ bumping the monotonically increasing :attr:`ReasoningSession.version`
 that every :class:`~repro.engine.answer.Answer` is stamped with.
 Mutations invalidate caches *scoped to what actually changed*:
 
-* an IND mutation drops only the reachability-cache entries whose
-  exploration footprint touched the mutated left-hand relation bucket;
+* IND questions are served by the premise index's compiled
+  :class:`~repro.core.reach_index.ReachIndex` (SCC-condensed bitset
+  closure, amortized O(1) per decision); an IND mutation whose left
+  relation is outside the index's materialized footprint is a free
+  monotone extension, anything else bumps the index epoch and
+  recompiles lazily on the next query;
 * an FD mutation drops only that relation's memoized attribute
   closures and candidate keys;
 * any mutation drops the unary-closure cache (its fixpoint mixes every
@@ -43,7 +47,7 @@ from repro.deps.base import Dependency
 from repro.deps.fd import FD
 from repro.deps.ind import IND
 from repro.deps.parser import parse_dependency
-from repro.exceptions import UnsupportedDependencyError
+from repro.exceptions import SearchBudgetExceeded, UnsupportedDependencyError
 from repro.model.database import Database
 from repro.model.schema import DatabaseSchema
 from repro.core.fd_closure import closure_derivation
@@ -51,18 +55,11 @@ from repro.core.fd_axioms import check_fd_proof, prove_fd
 from repro.core.fdind_chase import chase_implies
 from repro.core.finite_unary import UnaryClosure, unary_closure
 from repro.core.ind_axioms import check_proof
-from repro.core.ind_decision import (
-    DecisionResult,
-    Exploration,
-    Expression,
-    decide_ind,
-    expression_of_lhs,
-    explore_expressions,
-)
+from repro.core.ind_decision import DecisionResult, decide_ind, expression_of_lhs
 from repro.core.ind_prover import proof_from_decision
 from repro.engine.answer import Answer, Engine, Semantics, jsonify
 from repro.engine.index import MutationDelta, PremiseIndex
-from repro.engine.routing import choose_engine
+from repro.engine.routing import choose_engine, routing_profile
 
 Target = Union[Dependency, str]
 """A question: a dependency object or its text-DSL rendering."""
@@ -160,11 +157,11 @@ class ReasoningSession:
         self.max_rounds = max_rounds
         self.max_tuples = max_tuples
         self.version = 0
-        self._reach_cache: dict[Expression, Exploration] = {}
         self._unary_cache: dict[Semantics, UnaryClosure] = {}
         self.queries = 0
         self.cache_hits = 0
-        self.invalidations = {"reach_dropped": 0, "reach_kept": 0}
+        self.reach_fallbacks = 0
+        self.engine_counts: dict[str, int] = {}
 
     # -- plumbing ----------------------------------------------------------
 
@@ -217,33 +214,24 @@ class ReasoningSession:
     def _apply_delta(self, delta: MutationDelta) -> None:
         """Version bump + scoped cache invalidation for one mutation.
 
-        The index has already evicted the affected closure/key memos;
-        here the session drops exactly the reachability-cache entries
-        whose exploration consulted a mutated IND bucket, and the
+        The index has already evicted the affected closure/key memos
+        and fed the reach index's epoch/dirty policy (free monotone
+        extension vs lazy recompile); here the session drops the
         unary-closure cache (whole-set fixpoint) on any mutation.
         An empty mutation is a no-op: no version bump, no eviction.
         """
         if not delta:
             return
         self.version += 1
-        if delta.mutated_inds:
-            stale = [
-                start
-                for start, exploration in self._reach_cache.items()
-                if exploration.footprint & delta.ind_lhs_relations
-            ]
-            for start in stale:
-                del self._reach_cache[start]
-            self.invalidations["reach_dropped"] += len(stale)
-        self.invalidations["reach_kept"] += len(self._reach_cache)
         self._unary_cache.clear()
 
     def fork(self) -> "ReasoningSession":
         """A copy-on-write child session for what-if exploration.
 
         The child starts with the parent's premises, version, and
-        warmed caches — cloning copies dict skeletons, never re-indexes
-        or re-explores — and the two evolve independently afterwards:
+        warmed caches — cloning copies dict skeletons (including the
+        compiled reach index's node/label arrays), never re-indexes or
+        recompiles — and the two evolve independently afterwards:
         mutations on either side replace buckets and evict cache
         entries rather than mutating shared values.
         """
@@ -255,11 +243,11 @@ class ReasoningSession:
         child.max_rounds = self.max_rounds
         child.max_tuples = self.max_tuples
         child.version = self.version
-        child._reach_cache = dict(self._reach_cache)
         child._unary_cache = dict(self._unary_cache)
         child.queries = 0
         child.cache_hits = 0
-        child.invalidations = {"reach_dropped": 0, "reach_kept": 0}
+        child.reach_fallbacks = 0
+        child.engine_counts = {}
         return child
 
     def whatif(
@@ -291,33 +279,32 @@ class ReasoningSession:
             for target, b, a in zip(coerced, before, after)
         ]
 
-    def _decide_ind(
-        self, target: IND, exhaustive: bool = False
-    ) -> tuple[DecisionResult, bool]:
-        """Decide one IND question, via the exploration cache.
+    def _decide_ind(self, target: IND) -> tuple[DecisionResult, bool]:
+        """Decide one IND question from the compiled reach index.
 
-        A cache entry answers instantly.  On a miss, ``exhaustive``
-        selects between the early-exit BFS of :func:`decide_ind` (right
-        for one-off questions — it can stop after a handful of nodes in
-        graphs whose full closure would blow the budget) and a full
-        :func:`explore_expressions` whose result is cached for every
-        later question sharing the same left expression (right when a
-        batch is known to revisit it).
+        An already-compiled source answers with a bitset membership
+        test (amortized O(1)); a fresh source materializes its
+        reachable component into the shared index first, so every
+        later question from (or through) it is a hit.  The second
+        element reports whether the answer was a pure hit — no
+        materialization, no recompile.
         """
-        start = expression_of_lhs(target)
-        exploration = self._reach_cache.get(start)
-        if exploration is not None:
+        reach = self.index.reach_index
+        if reach.is_hot(expression_of_lhs(target)):
             self.cache_hits += 1
-            return exploration.decide(target), True
-        if exhaustive:
-            exploration = explore_expressions(
-                start, self.index.ind_kernels, max_nodes=self.max_nodes
-            )
-            self._reach_cache[start] = exploration
-            return exploration.decide(target), False
-        return decide_ind(
-            target, self.index.ind_kernels, max_nodes=self.max_nodes
-        ), False
+            return reach.decide(target, max_nodes=self.max_nodes), True
+        try:
+            return reach.decide(target, max_nodes=self.max_nodes), False
+        except SearchBudgetExceeded:
+            # The source's full closure blows the budget, but the
+            # early-exit BFS may still find the goal within it — e.g. a
+            # one-hop implication inside a combinatorial expression
+            # graph.  The failed expansion was rolled back, so the
+            # compiled components other sources rely on are intact.
+            self.reach_fallbacks += 1
+            return decide_ind(
+                target, self.index.ind_kernels, max_nodes=self.max_nodes
+            ), False
 
     def _unary_closure(self, semantics: Semantics) -> UnaryClosure:
         closure = self._unary_cache.get(semantics)
@@ -335,7 +322,6 @@ class ReasoningSession:
         self,
         target: Target,
         semantics: Union[Semantics, str] = Semantics.UNRESTRICTED,
-        _exhaustive: bool = False,
         _coerced: bool = False,
     ) -> Answer:
         """Decide ``Sigma |= target`` with the optimal engine.
@@ -351,10 +337,13 @@ class ReasoningSession:
             target = self._coerce(target)
         engine = choose_engine(self.index, target, semantics)
         self.queries += 1
+        self.engine_counts[engine.value] = (
+            self.engine_counts.get(engine.value, 0) + 1
+        )
 
         if engine is Engine.COROLLARY_32:
             assert isinstance(target, IND)
-            result, cached = self._decide_ind(target, exhaustive=_exhaustive)
+            result, cached = self._decide_ind(target)
             return Answer(
                 verdict=result.implied,
                 target=target,
@@ -425,28 +414,17 @@ class ReasoningSession:
     ) -> list[Answer]:
         """Batch implication: one answer per target, in order.
 
-        Each target is coerced and validated exactly once, and when
-        several targets share a left expression their expression-graph
-        exploration runs exhaustively once and is served from the
-        reachability cache afterwards, so asking N questions costs far
-        less than N independent calls to the free functions.  Targets
-        whose left expression occurs only once keep the early-exit
-        search of :func:`~repro.core.ind_decision.decide_ind`.
+        Each target is coerced and validated exactly once, and every
+        IND question shares the session's compiled reach index: the
+        first target from a source materializes its component, and
+        every later target from (or through) that component — grouped
+        or not — is a bitset hit.  Asking N questions therefore costs
+        one compilation plus N O(1) lookups, far less than N
+        independent calls to the free functions.
         """
         coerced = [self._coerce(target) for target in targets]
-        start_counts: dict[Expression, int] = {}
-        for target in coerced:
-            if isinstance(target, IND):
-                start = expression_of_lhs(target)
-                start_counts[start] = start_counts.get(start, 0) + 1
         return [
-            self.implies(
-                target,
-                semantics,
-                _exhaustive=isinstance(target, IND)
-                and start_counts[expression_of_lhs(target)] > 1,
-                _coerced=True,
-            )
+            self.implies(target, semantics, _coerced=True)
             for target in coerced
         ]
 
@@ -545,14 +523,22 @@ class ReasoningSession:
 
     # -- introspection -----------------------------------------------------
 
-    def stats(self) -> dict[str, int]:
-        """Counters for the session's caches and workload."""
+    def stats(self) -> dict:
+        """Counters for the session's caches and workload.
+
+        ``reach_cache_hits`` counts IND answers served without any
+        materialization or recompile; the ``reach_*`` keys from the
+        premise index expose the compiled closure itself (nodes, SCCs,
+        label bits, epoch, compile count).  ``engines`` is the routing
+        histogram of every ``implies`` call this session answered.
+        """
         return {
             "version": self.version,
             "queries": self.queries,
-            "reach_cache_entries": len(self._reach_cache),
             "reach_cache_hits": self.cache_hits,
-            "reach_entries_dropped": self.invalidations["reach_dropped"],
+            "reach_fallbacks": self.reach_fallbacks,
+            "engines": dict(self.engine_counts),
+            "routing": routing_profile(self.index),
             **self.index.stats(),
         }
 

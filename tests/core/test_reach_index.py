@@ -1,0 +1,198 @@
+"""The SCC-condensed bitset closure index (``core/reach_index.py``)."""
+
+import pytest
+
+from repro.core.ind_decision import (
+    chain_is_valid,
+    decide_ind,
+    explore_expressions,
+)
+from repro.core.ind_kernel import KernelIndex
+from repro.core.reach_index import ReachIndex
+from repro.deps.ind import IND
+from repro.exceptions import SearchBudgetExceeded
+
+
+def chain_premises(length=6, attr="A"):
+    return [
+        IND(f"R{i}", (attr,), f"R{i+1}", (attr,)) for i in range(length - 1)
+    ]
+
+
+def build(premises):
+    kernels = KernelIndex(premises)
+    return ReachIndex(kernels), kernels
+
+
+class TestCondensation:
+    def test_chain_condenses_to_singleton_sccs(self):
+        reach, _ = build(chain_premises())
+        assert reach.reachable(("R0", ("A",)), ("R5", ("A",)))
+        assert not reach.reachable(("R5", ("A",)), ("R0", ("A",)))
+        stats = reach.stats()
+        assert stats["nodes"] == 6 and stats["sccs"] == 6
+        # Chain labels are nested suffixes: 6+5+...+1 total bits.
+        assert stats["label_bits"] == 21
+
+    def test_cycle_collapses_into_one_component(self):
+        cycle = chain_premises(4) + [IND("R3", ("A",), "R0", ("A",))]
+        reach, _ = build(cycle)
+        assert reach.reachable(("R0", ("A",)), ("R3", ("A",)))
+        assert reach.reachable(("R3", ("A",)), ("R0", ("A",)))
+        stats = reach.stats()
+        assert stats["nodes"] == 4 and stats["sccs"] == 1
+        assert stats["label_bits"] == 1
+
+    def test_materialization_is_shared_across_sources(self):
+        reach, _ = build(chain_premises())
+        reach.ensure_source(("R0", ("A",)))
+        compiles = reach.compiles
+        # R3[A] was materialized as part of R0[A]'s component: deciding
+        # from it is a pure hit, no recompile.
+        assert reach.is_hot(("R3", ("A",)))
+        assert reach.reachable(("R3", ("A",)), ("R5", ("A",)))
+        assert reach.compiles == compiles
+
+    def test_deep_chain_exceeds_default_recursion(self):
+        # The iterative Tarjan must survive components far deeper than
+        # CPython's default recursion limit.
+        depth = 3000
+        reach, _ = build(chain_premises(depth))
+        assert reach.reachable(("R0", ("A",)), (f"R{depth-1}", ("A",)))
+        assert reach.stats()["sccs"] == depth
+
+
+class TestDecide:
+    def test_verdict_and_chain_match_the_kernel_bfs(self):
+        premises = chain_premises() + [IND("R2", ("A",), "R0", ("A",))]
+        reach, kernels = build(premises)
+        target = IND("R0", ("A",), "R4", ("A",))
+        indexed = reach.decide(target)
+        bfs = decide_ind(target, kernels)
+        assert indexed.implied == bfs.implied is True
+        assert indexed.chain == bfs.chain
+        assert indexed.links == bfs.links
+        assert chain_is_valid(target, indexed.chain, indexed.links)
+
+    def test_explored_matches_the_exhaustive_exploration(self):
+        premises = chain_premises()
+        reach, kernels = build(premises)
+        miss = IND("R2", ("A",), "R0", ("A",))
+        exploration = explore_expressions(("R2", ("A",)), kernels)
+        assert reach.decide(miss).explored == len(exploration.visited)
+
+    def test_trivial_target_answers_without_compiling(self):
+        reach, _ = build(chain_premises())
+        result = reach.decide(IND("R0", ("A",), "R0", ("A",)))
+        assert result.implied and result.chain == [("R0", ("A",))]
+        assert reach.stats()["nodes"] == 0  # nothing materialized
+
+    def test_free_function_routes_to_the_index(self):
+        reach, _ = build(chain_premises())
+        result = decide_ind(IND("R0", ("A",), "R5", ("A",)), reach)
+        assert result.implied
+        assert reach.queries == 1
+
+    def test_budget_exceeded_rolls_back_instead_of_half_compiling(self):
+        # R0[A,B] fans out through a permuting premise set; a tiny
+        # budget must raise and leave the index empty, not poisoned.
+        premises = [
+            IND(f"R{i}", ("A", "B"), f"R{i+1}", ("B", "A")) for i in range(20)
+        ]
+        reach, _ = build(premises)
+        with pytest.raises(SearchBudgetExceeded):
+            reach.decide(IND("R0", ("A", "B"), "QUIET", ("A", "B")), max_nodes=5)
+        assert reach.stats()["nodes"] == 0
+        # ...and a later, budgeted query compiles cleanly.
+        assert reach.decide(IND("R0", ("A", "B"), "R20", ("A", "B"))).implied
+
+    def test_budget_overrun_preserves_previously_compiled_components(self):
+        # The budget is per-call (newly materialized nodes), and a
+        # failed expansion rolls back to the prior compiled state
+        # instead of resetting the whole index.
+        premises = chain_premises(30) + [
+            IND(f"S{i}", ("A", "B"), f"S{i+1}", ("B", "A")) for i in range(40)
+        ]
+        reach, _ = build(premises)
+        assert reach.decide(IND("R0", ("A",), "R29", ("A",))).implied  # 30 nodes
+        nodes, compiles = reach.stats()["nodes"], reach.compiles
+        with pytest.raises(SearchBudgetExceeded):
+            # The S-fan needs 41 new nodes; 30 already-materialized R
+            # nodes must not eat this call's budget...
+            reach.decide(IND("S0", ("A", "B"), "QUIET", ("A", "B")), max_nodes=35)
+        # ...and the failed expansion leaves the R component untouched.
+        assert reach.stats()["nodes"] == nodes
+        assert reach.is_hot(("R0", ("A",)))
+        answer = reach.decide(IND("R0", ("A",), "R29", ("A",)))
+        assert answer.implied and reach.compiles == compiles
+
+    def test_new_sources_extend_without_recondensing_old_components(self):
+        # Successor-closure means old nodes never reach new ones, so a
+        # new source's compilation appends components and leaves old
+        # labels, counts, and witness views exactly as they were.
+        premises = chain_premises(10) + [
+            IND(f"S{i}", ("A",), f"S{i+1}", ("A",)) for i in range(9)
+        ]
+        reach, _ = build(premises)
+        first = reach.decide(IND("R0", ("A",), "R9", ("A",)))
+        labels_before = list(reach._labels)
+        views_before = dict(reach._views)
+        assert reach.decide(IND("S0", ("A",), "S9", ("A",))).implied
+        assert reach._labels[: len(labels_before)] == labels_before
+        assert all(reach._views[k] is v for k, v in views_before.items())
+        # The old source still answers identically after the extension.
+        again = reach.decide(IND("R0", ("A",), "R9", ("A",)))
+        assert again.chain == first.chain and again.explored == first.explored
+
+
+class TestLifecyclePolicy:
+    def test_fresh_lhs_add_is_a_monotone_extension(self):
+        reach, kernels = build(chain_premises())
+        reach.ensure_source(("R0", ("A",)))
+        epoch = reach.epoch
+        kernels.add(IND("QUIET", ("A",), "R0", ("A",)))
+        reach.note_mutation(added_lhs=["QUIET"])
+        assert reach.epoch == epoch and not reach.dirty
+        assert reach.extensions == 1
+        # The new source compiles against the live kernels and sees
+        # both the new premise and the shared old component.
+        assert reach.reachable(("QUIET", ("A",)), ("R5", ("A",)))
+
+    def test_in_footprint_mutation_marks_dirty_and_recompiles_lazily(self):
+        reach, kernels = build(chain_premises())
+        reach.ensure_source(("R0", ("A",)))
+        epoch = reach.epoch
+        removed = IND("R2", ("A",), "R3", ("A",))
+        kernels.discard(removed)
+        reach.note_mutation(removed_lhs=["R2"])
+        assert reach.dirty and reach.epoch == epoch
+        assert not reach.is_hot(("R0", ("A",)))
+        assert not reach.reachable(("R0", ("A",)), ("R5", ("A",)))
+        assert reach.epoch == epoch + 1 and not reach.dirty
+
+    def test_unreported_kernel_drift_self_invalidates(self):
+        reach, kernels = build(chain_premises())
+        assert not reach.reachable(("R5", ("A",)), ("R0", ("A",)))
+        # Mutate the kernel index without telling the reach index.
+        kernels.add(IND("R5", ("A",), "R0", ("A",)))
+        assert not reach.is_hot(("R5", ("A",)))
+        assert reach.reachable(("R5", ("A",)), ("R0", ("A",)))
+
+    def test_copy_is_independent_after_divergence(self):
+        reach, kernels = build(chain_premises())
+        reach.ensure_source(("R0", ("A",)))
+        twin_kernels = kernels.copy()
+        twin = reach.copy(twin_kernels)
+        assert twin.is_hot(("R0", ("A",)))  # warm from the start
+
+        # Parent mutates; the twin's compiled state must not notice.
+        kernels.discard(IND("R0", ("A",), "R1", ("A",)))
+        reach.note_mutation(removed_lhs=["R0"])
+        assert not reach.reachable(("R0", ("A",)), ("R5", ("A",)))
+        assert twin.reachable(("R0", ("A",)), ("R5", ("A",)))
+
+        # Twin mutates; the parent keeps its own (already recompiled) view.
+        twin_kernels.add(IND("R5", ("A",), "R0", ("A",)))
+        twin.note_mutation(added_lhs=["R5"])
+        assert twin.reachable(("R5", ("A",)), ("R0", ("A",)))
+        assert not reach.reachable(("R0", ("A",)), ("R5", ("A",)))

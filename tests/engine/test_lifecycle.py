@@ -130,28 +130,41 @@ class TestAddRetract:
 
 class TestScopedInvalidation:
     def _warm(self, session, target="MGR[NAME] <= PERSON[NAME]"):
-        # Repeating the target forces the exhaustive, cacheable search.
-        session.implies_all([target, target])
-        return set(session._reach_cache)
+        # Any query compiles its source's component into the index.
+        session.implies(target)
+        return session.index.reach_index
 
-    def test_unrelated_ind_mutation_preserves_reach_cache(self, session):
+    def test_unrelated_ind_mutation_preserves_the_index(self, session):
         session.add("EMP[NAME] <= PERSON[NAME]")
-        warmed = self._warm(session)
-        assert warmed == {("MGR", ("NAME",))}
+        reach = self._warm(session)
+        epoch, compiles = reach.epoch, reach.compiles
         session.add("ISO[X] <= ISO2[X]")  # ISO is not in the footprint
-        assert set(session._reach_cache) == warmed
+        assert reach.epoch == epoch  # monotone extension, no invalidation
         answer = session.implies("MGR[NAME] <= PERSON[NAME]")
         assert answer.cached and answer.verdict
+        assert reach.compiles == compiles  # served without a recompile
 
-    def test_related_ind_mutation_drops_only_touched_entries(self, session):
+    def test_related_ind_mutation_recompiles_on_the_next_query(self, session):
         session.add(["EMP[NAME] <= PERSON[NAME]", "ISO[X] <= ISO2[X]"])
-        self._warm(session)
+        reach = self._warm(session)
         self._warm(session, "ISO[X] <= ISO2[X]")
-        assert len(session._reach_cache) == 2
-        # EMP is in MGR[NAME]'s footprint but not in ISO[X]'s.
+        epoch = reach.epoch
+        # EMP is inside the materialized footprint: the whole compiled
+        # epoch is invalidated, lazily — nothing recompiles until asked.
         session.retract("EMP[NAME] <= PERSON[NAME]")
-        assert set(session._reach_cache) == {("ISO", ("X",))}
+        assert reach.epoch == epoch and reach.dirty
         assert not session.implies("MGR[NAME] <= PERSON[NAME]").verdict
+        assert reach.epoch == epoch + 1 and not reach.dirty
+
+    def test_mutation_burst_costs_one_invalidation(self, session):
+        session.add("EMP[NAME] <= PERSON[NAME]")
+        reach = self._warm(session)
+        invalidations = reach.invalidations
+        session.retract("EMP[NAME] <= PERSON[NAME]")
+        session.add("EMP[NAME] <= PERSON[NAME]")
+        session.add("EMP[DEPT] <= PERSON[NAME]")
+        assert reach.invalidations == invalidations + 1  # marked once
+        assert session.implies("MGR[NAME] <= PERSON[NAME]").verdict
 
     def test_stale_answers_are_impossible_after_retract(self, session):
         session.add("EMP[NAME] <= PERSON[NAME]")
@@ -160,15 +173,19 @@ class TestScopedInvalidation:
         assert not session.implies("MGR[NAME] <= PERSON[NAME]").verdict
 
     def test_new_edge_extends_reachability_after_add(self, session):
-        self._warm(session)  # PERSON unreachable, cached
+        self._warm(session)  # PERSON unreachable, compiled
         session.add("EMP[NAME] <= PERSON[NAME]")  # EMP is in the footprint
         assert session.implies("MGR[NAME] <= PERSON[NAME]").verdict
 
-    def test_fd_mutation_keeps_the_reach_cache(self, session):
+    def test_fd_mutation_keeps_the_reach_index(self, session):
         session.add("EMP[NAME] <= PERSON[NAME]")
-        warmed = self._warm(session)
+        reach = self._warm(session)
+        epoch, compiles = reach.epoch, reach.compiles
         session.add(FD("EMP", "NAME", "DEPT"))
-        assert set(session._reach_cache) == warmed
+        assert reach.epoch == epoch and not reach.dirty
+        # The premise set is now mixed, so IND targets route to the
+        # chase — but the compiled closure itself survived untouched.
+        assert reach.compiles == compiles
 
     def test_fd_mutation_scopes_closure_memos_by_relation(self, schema):
         session = ReasoningSession(
