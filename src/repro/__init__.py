@@ -85,6 +85,7 @@ from repro.core import (
     prove_ind,
 )
 from repro.core.fdind_chase import chase_database, chase_implies
+from repro.discovery import DiscoveryReport, discover
 from repro.core.finite_unary import (
     finitely_implies_unary,
     unrestricted_implies_unary,
@@ -159,6 +160,9 @@ __all__ = [
     "chase_database",
     "finitely_implies_unary",
     "unrestricted_implies_unary",
+    # discovery
+    "DiscoveryReport",
+    "discover",
     # session facade
     "Answer",
     "CheckReport",

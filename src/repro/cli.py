@@ -9,10 +9,11 @@ Usage (after ``pip install -e .``)::
     python -m repro prove   bundle.json "MGR[NAME] <= PERSON[NAME]"
     python -m repro batch   bundle.json targets.txt   # many questions, one load
     python -m repro whatif  bundle.json targets.txt --add "R[A] <= S[A]"
+    python -m repro discover bundle.json --json   # mine FDs/INDs from data
     python -m repro shell   bundle.json       # interactive lifecycle REPL
     python -m repro keys    bundle.json       # candidate keys per relation
     python -m repro summary bundle.json       # structural profile
-    python -m repro bench   --out BENCH_e18.json --trajectory BENCH_trajectory.json
+    python -m repro bench   --out BENCH_e19.json --trajectory BENCH_trajectory.json
 
 ``bundle.json`` follows the :mod:`repro.io` format: a schema, a list
 of dependencies in the text DSL, and optionally a database instance.
@@ -34,7 +35,7 @@ from typing import Sequence
 from repro.engine.answer import Semantics
 from repro.engine.session import ReasoningSession
 from repro.exceptions import ReproError
-from repro.io import load_session, patch_from_json
+from repro.io import bundle_from_json, load_session, patch_from_json
 
 
 def _load(path: str) -> ReasoningSession:
@@ -130,6 +131,45 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if implied == len(answers) else 1
 
 
+def _cmd_discover(args: argparse.Namespace) -> int:
+    """Mine the bundle database's FDs/INDs and reduce them to a cover."""
+    from repro.discovery import discover
+
+    with open(args.bundle, encoding="utf-8") as fp:
+        _schema, _deps, db = bundle_from_json(fp.read())
+    if db is None:
+        print("bundle has no database to profile", file=sys.stderr)
+        return 2
+    classes = tuple(
+        part.strip() for part in args.classes.split(",") if part.strip()
+    )
+    try:
+        report = discover(
+            db,
+            classes=classes,
+            max_lhs=args.max_lhs,
+            max_ind_arity=args.max_ind_arity,
+            prune=not args.no_prune,
+            reduce=not args.no_reduce,
+            reduce_strategy=args.strategy,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.describe())
+    if args.bundle_out:
+        with open(args.bundle_out, "w", encoding="utf-8") as fp:
+            fp.write(report.bundle_json())
+        print(
+            f"cover bundle written to {args.bundle_out}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
+    return 0
+
+
 def _cmd_whatif(args: argparse.Namespace) -> int:
     """Diff verdicts across a hypothetical premise change."""
     session = _load(args.bundle)
@@ -187,6 +227,7 @@ commands:
   keys [REL]           candidate keys (one relation or all)
   closure REL A,B      attribute closure X+ within REL
   deps                 list the current premises
+  discover             mine FDs/INDs from the bundled database
   stats                session cache/workload counters
   version              current session version
   help                 this text
@@ -210,6 +251,13 @@ def _shell_dispatch(session: ReasoningSession, line: str) -> bool:
         for dep in session.dependencies:
             print(f"  {dep}")
         print(f"({len(session.dependencies)} premises, v{session.version})")
+    elif command == "discover":
+        if session.db is None:
+            print("bundle has no database to profile", file=sys.stderr)
+        else:
+            from repro.discovery import discover
+
+            print(discover(session.db).describe())
     elif command == "add":
         delta = session.add(rest)
         print(f"v{session.version}: +{len(delta.added)} premise")
@@ -421,6 +469,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.set_defaults(func=_cmd_batch)
 
+    p_discover = sub.add_parser(
+        "discover",
+        help="mine the FDs/INDs the bundle's database satisfies",
+    )
+    p_discover.add_argument("bundle", help="bundle JSON with a 'database' section")
+    p_discover.add_argument(
+        "--classes", default="fd,ind", metavar="KINDS",
+        help="comma-separated classes to mine (default: fd,ind)",
+    )
+    p_discover.add_argument(
+        "--max-lhs", type=int, default=None, metavar="K",
+        help="cap FD left-hand-side size (default: full lattice)",
+    )
+    p_discover.add_argument(
+        "--max-ind-arity", type=int, default=None, metavar="K",
+        help="cap IND arity (default: unbounded)",
+    )
+    p_discover.add_argument(
+        "--no-prune", action="store_true",
+        help="disable implication pruning (validate every candidate)",
+    )
+    p_discover.add_argument(
+        "--no-reduce", action="store_true",
+        help="report all satisfied dependencies, not a minimal cover",
+    )
+    p_discover.add_argument(
+        "--strategy", default="auto",
+        choices=("auto", "full", "class-local"),
+        help="minimal-cover reduction strategy (default: auto)",
+    )
+    p_discover.add_argument(
+        "--bundle-out", metavar="BUNDLE_JSON",
+        help="write the schema + cover as a loadable bundle",
+    )
+    p_discover.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report"
+    )
+    p_discover.set_defaults(func=_cmd_discover)
+
     p_whatif = sub.add_parser(
         "whatif",
         help="diff verdicts across a hypothetical premise change",
@@ -464,7 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--out", metavar="REPORT_JSON",
-        help="write the report JSON here (e.g. BENCH_e18.json)",
+        help="write the report JSON here (e.g. BENCH_e19.json)",
     )
     p_bench.add_argument(
         "--workload", action="append", metavar="NAME",

@@ -1,0 +1,235 @@
+"""IND discovery: inverted value index + implication-pruned apriori lift.
+
+Unary INDs first (MatchBox/De Marchi style): one pass over every
+column builds a shared inverted ``value -> {column}`` index, and one
+pass over that index intersects away every candidate ``R[A] c S[B]``
+some value refutes — no column pair is ever compared directly.
+
+The n-ary lift is apriori-shaped (an IND can only hold if all its
+projections do): level ``k+1`` candidates extend a validated ``k``-ary
+IND with a validated unary IND over the same relation pair, keeping
+the left side sorted so each candidate is generated exactly once, and
+are admitted only when *every* ``k``-ary projection was validated.
+
+The twist this package exists for: before a candidate touches the
+data, a :class:`~repro.engine.session.ReasoningSession` over the
+*accepted* INDs is asked whether it already implies the candidate
+(amortized O(1) per question through the session's compiled reach
+index).  Implied candidates are sound by construction — every
+accepted premise holds in the database — so they are accepted with
+zero rows scanned; only the genuinely new ones pay for validation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.deps.ind import IND
+from repro.exceptions import SearchBudgetExceeded
+from repro.discovery.report import PhaseCounters
+from repro.engine.session import ReasoningSession
+from repro.model.database import Database
+
+Column = tuple[str, str]
+"""A column id: (relation name, attribute name)."""
+
+
+def _columns_of(db: Database) -> list[Column]:
+    return [
+        (rel.name, attr)
+        for rel in sorted(db, key=lambda rel: rel.name)
+        for attr in rel.schema.attributes
+    ]
+
+
+def discover_unary_inds(
+    db: Database, counters: Optional[PhaseCounters] = None
+) -> list[IND]:
+    """Every nontrivial unary IND ``R[A] c S[B]`` holding in ``db``.
+
+    One shared inverted index over all columns: a candidate survives
+    iff every value of its left column also appears in its right
+    column, computed by intersecting per-value column sets.  An empty
+    left column is included in everything.
+    """
+    counters = counters if counters is not None else PhaseCounters()
+    columns = _columns_of(db)
+    ids = {column: index for index, column in enumerate(columns)}
+    universe = frozenset(range(len(columns)))
+
+    value_index: dict[object, set[int]] = {}
+    for rel in db:
+        for row in rel:
+            counters.rows_scanned += 1
+            for position, value in enumerate(row):
+                column_id = ids[(rel.name, rel.schema.attributes[position])]
+                value_index.setdefault(value, set()).add(column_id)
+
+    rhs_candidates: dict[int, frozenset[int]] = {
+        index: universe for index in range(len(columns))
+    }
+    for cover in value_index.values():
+        shared = frozenset(cover)
+        for column_id in cover:
+            rhs_candidates[column_id] &= shared
+
+    found: list[IND] = []
+    pairs = len(columns) * (len(columns) - 1)
+    for lhs_id, (lhs_rel, lhs_attr) in enumerate(columns):
+        for rhs_id in sorted(rhs_candidates[lhs_id]):
+            if rhs_id == lhs_id:
+                continue
+            rhs_rel, rhs_attr = columns[rhs_id]
+            found.append(IND(lhs_rel, (lhs_attr,), rhs_rel, (rhs_attr,)))
+    counters.candidates_generated += pairs
+    counters.validated += pairs
+    counters.found += len(found)
+    return found
+
+
+def _extensions(
+    base: IND, unary_pool: dict[tuple[str, str], list[IND]]
+) -> list[IND]:
+    """Level ``k+1`` candidates extending ``base`` with one unary IND.
+
+    Only unary extensions whose left attribute sorts after ``base``'s
+    last (sorted) left attribute are used, so every candidate — whose
+    canonical form has a sorted left side — is generated from exactly
+    one (base, unary) pair: the base is the candidate minus its last
+    left position.
+    """
+    last = base.lhs_attributes[-1]
+    rhs_taken = set(base.rhs_attributes)
+    out: list[IND] = []
+    for unary in unary_pool.get((base.lhs_relation, base.rhs_relation), ()):
+        attr = unary.lhs_attributes[0]
+        image = unary.rhs_attributes[0]
+        if attr <= last or image in rhs_taken:
+            continue
+        out.append(
+            IND(
+                base.lhs_relation,
+                base.lhs_attributes + (attr,),
+                base.rhs_relation,
+                base.rhs_attributes + (image,),
+            )
+        )
+    return out
+
+
+def _generalizations(candidate: IND) -> list[IND]:
+    """All one-position-removed projections (rule IND2 downward)."""
+    arity = candidate.arity
+    keep = range(arity)
+    return [
+        candidate.project_onto([i for i in keep if i != drop])
+        for drop in keep
+    ]
+
+
+def discover_inds(
+    db: Database,
+    counters: Optional[PhaseCounters] = None,
+    unary_counters: Optional[PhaseCounters] = None,
+    max_arity: Optional[int] = None,
+    prune: bool = True,
+    session: Optional[ReasoningSession] = None,
+) -> list[IND]:
+    """Every nontrivial IND holding in ``db``, up to ``max_arity``.
+
+    ``prune`` enables implication pruning through ``session`` (a fresh
+    IND-only session over the unary results by default); ``False`` is
+    the validate-everything baseline the benchmarks compare against.
+    The returned list is identical either way — pruning only changes
+    *how* a candidate is accepted, never *whether*.
+    """
+    if max_arity is not None and max_arity < 1:
+        return []
+    counters = counters if counters is not None else PhaseCounters()
+    unary = discover_unary_inds(
+        db, unary_counters if unary_counters is not None else counters
+    )
+    found: list[IND] = list(unary)
+    if max_arity == 1:
+        return found
+
+    if prune and session is None:
+        session = ReasoningSession(db.schema, unary)
+    elif prune and session is not None:
+        existing = set(session.dependencies)
+        fresh = [ind for ind in unary if ind not in existing]
+        if fresh:
+            session.add(fresh)
+
+    unary_pool: dict[tuple[str, str], list[IND]] = {}
+    for ind in unary:
+        unary_pool.setdefault(
+            (ind.lhs_relation, ind.rhs_relation), []
+        ).append(ind)
+
+    # Trivial INDs R[A] c R[A] are tautologies: never reported, but
+    # they participate in the lattice as validated stepping stones —
+    # without them the apriori check would wrongly reject candidates
+    # like R[A,B] c R[A,C], whose projections include a trivial IND.
+    # They are only needed where they can lead anywhere: a nontrivial
+    # intra-relation n-ary IND always has a nontrivial unary
+    # projection, so a relation with no nontrivial (R, R) unary IND
+    # gets no stones — otherwise a plain wide table would walk its
+    # whole 2^arity trivial lattice to discover nothing.
+    trivial_unary = [
+        IND(rel.name, (attr,), rel.name, (attr,))
+        for rel in sorted(db, key=lambda rel: rel.name)
+        if unary_pool.get((rel.name, rel.name))
+        for attr in rel.schema.attributes
+    ]
+    for ind in trivial_unary:
+        unary_pool[(ind.lhs_relation, ind.rhs_relation)].append(ind)
+
+    level = [ind.canonical() for ind in unary + trivial_unary]
+    arity = 1
+    while level and (max_arity is None or arity < max_arity):
+        validated = set(level)
+        next_level: list[IND] = []
+        for base in level:
+            for candidate in _extensions(base, unary_pool):
+                if any(
+                    projection not in validated
+                    for projection in _generalizations(candidate)
+                ):
+                    continue  # some projection fails: the IND cannot hold
+                if candidate.is_trivial():
+                    # A tautology: costs nothing, reported nowhere, but
+                    # stays in the level for higher apriori checks.
+                    next_level.append(candidate)
+                    continue
+                counters.candidates_generated += 1
+                holds = None
+                if prune and session is not None:
+                    try:
+                        implied = session.implies(candidate).verdict
+                    except SearchBudgetExceeded:
+                        # A blown reachability budget is not a verdict:
+                        # fall back to validating against the data.
+                        implied = False
+                    if implied:
+                        counters.pruned_by_implication += 1
+                        holds = True
+                if holds is None:
+                    counters.validated += 1
+                    counters.rows_scanned += len(
+                        db.relation(candidate.lhs_relation)
+                    ) + len(db.relation(candidate.rhs_relation))
+                    holds = candidate.holds_in(db)
+                    if holds and prune and session is not None:
+                        # Only *validated* INDs carry new information;
+                        # implied ones would bloat the premise set and
+                        # force needless reach-index recompiles.
+                        session.add(candidate)
+                if holds:
+                    next_level.append(candidate)
+        fresh = [ind for ind in next_level if not ind.is_trivial()]
+        counters.found += len(fresh)
+        found.extend(fresh)
+        level = next_level
+        arity += 1
+    return found

@@ -1,0 +1,141 @@
+"""Stripped partitions — the TANE representation of FD satisfaction.
+
+The partition ``pi_X`` of a relation groups row indices that agree on
+the attribute set ``X``; an FD ``X -> A`` holds iff refining ``pi_X``
+by ``A`` splits nothing, i.e. ``pi_X`` and ``pi_{X u A}`` have the
+same number of equivalence classes.  *Stripped* partitions drop the
+singleton classes (a singleton can never witness a violation), which
+keeps the representation linear in the number of *duplicated* rows —
+the TANE trick that makes levelwise FD discovery feasible.
+
+:class:`PartitionCache` owns one relation's partitions, computes
+single-attribute partitions by one column scan each, and builds
+multi-attribute partitions by *refinement products* of cached
+sub-partitions, so a levelwise lattice walk reuses level ``k-1``'s
+work at level ``k`` instead of rescanning the data per candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.relation import Relation
+
+
+@dataclass(frozen=True)
+class StrippedPartition:
+    """Equivalence classes of row indices, singletons stripped."""
+
+    groups: tuple[tuple[int, ...], ...]
+    n_rows: int
+
+    @property
+    def covered(self) -> int:
+        """Rows appearing in some (size >= 2) group."""
+        return sum(len(group) for group in self.groups)
+
+    @property
+    def num_classes(self) -> int:
+        """Total class count, singletons included (the FD test reads
+        this: ``X -> A`` iff ``pi_X`` and ``pi_{X u A}`` agree)."""
+        return len(self.groups) + (self.n_rows - self.covered)
+
+    @property
+    def error(self) -> int:
+        """TANE's ``e(X)``: rows that must be dropped to make ``X`` a
+        key (``||pi|| - |pi|`` over the stripped groups)."""
+        return self.covered - len(self.groups)
+
+    def is_key_partition(self) -> bool:
+        """All classes singleton — the attribute set is a superkey."""
+        return not self.groups
+
+
+class PartitionCache:
+    """Partitions of one relation, memoized by attribute set.
+
+    Rows are pinned to a deterministic order once, so group contents —
+    and therefore every downstream counter — are reproducible across
+    runs.  ``rows_scanned`` counts row touches (column scans and
+    product refinements) for the discovery report.
+    """
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.rows = relation.sorted_rows()
+        self.n_rows = len(self.rows)
+        self._cache: dict[frozenset[str], StrippedPartition] = {}
+        self.partitions_computed = 0
+        self.cache_hits = 0
+        self.rows_scanned = 0
+
+    def partition(self, attrs: frozenset[str]) -> StrippedPartition:
+        """The stripped partition ``pi_X``, computed or cached.
+
+        Multi-attribute sets are built as the product of the cached
+        partition for ``X - {a}`` with the single-attribute partition
+        for ``a`` (``a`` the lexicographic maximum, so the levelwise
+        walk hits the cache for the prefix it just produced).
+        """
+        cached = self._cache.get(attrs)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        if not attrs:
+            partition = self._whole()
+        elif len(attrs) == 1:
+            partition = self._single(next(iter(attrs)))
+        else:
+            last = max(attrs)
+            partition = self._product(
+                self.partition(attrs - {last}), self.partition(frozenset((last,)))
+            )
+        self._cache[attrs] = partition
+        self.partitions_computed += 1
+        return partition
+
+    def refines_to(self, attrs: frozenset[str], attribute: str) -> bool:
+        """Whether ``attrs -> attribute`` holds (the partition test)."""
+        return (
+            self.partition(attrs).num_classes
+            == self.partition(attrs | {attribute}).num_classes
+        )
+
+    def _whole(self) -> StrippedPartition:
+        """``pi_{}``: every row in one class (stripped if singleton)."""
+        if self.n_rows < 2:
+            return StrippedPartition((), self.n_rows)
+        return StrippedPartition((tuple(range(self.n_rows)),), self.n_rows)
+
+    def _single(self, attribute: str) -> StrippedPartition:
+        position = self.relation.schema.position(attribute)
+        groups: dict[object, list[int]] = {}
+        for index, row in enumerate(self.rows):
+            groups.setdefault(row[position], []).append(index)
+        self.rows_scanned += self.n_rows
+        stripped = tuple(
+            tuple(group) for group in groups.values() if len(group) >= 2
+        )
+        return StrippedPartition(stripped, self.n_rows)
+
+    def _product(
+        self, left: StrippedPartition, right: StrippedPartition
+    ) -> StrippedPartition:
+        """Rows share a product class iff they share a class on both
+        sides; rows singleton on either side stay singleton."""
+        owner: dict[int, int] = {}
+        for group_id, group in enumerate(left.groups):
+            for row in group:
+                owner[row] = group_id
+        groups: list[tuple[int, ...]] = []
+        for group in right.groups:
+            buckets: dict[int, list[int]] = {}
+            for row in group:
+                left_id = owner.get(row)
+                if left_id is not None:
+                    buckets.setdefault(left_id, []).append(row)
+            self.rows_scanned += len(group)
+            for bucket in buckets.values():
+                if len(bucket) >= 2:
+                    groups.append(tuple(bucket))
+        return StrippedPartition(tuple(groups), self.n_rows)

@@ -1,0 +1,146 @@
+"""The :class:`DiscoveryReport`: what a profiling run found and paid.
+
+One report per :func:`repro.discovery.pipeline.discover` run, carrying
+the discovered dependencies, the reduced cover, and one
+:class:`PhaseCounters` per phase — the cost model the benchmarks
+record (candidates generated / pruned by implication / validated /
+rows scanned).
+
+``to_json`` is the machine format behind ``repro discover --json``;
+``bundle_json`` renders the schema plus the reduced cover as a
+standard :mod:`repro.io` bundle, so a discovery run's output loads
+straight back into a :class:`~repro.engine.session.ReasoningSession`
+via :func:`repro.io.session_from_json`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.deps.base import Dependency
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.model.schema import DatabaseSchema
+
+
+@dataclass
+class PhaseCounters:
+    """Work counters for one discovery phase.
+
+    ``candidates_generated`` counts lattice/apriori candidates that
+    reached the acceptance pipeline; ``pruned_by_implication`` those
+    the reasoning session derived from already-accepted dependencies
+    (accepted *without* a data scan); ``validated`` those checked
+    against the data; ``rows_scanned`` row touches during validation
+    and partition building; ``found`` dependencies accepted.
+    """
+
+    candidates_generated: int = 0
+    pruned_by_implication: int = 0
+    validated: int = 0
+    rows_scanned: int = 0
+    found: int = 0
+    partitions_computed: int = 0
+    partition_cache_hits: int = 0
+
+    def to_json(self) -> dict[str, int]:
+        payload = {
+            "candidates_generated": self.candidates_generated,
+            "pruned_by_implication": self.pruned_by_implication,
+            "validated": self.validated,
+            "rows_scanned": self.rows_scanned,
+            "found": self.found,
+        }
+        if self.partitions_computed or self.partition_cache_hits:
+            payload["partitions_computed"] = self.partitions_computed
+            payload["partition_cache_hits"] = self.partition_cache_hits
+        return payload
+
+
+@dataclass
+class DiscoveryReport:
+    """Outcome of one data -> dependencies -> minimal-cover run.
+
+    ``session`` is the reduction session the pipeline already built —
+    its premises *are* the cover, the profiled database is bundled,
+    and its FD kernels and reach index are warm from the reduction
+    queries — so consumers (``ReasoningSession.from_database``) can
+    adopt it instead of re-indexing the cover.  ``None`` when the run
+    skipped reduction.
+    """
+
+    schema: DatabaseSchema
+    fds: list[FD] = field(default_factory=list)
+    inds: list[IND] = field(default_factory=list)
+    cover: list[Dependency] = field(default_factory=list)
+    phases: dict[str, PhaseCounters] = field(default_factory=dict)
+    reduced: bool = False
+    session: Any = field(default=None, repr=False, compare=False)
+
+    @property
+    def dependencies(self) -> list[Dependency]:
+        """Everything discovered, FDs first (deterministic order)."""
+        return list(self.fds) + list(self.inds)
+
+    def counters(self, phase: str) -> PhaseCounters:
+        """The named phase's counters, created on first touch."""
+        bucket = self.phases.get(phase)
+        if bucket is None:
+            bucket = PhaseCounters()
+            self.phases[phase] = bucket
+        return bucket
+
+    def totals(self) -> dict[str, int]:
+        """Counter sums across phases (the headline cost numbers)."""
+        keys = (
+            "candidates_generated",
+            "pruned_by_implication",
+            "validated",
+            "rows_scanned",
+            "found",
+        )
+        return {
+            key: sum(getattr(phase, key) for phase in self.phases.values())
+            for key in keys
+        }
+
+    def to_json(self) -> dict[str, Any]:
+        """The machine-readable report (``repro discover --json``)."""
+        return {
+            "schema": {
+                rel.name: list(rel.attributes) for rel in self.schema
+            },
+            "fds": [str(fd) for fd in self.fds],
+            "inds": [str(ind) for ind in self.inds],
+            "cover": [str(dep) for dep in self.cover],
+            "reduced": self.reduced,
+            "phases": {
+                name: phase.to_json() for name, phase in self.phases.items()
+            },
+            "totals": self.totals(),
+        }
+
+    def bundle_json(self, indent: Optional[int] = 2) -> str:
+        """The reduced cover as a loadable :mod:`repro.io` bundle."""
+        from repro.io import bundle_to_json
+
+        return bundle_to_json(self.schema, list(self.cover), indent=indent)
+
+    def describe(self) -> str:
+        """The human-readable rendering ``repro discover`` prints."""
+        lines = [
+            f"discovered {len(self.fds)} FD(s), {len(self.inds)} IND(s)"
+        ]
+        if self.reduced:
+            lines[0] += f"; minimal cover keeps {len(self.cover)}"
+        for dep in self.cover:
+            lines.append(f"  {dep}")
+        totals = self.totals()
+        lines.append(
+            f"candidates {totals['candidates_generated']}, "
+            f"pruned-by-implication {totals['pruned_by_implication']}, "
+            f"validated {totals['validated']}, "
+            f"rows scanned {totals['rows_scanned']}"
+        )
+        return "\n".join(lines)

@@ -162,6 +162,62 @@ class ReasoningSession:
         self.cache_hits = 0
         self.reach_fallbacks = 0
         self.engine_counts: dict[str, int] = {}
+        self.discovery = None
+
+    @classmethod
+    def from_database(
+        cls,
+        db: Database,
+        *,
+        classes: Iterable[str] = ("fd", "ind"),
+        max_lhs: Optional[int] = None,
+        max_ind_arity: Optional[int] = None,
+        prune: bool = True,
+        reduce: bool = True,
+        reduce_strategy: str = "auto",
+        **session_options: Any,
+    ) -> "ReasoningSession":
+        """A session whose premises are *mined from the data*.
+
+        Runs the :mod:`repro.discovery` pipeline over ``db`` (FD
+        lattice walk, implication-pruned IND apriori lift, minimal
+        cover), then builds a session over the reduced cover with
+        ``db`` bundled for :meth:`check`.  The full
+        :class:`~repro.discovery.report.DiscoveryReport` — per-phase
+        candidate/pruning/validation counters included — is kept on
+        :attr:`discovery`.
+
+        >>> from repro.model.builders import database
+        >>> db = database({"R": ("A", "B"), "S": ("B",)},
+        ...               {"R": [(1, 2), (2, 2)], "S": [(2,), (3,)]})
+        >>> session = ReasoningSession.from_database(db)
+        >>> session.implies("R: A -> B").verdict
+        True
+        """
+        from repro.discovery.pipeline import discover
+
+        report = discover(
+            db,
+            classes=classes,
+            max_lhs=max_lhs,
+            max_ind_arity=max_ind_arity,
+            prune=prune,
+            reduce=reduce,
+            reduce_strategy=reduce_strategy,
+        )
+        if (
+            report.session is not None
+            and type(report.session) is cls
+            and not session_options
+        ):
+            # The reduction already built this exact session (premises
+            # == cover, db bundled, kernels and reach index warm from
+            # the reduction queries) — adopt it instead of re-indexing.
+            session = report.session
+        else:
+            session = cls(db.schema, report.cover, db=db, **session_options)
+        session.discovery = report
+        return session
 
     # -- plumbing ----------------------------------------------------------
 
@@ -248,6 +304,7 @@ class ReasoningSession:
         child.cache_hits = 0
         child.reach_fallbacks = 0
         child.engine_counts = {}
+        child.discovery = self.discovery
         return child
 
     def whatif(

@@ -11,8 +11,10 @@ import random
 from typing import Iterable
 
 from repro.deps.base import Dependency
+from repro.deps.fd import FD
 from repro.model.builders import database
 from repro.model.database import Database
+from repro.model.relation import Relation
 from repro.model.schema import DatabaseSchema
 from repro.core.fdind_chase import chase_database
 
@@ -36,8 +38,6 @@ def random_database(
 
 def _drop_fd_conflicts(db: Database, dependencies: Iterable[Dependency]) -> Database:
     """Remove tuples violating FDs, keeping one tuple per key group."""
-    from repro.deps.fd import FD
-
     result = db
     for dep in dependencies:
         if not isinstance(dep, FD):
@@ -47,8 +47,6 @@ def _drop_fd_conflicts(db: Database, dependencies: Iterable[Dependency]) -> Data
         kept: dict[tuple, tuple] = {}
         for row in rel.sorted_rows():
             kept.setdefault(tuple(row[p] for p in lhs_pos), row)
-        from repro.model.relation import Relation
-
         result = result.with_relation(Relation(rel.schema, kept.values()))
     return result
 

@@ -1,0 +1,119 @@
+"""FD discovery: the levelwise partition-refinement lattice walk."""
+
+from repro.core.fd_closure import equivalent_fd_sets, fd_implies
+from repro.deps.enumeration import all_fds
+from repro.deps.fd import FD
+from repro.discovery import discover_fds
+from repro.discovery.report import PhaseCounters
+from repro.model.builders import database
+
+
+def test_simple_key_and_constant_column():
+    db = database(
+        {"R": ("A", "B", "C")},
+        {"R": [(1, 10, 7), (2, 20, 7), (3, 10, 7)]},
+    )
+    found = discover_fds(db)
+    assert FD("R", ("A",), ("B",)) in found
+    assert FD("R", None, ("C",)) in found  # constant column
+    assert FD("R", ("B",), ("A",)) not in found  # 10 maps to 1 and 3
+
+
+def test_minimality_no_superset_lhs_reported():
+    # A -> C holds, so {A,B} -> C must not be reported.
+    db = database(
+        {"R": ("A", "B", "C")},
+        {"R": [(1, 1, 5), (1, 2, 5), (2, 1, 6), (2, 2, 6)]},
+    )
+    found = discover_fds(db)
+    assert FD("R", ("A",), ("C",)) in found
+    assert all(
+        not (fd.rhs == ("C",) and len(fd.lhs) > 1) for fd in found
+    )
+
+
+def test_composite_lhs_found_when_needed():
+    # Neither A nor B alone determines C, but together they do.
+    db = database(
+        {"R": ("A", "B", "C")},
+        {"R": [(1, 1, 5), (1, 2, 6), (2, 1, 7), (2, 2, 8)]},
+    )
+    found = discover_fds(db)
+    assert FD("R", ("A", "B"), ("C",)) in found
+    assert FD("R", ("A",), ("C",)) not in found
+    assert FD("R", ("B",), ("C",)) not in found
+
+
+def test_every_reported_fd_holds(rng):
+    from repro.workloads.random_db import random_database
+    from repro.workloads.random_deps import random_schema
+
+    schema = random_schema(rng, n_relations=3, max_arity=4)
+    db = random_database(rng, schema, tuples_per_relation=8, domain_size=3)
+    for fd in discover_fds(db):
+        assert db.satisfies(fd), fd
+
+
+def test_completeness_against_enumeration(rng):
+    from repro.workloads.random_db import random_database
+    from repro.workloads.random_deps import random_schema
+
+    schema = random_schema(rng, n_relations=2, max_arity=3)
+    db = random_database(rng, schema, tuples_per_relation=6, domain_size=2)
+    found = discover_fds(db)
+    for rel in schema:
+        for candidate in all_fds(rel, include_trivial=False):
+            if db.satisfies(candidate):
+                assert fd_implies(found, candidate), candidate
+
+
+def test_armstrong_relation_round_trip():
+    """Discovering on an Armstrong relation recovers an equivalent set."""
+    from repro.core.armstrong_fd import armstrong_relation
+    from repro.model.database import Database
+    from repro.model.schema import DatabaseSchema, RelationSchema
+
+    schema = RelationSchema("R", ("A", "B", "C", "D"))
+    fds = [FD("R", ("A",), ("B",)), FD("R", ("B", "C"), ("D",))]
+    rel = armstrong_relation(schema, fds)
+    db = Database(DatabaseSchema.of(schema), {"R": rel})
+    found = discover_fds(db)
+    assert equivalent_fd_sets(found, fds)
+
+
+def test_max_lhs_caps_the_walk():
+    db = database(
+        {"R": ("A", "B", "C")},
+        {"R": [(1, 1, 5), (1, 2, 6), (2, 1, 7), (2, 2, 8)]},
+    )
+    found = discover_fds(db, max_lhs=1)
+    assert FD("R", ("A", "B"), ("C",)) not in found
+
+
+def test_empty_relation_yields_constant_columns():
+    db = database({"R": ("A", "B")})
+    found = discover_fds(db)
+    # Every FD holds vacuously; the minimal cover is 0 -> each column.
+    assert set(found) == {FD("R", None, ("A",)), FD("R", None, ("B",))}
+
+
+def test_counters_record_the_walk():
+    counters = PhaseCounters()
+    db = database({"R": ("A", "B")}, {"R": [(1, 2), (2, 2)]})
+    found = discover_fds(db, counters=counters)
+    assert counters.candidates_generated > 0
+    assert counters.validated == counters.candidates_generated
+    # 0 -> B subsumes A -> B, so the minimal walk reports it alone.
+    assert found == [FD("R", None, ("B",))]
+    assert counters.found == 1
+    assert counters.rows_scanned > 0
+    assert counters.partitions_computed > 0
+
+
+def test_relations_filter():
+    db = database(
+        {"R": ("A", "B"), "S": ("A", "B")},
+        {"R": [(1, 2)], "S": [(1, 2), (1, 3)]},
+    )
+    found = discover_fds(db, relations=["S"])
+    assert found and all(fd.relation == "S" for fd in found)

@@ -1,0 +1,170 @@
+"""IND discovery: inverted value index + implication-pruned apriori."""
+
+from repro.core.ind_prover import implies_ind
+from repro.deps.enumeration import all_inds
+from repro.deps.ind import IND
+from repro.discovery import discover_inds, discover_unary_inds
+from repro.discovery.report import PhaseCounters
+from repro.engine import ReasoningSession
+from repro.model.builders import database
+
+
+def chain_db():
+    """R.A c S.A c T.A plus a B column only R and S share."""
+    return database(
+        {"R": ("A", "B"), "S": ("A", "B"), "T": ("A",)},
+        {
+            "R": [(1, 10), (2, 20)],
+            "S": [(1, 10), (2, 20), (3, 30)],
+            "T": [(1,), (2,), (3,), (4,)],
+        },
+    )
+
+
+class TestUnary:
+    def test_finds_exactly_the_satisfied_unary_inds(self):
+        db = chain_db()
+        found = set(discover_unary_inds(db))
+        expected = {
+            ind
+            for ind in all_inds(db.schema, max_arity=1)
+            if db.satisfies(ind)
+        }
+        assert found == expected
+        assert IND("R", ("A",), "S", ("A",)) in found
+        assert IND("R", ("A",), "T", ("A",)) in found
+        assert IND("T", ("A",), "S", ("A",)) not in found  # 4 missing
+
+    def test_empty_column_is_included_everywhere(self):
+        db = database(
+            {"R": ("A",), "S": ("A",)}, {"S": [(1,)]}
+        )
+        found = set(discover_unary_inds(db))
+        assert IND("R", ("A",), "S", ("A",)) in found
+        assert IND("S", ("A",), "R", ("A",)) not in found
+
+    def test_counters(self):
+        counters = PhaseCounters()
+        discover_unary_inds(chain_db(), counters)
+        # 5 columns -> 20 ordered candidate pairs, all "validated"
+        # through the one shared inverted index.
+        assert counters.candidates_generated == 20
+        assert counters.validated == 20
+        assert counters.rows_scanned == chain_db().total_tuples()
+
+
+class TestNary:
+    def test_binary_lift(self):
+        db = chain_db()
+        found = set(discover_inds(db))
+        assert IND("R", ("A", "B"), "S", ("A", "B")) in found
+        # T has no B column: nothing binary into T.
+        assert all(
+            ind.rhs_relation != "T" for ind in found if ind.arity == 2
+        )
+
+    def test_exactly_the_satisfied_inds_all_arities(self):
+        db = chain_db()
+        found = set(discover_inds(db))
+        expected = {
+            ind for ind in all_inds(db.schema) if db.satisfies(ind)
+        }
+        assert found == expected
+
+    def test_permuted_sides_are_found(self):
+        # R[A,B] c S[B,A]: values swap columns between the relations.
+        db = database(
+            {"R": ("A", "B"), "S": ("A", "B")},
+            {"R": [(1, 2)], "S": [(2, 1), (5, 6)]},
+        )
+        found = set(discover_inds(db))
+        assert IND("R", ("A", "B"), "S", ("B", "A")) in found
+        assert IND("R", ("A", "B"), "S", ("A", "B")) not in found
+
+    def test_max_arity_caps_the_lift(self):
+        db = chain_db()
+        found = discover_inds(db, max_arity=1)
+        assert all(ind.arity == 1 for ind in found)
+
+    def test_prune_and_baseline_agree(self):
+        db = chain_db()
+        assert set(discover_inds(db, prune=True)) == set(
+            discover_inds(db, prune=False)
+        )
+
+    def test_pruning_counters_balance(self):
+        db = database(
+            {"R": ("A", "B"), "S": ("A", "B"), "T": ("A", "B")},
+            {name: [(1, 10), (2, 20)] for name in ("R", "S", "T")},
+        )
+        pruned = PhaseCounters()
+        baseline = PhaseCounters()
+        discover_inds(
+            db, counters=pruned, unary_counters=PhaseCounters(), prune=True
+        )
+        discover_inds(
+            db, counters=baseline, unary_counters=PhaseCounters(), prune=False
+        )
+        assert pruned.candidates_generated == baseline.candidates_generated
+        assert pruned.pruned_by_implication > 0
+        assert (
+            pruned.validated + pruned.pruned_by_implication
+            == baseline.validated
+        )
+
+    def test_external_session_is_reused_and_extended(self):
+        db = chain_db()
+        session = ReasoningSession(db.schema)
+        found = discover_inds(db, session=session)
+        # The session accumulated the unary premises plus the
+        # validated lifts, so it can answer follow-up questions.
+        assert session.implies("R[A] <= T[A]").verdict
+        assert set(found) >= set(
+            ind for ind in session.dependencies if isinstance(ind, IND)
+        )
+
+    def test_every_found_ind_is_derivable_from_found_set(self):
+        db = chain_db()
+        found = discover_inds(db)
+        for ind in found:
+            assert implies_ind(found, ind)
+
+
+class TestCounterHygiene:
+    def test_shared_counters_stay_consistent_across_calls(self):
+        db = chain_db()
+        counters = PhaseCounters()
+        discover_unary_inds(db, counters)
+        discover_unary_inds(db, counters)
+        assert counters.validated == counters.candidates_generated == 40
+
+    def test_max_arity_below_one_mines_nothing(self):
+        counters = PhaseCounters()
+        assert discover_inds(chain_db(), counters=counters, max_arity=0) == []
+        assert counters.validated == 0
+        assert counters.candidates_generated == 0
+        assert counters.rows_scanned == 0
+
+    def test_wide_relation_without_intra_inds_is_cheap(self):
+        # 12 all-distinct columns: no nontrivial unary IND anywhere, so
+        # the lift must not walk the 2^12 trivial intra-relation lattice.
+        attrs = tuple(f"A{i}" for i in range(12))
+        db = database(
+            {"R": attrs},
+            {"R": [tuple(100 * i + j for j in range(12)) for i in range(3)]},
+        )
+        nary = PhaseCounters()
+        found = discover_inds(
+            db, counters=nary, unary_counters=PhaseCounters()
+        )
+        assert found == []
+        assert nary.candidates_generated == 0
+
+    def test_intra_relation_nary_inds_still_found(self):
+        # R[A,C] c R[B,C] needs the trivial stone R[C] c R[C].
+        db = database(
+            {"R": ("A", "B", "C")},
+            {"R": [(1, 1, 9), (2, 2, 9)]},
+        )
+        found = set(discover_inds(db))
+        assert IND("R", ("A", "C"), "R", ("B", "C")) in found

@@ -1,0 +1,89 @@
+"""Stripped-partition machinery (the TANE substrate)."""
+
+from repro.discovery.partitions import PartitionCache, StrippedPartition
+from repro.model.builders import relation
+
+
+def _cache(rows):
+    return PartitionCache(relation("R", ("A", "B", "C"), rows))
+
+
+class TestStrippedPartition:
+    def test_singletons_are_stripped(self):
+        cache = _cache([(1, 10, 0), (2, 10, 0), (3, 30, 0)])
+        partition = cache.partition(frozenset("A"))
+        assert partition.groups == ()  # A is a key: all singletons
+        assert partition.num_classes == 3
+        assert partition.is_key_partition()
+
+    def test_groups_and_class_count(self):
+        cache = _cache([(1, 10, 0), (2, 10, 0), (3, 30, 0)])
+        partition = cache.partition(frozenset("B"))
+        assert len(partition.groups) == 1  # the two B=10 rows
+        assert partition.covered == 2
+        assert partition.num_classes == 2  # {10-group} + {30 singleton}
+        assert partition.error == 1
+
+    def test_empty_attribute_set_is_one_class(self):
+        cache = _cache([(1, 10, 0), (2, 10, 0)])
+        partition = cache.partition(frozenset())
+        assert partition.num_classes == 1
+
+    def test_empty_relation(self):
+        cache = _cache([])
+        assert cache.partition(frozenset()).num_classes == 0
+        assert cache.partition(frozenset("A")).num_classes == 0
+
+    def test_product_refines_both_sides(self):
+        rows = [(1, 10, 0), (1, 20, 0), (2, 10, 0), (1, 10, 1)]
+        cache = _cache(rows)
+        ab = cache.partition(frozenset("AB"))
+        # Rows agreeing on both A and B: exactly the two (1, 10) rows.
+        assert ab.covered == 2
+        assert len(ab.groups) == 1
+        assert ab.num_classes == 3
+
+    def test_partition_values_match_direct_grouping(self):
+        rows = [(i % 3, i % 2, 7) for i in range(12)]
+        cache = _cache(rows)
+        for attrs in (frozenset("A"), frozenset("AB"), frozenset("ABC")):
+            partition = cache.partition(attrs)
+            groups = {}
+            for index, row in enumerate(cache.rows):
+                key = tuple(
+                    row[cache.relation.schema.position(a)]
+                    for a in sorted(attrs)
+                )
+                groups.setdefault(key, []).append(index)
+            expected = sorted(
+                tuple(g) for g in groups.values() if len(g) >= 2
+            )
+            assert sorted(partition.groups) == expected
+
+
+class TestCache:
+    def test_partitions_are_memoized(self):
+        cache = _cache([(1, 10, 0), (2, 10, 0)])
+        first = cache.partition(frozenset("AB"))
+        computed = cache.partitions_computed
+        second = cache.partition(frozenset("AB"))
+        assert first is second
+        assert cache.partitions_computed == computed
+        assert cache.cache_hits >= 1
+
+    def test_refines_to_is_the_fd_test(self):
+        # B -> C holds, C -> B does not.
+        cache = _cache([(1, 10, 5), (2, 20, 5), (3, 10, 5)])
+        assert cache.refines_to(frozenset("B"), "C")
+        assert not cache.refines_to(frozenset("C"), "B")
+
+    def test_rows_scanned_counts_work(self):
+        cache = _cache([(1, 10, 0), (2, 10, 0), (3, 30, 0)])
+        cache.partition(frozenset("AB"))
+        assert cache.rows_scanned > 0
+
+
+def test_dataclass_is_immutable():
+    partition = StrippedPartition(((0, 1),), 2)
+    assert partition.num_classes == 1
+    assert hash(partition) is not None

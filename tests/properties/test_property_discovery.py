@@ -1,0 +1,143 @@
+"""Soundness / completeness / round-trip properties for discovery.
+
+Three invariants pin the subsystem:
+
+* **soundness** — every dependency a report lists holds in the
+  profiled database (checked by the independent ``satisfies``);
+* **completeness** (small schemas, brute-force oracle) — every FD/IND
+  the database satisfies is implied by the discovered set;
+* **Armstrong round-trip** — discovering on an Armstrong database for
+  ``Sigma`` yields a cover equivalent to ``Sigma`` under ``implies``
+  (the acceptance criterion of E19), for FD sets via
+  ``armstrong_relation`` and IND sets via ``armstrong_database``.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.armstrong_fd import armstrong_relation
+from repro.core.armstrong_ind import armstrong_database
+from repro.core.fd_closure import equivalent_fd_sets, fd_implies
+from repro.core.ind_prover import implies_ind
+from repro.deps.enumeration import all_fds, all_inds
+from repro.deps.fd import FD
+from repro.discovery import discover, discover_fds, discover_inds
+from repro.engine import ReasoningSession
+from repro.model.database import Database
+from repro.model.schema import DatabaseSchema
+
+from tests.properties.strategies import databases, fds, inds, schemas
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    derandomize=True,
+)
+
+
+@COMMON
+@given(schemas(max_arity=3), st.data())
+def test_discovery_is_sound(schema, data):
+    """Every reported dependency holds in the database it came from."""
+    db = data.draw(databases(schema))
+    report = discover(db, reduce=False)
+    for dep in report.dependencies:
+        assert db.satisfies(dep), f"{dep} reported but violated"
+
+
+@COMMON
+@given(schemas(max_relations=2, max_arity=3), st.data())
+def test_fd_discovery_is_complete(schema, data):
+    """Brute-force oracle: every satisfied FD is implied by the mined
+    minimal FDs."""
+    db = data.draw(databases(schema, max_tuples=4, domain=3))
+    found = discover_fds(db)
+    for rel in schema:
+        for candidate in all_fds(rel, include_trivial=False):
+            if db.satisfies(candidate):
+                assert fd_implies(found, candidate), (
+                    f"{candidate} holds but is not implied by {found}"
+                )
+
+
+@COMMON
+@given(schemas(max_relations=2, max_arity=3), st.data())
+def test_ind_discovery_is_complete(schema, data):
+    """Brute-force oracle: every satisfied IND is implied (in fact
+    listed, up to canonical form) by the mined set."""
+    db = data.draw(databases(schema, max_tuples=3, domain=3))
+    found = set(discover_inds(db))
+    satisfied = {ind for ind in all_inds(schema) if db.satisfies(ind)}
+    assert found == satisfied
+
+
+@COMMON
+@given(schemas(max_relations=2, max_arity=3), st.data())
+def test_pruned_and_baseline_discover_the_same_inds(schema, data):
+    """Implication pruning changes the cost, never the answer."""
+    db = data.draw(databases(schema, max_tuples=4, domain=3))
+    assert set(discover_inds(db, prune=True)) == set(
+        discover_inds(db, prune=False)
+    )
+
+
+@COMMON
+@given(schemas(max_relations=1, min_arity=2, max_arity=4), st.data())
+def test_armstrong_fd_round_trip(schema, data):
+    """discover(armstrong_relation(Sigma)) is equivalent to Sigma."""
+    rel_schema = next(iter(schema))
+    sigma = [
+        data.draw(fds(schema))
+        for _ in range(data.draw(st.integers(1, 3)))
+    ]
+    sigma = [fd for fd in sigma if not fd.is_trivial()]
+    relation = armstrong_relation(rel_schema, sigma)
+    db = Database(DatabaseSchema.of(rel_schema), {rel_schema.name: relation})
+    found = discover_fds(db)
+    assert equivalent_fd_sets(found, sigma)
+
+
+@COMMON
+@given(schemas(max_relations=3, min_arity=1, max_arity=3), st.data())
+def test_armstrong_ind_round_trip_via_session(schema, data):
+    """The E19 acceptance property: discovery on an Armstrong database
+    for Sigma returns a cover C with Sigma |= C and C |= Sigma,
+    checked through ``ReasoningSession.implies_all``."""
+    sigma = [
+        data.draw(inds(schema))
+        for _ in range(data.draw(st.integers(1, 4)))
+    ]
+    sigma = [ind for ind in sigma if not ind.is_trivial()]
+    db = armstrong_database(schema, sigma)
+    cover = discover(db, classes=("ind",), reduce=True).cover
+    assert all(
+        answer.verdict
+        for answer in ReasoningSession(schema, sigma).implies_all(cover)
+    ), f"Sigma must imply the cover; Sigma={sigma} cover={cover}"
+    assert all(
+        answer.verdict
+        for answer in ReasoningSession(schema, cover).implies_all(sigma)
+    ), f"the cover must imply Sigma; Sigma={sigma} cover={cover}"
+
+
+@COMMON
+@given(schemas(max_relations=2, max_arity=3), st.data())
+def test_minimal_cover_preserves_the_theory(schema, data):
+    """Reduction never loses information: the cover implies every
+    discovered dependency, under every strategy."""
+    db = data.draw(databases(schema, max_tuples=3, domain=3))
+    full = discover(db, reduce=False).dependencies
+    report = discover(db, reduce=True)
+    cover_fds = [dep for dep in report.cover if isinstance(dep, FD)]
+    cover_inds = [dep for dep in report.cover if not isinstance(dep, FD)]
+    session = ReasoningSession(schema, report.cover)
+    for dep in full:
+        # Class-subset implication first (cheap, covers the class-local
+        # strategy); the whole-cover session settles anything a "full"
+        # reduction dropped with cross-class reasoning.
+        if isinstance(dep, FD):
+            implied = fd_implies(cover_fds, dep)
+        else:
+            implied = implies_ind(cover_inds, dep)
+        assert implied or session.implies(dep).verdict, dep

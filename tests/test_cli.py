@@ -400,3 +400,94 @@ class TestBench:
     def test_unknown_workload(self, capsys):
         assert main(["bench", "--workload", "nope", "--repeats", "1"]) == 2
         assert "unknown workload" in capsys.readouterr().err
+
+
+class TestDiscover:
+    @pytest.fixture
+    def data_bundle_path(self, tmp_path):
+        payload = {
+            "schema": {"R": ["A", "B"], "S": ["A", "B"]},
+            "database": {
+                "R": [[1, 10], [2, 20]],
+                "S": [[1, 10], [2, 20], [3, 30]],
+            },
+        }
+        path = tmp_path / "data.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_human_report(self, data_bundle_path, capsys):
+        assert main(["discover", data_bundle_path]) == 0
+        out = capsys.readouterr().out
+        assert "discovered" in out
+        assert "R[A,B] <= S[A,B]" in out
+        assert "pruned-by-implication" in out
+
+    def test_json_report(self, data_bundle_path, capsys):
+        assert main(["discover", data_bundle_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "R[A,B] <= S[A,B]" in payload["inds"]
+        assert payload["reduced"] is True
+        assert payload["totals"]["validated"] > 0
+        assert set(payload["phases"]) >= {"fd", "unary_ind", "nary_ind"}
+
+    def test_bundle_out_round_trips(self, data_bundle_path, tmp_path, capsys):
+        out_path = tmp_path / "cover.json"
+        assert main([
+            "discover", data_bundle_path, "--bundle-out", str(out_path)
+        ]) == 0
+        from repro.io import session_from_json
+
+        session = session_from_json(out_path.read_text())
+        assert session.implies("R[A] <= S[A]").verdict
+
+    def test_classes_and_caps(self, data_bundle_path, capsys):
+        assert main([
+            "discover", data_bundle_path,
+            "--classes", "ind", "--max-ind-arity", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fds"] == []
+        assert all("," not in ind.split("<=")[0] for ind in payload["inds"])
+
+    def test_no_database_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "schema_only.json"
+        path.write_text(json.dumps({"schema": {"R": ["A"]}}))
+        assert main(["discover", str(path)]) == 2
+        assert "no database" in capsys.readouterr().err
+
+    def test_unknown_class_is_an_error(self, data_bundle_path, capsys):
+        assert main([
+            "discover", data_bundle_path, "--classes", "mvd"
+        ]) == 2
+        assert "unknown dependency class" in capsys.readouterr().err
+
+    def test_no_prune_and_no_reduce(self, data_bundle_path, capsys):
+        assert main([
+            "discover", data_bundle_path,
+            "--no-prune", "--no-reduce", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reduced"] is False
+        assert payload["totals"]["pruned_by_implication"] == 0
+        assert set(payload["cover"]) == set(
+            payload["fds"] + payload["inds"]
+        )
+
+
+class TestShellDiscover:
+    def test_shell_discover_reports_on_the_bundled_db(
+        self, monkeypatch, capsys, bundle_path
+    ):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO("discover\nquit\n"))
+        assert main(["shell", bundle_path]) == 0
+        assert "discovered" in capsys.readouterr().out
+
+    def test_shell_discover_without_db(self, monkeypatch, capsys, tmp_path):
+        import io
+        path = tmp_path / "nodb.json"
+        path.write_text(json.dumps({"schema": {"R": ["A"]}}))
+        monkeypatch.setattr("sys.stdin", io.StringIO("discover\nquit\n"))
+        assert main(["shell", str(path)]) == 0
+        assert "no database" in capsys.readouterr().err

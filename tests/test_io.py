@@ -182,3 +182,62 @@ class TestPatchFormat:
         )
         assert version == session.version == 2
         assert session.dependencies == (IND("R", ("A",), "S", ("A",)),)
+
+
+class TestDiscoveryOutputRoundtrip:
+    """Discovery output flows back through the io layer losslessly."""
+
+    def _report(self):
+        from repro.discovery import discover
+
+        db = database(
+            {"R": ("A", "B"), "S": ("A", "B")},
+            {
+                "R": [(1, 10), (2, 20)],
+                "S": [(1, 10), (2, 20), (3, 30)],
+            },
+        )
+        return db, discover(db)
+
+    def test_report_json_round_trips_through_json(self):
+        _db, report = self._report()
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["schema"] == {"R": ["A", "B"], "S": ["A", "B"]}
+        assert set(payload["cover"]) <= set(payload["fds"] + payload["inds"])
+        assert payload["reduced"] is True
+        totals = payload["totals"]
+        assert totals["validated"] > 0
+        for phase in payload["phases"].values():
+            assert set(phase) >= {
+                "candidates_generated",
+                "pruned_by_implication",
+                "validated",
+                "rows_scanned",
+                "found",
+            }
+
+    def test_cover_bundle_loads_into_a_session(self):
+        from repro.io import session_from_json
+
+        db, report = self._report()
+        session = session_from_json(report.bundle_json())
+        assert session.schema == db.schema
+        assert set(session.dependencies) == set(report.cover)
+        # The reloaded session answers like the discovering one.
+        assert session.implies("R[A] <= S[A]").verdict
+
+    def test_cover_bundle_with_database_checks_clean(self):
+        from repro.io import session_from_json
+
+        db, report = self._report()
+        text = bundle_to_json(db.schema, list(report.cover), db)
+        session = session_from_json(text)
+        assert session.db == db
+        assert session.check().ok
+
+    def test_discovered_deps_survive_the_dsl_round_trip(self):
+        from repro.deps.parser import parse_dependency
+
+        _db, report = self._report()
+        for dep in report.dependencies:
+            assert parse_dependency(str(dep)) == dep
