@@ -14,8 +14,8 @@ process:
   IND set Sigma must return a cover C with ``Sigma |= C`` and
   ``C |= Sigma`` (the Armstrong round-trip; also pinned on random
   schemas by ``tests/properties/test_property_discovery.py``);
-* the committed ``BENCH_e19.json`` records the suite including the
-  ``discovery_mine`` workload and its measured pruning factor.
+* the committed suite report records the ``discovery_mine`` workload
+  and its measured pruning factor.
 """
 
 import json
@@ -98,16 +98,17 @@ def test_armstrong_round_trip_on_random_ind_sets():
 
 
 @pytest.mark.artifact("discovery-report")
-def test_committed_report_records_the_discovery_suite():
-    """BENCH_e19.json is committed, names the e19 suite, and records
-    the discovery workload with its measured pruning factor."""
+def test_committed_report_records_the_discovery_workload():
+    """The committed suite report still records the discovery workload
+    with its measured pruning factor (the e19 acceptance evidence rides
+    along in the current suite snapshot)."""
     assert os.path.exists(COMMITTED_REPORT), (
         f"{bench.COMMITTED_BASELINE} missing; record it with "
         f"`python -m repro bench --out {bench.COMMITTED_BASELINE}`"
     )
     with open(COMMITTED_REPORT, encoding="utf-8") as fp:
         report = json.load(fp)
-    assert report["suite"] == bench.SUITE == "e19-discovery"
+    assert report["suite"] == bench.SUITE
     assert set(report["workloads"]) == set(bench.WORKLOADS)
     meta = report["workloads"]["discovery_mine"]["meta"]
     assert meta["validation_ratio"] >= 2.0

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Serving quickstart: the reasoning session as a long-running service.
+
+Starts the :mod:`repro.serve` HTTP server on a background thread,
+registers two tenants, and exercises the whole serving surface with
+the blocking client:
+
+* implication questions and batches against a named tenant;
+* the structural-hash artifact LRU — the second, structurally
+  identical tenant adopts the first's compiled indexes and starts hot
+  (one compile for N identical microservices);
+* speculative ``whatif`` served from a fork, leaving the live tenant
+  untouched;
+* premise mutations ordered through the coalescing barrier;
+* graceful shutdown via ``POST /shutdown`` (same drain as SIGTERM).
+
+Run:  python examples/serving.py
+"""
+
+from repro.serve import BackgroundServer, ServeClient
+
+BUNDLE = {
+    "schema": {
+        "MGR": ["NAME", "DEPT"],
+        "EMP": ["NAME", "DEPT"],
+        "PERSON": ["NAME"],
+    },
+    "dependencies": [
+        "MGR[NAME,DEPT] <= EMP[NAME,DEPT]",
+        "EMP: NAME -> DEPT",
+        "EMP[NAME] <= PERSON[NAME]",
+    ],
+}
+
+
+def main() -> None:
+    with BackgroundServer() as bg:
+        client = ServeClient(port=bg.port)
+        print(f"server up on 127.0.0.1:{bg.port}  {client.health()}")
+
+        # ------------------------------------------------------------------
+        # Two structurally identical tenants: one compile, shared COW.
+        # ------------------------------------------------------------------
+        first = client.create_tenant("billing", BUNDLE)
+        second = client.create_tenant("reporting", BUNDLE)
+        print(f"\ntenant 'billing'   hash={first['premise_hash']} "
+              f"shared={first['shared_artifacts']}")
+        print(f"tenant 'reporting' hash={second['premise_hash']} "
+              f"shared={second['shared_artifacts']}")
+        assert second["shared_artifacts"], "identical premises must share"
+        cache = client.stats()["artifact_cache"]
+        print(f"artifact LRU: {cache['hits']} hit(s), "
+              f"{cache['misses']} miss(es)")
+
+        # ------------------------------------------------------------------
+        # Ask questions — the paper's manager example, over HTTP.
+        # ------------------------------------------------------------------
+        answer = client.implies("billing", "MGR[NAME] <= PERSON[NAME]")
+        print(f"\nMGR[NAME] <= PERSON[NAME] ? "
+              f"{answer['verdict']} via {answer['engine']}")
+        batch = client.implies_all("billing", [
+            "MGR[NAME] <= PERSON[NAME]",
+            "MGR: NAME -> DEPT",
+            "PERSON[NAME] <= MGR[NAME]",
+        ])
+        print(f"batch: {batch['implied']}/{batch['total']} implied")
+
+        # ------------------------------------------------------------------
+        # Speculate without mutating: whatif runs on a fork.
+        # ------------------------------------------------------------------
+        flips = client.whatif(
+            "billing",
+            ["MGR[NAME] <= PERSON[NAME]"],
+            retract=["EMP[NAME] <= PERSON[NAME]"],
+        )
+        flip = flips["flips"][0]
+        print(f"\nwhatif retract EMP[NAME] <= PERSON[NAME]: "
+              f"{flip['before']['verdict']} -> {flip['after']['verdict']} "
+              f"({flips['flipped']} flip)")
+        still = client.implies("billing", "MGR[NAME] <= PERSON[NAME]")
+        assert still["verdict"], "the live tenant must be untouched"
+
+        # ------------------------------------------------------------------
+        # Mutate for real — versioned, ordered through the barrier.
+        # ------------------------------------------------------------------
+        mutation = client.retract("billing", ["EMP[NAME] <= PERSON[NAME]"])
+        print(f"\nretracted for real: now v{mutation['version']}")
+        after = client.implies("billing", "MGR[NAME] <= PERSON[NAME]")
+        print(f"MGR[NAME] <= PERSON[NAME] ? {after['verdict']} "
+              f"(answered at v{after['version']})")
+        assert not after["verdict"]
+        # 'reporting' shares only compiled artifacts, never premises.
+        other = client.implies("reporting", "MGR[NAME] <= PERSON[NAME]")
+        assert other["verdict"], "COW sharing must isolate tenants"
+        print("tenant 'reporting' still answers True — sharing is COW")
+
+        # ------------------------------------------------------------------
+        # Graceful shutdown: drain in-flight work, then exit.
+        # ------------------------------------------------------------------
+        print(f"\nshutdown: {client.shutdown()}")
+    print("server drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

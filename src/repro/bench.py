@@ -27,6 +27,12 @@ Workloads (all deterministic, seeded):
 * ``discovery_mine`` — full FD+IND discovery (implication-pruned) on a
   6-relation replicated-content database.  Reference: the
   validate-everything lift (``prune=False``) over the same data.
+* ``serving_mixed`` — simulated concurrent clients against one tenant
+  through the :mod:`repro.serve` coalescer: a read-heavy phase measured
+  both coalesced and per-request-dispatched (the recorded speedup), and
+  a mixed read/mutate phase with p50/p95/p99 request latency.  Also
+  records the artifact-LRU evidence: a second structurally identical
+  tenant adopting the first's compiled indexes.
 
 The report format is one JSON object::
 
@@ -49,6 +55,7 @@ and the regression gate reads its *last* entry as the baseline
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import random
@@ -67,10 +74,10 @@ from repro.core.ind_decision import decide_ind, decide_ind_naive, index_by_lhs
 from repro.core.ind_kernel import KernelIndex
 
 SCHEMA_VERSION = 1
-SUITE = "e19-discovery"
+SUITE = "e20-serving"
 DEFAULT_REPEATS = 15
 
-COMMITTED_BASELINE = "BENCH_e19.json"
+COMMITTED_BASELINE = "BENCH_e20.json"
 """The committed single-report snapshot of the current suite."""
 
 COMMITTED_TRAJECTORY = "BENCH_trajectory.json"
@@ -509,6 +516,174 @@ def bench_discovery_mine(repeats: int = DEFAULT_REPEATS) -> WorkloadResult:
     )
 
 
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty sample."""
+    rank = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[rank]
+
+
+def bench_serving_mixed(repeats: int = DEFAULT_REPEATS) -> WorkloadResult:
+    """Simulated concurrent serving traffic through the coalescer.
+
+    Clients are asyncio tasks against one warm tenant, submitting
+    targets as DSL text (the wire shape).  The read-heavy phase is
+    measured twice over the identical request stream: *coalesced*
+    (clients await :meth:`Coalescer.submit`, so every request pending
+    in one event-loop tick lands in one batch and duplicate targets
+    are parsed/decided once) and *direct* (each request parsed and
+    decided individually, one loop yield per request — per-request
+    dispatch).  The recorded ``speedup_read_heavy`` is the acceptance
+    evidence for coalescing.
+
+    The mixed phase is the headline number: concurrent clients with a
+    rare in-footprint premise toggle ordered through the coalescing
+    barrier, recording per-request p50/p95/p99 latency.
+
+    The LRU evidence runs outside the clock: a registry with two
+    structurally identical tenants must report one artifact-cache hit,
+    and the adoptee must answer the whole pool without recompiling.
+    """
+    from repro.serve.coalescer import Coalescer
+    from repro.serve.registry import TenantRegistry
+
+    schema, premises, pool = serving_workload()
+    texts = [str(target) for target in pool]
+    toggle = IND("R50", ("C",), "R51", ("C",))
+
+    READ_CLIENTS, READS = 48, 40
+    HOT_PHASES = 4  # clients cluster on hot targets (the zipfian shape)
+    MIX_CLIENTS, MIX_OPS = 32, 30
+    MUTATE_EVERY = 100
+
+    session = ReasoningSession(schema, premises)
+    session.implies_all(pool)  # compile every component once
+
+    # -- read-heavy phase: coalesced vs per-request dispatch -------------
+    coalescer_box: list[Coalescer] = []
+
+    def read_heavy_coalesced():
+        async def main():
+            coalescer = Coalescer(session)
+            coalescer_box.append(coalescer)
+
+            async def client(offset: int):
+                phase = offset % HOT_PHASES
+                for i in range(READS):
+                    await coalescer.submit(texts[(phase + i) % len(texts)])
+
+            await asyncio.gather(
+                *(client(offset) for offset in range(READ_CLIENTS))
+            )
+
+        asyncio.run(main())
+
+    def read_heavy_direct():
+        async def main():
+            async def client(offset: int):
+                phase = offset % HOT_PHASES
+                for i in range(READS):
+                    session.implies(texts[(phase + i) % len(texts)])
+                    await asyncio.sleep(0)
+
+            await asyncio.gather(
+                *(client(offset) for offset in range(READ_CLIENTS))
+            )
+
+        asyncio.run(main())
+
+    read_repeats = min(repeats, 5)
+    coalesced_seconds = best_seconds(read_heavy_coalesced, repeats=read_repeats)
+    direct_seconds = best_seconds(read_heavy_direct, repeats=read_repeats)
+    read_coalescer = coalescer_box[-1]
+
+    # -- mixed phase: concurrent reads with rare premise toggles ----------
+    latencies_box: list[list[float]] = []
+
+    def reset_toggle():
+        if toggle in session.dependencies:
+            session.retract(toggle)
+
+    def mixed_phase():
+        latencies: list[float] = []
+        latencies_box.append(latencies)
+
+        async def main():
+            coalescer = Coalescer(session)
+            op_counter = [0]
+
+            async def client(offset: int):
+                for i in range(MIX_OPS):
+                    op = op_counter[0]
+                    op_counter[0] += 1
+                    if op % MUTATE_EVERY == MUTATE_EVERY - 1:
+                        coalescer.barrier()
+                        if toggle in session.dependencies:
+                            session.retract(toggle)
+                        else:
+                            session.add(toggle)
+                        await asyncio.sleep(0)
+                    else:
+                        start = time.perf_counter()
+                        await coalescer.submit(
+                            texts[(offset + i) % len(texts)]
+                        )
+                        latencies.append(time.perf_counter() - start)
+
+            await asyncio.gather(
+                *(client(offset) for offset in range(MIX_CLIENTS))
+            )
+
+        asyncio.run(main())
+
+    mixed_ops = MIX_CLIENTS * MIX_OPS
+    mixed_seconds = best_seconds(
+        mixed_phase, repeats=min(repeats, 5), setup=reset_toggle
+    )
+    latencies = sorted(latencies_box[-1])
+    reset_toggle()
+
+    # -- LRU evidence: identical tenants share one compile ----------------
+    registry = TenantRegistry()
+    first = registry.create("bench-a", schema, premises)
+    first.session.implies_all(pool)
+    shared_compiles = first.session.index.reach_index.compiles
+    second = registry.create("bench-b", schema, premises)
+    second.session.implies_all(pool)
+    adopted_recompiles = (
+        second.session.index.reach_index.compiles - shared_compiles
+    )
+
+    return WorkloadResult(
+        name="serving_mixed",
+        seconds=mixed_seconds,
+        ops=mixed_ops,
+        meta={
+            "premises": len(premises),
+            "pool": len(texts),
+            "read_clients": READ_CLIENTS,
+            "reads_per_client": READS,
+            "mixed_clients": MIX_CLIENTS,
+            "ops_per_client": MIX_OPS,
+            "mutate_every": MUTATE_EVERY,
+            "direct_seconds": direct_seconds,
+            "coalesced_seconds": coalesced_seconds,
+            "speedup_read_heavy": direct_seconds / coalesced_seconds,
+            "read_batches": read_coalescer.batches,
+            "read_unique_decides": read_coalescer.unique_decides,
+            "read_deduplicated": read_coalescer.deduplicated,
+            "p50_ms": _percentile(latencies, 0.50) * 1e3,
+            "p95_ms": _percentile(latencies, 0.95) * 1e3,
+            "p99_ms": _percentile(latencies, 0.99) * 1e3,
+            "lru_hits": registry.artifacts.stats()["hits"],
+            "second_tenant_shared": second.shared_artifacts,
+            "shared_compiles": shared_compiles,
+            "adopted_recompiles": adopted_recompiles,
+        },
+    )
+
+
 WORKLOADS: dict[str, Callable[[int], WorkloadResult]] = {
     "single_decide": bench_single_decide,
     "batch_implies_all": bench_batch_implies_all,
@@ -517,6 +692,7 @@ WORKLOADS: dict[str, Callable[[int], WorkloadResult]] = {
     "repeated_decide_hot": bench_repeated_decide_hot,
     "implies_all_grouped": bench_implies_all_grouped,
     "discovery_mine": bench_discovery_mine,
+    "serving_mixed": bench_serving_mixed,
 }
 
 DECISION_WORKLOADS = ("single_decide", "repeated_decide_hot")
@@ -686,6 +862,7 @@ def format_report(report: dict) -> str:
             ("speedup_vs_naive", "vs naive"),
             ("speedup_vs_bfs", "vs per-query BFS"),
             ("speedup_vs_validate_all", "vs validate-everything"),
+            ("speedup_read_heavy", "vs per-request dispatch"),
         )
         for key, label in references:
             speedup = entry["meta"].get(key)

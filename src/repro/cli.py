@@ -13,7 +13,9 @@ Usage (after ``pip install -e .``)::
     python -m repro shell   bundle.json       # interactive lifecycle REPL
     python -m repro keys    bundle.json       # candidate keys per relation
     python -m repro summary bundle.json       # structural profile
-    python -m repro bench   --out BENCH_e19.json --trajectory BENCH_trajectory.json
+    python -m repro bench   --out BENCH_e20.json --trajectory BENCH_trajectory.json
+    python -m repro serve   --port 8765 --tenant app=bundle.json
+    python -m repro call    /tenants/app/implies '{"target": "MGR[NAME] <= PERSON[NAME]"}'
 
 ``bundle.json`` follows the :mod:`repro.io` format: a schema, a list
 of dependencies in the text DSL, and optionally a database instance.
@@ -327,9 +329,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for name in sorted(bench.WORKLOADS):
             print(name)
         return 0
+    names = list(args.workload or [])
+    for group in args.workloads or []:
+        names.extend(
+            name.strip() for name in group.split(",") if name.strip()
+        )
     try:
         report = bench.run_benchmarks(
-            names=args.workload or None, repeats=args.repeats
+            names=names or None, repeats=args.repeats
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -386,6 +393,64 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         else:
             info(f"no workload regressed more than {args.threshold:.0%} "
                  f"against {args.baseline}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant reasoning server until drained."""
+    import asyncio
+
+    from repro.serve import ReasoningServer, TenantRegistry, serve_main
+
+    registry = TenantRegistry(artifact_capacity=args.lru_capacity)
+    for spec in args.tenant or []:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(
+                f"error: --tenant expects NAME=BUNDLE.json, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        with open(path, encoding="utf-8") as fp:
+            schema, dependencies, db = bundle_from_json(fp.read())
+        registry.create(name, schema, dependencies, db=db)
+    server = ReasoningServer(
+        registry, host=args.host, port=args.port, grace=args.grace
+    )
+    return asyncio.run(serve_main(server))
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    """One request against a running server (scripting/smoke tests)."""
+    from repro.serve import ServeClient, ServeError
+
+    payload = None
+    if args.body is not None:
+        try:
+            payload = json.loads(args.body)
+        except json.JSONDecodeError as exc:
+            print(f"error: body is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(payload, dict):
+            print("error: body must be a JSON object", file=sys.stderr)
+            return 2
+    method = args.method
+    if method is None:
+        method = "GET" if payload is None else "POST"
+    client = ServeClient(host=args.host, port=args.port, timeout=args.timeout)
+    try:
+        result = client.request(method.upper(), args.path, payload)
+    except ServeError as exc:
+        print(
+            json.dumps({"error": str(exc), "status": exc.status}, indent=2)
+        )
+        return 2
+    finally:
+        client.close()
+    print(json.dumps(result, indent=2))
+    # Verdict-style payloads drive shell conditionals: falsy verdict -> 1.
+    if isinstance(result, dict) and result.get("verdict") is False:
+        return 1
     return 0
 
 
@@ -551,11 +616,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--out", metavar="REPORT_JSON",
-        help="write the report JSON here (e.g. BENCH_e19.json)",
+        help="write the report JSON here (e.g. BENCH_e20.json)",
     )
     p_bench.add_argument(
         "--workload", action="append", metavar="NAME",
         help="run only this workload (repeatable; default: all)",
+    )
+    p_bench.add_argument(
+        "--workloads", action="append", metavar="NAME[,NAME...]",
+        help="comma-separated workload filter (merged with --workload; "
+             "gate semantics unchanged)",
     )
     p_bench.add_argument(
         "--repeats", type=int, default=15,
@@ -586,6 +656,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the report JSON to stdout"
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP reasoning server",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8765,
+        help="listen port; 0 picks a free one (default 8765)",
+    )
+    p_serve.add_argument(
+        "--tenant", action="append", metavar="NAME=BUNDLE.json",
+        help="pre-load a tenant from a bundle file (repeatable)",
+    )
+    p_serve.add_argument(
+        "--grace", type=float, default=10.0,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    p_serve.add_argument(
+        "--lru-capacity", type=int, default=32,
+        help="shared compiled-artifact LRU size (default 32)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_call = sub.add_parser(
+        "call",
+        help="send one request to a running reasoning server",
+    )
+    p_call.add_argument("path", help="route, e.g. /health or /tenants/app/implies")
+    p_call.add_argument(
+        "body", nargs="?", default=None,
+        help="JSON object body (implies POST; omit for GET)",
+    )
+    p_call.add_argument("--host", default="127.0.0.1")
+    p_call.add_argument("--port", type=int, default=8765)
+    p_call.add_argument(
+        "--method", default=None, metavar="VERB",
+        help="override the HTTP method (default: GET, or POST with a body)",
+    )
+    p_call.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="socket timeout in seconds (default 30)",
+    )
+    p_call.set_defaults(func=_cmd_call)
 
     p_keys = sub.add_parser("keys", help="candidate keys per relation")
     p_keys.add_argument("bundle")

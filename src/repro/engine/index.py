@@ -32,6 +32,7 @@ a build because it copies buckets instead of rebuilding them.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import ClassVar, Iterable, Optional
 
@@ -117,6 +118,7 @@ class PremiseIndex:
         self._fd_kernels: dict[str, FDClosureKernel] = {}
         self._closure_cache: dict[tuple[str, frozenset[str]], frozenset[str]] = {}
         self._keys_cache: dict[str, list[frozenset[str]]] = {}
+        self._hash_memo: Optional[str] = None
 
     # -- bucket maintenance ------------------------------------------------
 
@@ -223,6 +225,8 @@ class PremiseIndex:
             self._deps.append(dep)
             self._classify_insert(dep)
         delta = self._delta(added=added, removed=())
+        if delta:
+            self._hash_memo = None
         self._apply_fd_invalidation(delta)
         self._apply_reach_policy(delta)
         return delta
@@ -256,6 +260,8 @@ class PremiseIndex:
             dep = self._deps.pop(position)
             self._classify_remove(dep)
         delta = self._delta(added=(), removed=removed)
+        if delta:
+            self._hash_memo = None
         self._apply_fd_invalidation(delta)
         self._apply_reach_policy(delta)
         return delta
@@ -330,7 +336,67 @@ class PremiseIndex:
         twin._fd_kernels = dict(self._fd_kernels)
         twin._closure_cache = dict(self._closure_cache)
         twin._keys_cache = dict(self._keys_cache)
+        twin._hash_memo = self._hash_memo
         return twin
+
+    # -- structural identity and compiled-artifact sharing -----------------
+
+    @property
+    def premise_hash(self) -> str:
+        """Structural hash of (schema, premise multiset), order-independent.
+
+        Two indexes hash identically exactly when they hold the same
+        relation schemes (names, attribute sequences) and the same
+        multiset of premises — regardless of insertion order — which is
+        when every compiled artifact (IND kernels, reach index, FD
+        closure kernels, memoized closures and keys) computed by one is
+        valid for the other.  That makes the hash the sharing key of
+        the serving layer's structural LRU and the natural invalidation
+        key for any persisted artifact.  Memoized; any mutation drops
+        the memo.
+        """
+        memo = self._hash_memo
+        if memo is None:
+            digest = hashlib.sha256()
+            for rel in sorted(self.schema, key=lambda r: r.name):
+                digest.update(
+                    f"{rel.name}({','.join(rel.attributes)})".encode()
+                )
+            digest.update(b"|")
+            for line in sorted(str(dep) for dep in self._deps):
+                digest.update(line.encode())
+                digest.update(b";")
+            memo = digest.hexdigest()[:16]
+            self._hash_memo = memo
+        return memo
+
+    def adopt_compiled(self, donor: "PremiseIndex") -> None:
+        """Share a structurally identical index's compiled artifacts.
+
+        Replaces this index's IND kernels, reach index, FD closure
+        kernels, and closure/key memos with copy-on-write twins of the
+        donor's — the same sharing :meth:`clone` performs, but grafted
+        onto an independently constructed index.  N tenants with equal
+        premise sets thus pay one compilation; afterwards the two
+        indexes evolve independently (mutations replace buckets and
+        containers, never shared values).
+
+        Raises :class:`ValueError` unless the structural hashes match —
+        adopting foreign artifacts would serve wrong verdicts.
+        """
+        if donor is self:
+            return
+        if donor.premise_hash != self.premise_hash:
+            raise ValueError(
+                f"cannot adopt compiled artifacts across structurally "
+                f"different premise sets ({donor.premise_hash} != "
+                f"{self.premise_hash})"
+            )
+        self.ind_kernels = donor.ind_kernels.copy()
+        self.reach_index = donor.reach_index.copy(self.ind_kernels)
+        self._fd_kernels = dict(donor._fd_kernels)
+        self._closure_cache = dict(donor._closure_cache)
+        self._keys_cache = dict(donor._keys_cache)
 
     # -- structural profile ----------------------------------------------
 

@@ -225,6 +225,29 @@ class ReasoningSession:
     def dependencies(self) -> tuple[Dependency, ...]:
         return self.index.dependencies
 
+    @property
+    def premise_hash(self) -> str:
+        """Structural hash of (schema, premise multiset) — see
+        :attr:`PremiseIndex.premise_hash`.  Stable across processes and
+        premise insertion orders; the serving layer's artifact-sharing
+        key."""
+        return self.index.premise_hash
+
+    def adopt_compiled_from(self, donor: "ReasoningSession") -> None:
+        """Share a structurally identical session's compiled artifacts.
+
+        Grafts copy-on-write twins of the donor's compiled IND kernels,
+        reach index, FD closure kernels, closure/key memos, and unary
+        closures onto this session, so a freshly built session with the
+        same (schema, premises) skips every compilation the donor
+        already paid.  Verdicts are unaffected — only warm state moves.
+        Raises :class:`ValueError` when the premise hashes differ.
+        """
+        if donor is self:
+            return
+        self.index.adopt_compiled(donor.index)
+        self._unary_cache = dict(donor._unary_cache)
+
     def _coerce(self, target: Target) -> Dependency:
         if isinstance(target, str):
             target = parse_dependency(target)
@@ -588,9 +611,13 @@ class ReasoningSession:
         premise index expose the compiled closure itself (nodes, SCCs,
         label bits, epoch, compile count).  ``engines`` is the routing
         histogram of every ``implies`` call this session answered.
+        ``premise_hash`` and ``version`` identify the premise set
+        structurally and temporally — what a remote caller needs to
+        tell two tenants (or two snapshots of one) apart.
         """
         return {
             "version": self.version,
+            "premise_hash": self.premise_hash,
             "queries": self.queries,
             "reach_cache_hits": self.cache_hits,
             "reach_fallbacks": self.reach_fallbacks,

@@ -153,7 +153,14 @@ def bundle_from_json(
     text: str,
 ) -> tuple[DatabaseSchema, list[Dependency], Database | None]:
     """Parse a bundle; validates shape and dependencies against the schema."""
-    payload = json.loads(text)
+    return bundle_from_payload(json.loads(text))
+
+
+def bundle_from_payload(
+    payload: Any,
+) -> tuple[DatabaseSchema, list[Dependency], Database | None]:
+    """Validate an already-decoded bundle payload (what the serving
+    layer receives inside a larger request body)."""
     if not isinstance(payload, dict):
         raise ParseError(
             f"bundle must be a JSON object, got {type(payload).__name__}"

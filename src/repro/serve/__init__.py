@@ -1,0 +1,39 @@
+"""``repro.serve`` — the multi-tenant reasoning service.
+
+A stdlib-only asyncio HTTP/JSON server over named
+:class:`~repro.engine.session.ReasoningSession` tenants, with two
+serving-specific mechanisms: per-tick request coalescing
+(:mod:`~repro.serve.coalescer`) and a structural-hash LRU that lets
+identical tenants share compiled indexes copy-on-write
+(:mod:`~repro.serve.registry`).  Start one from the command line with
+``repro serve``, from tests with :class:`BackgroundServer`, and talk
+to it with :class:`ServeClient` or ``repro call``.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.coalescer import Coalescer
+from repro.serve.protocol import ProtocolError, Request, ServeError
+from repro.serve.registry import (
+    ArtifactCache,
+    Tenant,
+    TenantRegistry,
+)
+from repro.serve.server import (
+    BackgroundServer,
+    ReasoningServer,
+    serve_main,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "BackgroundServer",
+    "Coalescer",
+    "ProtocolError",
+    "ReasoningServer",
+    "Request",
+    "ServeClient",
+    "ServeError",
+    "Tenant",
+    "TenantRegistry",
+    "serve_main",
+]

@@ -1,0 +1,191 @@
+"""A tiny blocking client for :mod:`repro.serve` — scripting and tests.
+
+Built on :mod:`http.client` so it needs nothing outside the standard
+library and works from synchronous code (shell scripts via ``repro
+call``, pytest, examples).  One :class:`ServeClient` holds one
+keep-alive connection; methods mirror the server's routes and return
+the decoded JSON payload.  Non-2xx responses raise
+:class:`~repro.serve.protocol.ServeError` carrying the server's status
+and message, so callers see the same exception type the server raised.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Optional
+
+from repro.serve.protocol import ServeError
+
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client for a running reasoning server."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport ---------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict[str, Any]] = None,
+    ) -> dict[str, Any]:
+        """One round trip; raises :class:`ServeError` on error payloads.
+
+        Retries once on a stale keep-alive connection (the server may
+        have closed it between calls), never on fresh ones.
+        """
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            raise ServeError(
+                502, f"server sent non-JSON body ({response.status})"
+            )
+        if response.status >= 400:
+            message = (
+                decoded.get("error", raw.decode("utf-8", "replace"))
+                if isinstance(decoded, dict)
+                else str(decoded)
+            )
+            raise ServeError(response.status, message)
+        if response.headers.get("Connection", "").lower() == "close":
+            self.close()
+        return decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
+
+    # -- server-level routes -----------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self.request("GET", "/health")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("GET", "/stats")
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to drain and exit (graceful, like SIGTERM)."""
+        return self.request("POST", "/shutdown")
+
+    # -- tenant lifecycle ----------------------------------------------------
+
+    def tenants(self) -> list[str]:
+        return self.request("GET", "/tenants")["tenants"]
+
+    def create_tenant(
+        self, name: str, bundle: dict[str, Any]
+    ) -> dict[str, Any]:
+        return self.request(
+            "POST", "/tenants", {"name": name, "bundle": bundle}
+        )
+
+    def tenant_stats(self, name: str) -> dict[str, Any]:
+        return self.request("GET", f"/tenants/{name}/stats")
+
+    def drop_tenant(self, name: str) -> dict[str, Any]:
+        return self.request("DELETE", f"/tenants/{name}")
+
+    # -- tenant operations ---------------------------------------------------
+
+    def implies(
+        self,
+        tenant: str,
+        target: str,
+        semantics: str = "unrestricted",
+    ) -> dict[str, Any]:
+        return self.request(
+            "POST",
+            f"/tenants/{tenant}/implies",
+            {"target": target, "semantics": semantics},
+        )
+
+    def implies_all(
+        self,
+        tenant: str,
+        targets: list[str],
+        semantics: str = "unrestricted",
+    ) -> dict[str, Any]:
+        return self.request(
+            "POST",
+            f"/tenants/{tenant}/implies_all",
+            {"targets": targets, "semantics": semantics},
+        )
+
+    def add(self, tenant: str, dependencies: list[str]) -> dict[str, Any]:
+        return self.request(
+            "POST", f"/tenants/{tenant}/add", {"dependencies": dependencies}
+        )
+
+    def retract(self, tenant: str, dependencies: list[str]) -> dict[str, Any]:
+        return self.request(
+            "POST",
+            f"/tenants/{tenant}/retract",
+            {"dependencies": dependencies},
+        )
+
+    def whatif(
+        self,
+        tenant: str,
+        targets: list[str],
+        add: Optional[list[str]] = None,
+        retract: Optional[list[str]] = None,
+        semantics: str = "unrestricted",
+    ) -> dict[str, Any]:
+        return self.request(
+            "POST",
+            f"/tenants/{tenant}/whatif",
+            {
+                "targets": targets,
+                "add": add or [],
+                "retract": retract or [],
+                "semantics": semantics,
+            },
+        )
+
+    def check(self, tenant: str) -> dict[str, Any]:
+        return self.request("POST", f"/tenants/{tenant}/check", {})

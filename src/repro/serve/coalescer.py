@@ -1,0 +1,140 @@
+"""Per-tenant request coalescing for concurrent ``implies`` traffic.
+
+The serving cost model: many concurrent clients ask one tenant
+implication questions, and at any event-loop tick several of those
+questions are *pending at once* — frequently the same hot targets.
+Dispatching each request separately pays per request for target
+parsing, validation, routing, and answer construction even when the
+compiled :class:`~repro.core.reach_index.ReachIndex` makes the
+decision itself O(1).
+
+A :class:`Coalescer` batches instead: ``submit`` enqueues the request
+and schedules exactly one flush with ``loop.call_soon``, so every
+request that arrives in the same event-loop tick lands in one batch.
+The flush runs the batch as a single pass over the session — one
+parse/decide per *unique* ``(target, semantics)`` pair, with the
+resulting :class:`~repro.engine.answer.Answer` fanned back out to
+every waiting future (duplicates share the answer object).  Because
+the whole batch executes between two loop ticks, no mutation can
+interleave: every answer in a batch carries the same session version.
+
+Mutations order through :meth:`barrier` — flush whatever is pending,
+*then* mutate — so a submit/mutate/submit program observes exactly the
+verdicts, versions, and witness chains sequential per-call execution
+would produce (pinned by the hypothesis property suite).
+
+The coalescer is deliberately transport-free: the HTTP server drives
+it from request handlers, the benchmark harness from simulated client
+tasks, and the property tests from scripted interleavings.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Union
+
+from repro.deps.base import Dependency
+from repro.engine.answer import Answer, Semantics
+from repro.engine.session import ReasoningSession
+
+_BatchKey = tuple[str, Semantics]
+
+
+class Coalescer:
+    """Batches one tenant's concurrent implication requests per tick."""
+
+    def __init__(self, session: ReasoningSession):
+        self.session = session
+        self._pending: dict[_BatchKey, asyncio.Future] = {}
+        self._pending_count = 0
+        self._flush_scheduled = False
+        self.requests = 0
+        self.batches = 0
+        self.unique_decides = 0
+        self.barrier_flushes = 0
+
+    # -- the request side --------------------------------------------------
+
+    def submit(
+        self,
+        target: Union[Dependency, str],
+        semantics: Union[Semantics, str] = Semantics.UNRESTRICTED,
+    ) -> "asyncio.Future[Answer]":
+        """Enqueue one ``implies`` question; resolves on the next tick.
+
+        Requests submitted before the flush runs join the same batch;
+        textually identical targets under the same semantics share *one
+        future* (and therefore one parse, one decision, and one
+        :class:`Answer` object).  Must be called on a running event
+        loop.
+        """
+        semantics = Semantics(semantics)
+        key = (str(target) if isinstance(target, Dependency) else target,
+               semantics)
+        future = self._pending.get(key)
+        if future is None:
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            self._pending[key] = future
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                loop.call_soon(self.flush)
+        self.requests += 1
+        self._pending_count += 1
+        return future
+
+    # -- the batch side ----------------------------------------------------
+
+    def flush(self) -> None:
+        """Decide every pending request in one pass, fan answers out.
+
+        A target that fails to parse or validate resolves only its own
+        shared future with the exception — one malformed request never
+        poisons the rest of the batch.  Runs synchronously on the loop,
+        so the batch is atomic with respect to mutations.
+        """
+        self._flush_scheduled = False
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, {}
+        self._pending_count = 0
+        self.batches += 1
+        session = self.session
+        for (text, semantics), future in pending.items():
+            if future.done():
+                continue
+            try:
+                target = session._coerce(text)
+                answer = session.implies(target, semantics, _coerced=True)
+            except Exception as exc:  # noqa: BLE001 - fanned to callers
+                future.set_exception(exc)
+                continue
+            self.unique_decides += 1
+            future.set_result(answer)
+
+    def barrier(self) -> None:
+        """Flush pending requests before an operation that must order.
+
+        Mutations (and anything else that reads "the premises as of
+        now") call this first, so requests submitted *before* the
+        mutation are answered against the pre-mutation premises —
+        exactly as sequential execution would.
+        """
+        if self._pending:
+            self.barrier_flushes += 1
+            self.flush()
+
+    @property
+    def deduplicated(self) -> int:
+        """Requests answered from another request's decision."""
+        return self.requests - self.unique_decides - self._pending_count
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "unique_decides": self.unique_decides,
+            "deduplicated": self.deduplicated,
+            "barrier_flushes": self.barrier_flushes,
+            "pending": self._pending_count,
+        }

@@ -1,0 +1,160 @@
+"""The HTTP/JSON wire protocol of :mod:`repro.serve`.
+
+The serving layer speaks a deliberately small subset of HTTP/1.1 —
+request line, headers, ``Content-Length`` bodies, keep-alive — parsed
+and emitted here over :mod:`asyncio` streams, with every payload a
+JSON object.  Nothing outside the standard library is involved, and
+the same module serves both directions: the asyncio server reads
+requests with :func:`read_request` and answers with
+:func:`json_response`; the blocking client in
+:mod:`repro.serve.client` builds on :mod:`http.client` and shares only
+the payload conventions.
+
+Error convention: every non-2xx response carries
+``{"error": <message>, "status": <code>}``.  Server-side handlers
+raise :class:`ServeError` (or any :class:`~repro.exceptions.ReproError`,
+mapped to 400) and the connection loop renders it; the client raises
+:class:`ServeError` back out of the same payload, so a scripted caller
+sees one exception type end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import asyncio
+
+from repro.exceptions import ReproError
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+"""Largest accepted request body (bundles with databases included)."""
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServeError(ReproError):
+    """A request the server refuses, with its HTTP status attached."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ProtocolError(ServeError):
+    """Bytes on the wire that are not a well-formed request."""
+
+    def __init__(self, message: str):
+        super().__init__(400, message)
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> dict[str, Any]:
+        """The body as a JSON object (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise ServeError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ServeError(
+                400,
+                f"request body must be a JSON object, got "
+                f"{type(payload).__name__}",
+            )
+        return payload
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    on_started: Optional[Any] = None,
+) -> Optional[Request]:
+    """Read one request off the stream; ``None`` on a clean EOF.
+
+    ``on_started`` (a zero-argument callable) fires as soon as the
+    request *line* has arrived — before headers and body are read —
+    which is how the server marks a connection busy early enough that
+    graceful shutdown drains a request whose body is still in flight.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionResetError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if on_started is not None:
+        on_started()
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError(f"malformed request line: {line!r}")
+    method, target = parts[0].upper(), parts[1]
+    path = target.split("?", 1)[0]
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            raise ProtocolError("connection closed mid-headers")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(f"bad Content-Length: {length_text!r}")
+    if length > MAX_BODY_BYTES:
+        raise ServeError(413, f"request body over {MAX_BODY_BYTES} bytes")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("connection closed mid-body")
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+def json_response(
+    status: int, payload: dict[str, Any], close: bool = False
+) -> bytes:
+    """One complete HTTP/1.1 response with a JSON body."""
+    body = json.dumps(payload).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+    )
+    if close:
+        head += "Connection: close\r\n"
+    return head.encode("latin-1") + b"\r\n" + body
+
+
+def error_payload(status: int, message: str) -> dict[str, Any]:
+    """The uniform error body both ends of the wire agree on."""
+    return {"error": message, "status": status}

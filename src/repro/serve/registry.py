@@ -1,0 +1,236 @@
+"""Named-tenant registry with a structural-hash artifact LRU.
+
+A *tenant* is one named, long-lived
+:class:`~repro.engine.session.ReasoningSession` plus its
+:class:`~repro.serve.coalescer.Coalescer` — the unit the HTTP server
+routes requests to.  The registry owns tenant lifecycle
+(create-from-bundle, lookup, drop) and one serving-specific
+optimization: tenants whose (schema, premise multiset) hash
+identically — :attr:`ReasoningSession.premise_hash` — *share one set
+of compiled artifacts* copy-on-write.  The first tenant with a given
+hash compiles kernels, reach index, and closure memos; every later
+structurally identical tenant adopts them via
+:meth:`ReasoningSession.adopt_compiled_from` and starts hot.  The
+sharing table is a small LRU keyed by the hash; a donor that has since
+mutated (its live hash drifted off its key) is detected on lookup and
+replaced rather than trusted.
+
+This is the Hyrise-style "constraints as a served verdict source"
+scenario: N microservices each registering the same schema's
+dependency set cost one compilation, not N.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any, Iterable, Optional
+
+from repro.deps.base import Dependency
+from repro.engine.answer import Semantics
+from repro.engine.session import ReasoningSession
+from repro.io import bundle_from_payload
+from repro.model.database import Database
+from repro.model.schema import DatabaseSchema
+from repro.serve.coalescer import Coalescer
+from repro.serve.protocol import ServeError
+
+DEFAULT_LRU_CAPACITY = 32
+
+
+class ArtifactCache:
+    """LRU of donor sessions keyed by structural premise hash."""
+
+    def __init__(self, capacity: int = DEFAULT_LRU_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._donors: "OrderedDict[str, ReasoningSession]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.drifted = 0
+
+    def adopt_into(self, session: ReasoningSession) -> bool:
+        """Share a cached donor's compiled artifacts into ``session``.
+
+        Returns ``True`` on an LRU hit (artifacts adopted).  On a miss
+        the session itself becomes the donor for its hash.  A donor
+        whose live hash no longer matches its key (the tenant mutated
+        after registration) is dropped, never adopted.
+        """
+        key = session.premise_hash
+        donor = self._donors.get(key)
+        if donor is not None and donor.premise_hash != key:
+            del self._donors[key]
+            self.drifted += 1
+            donor = None
+        if donor is not None:
+            self._donors.move_to_end(key)
+            session.adopt_compiled_from(donor)
+            self.hits += 1
+            return True
+        self._donors[key] = session
+        self._donors.move_to_end(key)
+        if len(self._donors) > self.capacity:
+            self._donors.popitem(last=False)
+            self.evictions += 1
+        self.misses += 1
+        return False
+
+    def __len__(self) -> int:
+        return len(self._donors)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._donors),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "drifted": self.drifted,
+        }
+
+
+class Tenant:
+    """One named session behind the server, with its coalescer."""
+
+    def __init__(self, name: str, session: ReasoningSession,
+                 shared_artifacts: bool = False):
+        self.name = name
+        self.session = session
+        self.coalescer = Coalescer(session)
+        self.shared_artifacts = shared_artifacts
+
+    def mutate(self, kind: str, dependencies: Iterable[str]) -> dict[str, Any]:
+        """Ordered ``add``/``retract`` through the coalescing barrier."""
+        deps = list(dependencies)
+        if not deps:
+            raise ServeError(400, f"{kind} needs at least one dependency")
+        self.coalescer.barrier()
+        if kind == "add":
+            delta = self.session.add(deps)
+        else:
+            delta = self.session.retract(deps)
+        return {
+            "version": self.session.version,
+            "added": [str(dep) for dep in delta.added],
+            "removed": [str(dep) for dep in delta.removed],
+        }
+
+    async def whatif_async(
+        self,
+        targets: Iterable[str],
+        add: Iterable[str] = (),
+        retract: Iterable[str] = (),
+        semantics: Semantics = Semantics.UNRESTRICTED,
+    ) -> dict[str, Any]:
+        """``whatif`` with the variant's re-query off the event loop.
+
+        The before-answers come from the live session (cheap — its
+        caches are warm), then the fork is mutated and its after-pass —
+        the part that may recompile the child's reach index — runs in
+        the default executor, so the parent tenant keeps serving
+        coalesced reads while the speculation computes.  The fork is
+        copy-on-write and thread-confined after creation; the parent's
+        compiled containers are never mutated by the child.
+        """
+        self.coalescer.barrier()
+        session = self.session
+        coerced = [session._coerce(target) for target in targets]
+        if not coerced:
+            raise ServeError(400, "whatif needs at least one target")
+        additions = session._coerce_many(list(add))
+        retractions = session._coerce_many(list(retract))
+        if not (additions or retractions):
+            raise ServeError(400, "whatif needs 'add' or 'retract' entries")
+        before = session.implies_all(coerced, semantics)
+        child = session.fork()
+        if retractions:
+            child.retract(retractions)
+        if additions:
+            child.add(additions)
+        loop = asyncio.get_running_loop()
+        after = await loop.run_in_executor(
+            None, lambda: child.implies_all(coerced, semantics)
+        )
+        flips = [
+            {
+                "target": str(target),
+                "before": b.to_json(),
+                "after": a.to_json(),
+                "flipped": b.verdict != a.verdict,
+            }
+            for target, b, a in zip(coerced, before, after)
+        ]
+        return {
+            "flips": flips,
+            "flipped": sum(flip["flipped"] for flip in flips),
+            "total": len(flips),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        payload = dict(self.session.stats())
+        payload["name"] = self.name
+        payload["shared_artifacts"] = self.shared_artifacts
+        payload["premises"] = len(self.session.dependencies)
+        payload["coalescer"] = self.coalescer.stats()
+        return payload
+
+
+class TenantRegistry:
+    """Every named tenant the server knows, plus the artifact LRU."""
+
+    def __init__(self, artifact_capacity: int = DEFAULT_LRU_CAPACITY):
+        self.tenants: dict[str, Tenant] = {}
+        self.artifacts = ArtifactCache(artifact_capacity)
+
+    def create(
+        self,
+        name: str,
+        schema: DatabaseSchema,
+        dependencies: Iterable[Dependency] = (),
+        db: Optional[Database] = None,
+        **session_options: Any,
+    ) -> Tenant:
+        """Register a new tenant; adopts shared artifacts when possible."""
+        if not name:
+            raise ServeError(400, "tenant name must be non-empty")
+        if name in self.tenants:
+            raise ServeError(409, f"tenant {name!r} already exists")
+        session = ReasoningSession(
+            schema, dependencies, db=db, **session_options
+        )
+        shared = self.artifacts.adopt_into(session)
+        tenant = Tenant(name, session, shared_artifacts=shared)
+        self.tenants[name] = tenant
+        return tenant
+
+    def create_from_bundle(self, name: str, bundle: dict[str, Any]) -> Tenant:
+        """Register a tenant from a :mod:`repro.io` bundle payload."""
+        if not isinstance(bundle, dict):
+            raise ServeError(
+                400,
+                f"'bundle' must be a JSON object, got "
+                f"{type(bundle).__name__}",
+            )
+        schema, dependencies, db = bundle_from_payload(bundle)
+        return self.create(name, schema, dependencies, db=db)
+
+    def get(self, name: str) -> Tenant:
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            raise ServeError(404, f"no tenant named {name!r}")
+        return tenant
+
+    def drop(self, name: str) -> None:
+        """Forget a tenant (its artifacts may stay cached as a donor)."""
+        if name not in self.tenants:
+            raise ServeError(404, f"no tenant named {name!r}")
+        del self.tenants[name]
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "tenants": len(self.tenants),
+            "artifact_cache": self.artifacts.stats(),
+        }

@@ -1,0 +1,429 @@
+"""The asyncio multi-tenant reasoning server.
+
+``repro serve`` puts a long-running HTTP/JSON front on the
+:class:`~repro.engine.session.ReasoningSession` lifecycle: named
+tenants (see :mod:`repro.serve.registry`), coalesced ``implies``
+dispatch (see :mod:`repro.serve.coalescer`), fork-based ``whatif``
+served off the event loop, and graceful drain on SIGTERM/SIGINT or
+``POST /shutdown``.
+
+Routes (all payloads JSON objects)::
+
+    GET    /health                       liveness + tenant count
+    GET    /stats                        server/registry/tenant counters
+    POST   /shutdown                     begin graceful drain, then exit
+    GET    /tenants                      tenant names
+    POST   /tenants                      {"name", "bundle": {...}} -> create
+    GET    /tenants/N/stats              session stats (premise_hash, version, ...)
+    DELETE /tenants/N                    drop the tenant
+    POST   /tenants/N/implies            {"target", "semantics"?} -> Answer
+    POST   /tenants/N/implies_all        {"targets": [...]} -> Answers
+    POST   /tenants/N/add                {"dependencies": [...]} -> delta
+    POST   /tenants/N/retract            {"dependencies": [...]} -> delta
+    POST   /tenants/N/whatif             {"targets", "add"?, "retract"?} -> flips
+    POST   /tenants/N/check              bundled database vs premises
+
+Graceful shutdown contract: once :meth:`ReasoningServer.begin_shutdown`
+fires (signal, endpoint, or API call) the listener closes, requests
+whose request line has already arrived are served to completion (their
+responses carry ``Connection: close``), idle keep-alive connections
+are cancelled, and :meth:`run_until_shutdown` returns after the drain
+— bounded by the ``grace`` timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from typing import Any, Optional
+
+from repro.engine.answer import Semantics
+from repro.exceptions import ReproError
+from repro.serve.protocol import (
+    Request,
+    ServeError,
+    error_payload,
+    json_response,
+    read_request,
+)
+from repro.serve.registry import Tenant, TenantRegistry
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+DEFAULT_GRACE = 10.0
+
+
+class _ConnState:
+    """Whether a connection is mid-request (drain must wait) or idle."""
+
+    __slots__ = ("busy",)
+
+    def __init__(self):
+        self.busy = False
+
+
+def _semantics_of(body: dict[str, Any]) -> Semantics:
+    raw = body.get("semantics", Semantics.UNRESTRICTED.value)
+    try:
+        return Semantics(raw)
+    except ValueError:
+        raise ServeError(
+            400,
+            f"unknown semantics {raw!r} (expected 'unrestricted' or "
+            f"'finite')",
+        )
+
+
+def _string_list(body: dict[str, Any], key: str) -> list[str]:
+    value = body.get(key, [])
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ServeError(400, f"{key!r} must be a list of DSL strings")
+    return value
+
+
+class ReasoningServer:
+    """One listening socket over one :class:`TenantRegistry`."""
+
+    def __init__(
+        self,
+        registry: Optional[TenantRegistry] = None,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        grace: float = DEFAULT_GRACE,
+    ):
+        self.registry = registry if registry is not None else TenantRegistry()
+        self.host = host
+        self.port = port
+        self.grace = grace
+        self.requests_served = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._conn_states: dict[asyncio.Task, _ConnState] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and listen; ``port=0`` picks a free port (see ``.port``)."""
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def begin_shutdown(self) -> None:
+        """Flip the drain switch (idempotent, signal-handler safe)."""
+        if self._shutdown is not None and not self._shutdown.is_set():
+            self._shutdown.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT -> graceful drain (best effort: some platforms
+        and non-main threads cannot register loop signal handlers)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.begin_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+
+    async def run_until_shutdown(self) -> None:
+        """Serve until :meth:`begin_shutdown`, then drain and return."""
+        assert self._shutdown is not None, "call start() first"
+        await self._shutdown.wait()
+        await self._drain()
+
+    async def _drain(self) -> None:
+        """Stop accepting, finish in-flight requests, close the rest."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Idle connections (blocked waiting for a next request line)
+        # are cancelled; busy ones get up to `grace` seconds to finish
+        # writing their response.
+        for task, state in list(self._conn_states.items()):
+            if not state.busy:
+                task.cancel()
+        pending = [task for task in self._conn_states if not task.done()]
+        if pending:
+            _done, still_pending = await asyncio.wait(
+                pending, timeout=self.grace
+            )
+            for task in still_pending:
+                task.cancel()
+            if still_pending:
+                await asyncio.gather(*still_pending, return_exceptions=True)
+
+    # -- the connection loop -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        state = _ConnState()
+        assert task is not None
+        self._conn_states[task] = state
+        try:
+            while True:
+                state.busy = False
+                try:
+                    request = await read_request(
+                        reader, on_started=lambda: setattr(state, "busy", True)
+                    )
+                except ServeError as exc:
+                    writer.write(json_response(
+                        exc.status, error_payload(exc.status, str(exc)),
+                        close=True,
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload = await self._safe_dispatch(request)
+                closing = (
+                    not request.keep_alive
+                    or (self._shutdown is not None and self._shutdown.is_set())
+                )
+                writer.write(json_response(status, payload, close=closing))
+                await writer.drain()
+                self.requests_served += 1
+                if closing:
+                    break
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass  # drain cancelled an idle connection, or the peer vanished
+        finally:
+            self._conn_states.pop(task, None)
+            writer.close()
+
+    async def _safe_dispatch(
+        self, request: Request
+    ) -> tuple[int, dict[str, Any]]:
+        try:
+            return 200, await self._dispatch(request)
+        except ServeError as exc:
+            return exc.status, error_payload(exc.status, str(exc))
+        except ReproError as exc:
+            # Parse errors, schema violations, budget overruns: the
+            # caller's payload was at fault, not the server.
+            return 400, error_payload(400, str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+            return 500, error_payload(500, f"{type(exc).__name__}: {exc}")
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> dict[str, Any]:
+        method = request.method
+        parts = [part for part in request.path.split("/") if part]
+
+        if parts == ["health"]:
+            self._require(method, "GET", request)
+            return {
+                "ok": True,
+                "tenants": len(self.registry.tenants),
+                "draining": bool(self._shutdown and self._shutdown.is_set()),
+            }
+        if parts == ["stats"]:
+            self._require(method, "GET", request)
+            return self.stats()
+        if parts == ["shutdown"]:
+            self._require(method, "POST", request)
+            self.begin_shutdown()
+            return {"ok": True, "draining": True}
+        if parts and parts[0] == "tenants":
+            return await self._dispatch_tenants(method, parts[1:], request)
+        raise ServeError(404, f"no route for {method} {request.path}")
+
+    @staticmethod
+    def _require(method: str, expected: str, request: Request) -> None:
+        if method != expected:
+            raise ServeError(
+                405, f"{request.path} expects {expected}, got {method}"
+            )
+
+    async def _dispatch_tenants(
+        self, method: str, parts: list[str], request: Request
+    ) -> dict[str, Any]:
+        if not parts:
+            if method == "GET":
+                return {"tenants": sorted(self.registry.tenants)}
+            self._require(method, "POST", request)
+            body = request.json()
+            name = body.get("name")
+            if not isinstance(name, str) or not name:
+                raise ServeError(400, "'name' must be a non-empty string")
+            tenant = self.registry.create_from_bundle(
+                name, body.get("bundle", {})
+            )
+            session = tenant.session
+            return {
+                "name": tenant.name,
+                "premise_hash": session.premise_hash,
+                "version": session.version,
+                "premises": len(session.dependencies),
+                "shared_artifacts": tenant.shared_artifacts,
+            }
+
+        name, op = parts[0], parts[1] if len(parts) > 1 else None
+        if op is None:
+            if method == "DELETE":
+                self.registry.drop(name)
+                return {"ok": True, "dropped": name}
+            self._require(method, "GET", request)
+            return self.registry.get(name).stats()
+        if len(parts) > 2:
+            raise ServeError(404, f"no route for {method} {request.path}")
+        tenant = self.registry.get(name)
+        if op == "stats":
+            self._require(method, "GET", request)
+            return tenant.stats()
+        self._require(method, "POST", request)
+        body = request.json()
+        return await self._tenant_op(tenant, op, body)
+
+    async def _tenant_op(
+        self, tenant: Tenant, op: str, body: dict[str, Any]
+    ) -> dict[str, Any]:
+        if op == "implies":
+            target = body.get("target")
+            if not isinstance(target, str) or not target:
+                raise ServeError(400, "'target' must be a DSL string")
+            answer = await tenant.coalescer.submit(
+                target, _semantics_of(body)
+            )
+            return answer.to_json()
+        if op == "implies_all":
+            targets = _string_list(body, "targets")
+            if not targets:
+                raise ServeError(400, "'targets' must be non-empty")
+            semantics = _semantics_of(body)
+            futures = [
+                tenant.coalescer.submit(target, semantics)
+                for target in targets
+            ]
+            answers = await asyncio.gather(*futures)
+            implied = sum(answer.verdict for answer in answers)
+            return {
+                "answers": [answer.to_json() for answer in answers],
+                "implied": implied,
+                "total": len(answers),
+            }
+        if op in ("add", "retract"):
+            return tenant.mutate(op, _string_list(body, "dependencies"))
+        if op == "whatif":
+            return await tenant.whatif_async(
+                _string_list(body, "targets"),
+                add=_string_list(body, "add"),
+                retract=_string_list(body, "retract"),
+                semantics=_semantics_of(body),
+            )
+        if op == "check":
+            tenant.coalescer.barrier()
+            if tenant.session.db is None:
+                raise ServeError(
+                    400, f"tenant {tenant.name!r} has no bundled database"
+                )
+            return tenant.session.check().to_json()
+        raise ServeError(404, f"unknown tenant operation {op!r}")
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "draining": bool(self._shutdown and self._shutdown.is_set()),
+            "requests_served": self.requests_served,
+            "connections": len(self._conn_states),
+            **self.registry.stats(),
+            "tenant_stats": {
+                name: tenant.stats()
+                for name, tenant in self.registry.tenants.items()
+            },
+        }
+
+
+async def serve_main(server: ReasoningServer, announce: bool = True) -> int:
+    """Start, announce, and run one server to completion (CLI body)."""
+    await server.start()
+    server.install_signal_handlers()
+    if announce:
+        print(
+            f"repro-serve listening on {server.host}:{server.port}",
+            flush=True,
+        )
+    await server.run_until_shutdown()
+    return 0
+
+
+class BackgroundServer:
+    """A server on a daemon thread, for tests, examples, and scripting.
+
+    Context-manager usage::
+
+        with BackgroundServer() as bg:
+            client = ServeClient(port=bg.port)
+            ...
+
+    The thread runs its own event loop; ``stop()`` (or context exit)
+    triggers the same graceful drain as SIGTERM and joins the thread.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[TenantRegistry] = None,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        grace: float = DEFAULT_GRACE,
+    ):
+        self.server = ReasoningServer(
+            registry, host=host, port=port, grace=grace
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("background server did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"background server failed to start: {self._startup_error}"
+            )
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                await self.server.start()
+                self._loop = asyncio.get_running_loop()
+            except BaseException as exc:  # noqa: BLE001 - reported to starter
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            await self.server.run_until_shutdown()
+
+        asyncio.run(main())
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._thread is not None:
+            if self._thread.is_alive():
+                self._loop.call_soon_threadsafe(self.server.begin_shutdown)
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.stop()

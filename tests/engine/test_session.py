@@ -321,3 +321,90 @@ class TestRoute:
     def test_route_previews_engine_without_deciding(self, ind_session):
         assert ind_session.route("MGR[NAME] <= EMP[NAME]") is Engine.COROLLARY_32
         assert ind_session.queries == 0
+
+
+class TestPremiseHash:
+    def test_stable_across_insertion_order(self, paper_schema, paper_inds):
+        forward = ReasoningSession(paper_schema, paper_inds)
+        backward = ReasoningSession(paper_schema, list(reversed(paper_inds)))
+        assert forward.premise_hash == backward.premise_hash
+
+    def test_changes_on_mutation_and_restores(self, ind_session):
+        original = ind_session.premise_hash
+        extra = FD("EMP", ("NAME",), ("DEPT",))
+        ind_session.add(extra)
+        mutated = ind_session.premise_hash
+        assert mutated != original
+        ind_session.retract(extra)
+        assert ind_session.premise_hash == original
+
+    def test_duplicate_premise_changes_hash(self, ind_session, paper_inds):
+        # Premises are a multiset: a second copy is a real mutation,
+        # and structurally distinct states must never share a hash.
+        original = ind_session.premise_hash
+        ind_session.add(paper_inds[0])
+        assert ind_session.premise_hash != original
+        ind_session.retract(paper_inds[0])
+        assert ind_session.premise_hash == original
+
+    def test_empty_mutation_keeps_hash(self, ind_session):
+        original = ind_session.premise_hash
+        ind_session.add([])
+        assert ind_session.premise_hash == original
+
+    def test_differs_across_schemas(self, paper_inds):
+        narrow = DatabaseSchema.from_dict(
+            {"MGR": ("NAME", "DEPT"), "EMP": ("NAME", "DEPT"),
+             "PERSON": ("NAME",)}
+        )
+        wide = DatabaseSchema.from_dict(
+            {"MGR": ("NAME", "DEPT"), "EMP": ("NAME", "DEPT"),
+             "PERSON": ("NAME",), "EXTRA": ("X",)}
+        )
+        assert (
+            ReasoningSession(narrow, paper_inds).premise_hash
+            != ReasoningSession(wide, paper_inds).premise_hash
+        )
+
+    def test_stats_carry_hash_and_version(self, ind_session):
+        stats = ind_session.stats()
+        assert stats["premise_hash"] == ind_session.premise_hash
+        assert stats["version"] == ind_session.version == 0
+
+    def test_fork_preserves_hash(self, ind_session):
+        assert ind_session.fork().premise_hash == ind_session.premise_hash
+
+
+class TestAdoptCompiled:
+    def test_adoptee_answers_without_recompiling(
+        self, paper_schema, paper_inds
+    ):
+        donor = ReasoningSession(paper_schema, paper_inds)
+        target = "MGR[NAME] <= PERSON[NAME]"
+        expected = donor.implies(target)
+        compiles = donor.index.reach_index.compiles
+        adoptee = ReasoningSession(paper_schema, paper_inds)
+        adoptee.adopt_compiled_from(donor)
+        answer = adoptee.implies(target)
+        assert answer.verdict == expected.verdict
+        assert adoptee.index.reach_index.compiles == compiles
+
+    def test_adoption_is_copy_on_write(self, paper_schema, paper_inds):
+        donor = ReasoningSession(paper_schema, paper_inds)
+        donor.implies("MGR[NAME] <= PERSON[NAME]")
+        adoptee = ReasoningSession(paper_schema, paper_inds)
+        adoptee.adopt_compiled_from(donor)
+        adoptee.retract(paper_inds[1])
+        assert not adoptee.implies("MGR[NAME] <= PERSON[NAME]").verdict
+        # The donor's own compiled state is untouched by the adoptee.
+        assert donor.implies("MGR[NAME] <= PERSON[NAME]").verdict
+
+    def test_structural_mismatch_refused(self, paper_schema, paper_inds):
+        donor = ReasoningSession(paper_schema, paper_inds)
+        other = ReasoningSession(paper_schema, paper_inds[:1])
+        with pytest.raises(ValueError):
+            other.adopt_compiled_from(donor)
+
+    def test_self_adoption_is_a_no_op(self, ind_session):
+        ind_session.adopt_compiled_from(ind_session)
+        assert ind_session.implies("MGR[NAME] <= PERSON[NAME]").verdict

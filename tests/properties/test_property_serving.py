@@ -1,0 +1,207 @@
+"""Coalesced dispatch is unobservable: batching changes *when* requests
+are decided (one pass per event-loop tick, duplicates decided once),
+never *what* they answer.
+
+The oracle is sequential per-call ``implies`` on an identical session
+driven through the same interleaving of queries and mutations.  Both
+sides must agree on verdicts, engines, versions, and witness chains —
+across random premise sets, query orders, duplicate bursts, and
+mutation points (which the serving layer orders via the coalescing
+barrier).
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ReasoningSession
+from repro.exceptions import ReproError
+from repro.model.schema import DatabaseSchema
+from repro.serve import Coalescer
+from tests.properties.strategies import fds, inds
+
+SCHEMA = DatabaseSchema.from_dict(
+    {"R": ("A", "B"), "S": ("A", "B"), "T": ("A", "B")}
+)
+
+PROBES = (
+    "R[A] <= S[A]",
+    "R[A] <= T[A]",
+    "S[B] <= R[B]",
+    "R[A,B] <= S[A,B]",
+    "T[A] <= R[A]",
+    "R: A -> B",
+    "S: B -> A",
+)
+
+BUDGETS = dict(max_nodes=50_000, max_rounds=30, max_tuples=5_000)
+
+
+def _observation(answer):
+    """The comparable surface of one Answer (identity of the decision,
+    not of the object)."""
+    chain = None
+    certificate = answer.certificate
+    if certificate is not None and hasattr(certificate, "chain"):
+        chain = certificate.chain
+    return (
+        str(answer.target),
+        answer.verdict,
+        answer.engine,
+        answer.semantics,
+        answer.version,
+        chain,
+    )
+
+
+@st.composite
+def interleavings(draw):
+    """Query/mutate scripts: ('q', probe_index) enqueues a concurrent
+    read; ('m', payload_or_position) is a premise toggle between
+    batches."""
+    length = draw(st.integers(1, 12))
+    script = []
+    for _ in range(length):
+        if draw(st.integers(0, 3)):  # reads dominate, as in serving
+            script.append(("q", draw(st.integers(0, len(PROBES) - 1))))
+        elif draw(st.booleans()):
+            script.append(
+                ("add", draw(st.one_of(inds(SCHEMA), fds(SCHEMA))))
+            )
+        else:
+            script.append(("retract", draw(st.integers(0, 63))))
+    return script
+
+
+def run_sequential(script):
+    """The oracle: per-call implies, mutations applied in order."""
+    session = ReasoningSession(SCHEMA, [], **BUDGETS)
+    premises: list = []
+    observations: list = []
+    for kind, payload in script:
+        if kind == "q":
+            try:
+                observations.append(
+                    _observation(session.implies(PROBES[payload]))
+                )
+            except ReproError as exc:
+                observations.append(type(exc).__name__)
+        elif kind == "add":
+            session.add(payload)
+            premises.append(payload)
+        elif premises:
+            victim = premises[payload % len(premises)]
+            session.retract(victim)
+            premises.remove(victim)
+    return observations
+
+
+def run_coalesced(script):
+    """The same script with every consecutive run of reads submitted
+    concurrently (one gather => one event-loop tick => one batch) and
+    mutations ordered through the barrier."""
+    session = ReasoningSession(SCHEMA, [], **BUDGETS)
+    premises: list = []
+    observations: list = []
+
+    async def main():
+        coalescer = Coalescer(session)
+
+        async def drain(futures):
+            for future in futures:
+                try:
+                    observations.append(_observation(await future))
+                except ReproError as exc:
+                    observations.append(type(exc).__name__)
+
+        reads: list = []
+        for kind, payload in script:
+            if kind == "q":
+                reads.append(coalescer.submit(PROBES[payload]))
+                continue
+            # A mutation ends the concurrent read burst: everything
+            # submitted so far must answer pre-mutation.
+            coalescer.barrier()
+            await drain(reads)
+            reads = []
+            if kind == "add":
+                session.add(payload)
+                premises.append(payload)
+            elif premises:
+                victim = premises[payload % len(premises)]
+                session.retract(victim)
+                premises.remove(victim)
+        await drain(reads)
+        return coalescer
+
+    coalescer = asyncio.run(main())
+    return observations, coalescer
+
+
+class TestCoalescingOracleEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(interleavings())
+    def test_coalesced_equals_sequential(self, script):
+        expected = run_sequential(script)
+        actual, coalescer = run_coalesced(script)
+        assert actual == expected
+        # Sanity on the mechanism: every read was answered.
+        reads = sum(1 for kind, _ in script if kind == "q")
+        assert coalescer.requests == reads
+        assert len(actual) == reads
+
+    @settings(max_examples=20, deadline=None)
+    @given(interleavings(), st.integers(2, 5))
+    def test_duplicate_bursts_share_decisions(self, script, burst):
+        """Submitting every read `burst` times concurrently changes
+        nothing observable and dedups within each batch."""
+        expected = run_sequential(script)
+        session = ReasoningSession(SCHEMA, [], **BUDGETS)
+        premises: list = []
+        observations: list = []
+
+        async def main():
+            coalescer = Coalescer(session)
+
+            async def drain(groups):
+                for futures in groups:
+                    group_obs = []
+                    for future in futures:
+                        try:
+                            group_obs.append(_observation(await future))
+                        except ReproError as exc:
+                            group_obs.append(type(exc).__name__)
+                    # Duplicates agree among themselves...
+                    assert all(obs == group_obs[0] for obs in group_obs)
+                    # ...and contribute one observation to the stream.
+                    observations.append(group_obs[0])
+
+            groups: list = []
+            for kind, payload in script:
+                if kind == "q":
+                    groups.append(
+                        [coalescer.submit(PROBES[payload])
+                         for _ in range(burst)]
+                    )
+                    continue
+                coalescer.barrier()
+                await drain(groups)
+                groups = []
+                if kind == "add":
+                    session.add(payload)
+                    premises.append(payload)
+                elif premises:
+                    victim = premises[payload % len(premises)]
+                    session.retract(victim)
+                    premises.remove(victim)
+            await drain(groups)
+            return coalescer
+
+        coalescer = asyncio.run(main())
+        assert observations == expected
+        reads = sum(1 for kind, _ in script if kind == "q")
+        assert coalescer.requests == reads * burst
+        # Dedup never under-decides: at most one decision per submitted
+        # unique key per batch, and duplicates never decide again.
+        assert coalescer.unique_decides <= reads

@@ -1,0 +1,186 @@
+"""Per-tick batching, dedup, error isolation, and barrier ordering."""
+
+import asyncio
+
+import pytest
+
+from repro.deps.ind import IND
+from repro.engine import ReasoningSession, Semantics
+from repro.exceptions import DependencyError, ParseError
+from repro.model.schema import DatabaseSchema
+from repro.serve import Coalescer
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {"MGR": ("NAME", "DEPT"), "EMP": ("NAME", "DEPT"),
+         "PERSON": ("NAME",)}
+    )
+
+
+@pytest.fixture
+def premises():
+    return [
+        IND("MGR", ("NAME", "DEPT"), "EMP", ("NAME", "DEPT")),
+        IND("EMP", ("NAME",), "PERSON", ("NAME",)),
+    ]
+
+
+@pytest.fixture
+def session(schema, premises):
+    return ReasoningSession(schema, premises)
+
+
+def test_same_tick_requests_land_in_one_batch(session):
+    async def main():
+        coalescer = Coalescer(session)
+        futures = [
+            coalescer.submit("MGR[NAME] <= PERSON[NAME]"),
+            coalescer.submit("EMP[NAME] <= PERSON[NAME]"),
+            coalescer.submit("PERSON[NAME] <= MGR[NAME]"),
+        ]
+        answers = await asyncio.gather(*futures)
+        assert [a.verdict for a in answers] == [True, True, False]
+        assert coalescer.batches == 1
+        assert coalescer.unique_decides == 3
+        assert coalescer.requests == 3
+
+    asyncio.run(main())
+
+
+def test_duplicate_targets_share_one_answer_object(session):
+    async def main():
+        coalescer = Coalescer(session)
+        futures = [
+            coalescer.submit("MGR[NAME] <= PERSON[NAME]")
+            for _ in range(5)
+        ]
+        answers = await asyncio.gather(*futures)
+        assert all(answer is answers[0] for answer in answers)
+        assert coalescer.unique_decides == 1
+        assert coalescer.deduplicated == 4
+
+    asyncio.run(main())
+
+
+def test_semantics_is_part_of_the_batch_key(session):
+    async def main():
+        coalescer = Coalescer(session)
+        unrestricted = coalescer.submit("MGR[NAME] <= PERSON[NAME]")
+        finite = coalescer.submit(
+            "MGR[NAME] <= PERSON[NAME]", Semantics.FINITE
+        )
+        assert unrestricted is not finite
+        first, second = await asyncio.gather(unrestricted, finite)
+        assert first.semantics is Semantics.UNRESTRICTED
+        assert second.semantics is Semantics.FINITE
+        assert coalescer.unique_decides == 2
+
+    asyncio.run(main())
+
+
+def test_accepts_dependency_objects(session):
+    async def main():
+        coalescer = Coalescer(session)
+        as_object = coalescer.submit(
+            IND("MGR", ("NAME",), "PERSON", ("NAME",))
+        )
+        as_text = coalescer.submit("MGR[NAME] <= PERSON[NAME]")
+        assert as_object is as_text  # same key, same shared future
+        answer = await as_object
+        assert answer.verdict
+
+    asyncio.run(main())
+
+
+def test_malformed_target_fails_only_its_own_future(session):
+    async def main():
+        coalescer = Coalescer(session)
+        good = coalescer.submit("MGR[NAME] <= PERSON[NAME]")
+        bad_parse = coalescer.submit("this is not a dependency")
+        bad_schema = coalescer.submit("MGR[SALARY] <= EMP[SALARY]")
+        answer = await good
+        assert answer.verdict
+        with pytest.raises(ParseError):
+            await bad_parse
+        with pytest.raises(DependencyError):
+            await bad_schema
+        assert coalescer.unique_decides == 1
+        assert coalescer.batches == 1
+
+    asyncio.run(main())
+
+
+def test_batches_in_different_ticks_stay_separate(session):
+    async def main():
+        coalescer = Coalescer(session)
+        await coalescer.submit("MGR[NAME] <= PERSON[NAME]")
+        await coalescer.submit("EMP[NAME] <= PERSON[NAME]")
+        assert coalescer.batches == 2
+
+    asyncio.run(main())
+
+
+def test_every_answer_in_a_batch_carries_the_same_version(session):
+    async def main():
+        coalescer = Coalescer(session)
+        futures = [
+            coalescer.submit("MGR[NAME] <= PERSON[NAME]"),
+            coalescer.submit("PERSON[NAME] <= MGR[NAME]"),
+        ]
+        answers = await asyncio.gather(*futures)
+        assert answers[0].version == answers[1].version == session.version
+
+    asyncio.run(main())
+
+
+def test_barrier_orders_mutations_after_pending_reads(session, premises):
+    """submit / mutate / submit must observe sequential semantics: the
+    first read answers against the pre-mutation premises."""
+
+    async def main():
+        coalescer = Coalescer(session)
+        before = coalescer.submit("MGR[NAME] <= PERSON[NAME]")
+        coalescer.barrier()
+        session.retract(premises[1])  # EMP[NAME] <= PERSON[NAME]
+        after = coalescer.submit("MGR[NAME] <= PERSON[NAME]")
+        first, second = await asyncio.gather(before, after)
+        assert first.verdict is True
+        assert second.verdict is False
+        assert first.version == 0
+        assert second.version == 1
+        assert coalescer.barrier_flushes == 1
+
+    asyncio.run(main())
+
+
+def test_barrier_without_pending_is_free(session):
+    async def main():
+        coalescer = Coalescer(session)
+        coalescer.barrier()
+        assert coalescer.barrier_flushes == 0
+        assert coalescer.batches == 0
+
+    asyncio.run(main())
+
+
+def test_stats_shape(session):
+    async def main():
+        coalescer = Coalescer(session)
+        await asyncio.gather(
+            coalescer.submit("MGR[NAME] <= PERSON[NAME]"),
+            coalescer.submit("MGR[NAME] <= PERSON[NAME]"),
+            coalescer.submit("EMP[NAME] <= PERSON[NAME]"),
+        )
+        stats = coalescer.stats()
+        assert stats == {
+            "requests": 3,
+            "batches": 1,
+            "unique_decides": 2,
+            "deduplicated": 1,
+            "barrier_flushes": 0,
+            "pending": 0,
+        }
+
+    asyncio.run(main())

@@ -1,0 +1,187 @@
+"""Tenant lifecycle and the structural-hash artifact LRU."""
+
+import asyncio
+
+import pytest
+
+from repro.deps.fd import FD
+from repro.deps.ind import IND
+from repro.engine import ReasoningSession
+from repro.model.schema import DatabaseSchema
+from repro.serve import ArtifactCache, ServeError, TenantRegistry
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema.from_dict(
+        {"MGR": ("NAME", "DEPT"), "EMP": ("NAME", "DEPT"),
+         "PERSON": ("NAME",)}
+    )
+
+
+@pytest.fixture
+def premises():
+    return [
+        IND("MGR", ("NAME", "DEPT"), "EMP", ("NAME", "DEPT")),
+        IND("EMP", ("NAME",), "PERSON", ("NAME",)),
+    ]
+
+
+BUNDLE = {
+    "schema": {"MGR": ["NAME", "DEPT"], "EMP": ["NAME", "DEPT"],
+               "PERSON": ["NAME"]},
+    "dependencies": ["MGR[NAME,DEPT] <= EMP[NAME,DEPT]",
+                     "EMP[NAME] <= PERSON[NAME]"],
+}
+
+
+class TestTenantLifecycle:
+    def test_create_get_drop(self, schema, premises):
+        registry = TenantRegistry()
+        tenant = registry.create("app", schema, premises)
+        assert registry.get("app") is tenant
+        assert tenant.session.premise_hash
+        registry.drop("app")
+        with pytest.raises(ServeError) as excinfo:
+            registry.get("app")
+        assert excinfo.value.status == 404
+
+    def test_duplicate_name_conflicts(self, schema, premises):
+        registry = TenantRegistry()
+        registry.create("app", schema, premises)
+        with pytest.raises(ServeError) as excinfo:
+            registry.create("app", schema, premises)
+        assert excinfo.value.status == 409
+
+    def test_empty_name_rejected(self, schema, premises):
+        with pytest.raises(ServeError) as excinfo:
+            TenantRegistry().create("", schema, premises)
+        assert excinfo.value.status == 400
+
+    def test_drop_unknown_is_404(self):
+        with pytest.raises(ServeError) as excinfo:
+            TenantRegistry().drop("ghost")
+        assert excinfo.value.status == 404
+
+    def test_create_from_bundle(self):
+        registry = TenantRegistry()
+        tenant = registry.create_from_bundle("app", BUNDLE)
+        assert len(tenant.session.dependencies) == 2
+        assert tenant.session.implies("MGR[NAME] <= PERSON[NAME]").verdict
+
+    def test_create_from_non_object_bundle_rejected(self):
+        with pytest.raises(ServeError) as excinfo:
+            TenantRegistry().create_from_bundle("app", "not a dict")
+        assert excinfo.value.status == 400
+
+    def test_mutate_empty_rejected(self, schema, premises):
+        tenant = TenantRegistry().create("app", schema, premises)
+        with pytest.raises(ServeError):
+            tenant.mutate("add", [])
+
+    def test_mutate_bumps_version(self, schema, premises):
+        tenant = TenantRegistry().create("app", schema, premises)
+        result = tenant.mutate("add", ["EMP: NAME -> DEPT"])
+        assert result["version"] == 1
+        assert result["added"] == ["EMP: NAME -> DEPT"]
+
+    def test_whatif_runs_off_loop_and_leaves_parent_untouched(
+        self, schema, premises
+    ):
+        tenant = TenantRegistry().create("app", schema, premises)
+        version = tenant.session.version
+
+        async def main():
+            return await tenant.whatif_async(
+                ["MGR[NAME] <= PERSON[NAME]"],
+                retract=["EMP[NAME] <= PERSON[NAME]"],
+            )
+
+        result = asyncio.run(main())
+        assert result["flipped"] == 1
+        assert result["flips"][0]["before"]["verdict"] is True
+        assert result["flips"][0]["after"]["verdict"] is False
+        assert tenant.session.version == version  # fork, not mutation
+
+    def test_stats_carry_identity_and_coalescer(self, schema, premises):
+        tenant = TenantRegistry().create("app", schema, premises)
+        stats = tenant.stats()
+        assert stats["name"] == "app"
+        assert stats["premise_hash"] == tenant.session.premise_hash
+        assert stats["shared_artifacts"] is False
+        assert stats["premises"] == 2
+        assert stats["coalescer"]["requests"] == 0
+
+
+class TestArtifactSharing:
+    def test_identical_tenants_share_artifacts(self, schema, premises):
+        registry = TenantRegistry()
+        first = registry.create("a", schema, premises)
+        first.session.implies("MGR[NAME] <= PERSON[NAME]")
+        compiles = first.session.index.reach_index.compiles
+        second = registry.create("b", schema, premises)
+        assert not first.shared_artifacts
+        assert second.shared_artifacts
+        assert registry.artifacts.stats()["hits"] == 1
+        # The adoptee serves the same question from the shared compile.
+        assert second.session.implies("MGR[NAME] <= PERSON[NAME]").verdict
+        assert second.session.index.reach_index.compiles == compiles
+
+    def test_hash_is_insertion_order_independent(self, schema, premises):
+        registry = TenantRegistry()
+        registry.create("a", schema, premises)
+        second = registry.create("b", schema, list(reversed(premises)))
+        assert second.shared_artifacts
+
+    def test_different_premises_do_not_share(self, schema, premises):
+        registry = TenantRegistry()
+        registry.create("a", schema, premises)
+        second = registry.create("b", schema, premises[:1])
+        assert not second.shared_artifacts
+        assert registry.artifacts.stats()["misses"] == 2
+
+    def test_drifted_donor_is_dropped_not_trusted(self, schema, premises):
+        registry = TenantRegistry()
+        donor = registry.create("a", schema, premises)
+        donor.mutate("add", ["EMP: NAME -> DEPT"])  # hash drifts off key
+        second = registry.create("b", schema, premises)
+        assert not second.shared_artifacts
+        assert registry.artifacts.stats()["drifted"] == 1
+        # The fresh session replaced the drifted donor under that key.
+        third = registry.create("c", schema, premises)
+        assert third.shared_artifacts
+
+    def test_lru_evicts_least_recently_used(self, schema, premises):
+        cache = ArtifactCache(capacity=2)
+        variants = [
+            premises,
+            premises[:1],
+            [FD("EMP", ("NAME",), ("DEPT",))],
+        ]
+        sessions = [
+            ReasoningSession(schema, deps) for deps in variants
+        ]
+        for session in sessions:
+            assert cache.adopt_into(session) is False
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+        # The first (evicted) hash misses again; the last two hit.
+        assert cache.adopt_into(ReasoningSession(schema, variants[0])) is False
+        assert cache.adopt_into(ReasoningSession(schema, variants[2])) is True
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(capacity=0)
+
+    def test_adoptee_mutation_does_not_corrupt_donor(
+        self, schema, premises
+    ):
+        registry = TenantRegistry()
+        first = registry.create("a", schema, premises)
+        first.session.implies("MGR[NAME] <= PERSON[NAME]")
+        second = registry.create("b", schema, premises)
+        second.mutate("retract", ["EMP[NAME] <= PERSON[NAME]"])
+        assert not second.session.implies(
+            "MGR[NAME] <= PERSON[NAME]"
+        ).verdict
+        assert first.session.implies("MGR[NAME] <= PERSON[NAME]").verdict

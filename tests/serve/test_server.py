@@ -1,0 +1,311 @@
+"""HTTP end-to-end: routes, errors, and graceful shutdown."""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve import BackgroundServer, ServeClient, ServeError
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+BUNDLE = {
+    "schema": {"MGR": ["NAME", "DEPT"], "EMP": ["NAME", "DEPT"],
+               "PERSON": ["NAME"]},
+    "dependencies": ["MGR[NAME,DEPT] <= EMP[NAME,DEPT]",
+                     "EMP: NAME -> DEPT",
+                     "EMP[NAME] <= PERSON[NAME]"],
+    "database": {"MGR": [["Hilbert", "Math"]],
+                 "EMP": [["Hilbert", "Math"]],
+                 "PERSON": [["Hilbert"]]},
+}
+
+
+@pytest.fixture(scope="module")
+def server():
+    with BackgroundServer() as bg:
+        yield bg
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient(port=server.port) as c:
+        yield c
+
+
+@pytest.fixture
+def tenant(client):
+    """A fresh uniquely named tenant per test."""
+    name = f"t{time.monotonic_ns()}"
+    client.create_tenant(name, BUNDLE)
+    yield name
+    client.drop_tenant(name)
+
+
+class TestRoutes:
+    def test_health(self, client):
+        payload = client.health()
+        assert payload["ok"] is True
+        assert payload["draining"] is False
+
+    def test_create_and_list_tenants(self, client, tenant):
+        assert tenant in client.tenants()
+        stats = client.tenant_stats(tenant)
+        assert stats["name"] == tenant
+        assert stats["premises"] == 3
+        assert stats["premise_hash"]
+
+    def test_implies(self, client, tenant):
+        answer = client.implies(tenant, "MGR[NAME] <= PERSON[NAME]")
+        assert answer["verdict"] is True
+        assert answer["target"] == "MGR[NAME] <= PERSON[NAME]"
+        missed = client.implies(tenant, "PERSON[NAME] <= MGR[NAME]")
+        assert missed["verdict"] is False
+
+    def test_implies_finite_semantics(self, client):
+        # Finite implication is decidable in the unary fragment only,
+        # so this tenant carries unary premises.
+        unary = {
+            "schema": {"R": ["A", "B"], "S": ["A"]},
+            "dependencies": ["R[A] <= S[A]", "R: A -> B"],
+        }
+        client.create_tenant("finite-t", unary)
+        try:
+            answer = client.implies(
+                "finite-t", "R[A] <= S[A]", semantics="finite"
+            )
+            assert answer["semantics"] == "finite"
+            assert answer["verdict"] is True
+        finally:
+            client.drop_tenant("finite-t")
+
+    def test_finite_semantics_outside_unary_fragment_is_400(
+        self, client, tenant
+    ):
+        with pytest.raises(ServeError) as excinfo:
+            client.implies(
+                tenant, "MGR[NAME] <= PERSON[NAME]", semantics="finite"
+            )
+        assert excinfo.value.status == 400
+
+    def test_implies_all(self, client, tenant):
+        result = client.implies_all(
+            tenant,
+            ["MGR[NAME] <= PERSON[NAME]", "PERSON[NAME] <= MGR[NAME]"],
+        )
+        assert result["implied"] == 1
+        assert result["total"] == 2
+        verdicts = [answer["verdict"] for answer in result["answers"]]
+        assert verdicts == [True, False]
+
+    def test_add_retract_roundtrip(self, client, tenant):
+        before = client.implies(tenant, "MGR[NAME] <= PERSON[NAME]")
+        assert before["verdict"] is True
+        retracted = client.retract(tenant, ["EMP[NAME] <= PERSON[NAME]"])
+        assert retracted["version"] == 1
+        assert not client.implies(tenant, "MGR[NAME] <= PERSON[NAME]")["verdict"]
+        added = client.add(tenant, ["EMP[NAME] <= PERSON[NAME]"])
+        assert added["version"] == 2
+        assert client.implies(tenant, "MGR[NAME] <= PERSON[NAME]")["verdict"]
+
+    def test_whatif(self, client, tenant):
+        result = client.whatif(
+            tenant,
+            ["MGR[NAME] <= PERSON[NAME]"],
+            retract=["EMP[NAME] <= PERSON[NAME]"],
+        )
+        assert result["flipped"] == 1
+        flip = result["flips"][0]
+        assert flip["before"]["verdict"] is True
+        assert flip["after"]["verdict"] is False
+        # Speculation must not have touched the live tenant.
+        assert client.implies(tenant, "MGR[NAME] <= PERSON[NAME]")["verdict"]
+
+    def test_check(self, client, tenant):
+        report = client.check(tenant)
+        assert report["ok"] is True
+
+    def test_server_stats_aggregate(self, client, tenant):
+        client.implies(tenant, "MGR[NAME] <= PERSON[NAME]")
+        stats = client.stats()
+        assert stats["requests_served"] > 0
+        assert stats["tenants"] >= 1
+        assert "artifact_cache" in stats
+        assert tenant in stats["tenant_stats"]
+
+    def test_identical_tenants_share_artifacts_over_http(self, client):
+        first = client.create_tenant("lru-a", BUNDLE)
+        second = client.create_tenant("lru-b", BUNDLE)
+        try:
+            assert first["premise_hash"] == second["premise_hash"]
+            # The first may itself have hit a donor left by an earlier
+            # test (donors outlive dropped tenants); the second must.
+            assert second["shared_artifacts"] is True
+        finally:
+            client.drop_tenant("lru-a")
+            client.drop_tenant("lru-b")
+
+
+class TestErrors:
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_tenant_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.implies("ghost", "MGR[NAME] <= PERSON[NAME]")
+        assert excinfo.value.status == 404
+
+    def test_duplicate_tenant_is_409(self, client, tenant):
+        with pytest.raises(ServeError) as excinfo:
+            client.create_tenant(tenant, BUNDLE)
+        assert excinfo.value.status == 409
+
+    def test_bad_dsl_is_400(self, client, tenant):
+        with pytest.raises(ServeError) as excinfo:
+            client.implies(tenant, "not a dependency")
+        assert excinfo.value.status == 400
+
+    def test_bad_bundle_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.create_tenant("broken", {"schema": "oops"})
+        assert excinfo.value.status == 400
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.request("POST", "/health", {})
+        assert excinfo.value.status == 405
+
+    def test_missing_target_is_400(self, client, tenant):
+        with pytest.raises(ServeError) as excinfo:
+            client.request("POST", f"/tenants/{tenant}/implies", {})
+        assert excinfo.value.status == 400
+
+    def test_unknown_semantics_is_400(self, client, tenant):
+        with pytest.raises(ServeError) as excinfo:
+            client.request(
+                "POST",
+                f"/tenants/{tenant}/implies",
+                {"target": "MGR[NAME] <= PERSON[NAME]",
+                 "semantics": "modal"},
+            )
+        assert excinfo.value.status == 400
+
+    def test_non_object_body_is_400(self, server):
+        with ServeClient(port=server.port) as raw:
+            with pytest.raises(ServeError) as excinfo:
+                conn = raw._connection()
+                conn.request(
+                    "POST", "/tenants",
+                    body=b"[1, 2]",
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                raise ServeError(response.status, payload["error"])
+            assert excinfo.value.status == 400
+
+
+class TestShutdownEndpoint:
+    def test_post_shutdown_drains_and_exits(self):
+        with BackgroundServer() as bg:
+            client = ServeClient(port=bg.port)
+            assert client.shutdown()["draining"] is True
+            bg._thread.join(timeout=10)
+            assert not bg._thread.is_alive()
+            # A fresh connection must now be refused.
+            with pytest.raises((ServeError, OSError)):
+                ServeClient(port=bg.port).health()
+
+
+class TestSigtermDrain:
+    def test_sigterm_finishes_inflight_request_then_exits_zero(
+        self, tmp_path
+    ):
+        """Regression: SIGTERM while a request body is still in flight
+        must serve that request to completion, then exit 0."""
+        bundle_path = tmp_path / "bundle.json"
+        bundle_path.write_text(json.dumps(BUNDLE))
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--tenant", f"app={bundle_path}"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            ready = proc.stdout.readline()
+            assert "listening on" in ready, ready
+            port = int(ready.rsplit(":", 1)[1])
+
+            body = json.dumps(
+                {"target": "MGR[NAME] <= PERSON[NAME]"}
+            ).encode()
+            head = (
+                f"POST /tenants/app/implies HTTP/1.1\r\n"
+                f"Host: 127.0.0.1\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode()
+            with socket.create_connection(
+                ("127.0.0.1", port), timeout=10
+            ) as sock:
+                # Request line + headers arrive; the body stalls.  The
+                # connection is now "busy": SIGTERM must wait for it.
+                sock.sendall(head + body[:5])
+                time.sleep(0.3)
+                proc.send_signal(signal.SIGTERM)
+                time.sleep(0.3)
+                sock.sendall(body[5:])
+                sock.settimeout(10)
+                response = b""
+                while b"\r\n\r\n" not in response:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    response += chunk
+                header, _, rest = response.partition(b"\r\n\r\n")
+                assert b"200 OK" in header, response
+                assert b"Connection: close" in header
+                length = int(
+                    [line for line in header.split(b"\r\n")
+                     if line.lower().startswith(b"content-length")][0]
+                    .split(b":")[1]
+                )
+                while len(rest) < length:
+                    rest += sock.recv(4096)
+                payload = json.loads(rest[:length])
+                assert payload["verdict"] is True
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_sigterm_idle_server_exits_zero(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            assert "listening on" in proc.stdout.readline()
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

@@ -401,6 +401,89 @@ class TestBench:
         assert main(["bench", "--workload", "nope", "--repeats", "1"]) == 2
         assert "unknown workload" in capsys.readouterr().err
 
+    def test_workloads_filter_comma_separated(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_filtered.json"
+        assert main([
+            "bench", "--workloads", "single_decide,batch_implies_all",
+            "--repeats", "2", "--out", str(out_path),
+        ]) == 0
+        report = json.loads(out_path.read_text())
+        assert set(report["workloads"]) == {
+            "single_decide", "batch_implies_all"
+        }
+
+    def test_workloads_merges_with_workload(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_merged.json"
+        assert main([
+            "bench", "--workload", "single_decide",
+            "--workloads", "batch_implies_all",
+            "--repeats", "2", "--out", str(out_path),
+        ]) == 0
+        report = json.loads(out_path.read_text())
+        assert set(report["workloads"]) == {
+            "single_decide", "batch_implies_all"
+        }
+
+    def test_workloads_unknown_name_rejected(self, capsys):
+        assert main([
+            "bench", "--workloads", "single_decide,nope", "--repeats", "1",
+        ]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestServeAndCall:
+    @pytest.fixture
+    def served(self, bundle_path):
+        from repro.io import bundle_from_json
+        from repro.serve import BackgroundServer, TenantRegistry
+
+        registry = TenantRegistry()
+        with open(bundle_path, encoding="utf-8") as fp:
+            schema, dependencies, db = bundle_from_json(fp.read())
+        registry.create("app", schema, dependencies, db=db)
+        with BackgroundServer(registry) as bg:
+            yield bg
+
+    def test_call_health(self, served, capsys):
+        assert main([
+            "call", "/health", "--port", str(served.port),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_call_implies_verdict_exit_codes(self, served, capsys):
+        assert main([
+            "call", "/tenants/app/implies",
+            json.dumps({"target": "MGR[NAME] <= PERSON[NAME]"}),
+            "--port", str(served.port),
+        ]) == 0
+        assert json.loads(capsys.readouterr().out)["verdict"] is True
+        # A false verdict exits 1 so shell scripts can branch on it.
+        assert main([
+            "call", "/tenants/app/implies",
+            json.dumps({"target": "PERSON[NAME] <= MGR[NAME]"}),
+            "--port", str(served.port),
+        ]) == 1
+        assert json.loads(capsys.readouterr().out)["verdict"] is False
+
+    def test_call_error_payload_exits_2(self, served, capsys):
+        assert main([
+            "call", "/tenants/ghost/stats", "--port", str(served.port),
+        ]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == 404
+
+    def test_call_rejects_malformed_body(self, served, capsys):
+        assert main([
+            "call", "/tenants/app/implies", "{not json",
+            "--port", str(served.port),
+        ]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_serve_rejects_malformed_tenant_spec(self, capsys):
+        assert main(["serve", "--tenant", "missing-equals"]) == 2
+        assert "NAME=BUNDLE.json" in capsys.readouterr().err
+
 
 class TestDiscover:
     @pytest.fixture
