@@ -4,7 +4,7 @@
 Equivalent to ``python -m repro bench``; exists so the benchmark
 trajectory can be (re)recorded without an installed package::
 
-    python benchmarks/harness.py --out BENCH_e20.json \\
+    python benchmarks/harness.py --out BENCH_e21.json \\
         --trajectory BENCH_trajectory.json
     python benchmarks/harness.py --baseline BENCH_trajectory.json \\
         --blocking single_decide --blocking repeated_decide_hot

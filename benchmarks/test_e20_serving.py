@@ -12,7 +12,7 @@ real code in the same process:
 * two structurally identical tenants must report **one shared
   compile**: the second adopts the first's artifacts (one artifact-LRU
   hit) and answers the whole target pool without recompiling;
-* the committed ``BENCH_e20.json`` records the ``serving_mixed``
+* the committed suite report records the ``serving_mixed``
   workload with its measured coalescing speedup, latency percentiles,
   and LRU evidence.
 """
@@ -95,15 +95,16 @@ def test_identical_tenants_share_one_compile():
 
 @pytest.mark.artifact("serving-report")
 def test_committed_report_records_the_serving_suite():
-    """BENCH_e20.json is committed, names the e20 suite, and records
-    the serving workload with its measured coalescing speedup."""
+    """The committed suite report still records the serving workload
+    with its measured coalescing speedup (the e20 acceptance evidence
+    rides along in the current suite snapshot)."""
     assert os.path.exists(COMMITTED_REPORT), (
         f"{bench.COMMITTED_BASELINE} missing; record it with "
         f"`python -m repro bench --out {bench.COMMITTED_BASELINE}`"
     )
     with open(COMMITTED_REPORT, encoding="utf-8") as fp:
         report = json.load(fp)
-    assert report["suite"] == bench.SUITE == "e20-serving"
+    assert report["suite"] == bench.SUITE
     assert set(report["workloads"]) == set(bench.WORKLOADS)
     meta = report["workloads"]["serving_mixed"]["meta"]
     assert meta["speedup_read_heavy"] >= 2.0

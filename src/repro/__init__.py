@@ -41,6 +41,7 @@ functions (``decide_ind``, ``fd_implies``, ``chase_implies``, ...).
 
 from repro.exceptions import (
     ChaseBudgetExceeded,
+    DeadlineExceeded,
     DependencyError,
     ParseError,
     ProofError,
@@ -93,6 +94,7 @@ from repro.core.finite_unary import (
 from repro.engine import (
     Answer,
     CheckReport,
+    Deadline,
     Engine,
     MutationDelta,
     PremiseIndex,
@@ -122,6 +124,7 @@ __all__ = [
     "ParseError",
     "ProofError",
     "ChaseBudgetExceeded",
+    "DeadlineExceeded",
     "SearchBudgetExceeded",
     "UnsupportedDependencyError",
     "SymbolicLimitationError",
@@ -166,6 +169,7 @@ __all__ = [
     # session facade
     "Answer",
     "CheckReport",
+    "Deadline",
     "Engine",
     "MutationDelta",
     "PremiseIndex",

@@ -33,6 +33,11 @@ Workloads (all deterministic, seeded):
   a mixed read/mutate phase with p50/p95/p99 request latency.  Also
   records the artifact-LRU evidence: a second structurally identical
   tenant adopting the first's compiled indexes.
+* ``cold_start_recovery`` — boot a durable tenant from its snapshot
+  plus WAL tail (the crash-recovery path of :mod:`repro.serve.wal`)
+  versus rebuilding the same state by replaying the entire mutation
+  history from the original bundle.  The recorded speedup is the
+  acceptance evidence for checkpointing.
 
 The report format is one JSON object::
 
@@ -74,10 +79,10 @@ from repro.core.ind_decision import decide_ind, decide_ind_naive, index_by_lhs
 from repro.core.ind_kernel import KernelIndex
 
 SCHEMA_VERSION = 1
-SUITE = "e20-serving"
+SUITE = "e21-durability"
 DEFAULT_REPEATS = 15
 
-COMMITTED_BASELINE = "BENCH_e20.json"
+COMMITTED_BASELINE = "BENCH_e21.json"
 """The committed single-report snapshot of the current suite."""
 
 COMMITTED_TRAJECTORY = "BENCH_trajectory.json"
@@ -684,6 +689,107 @@ def bench_serving_mixed(repeats: int = DEFAULT_REPEATS) -> WorkloadResult:
     )
 
 
+def bench_cold_start_recovery(repeats: int = DEFAULT_REPEATS) -> WorkloadResult:
+    """Snapshot-plus-tail boot versus full mutation-history replay.
+
+    Setup (outside the clock): a durable tenant is created in a
+    temporary ``--state-dir`` and fed a long add/retract mutation
+    history (premise toggles — the live-reconfiguration shape), so its
+    on-disk state is one checkpoint plus a short WAL tail — exactly
+    what a crashed server leaves behind.  The measured *recovery* path
+    is what ``repro serve --state-dir`` does on boot: open the state
+    dir, rebuild the session from the snapshot bundle, verify its
+    ``premise_hash``, replay the bounded tail, and answer the probe
+    pool.  The *rebuild* reference reconstructs identical state the
+    only way available without checkpoints: load the original bundle
+    and re-apply the entire mutation history one version bump at a
+    time, then answer the same probes.  Checkpointing is what makes
+    boot cost proportional to ``snapshot_every``, not to the history.
+    """
+    import shutil
+    import tempfile
+
+    from repro.io import bundle_from_payload, patch_from_payload
+    from repro.serve.registry import TenantRegistry
+    from repro.serve.wal import StateDir
+
+    schema, premises, pool = serving_workload()
+    SNAPSHOT_EVERY = 16
+    toggles = [
+        IND("QUIET", ("A",), f"R{i}", ("A",)) for i in range(50)
+    ]
+    mutation_log = []
+    for _round in range(10):
+        for dep in toggles:
+            mutation_log.append(("add", str(dep)))
+            mutation_log.append(("retract", str(dep)))
+    MUTATIONS = len(mutation_log)
+    base_bundle = {
+        "schema": {rel.name: list(rel.attributes) for rel in schema},
+        "dependencies": [str(dep) for dep in premises],
+    }
+
+    root = tempfile.mkdtemp(prefix="repro-bench-coldstart-")
+    try:
+        state = StateDir(root, snapshot_every=SNAPSHOT_EVERY)
+        registry = TenantRegistry(state_dir=state)
+        tenant = registry.create("bench", schema, premises)
+        for kind, dep in mutation_log:
+            tenant.mutate(kind, [dep])
+        tail_records = tenant.store.stats()["appends_since_snapshot"]
+        snapshots = tenant.store.stats()["snapshots"]
+        expected_hash = tenant.session.premise_hash
+        registry.close()
+
+        recovered_box: list[TenantRegistry] = []
+
+        def recover_boot():
+            reg = TenantRegistry(
+                state_dir=StateDir(root, snapshot_every=SNAPSHOT_EVERY)
+            )
+            recovered_box.append(reg)
+            reg.get("bench").session.implies_all(pool)
+            reg.close()
+
+        def full_rebuild():
+            loaded_schema, deps, db = bundle_from_payload(base_bundle)
+            session = ReasoningSession(loaded_schema, deps, db=db)
+            for kind, dep in mutation_log:
+                add, retract = patch_from_payload(
+                    {kind: [dep]}, loaded_schema
+                )
+                if retract:
+                    session.retract(retract)
+                if add:
+                    session.add(add)
+            session.implies_all(pool)
+
+        boot_repeats = min(repeats, 5)
+        recover_seconds = best_seconds(recover_boot, repeats=boot_repeats)
+        rebuild_seconds = best_seconds(full_rebuild, repeats=boot_repeats)
+
+        recovered = recovered_box[-1].get("bench").session
+        assert recovered.premise_hash == expected_hash
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return WorkloadResult(
+        name="cold_start_recovery",
+        seconds=recover_seconds,
+        ops=1,
+        meta={
+            "premises": len(premises),
+            "mutations": MUTATIONS,
+            "snapshot_every": SNAPSHOT_EVERY,
+            "snapshots_taken": snapshots,
+            "tail_records_replayed": tail_records,
+            "probe_pool": len(pool),
+            "rebuild_seconds": rebuild_seconds,
+            "speedup_vs_full_rebuild": rebuild_seconds / recover_seconds,
+        },
+    )
+
+
 WORKLOADS: dict[str, Callable[[int], WorkloadResult]] = {
     "single_decide": bench_single_decide,
     "batch_implies_all": bench_batch_implies_all,
@@ -693,6 +799,7 @@ WORKLOADS: dict[str, Callable[[int], WorkloadResult]] = {
     "implies_all_grouped": bench_implies_all_grouped,
     "discovery_mine": bench_discovery_mine,
     "serving_mixed": bench_serving_mixed,
+    "cold_start_recovery": bench_cold_start_recovery,
 }
 
 DECISION_WORKLOADS = ("single_decide", "repeated_decide_hot")

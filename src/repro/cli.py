@@ -13,7 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro shell   bundle.json       # interactive lifecycle REPL
     python -m repro keys    bundle.json       # candidate keys per relation
     python -m repro summary bundle.json       # structural profile
-    python -m repro bench   --out BENCH_e20.json --trajectory BENCH_trajectory.json
+    python -m repro bench   --out BENCH_e21.json --trajectory BENCH_trajectory.json
     python -m repro serve   --port 8765 --tenant app=bundle.json
     python -m repro call    /tenants/app/implies '{"target": "MGR[NAME] <= PERSON[NAME]"}'
 
@@ -400,9 +400,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the multi-tenant reasoning server until drained."""
     import asyncio
 
-    from repro.serve import ReasoningServer, TenantRegistry, serve_main
+    from repro.serve import (
+        FaultInjector,
+        ReasoningServer,
+        StateDir,
+        TenantRegistry,
+        serve_main,
+    )
 
-    registry = TenantRegistry(artifact_capacity=args.lru_capacity)
+    try:
+        faults = FaultInjector(
+            args.faults or "", latency_ms=args.fault_latency_ms
+        )
+        env_faults = FaultInjector.from_env()
+        if env_faults and not faults:
+            faults = env_faults
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    state_dir = None
+    if args.state_dir:
+        state_dir = StateDir(
+            args.state_dir, faults=faults,
+            snapshot_every=args.snapshot_every,
+        )
+    registry = TenantRegistry(
+        artifact_capacity=args.lru_capacity, state_dir=state_dir
+    )
+    if registry.recovered_tenants:
+        print(
+            f"recovered {registry.recovered_tenants} tenant(s) "
+            f"({registry.replayed_records} WAL record(s) replayed) "
+            f"from {args.state_dir}",
+            flush=True,
+        )
     for spec in args.tenant or []:
         name, sep, path = spec.partition("=")
         if not sep or not name or not path:
@@ -411,11 +442,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        if name in registry.tenants:
+            continue  # already recovered from --state-dir
         with open(path, encoding="utf-8") as fp:
             schema, dependencies, db = bundle_from_json(fp.read())
         registry.create(name, schema, dependencies, db=db)
     server = ReasoningServer(
-        registry, host=args.host, port=args.port, grace=args.grace
+        registry, host=args.host, port=args.port, grace=args.grace,
+        default_deadline=args.default_deadline, faults=faults,
     )
     return asyncio.run(serve_main(server))
 
@@ -616,7 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--out", metavar="REPORT_JSON",
-        help="write the report JSON here (e.g. BENCH_e20.json)",
+        help="write the report JSON here (e.g. BENCH_e21.json)",
     )
     p_bench.add_argument(
         "--workload", action="append", metavar="NAME",
@@ -679,6 +713,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--lru-capacity", type=int, default=32,
         help="shared compiled-artifact LRU size (default 32)",
+    )
+    p_serve.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="durable tenant state: WAL + snapshots here; recovered on boot",
+    )
+    p_serve.add_argument(
+        "--snapshot-every", type=int, default=64, metavar="N",
+        help="checkpoint a tenant after N WAL appends (default 64)",
+    )
+    p_serve.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request compute deadline when the request sets none; "
+             "expiry yields a degraded 'unknown' answer, not an error",
+    )
+    p_serve.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="arm fault-injection points (comma list, ':once' suffix "
+             "supported); overrides REPRO_FAULTS (testing only)",
+    )
+    p_serve.add_argument(
+        "--fault-latency-ms", type=float, default=0.0, metavar="MS",
+        help="injected per-dispatch latency for the 'latency' fault point",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

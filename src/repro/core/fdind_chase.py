@@ -413,6 +413,10 @@ class ChaseOutcome:
 STRATEGIES = ("semi-naive", "naive")
 
 
+def _no_tick() -> None:
+    """The default cooperative check: free, never fires."""
+
+
 class ChaseEngine:
     """Runs FD/IND/RD chase steps over a :class:`ChaseInstance`."""
 
@@ -555,6 +559,7 @@ class ChaseEngine:
         max_rounds: int = 200,
         max_tuples: int = 100_000,
         goal=None,
+        tick=None,
     ) -> ChaseOutcome:
         """Chase to fixpoint; raise on budget exhaustion.
 
@@ -568,14 +573,20 @@ class ChaseEngine:
         any finite stage certifies the implication even when the full
         chase would diverge).
 
+        ``tick`` is an optional zero-argument cooperative check (a
+        :meth:`~repro.engine.deadline.Deadline.check`, typically),
+        polled before every rule application; whatever it raises
+        propagates with the instance left mid-chase.
+
         The engine's ``strategy`` selects semi-naive (delta-driven,
         the default) or naive (full rescan) evaluation; both apply the
         same rule instances in the same round structure.
         """
         self.rows_scanned = 0
         if self.strategy == "semi-naive":
-            return self._run_semi_naive(instance, max_rounds, max_tuples, goal)
-        return self._run_naive(instance, max_rounds, max_tuples, goal)
+            return self._run_semi_naive(instance, max_rounds, max_tuples,
+                                        goal, tick)
+        return self._run_naive(instance, max_rounds, max_tuples, goal, tick)
 
     def _run_naive(
         self,
@@ -583,6 +594,7 @@ class ChaseEngine:
         max_rounds: int,
         max_tuples: int,
         goal,
+        tick,
     ) -> ChaseOutcome:
         return self._drive(
             instance, max_rounds, max_tuples, goal,
@@ -590,6 +602,7 @@ class ChaseEngine:
             rd_step=lambda _i, rd: self._apply_rd(instance, rd),
             ind_step=lambda _i, ind: self._apply_ind(instance, ind),
             scanned=lambda: self.rows_scanned,
+            tick=tick,
         )
 
     def _run_semi_naive(
@@ -598,6 +611,7 @@ class ChaseEngine:
         max_rounds: int,
         max_tuples: int,
         goal,
+        tick,
     ) -> ChaseOutcome:
         state = _SemiNaiveState(self, instance)
 
@@ -611,6 +625,7 @@ class ChaseEngine:
             rd_step=state.apply_rd,
             ind_step=state.apply_ind,
             scanned=scanned,
+            tick=tick,
         )
 
     def _drive(
@@ -623,6 +638,7 @@ class ChaseEngine:
         rd_step,
         ind_step,
         scanned,
+        tick=None,
     ) -> ChaseOutcome:
         """The round loop both strategies share.
 
@@ -630,7 +646,12 @@ class ChaseEngine:
         engine methods; semi-naive: state methods); ``scanned()``
         reports the work counter.  One driver is what guarantees the
         two strategies fire rules in the same round structure.
+        ``tick`` (when given) is polled before every rule application,
+        bounding the time between cooperative checks by one rule's
+        scan over the instance.
         """
+        if tick is None:
+            tick = _no_tick
         rounds = 0
         if goal is not None and goal(instance):
             return ChaseOutcome(instance, rounds, reached_fixpoint=False,
@@ -643,6 +664,7 @@ class ChaseEngine:
             while equality_changed:
                 equality_changed = False
                 for index, fd in enumerate(self.fds):
+                    tick()
                     try:
                         if fd_step(index, fd):
                             equality_changed = True
@@ -653,6 +675,7 @@ class ChaseEngine:
                             rows_scanned=scanned(),
                         )
                 for index, rd in enumerate(self.rds):
+                    tick()
                     try:
                         if rd_step(index, rd):
                             equality_changed = True
@@ -664,6 +687,7 @@ class ChaseEngine:
                         )
                 changed = changed or equality_changed
             for index, ind in enumerate(self.inds):
+                tick()
                 if ind_step(index, ind):
                     changed = True
             if goal is not None and goal(instance):
@@ -714,11 +738,14 @@ def chase_implies(
     max_rounds: int = 200,
     max_tuples: int = 100_000,
     strategy: str = "semi-naive",
+    tick=None,
 ) -> ImplicationCertificate:
     """Decide ``premises |= target`` (unrestricted) by chasing.
 
     Terminating chases give exact answers; divergence raises
     :class:`ChaseBudgetExceeded`.  The target may be an FD, IND, or RD.
+    ``tick`` (an optional cooperative deadline check) is polled before
+    every rule application; see :meth:`ChaseEngine.run`.
     """
     target.validate(schema)
     engine = ChaseEngine(schema, premises, strategy=strategy)
@@ -746,7 +773,8 @@ def chase_implies(
             return all(inst.same(row1[p], row2[p]) for p in rhs_pos)
 
         outcome = engine.run(
-            instance, max_rounds=max_rounds, max_tuples=max_tuples, goal=fd_goal
+            instance, max_rounds=max_rounds, max_tuples=max_tuples,
+            goal=fd_goal, tick=tick,
         )
         implied = fd_goal(instance)
         return ImplicationCertificate(
@@ -767,7 +795,8 @@ def chase_implies(
             return all(inst.same(row[lp], row[rp]) for lp, rp in pair_pos)
 
         outcome = engine.run(
-            instance, max_rounds=max_rounds, max_tuples=max_tuples, goal=rd_goal
+            instance, max_rounds=max_rounds, max_tuples=max_tuples,
+            goal=rd_goal, tick=tick,
         )
         return ImplicationCertificate(rd_goal(instance), outcome)
 
@@ -787,7 +816,8 @@ def chase_implies(
             )
 
         outcome = engine.run(
-            instance, max_rounds=max_rounds, max_tuples=max_tuples, goal=ind_goal
+            instance, max_rounds=max_rounds, max_tuples=max_tuples,
+            goal=ind_goal, tick=tick,
         )
         return ImplicationCertificate(ind_goal(instance), outcome)
 

@@ -220,6 +220,7 @@ def decide_ind(
     target: IND,
     premises: Premises,
     max_nodes: int = 2_000_000,
+    tick=None,
 ) -> DecisionResult:
     """Decide ``premises |= target`` via expression-graph reachability.
 
@@ -234,11 +235,14 @@ def decide_ind(
     collections keep the early-exit kernel BFS below, which can stop
     after a handful of nodes in graphs whose full closure would blow
     the budget.
+
+    ``tick`` is an optional zero-argument cooperative check (deadline
+    polling), invoked every 256 BFS expansions.
     """
     from repro.core.reach_index import ReachIndex  # deferred: cyclic module pair
 
     if isinstance(premises, ReachIndex):
-        return premises.decide(target, max_nodes=max_nodes)
+        return premises.decide(target, max_nodes=max_nodes, tick=tick)
     kernels = _as_kernels(premises)
     start = intern_expression(expression_of_lhs(target))
     goal = intern_expression(expression_of_rhs(target))
@@ -260,6 +264,8 @@ def decide_ind(
             frontier_peak = len(queue)
         current = queue.popleft()
         explored += 1
+        if tick is not None and not explored & 0xFF:
+            tick()
         if explored > max_nodes:
             raise SearchBudgetExceeded(
                 f"IND decision exceeded {max_nodes} expressions", explored=explored

@@ -54,7 +54,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable, Optional
 
-from repro.exceptions import SearchBudgetExceeded
+from repro.exceptions import DeadlineExceeded, SearchBudgetExceeded
 from repro.deps.ind import IND
 from repro.core.ind_decision import (
     ChainLink,
@@ -161,7 +161,9 @@ class ReachIndex:
         self._footprint.add(expression[0])
         return node
 
-    def ensure_source(self, start: Expression, max_nodes: int = 2_000_000) -> int:
+    def ensure_source(
+        self, start: Expression, max_nodes: int = 2_000_000, tick=None
+    ) -> int:
         """Materialize (if needed) everything reachable from ``start``.
 
         Newly discovered expressions are expanded exhaustively — the
@@ -176,9 +178,11 @@ class ReachIndex:
         Raises :class:`~repro.exceptions.SearchBudgetExceeded` when
         *this call* would materialize more than ``max_nodes`` new
         expressions (the per-question budget contract of
-        :func:`~repro.core.ind_decision.decide_ind`).  The partial
-        expansion is rolled back — previously compiled components
-        survive, and no half-expanded node can ever serve an answer.
+        :func:`~repro.core.ind_decision.decide_ind`).  ``tick`` is an
+        optional cooperative check polled every 256 expansions; a
+        budget overrun or an expired deadline both roll the partial
+        expansion back — previously compiled components survive, and
+        no half-expanded node can ever serve an answer.
         """
         if self._stale():
             self._reset()
@@ -187,8 +191,8 @@ class ReachIndex:
             return node
         first_new = len(self._exprs)
         try:
-            return self._materialize(start, max_nodes)
-        except SearchBudgetExceeded:
+            return self._materialize(start, max_nodes, tick)
+        except (SearchBudgetExceeded, DeadlineExceeded):
             self._rollback(first_new)
             raise
 
@@ -206,13 +210,17 @@ class ReachIndex:
         del self._edges[first_new:]
         self._footprint = {expression[0] for expression in self._exprs}
 
-    def _materialize(self, start: Expression, max_nodes: int) -> int:
+    def _materialize(self, start: Expression, max_nodes: int, tick=None) -> int:
         first_new = len(self._exprs)
         source = self._add_node(start)
         fresh: deque[int] = deque([source])
         bucket = self.kernels.bucket
+        expanded = 0
         while fresh:
             node = fresh.popleft()
+            expanded += 1
+            if tick is not None and not expanded & 0xFF:
+                tick()
             relation, attrs = self._exprs[node]
             edges: list[Edge] = []
             for kernel in bucket(relation):
@@ -328,10 +336,11 @@ class ReachIndex:
         return not self._stale() and start in self._ids
 
     def reachable(
-        self, start: Expression, goal: Expression, max_nodes: int = 2_000_000
+        self, start: Expression, goal: Expression, max_nodes: int = 2_000_000,
+        tick=None,
     ) -> bool:
         """O(1) reachability after compiling ``start``'s component."""
-        source = self.ensure_source(start, max_nodes)
+        source = self.ensure_source(start, max_nodes, tick)
         goal_id = self._ids.get(goal)
         if goal_id is None:
             return False
@@ -339,7 +348,9 @@ class ReachIndex:
             (self._labels[self._scc_of[source]] >> self._scc_of[goal_id]) & 1
         )
 
-    def decide(self, target: IND, max_nodes: int = 2_000_000) -> DecisionResult:
+    def decide(
+        self, target: IND, max_nodes: int = 2_000_000, tick=None
+    ) -> DecisionResult:
         """The Corollary 3.2 decision, served from the compiled index.
 
         Same contract as :func:`~repro.core.ind_decision.decide_ind`;
@@ -360,7 +371,7 @@ class ReachIndex:
                 implied=True, target=target, chain=[start], links=[],
                 explored=1, frontier_peak=1,
             )
-        source = self.ensure_source(start, max_nodes)
+        source = self.ensure_source(start, max_nodes, tick)
         goal_id = self._ids.get(goal)
         if goal_id is None or not (
             (self._labels[self._scc_of[source]] >> self._scc_of[goal_id]) & 1

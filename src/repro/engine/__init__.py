@@ -15,6 +15,7 @@
 """
 
 from repro.engine.answer import Answer, Engine, Semantics
+from repro.engine.deadline import Deadline, coerce_deadline
 from repro.engine.index import MutationDelta, PremiseIndex
 from repro.engine.routing import choose_engine, classify, routing_profile
 from repro.engine.session import CheckReport, ReasoningSession, VerdictFlip
@@ -22,6 +23,8 @@ from repro.engine.session import CheckReport, ReasoningSession, VerdictFlip
 __all__ = [
     "Answer",
     "CheckReport",
+    "Deadline",
+    "coerce_deadline",
     "Engine",
     "MutationDelta",
     "PremiseIndex",

@@ -70,23 +70,32 @@ class Answer:
     derivation for ``fd-closure``, an ``ImplicationCertificate`` for
     ``chase``, a ``UnaryClosure`` for ``finite-unary``, and a formal
     ``Proof``/``FdProof`` for :meth:`ReasoningSession.prove`.
+
+    ``verdict`` is three-valued: ``True``/``False`` are decisions;
+    ``None`` means *unknown* — the question was cut short by a deadline
+    or a resource budget before either answer was certified.  Unknown
+    answers always carry ``degraded=True`` and partial stats describing
+    how far the engine got.
     """
 
-    verdict: bool
+    verdict: Optional[bool]
     target: Dependency
     engine: Engine
     semantics: Semantics = Semantics.UNRESTRICTED
     certificate: Any = None
     proof: Any = None
     cached: bool = False
+    degraded: bool = False
     version: int = 0
     stats: dict[str, Any] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
-        return self.verdict
+        return bool(self.verdict)
 
     @property
     def verdict_word(self) -> str:
+        if self.verdict is None:
+            return "UNKNOWN"
         return "IMPLIED" if self.verdict else "NOT implied"
 
     def describe(self) -> str:
@@ -102,6 +111,8 @@ class Answer:
             extras.append("finite semantics")
         if self.cached:
             extras.append("cached")
+        if self.degraded:
+            extras.append("degraded")
         extras.extend(f"{key}={value}" for key, value in self.stats.items())
         return f"{body}\n  [{', '.join(extras)}]"
 
@@ -117,10 +128,11 @@ class Answer:
 
         payload: dict[str, Any] = {
             "target": str(self.target),
-            "verdict": self.verdict,
+            "verdict": "unknown" if self.verdict is None else self.verdict,
             "engine": self.engine.value,
             "semantics": self.semantics.value,
             "cached": self.cached,
+            "degraded": self.degraded,
             "version": self.version,
             "stats": {key: jsonify(value) for key, value in self.stats.items()},
         }

@@ -1,0 +1,71 @@
+"""Cooperative per-request deadlines.
+
+Mixed FD+IND implication is undecidable, so a chase-routed question is
+bounded only by its round/tuple budgets — which count *work*, not
+*time*.  A :class:`Deadline` adds the wall-clock bound: engines accept
+an optional zero-argument ``tick`` callable and invoke it between
+units of work (chase rule applications, batches of BFS expansions);
+:meth:`Deadline.check` is that callable, raising
+:class:`~repro.exceptions.DeadlineExceeded` once the clock runs out.
+
+The check is deliberately cheap (one ``time.monotonic()`` call and a
+comparison) so engines can afford to poll it often; the engines
+themselves choose granularities coarse enough that polling never shows
+up in profiles (per chase rule application, per 256 BFS pops).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.exceptions import DeadlineExceeded
+
+
+class Deadline:
+    """A monotonic-clock expiry shared by everything one request does."""
+
+    __slots__ = ("started_at", "expires_at")
+
+    def __init__(self, seconds: float):
+        if seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds!r}")
+        self.started_at = time.monotonic()
+        self.expires_at = self.started_at + seconds
+
+    @classmethod
+    def from_ms(cls, milliseconds: float) -> "Deadline":
+        return cls(milliseconds / 1000.0)
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def remaining(self) -> float:
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self) -> None:
+        """The tick callable engines poll; raises when expired."""
+        now = time.monotonic()
+        if now >= self.expires_at:
+            raise DeadlineExceeded(
+                f"deadline of {self.expires_at - self.started_at:.3f}s "
+                f"exceeded after {now - self.started_at:.3f}s",
+                elapsed=now - self.started_at,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+DeadlineLike = Optional[Union["Deadline", int, float]]
+"""What deadline-accepting APIs take: a Deadline, seconds, or None."""
+
+
+def coerce_deadline(deadline: DeadlineLike) -> Optional[Deadline]:
+    """``None`` passes through; numbers become seconds-from-now."""
+    if deadline is None or isinstance(deadline, Deadline):
+        return deadline
+    return Deadline(float(deadline))

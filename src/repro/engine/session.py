@@ -47,7 +47,12 @@ from repro.deps.base import Dependency
 from repro.deps.fd import FD
 from repro.deps.ind import IND
 from repro.deps.parser import parse_dependency
-from repro.exceptions import SearchBudgetExceeded, UnsupportedDependencyError
+from repro.exceptions import (
+    ChaseBudgetExceeded,
+    DeadlineExceeded,
+    SearchBudgetExceeded,
+    UnsupportedDependencyError,
+)
 from repro.model.database import Database
 from repro.model.schema import DatabaseSchema
 from repro.core.fd_closure import closure_derivation
@@ -58,6 +63,7 @@ from repro.core.ind_axioms import check_proof
 from repro.core.ind_decision import DecisionResult, decide_ind, expression_of_lhs
 from repro.core.ind_prover import proof_from_decision
 from repro.engine.answer import Answer, Engine, Semantics, jsonify
+from repro.engine.deadline import DeadlineLike, coerce_deadline
 from repro.engine.index import MutationDelta, PremiseIndex
 from repro.engine.routing import choose_engine, routing_profile
 
@@ -161,6 +167,7 @@ class ReasoningSession:
         self.queries = 0
         self.cache_hits = 0
         self.reach_fallbacks = 0
+        self.degraded_answers = 0
         self.engine_counts: dict[str, int] = {}
         self.discovery = None
 
@@ -326,6 +333,7 @@ class ReasoningSession:
         child.queries = 0
         child.cache_hits = 0
         child.reach_fallbacks = 0
+        child.degraded_answers = 0
         child.engine_counts = {}
         child.discovery = self.discovery
         return child
@@ -359,7 +367,7 @@ class ReasoningSession:
             for target, b, a in zip(coerced, before, after)
         ]
 
-    def _decide_ind(self, target: IND) -> tuple[DecisionResult, bool]:
+    def _decide_ind(self, target: IND, tick=None) -> tuple[DecisionResult, bool]:
         """Decide one IND question from the compiled reach index.
 
         An already-compiled source answers with a bitset membership
@@ -372,9 +380,9 @@ class ReasoningSession:
         reach = self.index.reach_index
         if reach.is_hot(expression_of_lhs(target)):
             self.cache_hits += 1
-            return reach.decide(target, max_nodes=self.max_nodes), True
+            return reach.decide(target, max_nodes=self.max_nodes, tick=tick), True
         try:
-            return reach.decide(target, max_nodes=self.max_nodes), False
+            return reach.decide(target, max_nodes=self.max_nodes, tick=tick), False
         except SearchBudgetExceeded:
             # The source's full closure blows the budget, but the
             # early-exit BFS may still find the goal within it — e.g. a
@@ -383,7 +391,8 @@ class ReasoningSession:
             # compiled components other sources rely on are intact.
             self.reach_fallbacks += 1
             return decide_ind(
-                target, self.index.ind_kernels, max_nodes=self.max_nodes
+                target, self.index.ind_kernels, max_nodes=self.max_nodes,
+                tick=tick,
             ), False
 
     def _unary_closure(self, semantics: Semantics) -> UnaryClosure:
@@ -403,6 +412,9 @@ class ReasoningSession:
         target: Target,
         semantics: Union[Semantics, str] = Semantics.UNRESTRICTED,
         _coerced: bool = False,
+        *,
+        deadline: DeadlineLike = None,
+        degrade: bool = False,
     ) -> Answer:
         """Decide ``Sigma |= target`` with the optimal engine.
 
@@ -411,6 +423,17 @@ class ReasoningSession:
         questions, differ on unary mixed sets (Theorem 4.4), and finite
         implication of non-unary mixed sets raises — it is not even
         recursively enumerable, so there is nothing sound to route to.
+
+        ``deadline`` (a :class:`~repro.engine.deadline.Deadline` or a
+        number of seconds) bounds the wall-clock time the engines may
+        spend: the chase polls it before every rule application, the
+        reach/kernel BFS paths every 256 expansions.  ``degrade``
+        selects what happens when the deadline expires *or* a
+        work budget (chase rounds/tuples, search nodes) runs out:
+        ``False`` (the default, the library contract) re-raises the
+        exception; ``True`` (the serving contract) returns an
+        :class:`Answer` with ``verdict=None``/``degraded=True`` and
+        partial stats instead.
         """
         semantics = Semantics(semantics)
         if not _coerced:
@@ -420,10 +443,66 @@ class ReasoningSession:
         self.engine_counts[engine.value] = (
             self.engine_counts.get(engine.value, 0) + 1
         )
+        deadline = coerce_deadline(deadline)
+        tick = deadline.check if deadline is not None else None
+        try:
+            if tick is not None:
+                tick()
+            return self._dispatch(target, semantics, engine, tick)
+        except (DeadlineExceeded, ChaseBudgetExceeded,
+                SearchBudgetExceeded) as exc:
+            if not degrade:
+                raise
+            return self._degraded_answer(target, semantics, engine, exc,
+                                         deadline)
 
+    def _degraded_answer(
+        self,
+        target: Dependency,
+        semantics: Semantics,
+        engine: Engine,
+        exc: Exception,
+        deadline,
+    ) -> Answer:
+        """The unknown-verdict answer a cut-short question degrades to.
+
+        Carries the partial progress the failed engine reported — how
+        far the chase or search got — so callers can distinguish "barely
+        started" from "almost converged" timeouts.
+        """
+        stats: dict[str, Any]
+        if isinstance(exc, DeadlineExceeded):
+            stats = {"reason": "deadline",
+                     "elapsed_ms": round(exc.elapsed * 1000, 3)}
+        elif isinstance(exc, ChaseBudgetExceeded):
+            stats = {"reason": "chase-budget",
+                     "rounds": exc.rounds, "tuples": exc.tuples}
+        else:
+            assert isinstance(exc, SearchBudgetExceeded)
+            stats = {"reason": "search-budget", "explored": exc.explored}
+        if deadline is not None and "elapsed_ms" not in stats:
+            stats["elapsed_ms"] = round(deadline.elapsed() * 1000, 3)
+        self.degraded_answers += 1
+        return Answer(
+            verdict=None,
+            target=target,
+            engine=engine,
+            semantics=semantics,
+            degraded=True,
+            version=self.version,
+            stats=stats,
+        )
+
+    def _dispatch(
+        self,
+        target: Dependency,
+        semantics: Semantics,
+        engine: Engine,
+        tick,
+    ) -> Answer:
         if engine is Engine.COROLLARY_32:
             assert isinstance(target, IND)
-            result, cached = self._decide_ind(target)
+            result, cached = self._decide_ind(target, tick)
             return Answer(
                 verdict=result.implied,
                 target=target,
@@ -474,6 +553,7 @@ class ReasoningSession:
             target,
             max_rounds=self.max_rounds,
             max_tuples=self.max_tuples,
+            tick=tick,
         )
         return Answer(
             verdict=certificate.implied,
@@ -491,6 +571,9 @@ class ReasoningSession:
         self,
         targets: Iterable[Target],
         semantics: Union[Semantics, str] = Semantics.UNRESTRICTED,
+        *,
+        deadline: DeadlineLike = None,
+        degrade: bool = False,
     ) -> list[Answer]:
         """Batch implication: one answer per target, in order.
 
@@ -501,10 +584,17 @@ class ReasoningSession:
         or not — is a bitset hit.  Asking N questions therefore costs
         one compilation plus N O(1) lookups, far less than N
         independent calls to the free functions.
+
+        ``deadline`` is shared by the whole batch (one clock, not one
+        per target); with ``degrade=True`` the targets the clock ran
+        out on come back as unknown-verdict answers while already
+        decided ones keep their real verdicts.
         """
         coerced = [self._coerce(target) for target in targets]
+        deadline = coerce_deadline(deadline)
         return [
-            self.implies(target, semantics, _coerced=True)
+            self.implies(target, semantics, _coerced=True,
+                         deadline=deadline, degrade=degrade)
             for target in coerced
         ]
 
@@ -621,6 +711,7 @@ class ReasoningSession:
             "queries": self.queries,
             "reach_cache_hits": self.cache_hits,
             "reach_fallbacks": self.reach_fallbacks,
+            "degraded_answers": self.degraded_answers,
             "engines": dict(self.engine_counts),
             "routing": routing_profile(self.index),
             **self.index.stats(),

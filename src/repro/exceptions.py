@@ -61,6 +61,22 @@ class ChaseBudgetExceeded(ReproError):
         self.tuples = tuples
 
 
+class DeadlineExceeded(ReproError):
+    """A cooperative per-request deadline expired mid-computation.
+
+    Long-running engines (the chase round loop, the reach-index
+    materialization BFS, the kernel BFS) poll a caller-provided check
+    between units of work; when the wall-clock budget runs out the
+    check raises this instead of letting an undecidable question hold
+    the caller indefinitely.  Serving callers convert it into a
+    degraded ``verdict="unknown"`` answer rather than an error.
+    """
+
+    def __init__(self, message: str, elapsed: float = 0.0):
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
 class SearchBudgetExceeded(ReproError):
     """An exact search (expression-graph BFS, model search) exceeded its
     node budget.

@@ -257,7 +257,14 @@ def patch_from_json(
     an object, only ``add``/``retract`` keys are allowed, and every
     entry must parse and be well-formed over ``schema``.
     """
-    payload = json.loads(text)
+    return patch_from_payload(json.loads(text), schema)
+
+
+def patch_from_payload(
+    payload: Any, schema: DatabaseSchema
+) -> tuple[list[Dependency], list[Dependency]]:
+    """Validate an already-decoded patch payload (what the serving
+    layer's write-ahead log records and replays on recovery)."""
     if not isinstance(payload, dict):
         raise ParseError(
             f"patch must be a JSON object, got {type(payload).__name__}"

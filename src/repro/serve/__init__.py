@@ -5,13 +5,18 @@ A stdlib-only asyncio HTTP/JSON server over named
 serving-specific mechanisms: per-tick request coalescing
 (:mod:`~repro.serve.coalescer`) and a structural-hash LRU that lets
 identical tenants share compiled indexes copy-on-write
-(:mod:`~repro.serve.registry`).  Start one from the command line with
-``repro serve``, from tests with :class:`BackgroundServer`, and talk
-to it with :class:`ServeClient` or ``repro call``.
+(:mod:`~repro.serve.registry`).  Crash safety comes from a per-tenant
+write-ahead log plus periodic snapshots (:mod:`~repro.serve.wal`,
+enabled with ``repro serve --state-dir``), exercised by the named
+fault points of :mod:`~repro.serve.faults`.  Start one from the
+command line with ``repro serve``, from tests with
+:class:`BackgroundServer`, and talk to it with :class:`ServeClient`
+or ``repro call``.
 """
 
 from repro.serve.client import ServeClient
 from repro.serve.coalescer import Coalescer
+from repro.serve.faults import FAULT_POINTS, FaultInjector, NO_FAULTS
 from repro.serve.protocol import ProtocolError, Request, ServeError
 from repro.serve.registry import (
     ArtifactCache,
@@ -23,17 +28,24 @@ from repro.serve.server import (
     ReasoningServer,
     serve_main,
 )
+from repro.serve.wal import StateDir, TenantStore, WalCorruption
 
 __all__ = [
     "ArtifactCache",
     "BackgroundServer",
     "Coalescer",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "NO_FAULTS",
     "ProtocolError",
     "ReasoningServer",
     "Request",
     "ServeClient",
     "ServeError",
+    "StateDir",
     "Tenant",
     "TenantRegistry",
+    "TenantStore",
+    "WalCorruption",
     "serve_main",
 ]

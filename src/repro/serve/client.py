@@ -7,17 +7,41 @@ keep-alive connection; methods mirror the server's routes and return
 the decoded JSON payload.  Non-2xx responses raise
 :class:`~repro.serve.protocol.ServeError` carrying the server's status
 and message, so callers see the same exception type the server raised.
+
+Transport failures — a stale keep-alive the server closed between
+calls, a connection dropped mid-response, a refused connect while the
+server restarts — are retried with capped exponential backoff plus
+jitter (``retries`` attempts after the first, sleeping
+``backoff_base * 2**attempt`` up to ``backoff_max``, each sleep
+multiplied by a random jitter factor so a fleet of recovering clients
+does not reconnect in lockstep).  HTTP *error responses* are never
+retried: the server spoke, the answer stands.
+
+Retrying a mutation is only safe if it cannot double-apply, so
+:meth:`add` and :meth:`retract` attach a generated UUID idempotency
+``key`` (or the caller's own) — the server records the key's result in
+the tenant WAL, and a retry of an already-applied mutation replays the
+recorded result instead of mutating again, even across a server crash
+and restart.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Optional
+import random
+import time
+import uuid
+from typing import Any, Callable, Optional
 
 from repro.serve.protocol import ServeError
 
 DEFAULT_TIMEOUT = 30.0
+DEFAULT_RETRIES = 3
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_BACKOFF_MAX = 2.0
+
+_RETRYABLE = (http.client.HTTPException, ConnectionError, OSError)
 
 
 class ServeClient:
@@ -28,10 +52,25 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: int = 8765,
         timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_max: float = DEFAULT_BACKOFF_MAX,
+        jitter: bool = True,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self.retried = 0
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- transport ---------------------------------------------------------
@@ -43,6 +82,19 @@ class ServeClient:
             )
         return self._conn
 
+    def _backoff(self, attempt: int) -> float:
+        """Sleep length before retry ``attempt`` (0-based).
+
+        The first retry is near-immediate — the common case is a stale
+        keep-alive socket, where reconnecting at once succeeds — and
+        later ones back off exponentially to ``backoff_max`` with a
+        0.5-1.0 jitter factor.
+        """
+        delay = min(self.backoff_base * (2 ** attempt), self.backoff_max)
+        if self.jitter:
+            delay *= 0.5 + 0.5 * self._rng.random()
+        return delay
+
     def request(
         self,
         method: str,
@@ -51,25 +103,29 @@ class ServeClient:
     ) -> dict[str, Any]:
         """One round trip; raises :class:`ServeError` on error payloads.
 
-        Retries once on a stale keep-alive connection (the server may
-        have closed it between calls), never on fresh ones.
+        Connection-level failures are retried ``self.retries`` times
+        with exponential backoff; the last failure propagates.
         """
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        for attempt in (0, 1):
+        for attempt in range(self.retries + 1):
             conn = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
                 break
-            except (http.client.HTTPException, ConnectionError, OSError):
+            except _RETRYABLE:
                 self.close()
-                if attempt:
+                if attempt >= self.retries:
                     raise
+                self.retried += 1
+                delay = self._backoff(attempt)
+                if delay > 0:
+                    self._sleep(delay)
         try:
             decoded = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
@@ -118,11 +174,15 @@ class ServeClient:
         return self.request("GET", "/tenants")["tenants"]
 
     def create_tenant(
-        self, name: str, bundle: dict[str, Any]
+        self,
+        name: str,
+        bundle: dict[str, Any],
+        options: Optional[dict[str, int]] = None,
     ) -> dict[str, Any]:
-        return self.request(
-            "POST", "/tenants", {"name": name, "bundle": bundle}
-        )
+        payload: dict[str, Any] = {"name": name, "bundle": bundle}
+        if options is not None:
+            payload["options"] = options
+        return self.request("POST", "/tenants", payload)
 
     def tenant_stats(self, name: str) -> dict[str, Any]:
         return self.request("GET", f"/tenants/{name}/stats")
@@ -137,11 +197,13 @@ class ServeClient:
         tenant: str,
         target: str,
         semantics: str = "unrestricted",
+        deadline_ms: Optional[float] = None,
     ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"target": target, "semantics": semantics}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
         return self.request(
-            "POST",
-            f"/tenants/{tenant}/implies",
-            {"target": target, "semantics": semantics},
+            "POST", f"/tenants/{tenant}/implies", payload
         )
 
     def implies_all(
@@ -149,23 +211,43 @@ class ServeClient:
         tenant: str,
         targets: list[str],
         semantics: str = "unrestricted",
+        deadline_ms: Optional[float] = None,
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"targets": targets, "semantics": semantics}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.request(
+            "POST", f"/tenants/{tenant}/implies_all", payload
+        )
+
+    def add(
+        self,
+        tenant: str,
+        dependencies: list[str],
+        key: Optional[str] = None,
     ) -> dict[str, Any]:
         return self.request(
             "POST",
-            f"/tenants/{tenant}/implies_all",
-            {"targets": targets, "semantics": semantics},
+            f"/tenants/{tenant}/add",
+            {
+                "dependencies": dependencies,
+                "key": key if key is not None else str(uuid.uuid4()),
+            },
         )
 
-    def add(self, tenant: str, dependencies: list[str]) -> dict[str, Any]:
-        return self.request(
-            "POST", f"/tenants/{tenant}/add", {"dependencies": dependencies}
-        )
-
-    def retract(self, tenant: str, dependencies: list[str]) -> dict[str, Any]:
+    def retract(
+        self,
+        tenant: str,
+        dependencies: list[str],
+        key: Optional[str] = None,
+    ) -> dict[str, Any]:
         return self.request(
             "POST",
             f"/tenants/{tenant}/retract",
-            {"dependencies": dependencies},
+            {
+                "dependencies": dependencies,
+                "key": key if key is not None else str(uuid.uuid4()),
+            },
         )
 
     def whatif(

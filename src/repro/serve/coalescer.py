@@ -31,27 +31,37 @@ tasks, and the property tests from scripted interleavings.
 from __future__ import annotations
 
 import asyncio
-from typing import Union
+from typing import Optional, Union
 
 from repro.deps.base import Dependency
 from repro.engine.answer import Answer, Semantics
+from repro.engine.deadline import Deadline, DeadlineLike, coerce_deadline
 from repro.engine.session import ReasoningSession
 
 _BatchKey = tuple[str, Semantics]
 
 
 class Coalescer:
-    """Batches one tenant's concurrent implication requests per tick."""
+    """Batches one tenant's concurrent implication requests per tick.
 
-    def __init__(self, session: ReasoningSession):
+    With ``degrade=True`` (the serving default) a decision that blows
+    its deadline or an engine budget resolves to a *degraded*
+    ``verdict=None`` answer instead of raising — overload shows up as
+    an honest "unknown", not a 4xx/5xx.
+    """
+
+    def __init__(self, session: ReasoningSession, degrade: bool = False):
         self.session = session
+        self.degrade = degrade
         self._pending: dict[_BatchKey, asyncio.Future] = {}
+        self._deadlines: dict[_BatchKey, Optional[Deadline]] = {}
         self._pending_count = 0
         self._flush_scheduled = False
         self.requests = 0
         self.batches = 0
         self.unique_decides = 0
         self.barrier_flushes = 0
+        self.degraded = 0
 
     # -- the request side --------------------------------------------------
 
@@ -59,16 +69,22 @@ class Coalescer:
         self,
         target: Union[Dependency, str],
         semantics: Union[Semantics, str] = Semantics.UNRESTRICTED,
+        deadline: DeadlineLike = None,
     ) -> "asyncio.Future[Answer]":
         """Enqueue one ``implies`` question; resolves on the next tick.
 
         Requests submitted before the flush runs join the same batch;
         textually identical targets under the same semantics share *one
         future* (and therefore one parse, one decision, and one
-        :class:`Answer` object).  Must be called on a running event
-        loop.
+        :class:`Answer` object).  When coalesced requests carry
+        different deadlines the shared decision runs under the most
+        generous one — no deadline at all if any request had none,
+        otherwise the latest expiry — so no caller gets a degraded
+        answer because a stranger's tighter deadline rode along.  Must
+        be called on a running event loop.
         """
         semantics = Semantics(semantics)
+        deadline = coerce_deadline(deadline)
         key = (str(target) if isinstance(target, Dependency) else target,
                semantics)
         future = self._pending.get(key)
@@ -76,9 +92,16 @@ class Coalescer:
             loop = asyncio.get_running_loop()
             future = loop.create_future()
             self._pending[key] = future
+            self._deadlines[key] = deadline
             if not self._flush_scheduled:
                 self._flush_scheduled = True
                 loop.call_soon(self.flush)
+        else:
+            merged = self._deadlines.get(key)
+            if merged is not None and (
+                deadline is None or deadline.expires_at > merged.expires_at
+            ):
+                self._deadlines[key] = deadline
         self.requests += 1
         self._pending_count += 1
         return future
@@ -97,6 +120,7 @@ class Coalescer:
         if not self._pending:
             return
         pending, self._pending = self._pending, {}
+        deadlines, self._deadlines = self._deadlines, {}
         self._pending_count = 0
         self.batches += 1
         session = self.session
@@ -105,11 +129,17 @@ class Coalescer:
                 continue
             try:
                 target = session._coerce(text)
-                answer = session.implies(target, semantics, _coerced=True)
+                answer = session.implies(
+                    target, semantics, _coerced=True,
+                    deadline=deadlines.get((text, semantics)),
+                    degrade=self.degrade,
+                )
             except Exception as exc:  # noqa: BLE001 - fanned to callers
                 future.set_exception(exc)
                 continue
             self.unique_decides += 1
+            if answer.degraded:
+                self.degraded += 1
             future.set_result(answer)
 
     def barrier(self) -> None:
@@ -137,4 +167,5 @@ class Coalescer:
             "deduplicated": self.deduplicated,
             "barrier_flushes": self.barrier_flushes,
             "pending": self._pending_count,
+            "degraded": self.degraded,
         }

@@ -29,13 +29,66 @@ from typing import Any, Iterable, Optional
 from repro.deps.base import Dependency
 from repro.engine.answer import Semantics
 from repro.engine.session import ReasoningSession
-from repro.io import bundle_from_payload
+from repro.io import (
+    bundle_from_payload,
+    database_to_dict,
+    patch_from_payload,
+    schema_to_dict,
+)
 from repro.model.database import Database
 from repro.model.schema import DatabaseSchema
 from repro.serve.coalescer import Coalescer
 from repro.serve.protocol import ServeError
+from repro.serve.wal import (
+    DEFAULT_SNAPSHOT_EVERY,
+    StateDir,
+    TenantStore,
+    WalCorruption,
+)
 
 DEFAULT_LRU_CAPACITY = 32
+
+SESSION_OPTION_KEYS = ("max_nodes", "max_rounds", "max_tuples")
+"""The engine budgets a tenant-create request may override."""
+
+
+def session_options_of(payload: Any) -> dict[str, int]:
+    """Validate a wire/snapshot ``options`` object (budget whitelist)."""
+    if payload is None:
+        return {}
+    if not isinstance(payload, dict):
+        raise ServeError(
+            400, f"'options' must be a JSON object, got "
+                 f"{type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - set(SESSION_OPTION_KEYS))
+    if unknown:
+        raise ServeError(
+            400,
+            f"unknown session option(s) {', '.join(map(repr, unknown))}; "
+            f"expected only {', '.join(map(repr, SESSION_OPTION_KEYS))}",
+        )
+    options: dict[str, int] = {}
+    for key, value in payload.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ServeError(
+                400, f"option {key!r} must be a positive integer, got "
+                     f"{value!r}"
+            )
+        options[key] = value
+    return options
+
+
+def bundle_payload_of(session: ReasoningSession) -> dict[str, Any]:
+    """The canonical :mod:`repro.io` bundle of a live session — what
+    snapshots persist and recovery reloads."""
+    payload: dict[str, Any] = {
+        "schema": schema_to_dict(session.schema),
+        "dependencies": [str(dep) for dep in session.dependencies],
+    }
+    if session.db is not None:
+        payload["database"] = database_to_dict(session.db)
+    return payload
 
 
 class ArtifactCache:
@@ -93,30 +146,92 @@ class ArtifactCache:
 
 
 class Tenant:
-    """One named session behind the server, with its coalescer."""
+    """One named session behind the server, with its coalescer.
 
-    def __init__(self, name: str, session: ReasoningSession,
-                 shared_artifacts: bool = False):
+    When the server runs with ``--state-dir`` the tenant also owns a
+    :class:`~repro.serve.wal.TenantStore`: every applied mutation is
+    WAL-appended before the caller sees its result, and every
+    ``snapshot_every`` appends the full premise bundle is checkpointed
+    and the WAL truncated.  Idempotency keys dedup retried mutations —
+    against the store's persisted key map when durable, an in-memory
+    map otherwise.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        session: ReasoningSession,
+        shared_artifacts: bool = False,
+        store: Optional[TenantStore] = None,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        options: Optional[dict[str, int]] = None,
+    ):
         self.name = name
         self.session = session
-        self.coalescer = Coalescer(session)
+        self.coalescer = Coalescer(session, degrade=True)
         self.shared_artifacts = shared_artifacts
+        self.store = store
+        self.snapshot_every = snapshot_every
+        self.options = dict(options or {})
+        self.applied: dict[str, dict[str, Any]] = (
+            store.applied if store is not None else {}
+        )
+        self.replayed_mutations = 0
 
-    def mutate(self, kind: str, dependencies: Iterable[str]) -> dict[str, Any]:
-        """Ordered ``add``/``retract`` through the coalescing barrier."""
+    def mutate(
+        self,
+        kind: str,
+        dependencies: Iterable[str],
+        key: Optional[str] = None,
+    ) -> dict[str, Any]:
+        """Ordered ``add``/``retract`` through the coalescing barrier.
+
+        With an idempotency ``key``, a repeat of an already-applied
+        mutation returns the recorded result without touching the
+        session — the server half of the exactly-once retry contract.
+        Durable tenants WAL-append the patch (fsync'd) before
+        returning, so an acknowledged mutation survives a crash.
+        """
         deps = list(dependencies)
         if not deps:
             raise ServeError(400, f"{kind} needs at least one dependency")
+        if key is not None:
+            if not isinstance(key, str) or not key:
+                raise ServeError(400, "'key' must be a non-empty string")
+            replay = self.applied.get(key)
+            if replay is not None:
+                self.replayed_mutations += 1
+                return {**replay, "idempotent_replay": True}
+        coerced = self.session._coerce_many(deps)
         self.coalescer.barrier()
         if kind == "add":
-            delta = self.session.add(deps)
+            delta = self.session.add(coerced)
         else:
-            delta = self.session.retract(deps)
-        return {
+            delta = self.session.retract(coerced)
+        result = {
             "version": self.session.version,
             "added": [str(dep) for dep in delta.added],
             "removed": [str(dep) for dep in delta.removed],
         }
+        if self.store is not None:
+            patch = {kind: [str(dep) for dep in coerced]}
+            result["seq"] = self.store.append(patch, key=key, result=result)
+            if self.store.appends_since_snapshot >= self.snapshot_every:
+                self.checkpoint()
+        elif key is not None:
+            self.applied[key] = result
+        return result
+
+    def checkpoint(self) -> None:
+        """Snapshot the live session's premise bundle; truncates the WAL."""
+        if self.store is None:
+            return
+        self.store.write_snapshot(
+            self.name,
+            bundle_payload_of(self.session),
+            self.session.premise_hash,
+            options=self.options,
+        )
 
     async def whatif_async(
         self,
@@ -175,15 +290,93 @@ class Tenant:
         payload["shared_artifacts"] = self.shared_artifacts
         payload["premises"] = len(self.session.dependencies)
         payload["coalescer"] = self.coalescer.stats()
+        payload["replayed_mutations"] = self.replayed_mutations
+        if self.options:
+            payload["options"] = dict(self.options)
+        if self.store is not None:
+            payload["wal"] = self.store.stats()
         return payload
 
 
 class TenantRegistry:
-    """Every named tenant the server knows, plus the artifact LRU."""
+    """Every named tenant the server knows, plus the artifact LRU.
 
-    def __init__(self, artifact_capacity: int = DEFAULT_LRU_CAPACITY):
+    With a :class:`~repro.serve.wal.StateDir` the registry is durable:
+    tenants persisted in an earlier process are recovered in
+    ``__init__`` (snapshot bundle reloaded, ``premise_hash`` verified,
+    WAL tail replayed), and create/drop write through to disk.
+    """
+
+    def __init__(
+        self,
+        artifact_capacity: int = DEFAULT_LRU_CAPACITY,
+        state_dir: Optional[StateDir] = None,
+    ):
         self.tenants: dict[str, Tenant] = {}
         self.artifacts = ArtifactCache(artifact_capacity)
+        self.state_dir = state_dir
+        self.recovered_tenants = 0
+        self.replayed_records = 0
+        if state_dir is not None:
+            self._recover()
+
+    def _recover(self) -> None:
+        """Rebuild every persisted tenant from its snapshot + WAL tail.
+
+        The snapshot's ``premise_hash`` is checked against the freshly
+        built session *before* the tail replays — a mismatch means the
+        snapshot no longer describes the state it claims to, and
+        replaying mutations on top would silently compound the damage.
+        """
+        for name, store, snapshot, tail in self.state_dir.recover():
+            try:
+                schema, dependencies, db = bundle_from_payload(
+                    snapshot.get("bundle") or {}
+                )
+            except Exception as exc:
+                store.close()
+                raise WalCorruption(
+                    f"tenant {name!r}: snapshot bundle failed to load: {exc}"
+                )
+            options = session_options_of(snapshot.get("options") or None)
+            session = ReasoningSession(
+                schema, dependencies, db=db, **options
+            )
+            expected = snapshot.get("premise_hash")
+            if expected and session.premise_hash != expected:
+                store.close()
+                raise WalCorruption(
+                    f"tenant {name!r}: snapshot premise_hash {expected} "
+                    f"does not match the rebuilt session "
+                    f"({session.premise_hash}); refusing to replay its WAL"
+                )
+            shared = self.artifacts.adopt_into(session)
+            for record in tail:
+                try:
+                    add, retract = patch_from_payload(
+                        record.get("patch"), schema
+                    )
+                except Exception as exc:
+                    store.close()
+                    raise WalCorruption(
+                        f"tenant {name!r}: WAL record seq "
+                        f"{record.get('seq')} failed to replay: {exc}"
+                    )
+                if retract:
+                    session.retract(retract)
+                if add:
+                    session.add(add)
+                self.replayed_records += 1
+            tenant = Tenant(
+                name,
+                session,
+                shared_artifacts=shared,
+                store=store,
+                snapshot_every=self.state_dir.snapshot_every,
+                options=options,
+            )
+            self.tenants[name] = tenant
+            self.recovered_tenants += 1
 
     def create(
         self,
@@ -191,22 +384,52 @@ class TenantRegistry:
         schema: DatabaseSchema,
         dependencies: Iterable[Dependency] = (),
         db: Optional[Database] = None,
+        options: Optional[dict[str, int]] = None,
         **session_options: Any,
     ) -> Tenant:
-        """Register a new tenant; adopts shared artifacts when possible."""
+        """Register a new tenant; adopts shared artifacts when possible.
+
+        ``options`` is the whitelisted budget dict (persisted with the
+        snapshot when durable); extra ``session_options`` are trusted
+        caller overrides that are *not* persisted.
+        """
         if not name:
             raise ServeError(400, "tenant name must be non-empty")
         if name in self.tenants:
             raise ServeError(409, f"tenant {name!r} already exists")
-        session = ReasoningSession(
-            schema, dependencies, db=db, **session_options
-        )
+        options = dict(options or {})
+        merged = {**options, **session_options}
+        session = ReasoningSession(schema, dependencies, db=db, **merged)
         shared = self.artifacts.adopt_into(session)
-        tenant = Tenant(name, session, shared_artifacts=shared)
+        store = None
+        if self.state_dir is not None:
+            store = self.state_dir.create_tenant(
+                name,
+                bundle_payload_of(session),
+                session.premise_hash,
+                options=options,
+            )
+        tenant = Tenant(
+            name,
+            session,
+            shared_artifacts=shared,
+            store=store,
+            snapshot_every=(
+                self.state_dir.snapshot_every
+                if self.state_dir is not None
+                else DEFAULT_SNAPSHOT_EVERY
+            ),
+            options=options,
+        )
         self.tenants[name] = tenant
         return tenant
 
-    def create_from_bundle(self, name: str, bundle: dict[str, Any]) -> Tenant:
+    def create_from_bundle(
+        self,
+        name: str,
+        bundle: dict[str, Any],
+        options: Any = None,
+    ) -> Tenant:
         """Register a tenant from a :mod:`repro.io` bundle payload."""
         if not isinstance(bundle, dict):
             raise ServeError(
@@ -215,7 +438,10 @@ class TenantRegistry:
                 f"{type(bundle).__name__}",
             )
         schema, dependencies, db = bundle_from_payload(bundle)
-        return self.create(name, schema, dependencies, db=db)
+        return self.create(
+            name, schema, dependencies, db=db,
+            options=session_options_of(options),
+        )
 
     def get(self, name: str) -> Tenant:
         tenant = self.tenants.get(name)
@@ -225,12 +451,36 @@ class TenantRegistry:
 
     def drop(self, name: str) -> None:
         """Forget a tenant (its artifacts may stay cached as a donor)."""
-        if name not in self.tenants:
+        tenant = self.tenants.get(name)
+        if tenant is None:
             raise ServeError(404, f"no tenant named {name!r}")
+        if tenant.store is not None:
+            tenant.store.close()
+        if self.state_dir is not None:
+            self.state_dir.drop_tenant(name)
         del self.tenants[name]
 
+    def checkpoint_all(self) -> int:
+        """Snapshot every durable tenant (graceful-shutdown hook)."""
+        count = 0
+        for tenant in self.tenants.values():
+            if tenant.store is not None:
+                tenant.checkpoint()
+                count += 1
+        return count
+
+    def close(self) -> None:
+        for tenant in self.tenants.values():
+            if tenant.store is not None:
+                tenant.store.close()
+
     def stats(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "tenants": len(self.tenants),
             "artifact_cache": self.artifacts.stats(),
         }
+        if self.state_dir is not None:
+            payload["state_dir"] = self.state_dir.stats()
+            payload["recovered_tenants"] = self.recovered_tenants
+            payload["replayed_records"] = self.replayed_records
+        return payload

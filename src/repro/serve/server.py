@@ -39,7 +39,9 @@ import threading
 from typing import Any, Optional
 
 from repro.engine.answer import Semantics
+from repro.engine.deadline import Deadline
 from repro.exceptions import ReproError
+from repro.serve.faults import DROP_CONNECTION, NO_FAULTS, FaultInjector
 from repro.serve.protocol import (
     Request,
     ServeError,
@@ -84,6 +86,15 @@ def _string_list(body: dict[str, Any], key: str) -> list[str]:
     return value
 
 
+def _key_of(body: dict[str, Any]) -> Optional[str]:
+    key = body.get("key")
+    if key is None:
+        return None
+    if not isinstance(key, str) or not key:
+        raise ServeError(400, "'key' must be a non-empty string")
+    return key
+
+
 class ReasoningServer:
     """One listening socket over one :class:`TenantRegistry`."""
 
@@ -93,15 +104,40 @@ class ReasoningServer:
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         grace: float = DEFAULT_GRACE,
+        default_deadline: Optional[float] = None,
+        faults: FaultInjector = NO_FAULTS,
     ):
         self.registry = registry if registry is not None else TenantRegistry()
         self.host = host
         self.port = port
         self.grace = grace
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be positive, got {default_deadline}"
+            )
+        self.default_deadline = default_deadline
+        self.faults = faults
         self.requests_served = 0
+        self.degraded_answers = 0
+        self.dropped_connections = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._conn_states: dict[asyncio.Task, _ConnState] = {}
+
+    def _deadline_of(self, body: dict[str, Any]) -> Optional[Deadline]:
+        """The request's deadline: per-request ``deadline_ms`` wins,
+        otherwise the server-wide ``--default-deadline`` (if any)."""
+        raw = body.get("deadline_ms")
+        if raw is None:
+            if self.default_deadline is None:
+                return None
+            return Deadline(self.default_deadline)
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)) \
+                or raw <= 0:
+            raise ServeError(
+                400, f"'deadline_ms' must be a positive number, got {raw!r}"
+            )
+        return Deadline.from_ms(raw)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -129,10 +165,18 @@ class ReasoningServer:
                 pass
 
     async def run_until_shutdown(self) -> None:
-        """Serve until :meth:`begin_shutdown`, then drain and return."""
+        """Serve until :meth:`begin_shutdown`, then drain and return.
+
+        A durable registry is checkpointed after the drain, so a
+        *graceful* shutdown leaves empty WALs and the next boot replays
+        nothing (only crashes pay tail replay).
+        """
         assert self._shutdown is not None, "call start() first"
         await self._shutdown.wait()
         await self._drain()
+        if self.registry.state_dir is not None:
+            self.registry.checkpoint_all()
+            self.registry.close()
 
     async def _drain(self) -> None:
         """Stop accepting, finish in-flight requests, close the rest."""
@@ -181,6 +225,18 @@ class ReasoningServer:
                 if request is None:
                     break
                 status, payload = await self._safe_dispatch(request)
+                if self.faults.trip(DROP_CONNECTION):
+                    # What a dying peer looks like from the client side:
+                    # headers promise a body, a few bytes arrive, then
+                    # the socket slams shut mid-response.
+                    self.dropped_connections += 1
+                    writer.write(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: 4096\r\n\r\n{\"tr"
+                    )
+                    await writer.drain()
+                    break
                 closing = (
                     not request.keep_alive
                     or (self._shutdown is not None and self._shutdown.is_set())
@@ -200,6 +256,9 @@ class ReasoningServer:
         self, request: Request
     ) -> tuple[int, dict[str, Any]]:
         try:
+            delay = self.faults.latency_seconds()
+            if delay > 0:
+                await asyncio.sleep(delay)
             return 200, await self._dispatch(request)
         except ServeError as exc:
             return exc.status, error_payload(exc.status, str(exc))
@@ -255,7 +314,7 @@ class ReasoningServer:
             if not isinstance(name, str) or not name:
                 raise ServeError(400, "'name' must be a non-empty string")
             tenant = self.registry.create_from_bundle(
-                name, body.get("bundle", {})
+                name, body.get("bundle", {}), options=body.get("options")
             )
             session = tenant.session
             return {
@@ -291,27 +350,39 @@ class ReasoningServer:
             if not isinstance(target, str) or not target:
                 raise ServeError(400, "'target' must be a DSL string")
             answer = await tenant.coalescer.submit(
-                target, _semantics_of(body)
+                target, _semantics_of(body), deadline=self._deadline_of(body)
             )
+            if answer.degraded:
+                self.degraded_answers += 1
             return answer.to_json()
         if op == "implies_all":
             targets = _string_list(body, "targets")
             if not targets:
                 raise ServeError(400, "'targets' must be non-empty")
             semantics = _semantics_of(body)
+            deadline = self._deadline_of(body)
             futures = [
-                tenant.coalescer.submit(target, semantics)
+                tenant.coalescer.submit(target, semantics, deadline=deadline)
                 for target in targets
             ]
             answers = await asyncio.gather(*futures)
-            implied = sum(answer.verdict for answer in answers)
+            degraded = sum(answer.degraded for answer in answers)
+            self.degraded_answers += degraded
             return {
                 "answers": [answer.to_json() for answer in answers],
-                "implied": implied,
+                "implied": sum(
+                    answer.verdict is True for answer in answers
+                ),
+                "unknown": sum(
+                    answer.verdict is None for answer in answers
+                ),
+                "degraded": degraded,
                 "total": len(answers),
             }
         if op in ("add", "retract"):
-            return tenant.mutate(op, _string_list(body, "dependencies"))
+            return tenant.mutate(
+                op, _string_list(body, "dependencies"), key=_key_of(body)
+            )
         if op == "whatif":
             return await tenant.whatif_async(
                 _string_list(body, "targets"),
@@ -331,10 +402,12 @@ class ReasoningServer:
     # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        return {
+        payload = {
             "ok": True,
             "draining": bool(self._shutdown and self._shutdown.is_set()),
             "requests_served": self.requests_served,
+            "degraded_answers": self.degraded_answers,
+            "default_deadline": self.default_deadline,
             "connections": len(self._conn_states),
             **self.registry.stats(),
             "tenant_stats": {
@@ -342,6 +415,11 @@ class ReasoningServer:
                 for name, tenant in self.registry.tenants.items()
             },
         }
+        if self.faults:
+            payload["faults"] = self.faults.stats()
+        if self.dropped_connections:
+            payload["dropped_connections"] = self.dropped_connections
+        return payload
 
 
 async def serve_main(server: ReasoningServer, announce: bool = True) -> int:
@@ -376,9 +454,12 @@ class BackgroundServer:
         host: str = DEFAULT_HOST,
         port: int = 0,
         grace: float = DEFAULT_GRACE,
+        default_deadline: Optional[float] = None,
+        faults: FaultInjector = NO_FAULTS,
     ):
         self.server = ReasoningServer(
-            registry, host=host, port=port, grace=grace
+            registry, host=host, port=port, grace=grace,
+            default_deadline=default_deadline, faults=faults,
         )
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -417,10 +498,22 @@ class BackgroundServer:
         asyncio.run(main())
 
     def stop(self, timeout: float = 30.0) -> None:
+        """Drain and join the server thread.
+
+        Raises :class:`RuntimeError` if the thread is still alive after
+        ``timeout`` — a silently leaked daemon thread keeps serving the
+        port and poisons whatever the caller does next, so a failed
+        join must be loud, never swallowed.
+        """
         if self._loop is not None and self._thread is not None:
             if self._thread.is_alive():
                 self._loop.call_soon_threadsafe(self.server.begin_shutdown)
             self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    f"background server thread failed to stop within "
+                    f"{timeout}s; it is still serving on port {self.port}"
+                )
 
     def __enter__(self) -> "BackgroundServer":
         return self.start()

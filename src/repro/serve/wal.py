@@ -1,0 +1,350 @@
+"""Per-tenant durability: a write-ahead log plus periodic snapshots.
+
+The serving layer's tenants are long-lived in-memory
+:class:`~repro.engine.session.ReasoningSession` objects; this module
+makes their premise *mutations* survive a crash.  The design is the
+textbook WAL/checkpoint pair, scaled to the workload (premise sets are
+small, mutations are rare relative to reads):
+
+* every applied ``add``/``retract`` appends one JSONL record to the
+  tenant's ``wal.jsonl`` — the mutation itself in :mod:`repro.io`'s
+  patch format, a monotonically increasing ``seq``, the optional client
+  idempotency ``key``, and the result payload the client was (or will
+  be) told — and the line is flushed and fsync'd before the server
+  responds, so an acknowledged mutation is on disk;
+* every ``snapshot_every`` appends (and at tenant creation) the full
+  premise bundle is checkpointed to ``snapshot.json`` — written to a
+  temp file, fsync'd, and atomically renamed — together with the
+  session's ``premise_hash``, the WAL ``seq`` the snapshot covers, and
+  the recent idempotency-key results; the WAL is then truncated.
+
+Recovery (:meth:`StateDir.recover` + the registry's replay) rebuilds
+each tenant by loading the snapshot bundle and re-applying the WAL
+tail — only records with ``seq`` greater than the snapshot's, so a
+crash *between* the snapshot rename and the WAL truncation replays
+nothing twice.  The recovered session's ``premise_hash`` is compared
+against the snapshot's as a corruption check.
+
+Idempotency keys make retried mutations exactly-once across crashes: a
+key seen in the snapshot map or the replayed tail short-circuits to
+the recorded result instead of re-applying the patch.
+
+The on-disk layout under ``--state-dir``::
+
+    STATE_DIR/
+      tenants/
+        <url-quoted tenant name>/
+          snapshot.json   # bundle + premise_hash + seq + applied keys
+          wal.jsonl       # patch records with seq > snapshot seq
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import urllib.parse
+from typing import Any, Iterator, Optional
+
+from repro.serve.faults import CRASH_AFTER_WAL_APPEND, CRASH_BEFORE_WAL_APPEND
+from repro.serve.faults import NO_FAULTS, FaultInjector
+from repro.serve.protocol import ServeError
+
+SNAPSHOT_FILE = "snapshot.json"
+WAL_FILE = "wal.jsonl"
+DEFAULT_SNAPSHOT_EVERY = 64
+MAX_APPLIED_KEYS = 1024
+
+
+def _fsync_dir(path: str) -> None:
+    """Make a rename/creation in ``path`` durable (POSIX dirs are files)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class WalCorruption(ServeError):
+    """A snapshot or WAL file failed to load during recovery."""
+
+    def __init__(self, message: str):
+        super().__init__(500, message)
+
+
+class TenantStore:
+    """The durable state of one tenant: a snapshot and a WAL tail.
+
+    ``applied`` maps recent idempotency keys to the result payload
+    their mutation produced; it is rebuilt on open (snapshot map plus
+    replayed tail) and trimmed to the most recent
+    :data:`MAX_APPLIED_KEYS` entries at snapshot time.
+    """
+
+    def __init__(self, path: str, faults: FaultInjector = NO_FAULTS):
+        self.path = path
+        self.faults = faults
+        self.seq = 0
+        self.appends = 0
+        self.snapshots = 0
+        self.appends_since_snapshot = 0
+        self.applied: dict[str, dict[str, Any]] = {}
+        self._wal = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        name: str,
+        bundle: dict[str, Any],
+        premise_hash: str,
+        options: Optional[dict[str, Any]] = None,
+        faults: FaultInjector = NO_FAULTS,
+    ) -> "TenantStore":
+        """Initialize a fresh tenant directory (snapshot at seq 0)."""
+        os.makedirs(path, exist_ok=True)
+        store = cls(path, faults)
+        store._write_snapshot(name, bundle, premise_hash, options or {})
+        store._open_wal(truncate=True)
+        return store
+
+    @classmethod
+    def open(
+        cls, path: str, faults: FaultInjector = NO_FAULTS
+    ) -> tuple["TenantStore", dict[str, Any], list[dict[str, Any]]]:
+        """Load a tenant directory: ``(store, snapshot, wal tail)``.
+
+        The tail contains only records newer than the snapshot, in seq
+        order; ``store.seq`` resumes from the last durable record so
+        appended sequence numbers never repeat.
+        """
+        store = cls(path, faults)
+        snapshot_path = os.path.join(path, SNAPSHOT_FILE)
+        try:
+            with open(snapshot_path, "r", encoding="utf-8") as fp:
+                snapshot = json.load(fp)
+        except FileNotFoundError:
+            raise WalCorruption(f"tenant state at {path} has no snapshot")
+        except (OSError, json.JSONDecodeError) as exc:
+            raise WalCorruption(f"unreadable snapshot at {snapshot_path}: {exc}")
+        if not isinstance(snapshot, dict) or "seq" not in snapshot:
+            raise WalCorruption(f"malformed snapshot at {snapshot_path}")
+        base_seq = int(snapshot["seq"])
+        store.seq = base_seq
+        applied = snapshot.get("applied_keys", {})
+        if isinstance(applied, dict):
+            store.applied.update(applied)
+        tail = [
+            record for record in store._read_wal()
+            if record["seq"] > base_seq
+        ]
+        if tail:
+            store.seq = tail[-1]["seq"]
+        for record in tail:
+            key = record.get("key")
+            if key:
+                store.applied[key] = record.get("result") or {}
+        store._open_wal(truncate=False)
+        return store, snapshot, tail
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def _open_wal(self, truncate: bool) -> None:
+        wal_path = os.path.join(self.path, WAL_FILE)
+        self._wal = open(wal_path, "w" if truncate else "a", encoding="utf-8")
+        if truncate:
+            self._wal.flush()
+            os.fsync(self._wal.fileno())
+            _fsync_dir(self.path)
+
+    def _read_wal(self) -> Iterator[dict[str, Any]]:
+        """Yield valid WAL records in file order.
+
+        A torn final line — the crash arrived mid-append, before the
+        fsync that would have acknowledged the record — is discarded,
+        matching the contract that an unacknowledged mutation may be
+        lost.  A torn or unparsable line followed by *more* records is
+        real corruption and raises.
+        """
+        wal_path = os.path.join(self.path, WAL_FILE)
+        try:
+            with open(wal_path, "r", encoding="utf-8") as fp:
+                lines = fp.readlines()
+        except FileNotFoundError:
+            return
+        for index, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+                if not isinstance(record, dict) or "seq" not in record:
+                    raise ValueError("record is not an object with 'seq'")
+            except ValueError as exc:
+                if index == len(lines) - 1:
+                    break  # torn tail: the unacknowledged final append
+                raise WalCorruption(
+                    f"corrupt WAL record at {wal_path}:{index + 1}: {exc}"
+                )
+            yield record
+
+    # -- the write path ----------------------------------------------------
+
+    def append(
+        self,
+        patch: dict[str, Any],
+        key: Optional[str] = None,
+        result: Optional[dict[str, Any]] = None,
+    ) -> int:
+        """Durably log one applied mutation; returns its sequence number.
+
+        The record is flushed and fsync'd before this returns — the
+        WAL's acknowledgment contract — with the two crash fault points
+        on either side of the append for the chaos tests.
+        """
+        self.faults.crash_point(CRASH_BEFORE_WAL_APPEND)
+        seq = self.seq + 1
+        record: dict[str, Any] = {"seq": seq, "patch": patch}
+        if key:
+            record["key"] = key
+        if result is not None:
+            # Stamp the seq in before serializing so a replay after a
+            # reboot returns the same acknowledgment as the original.
+            result["seq"] = seq
+            record["result"] = result
+        self._wal.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._wal.flush()
+        os.fsync(self._wal.fileno())
+        self.seq = seq
+        self.appends += 1
+        self.appends_since_snapshot += 1
+        if key:
+            self.applied[key] = result or {}
+        self.faults.crash_point(CRASH_AFTER_WAL_APPEND)
+        return seq
+
+    # -- checkpoints -------------------------------------------------------
+
+    def write_snapshot(
+        self, name: str, bundle: dict[str, Any], premise_hash: str,
+        options: Optional[dict[str, Any]] = None,
+    ) -> None:
+        """Checkpoint the full tenant state and truncate the WAL.
+
+        The snapshot covers everything up to the current ``seq``; the
+        rename is atomic, and a crash before the truncation is handled
+        by recovery's ``seq`` filter.
+        """
+        if len(self.applied) > MAX_APPLIED_KEYS:
+            keep = list(self.applied.items())[-MAX_APPLIED_KEYS:]
+            self.applied = dict(keep)
+        self._write_snapshot(name, bundle, premise_hash, options or {})
+        self._open_wal(truncate=True)
+        self.snapshots += 1
+        self.appends_since_snapshot = 0
+
+    def _write_snapshot(
+        self, name: str, bundle: dict[str, Any], premise_hash: str,
+        options: dict[str, Any],
+    ) -> None:
+        payload = {
+            "name": name,
+            "seq": self.seq,
+            "premise_hash": premise_hash,
+            "bundle": bundle,
+            "options": options,
+            "applied_keys": dict(self.applied),
+        }
+        snapshot_path = os.path.join(self.path, SNAPSHOT_FILE)
+        tmp_path = snapshot_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fp:
+            json.dump(payload, fp, separators=(",", ":"))
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp_path, snapshot_path)
+        _fsync_dir(self.path)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "seq": self.seq,
+            "appends": self.appends,
+            "snapshots": self.snapshots,
+            "appends_since_snapshot": self.appends_since_snapshot,
+            "applied_keys": len(self.applied),
+        }
+
+
+class StateDir:
+    """The server's ``--state-dir``: one :class:`TenantStore` per tenant."""
+
+    def __init__(
+        self,
+        root: str,
+        faults: FaultInjector = NO_FAULTS,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+    ):
+        if snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self.root = root
+        self.faults = faults
+        self.snapshot_every = snapshot_every
+        os.makedirs(self.tenants_root, exist_ok=True)
+
+    @property
+    def tenants_root(self) -> str:
+        return os.path.join(self.root, "tenants")
+
+    def _tenant_path(self, name: str) -> str:
+        return os.path.join(
+            self.tenants_root, urllib.parse.quote(name, safe="")
+        )
+
+    def create_tenant(
+        self,
+        name: str,
+        bundle: dict[str, Any],
+        premise_hash: str,
+        options: Optional[dict[str, Any]] = None,
+    ) -> TenantStore:
+        return TenantStore.create(
+            self._tenant_path(name), name, bundle, premise_hash,
+            options=options, faults=self.faults,
+        )
+
+    def drop_tenant(self, name: str) -> None:
+        path = self._tenant_path(name)
+        if os.path.isdir(path):
+            shutil.rmtree(path)
+            _fsync_dir(self.tenants_root)
+
+    def recover(
+        self,
+    ) -> list[tuple[str, TenantStore, dict[str, Any], list[dict[str, Any]]]]:
+        """Open every persisted tenant: ``(name, store, snapshot, tail)``.
+
+        Deterministic (sorted) order, so recovery is reproducible; the
+        caller replays each tail into a freshly built session.
+        """
+        recovered = []
+        for entry in sorted(os.listdir(self.tenants_root)):
+            path = os.path.join(self.tenants_root, entry)
+            if not os.path.isdir(path):
+                continue
+            store, snapshot, tail = TenantStore.open(path, self.faults)
+            name = snapshot.get("name") or urllib.parse.unquote(entry)
+            recovered.append((name, store, snapshot, tail))
+        return recovered
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "root": self.root,
+            "snapshot_every": self.snapshot_every,
+            "tenants": len(os.listdir(self.tenants_root)),
+        }

@@ -1,0 +1,168 @@
+"""Deadlines and degraded answers at the session/engine level."""
+
+import time
+
+import pytest
+
+from repro.engine import Deadline, ReasoningSession, Semantics
+from repro.engine.deadline import coerce_deadline
+from repro.exceptions import ChaseBudgetExceeded, DeadlineExceeded
+from repro.model.schema import DatabaseSchema
+from repro.deps.parser import parse_dependencies
+
+CHAIN_SCHEMA = DatabaseSchema.from_dict(
+    {"MGR": ("NAME", "DEPT"), "EMP": ("NAME", "DEPT"), "PERSON": ("NAME",)}
+)
+CHAIN_DEPS = "MGR[NAME,DEPT] <= EMP[NAME,DEPT]\nEMP[NAME] <= PERSON[NAME]"
+
+# The chase diverges on this premise set (unary cyclic IND + FD spin
+# out fresh nulls forever); the binary IND keeps FD targets routed to
+# the chase engine rather than the unary procedures.
+DIVERGING_SCHEMA = DatabaseSchema.from_dict(
+    {"R": ("A", "B"), "T": ("X", "Y"), "U": ("X", "Y")}
+)
+DIVERGING_DEPS = "R[B] <= R[A]\nR: A -> B\nT[X,Y] <= U[X,Y]"
+DIVERGING_TARGET = "R: B -> A"
+
+
+def chain_session(**options):
+    return ReasoningSession(
+        CHAIN_SCHEMA, parse_dependencies(CHAIN_DEPS), **options
+    )
+
+
+def diverging_session(**options):
+    return ReasoningSession(
+        DIVERGING_SCHEMA, parse_dependencies(DIVERGING_DEPS), **options
+    )
+
+
+class TestDeadlineObject:
+    def test_nonpositive_seconds_rejected(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError):
+                Deadline(bad)
+
+    def test_from_ms(self):
+        deadline = Deadline.from_ms(250)
+        assert 0.2 < deadline.remaining() <= 0.25
+
+    def test_elapsed_and_expiry(self):
+        deadline = Deadline(0.005)
+        assert not deadline.expired()
+        deadline.check()  # fresh: must not raise
+        time.sleep(0.01)
+        assert deadline.expired()
+        assert deadline.remaining() <= 0.0
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check()
+        assert excinfo.value.elapsed >= 0.005
+
+    def test_coerce(self):
+        assert coerce_deadline(None) is None
+        original = Deadline(1.0)
+        assert coerce_deadline(original) is original
+        assert isinstance(coerce_deadline(2), Deadline)
+        assert isinstance(coerce_deadline(0.5), Deadline)
+
+
+class TestSessionDeadline:
+    def test_expired_deadline_raises_by_default(self):
+        session = chain_session()
+        with pytest.raises(DeadlineExceeded):
+            session.implies("MGR[NAME] <= PERSON[NAME]", deadline=1e-9)
+
+    def test_expired_deadline_degrades_on_request(self):
+        session = chain_session()
+        answer = session.implies(
+            "MGR[NAME] <= PERSON[NAME]", deadline=1e-9, degrade=True
+        )
+        assert answer.verdict is None
+        assert answer.degraded is True
+        assert answer.stats["reason"] == "deadline"
+        assert answer.stats["elapsed_ms"] >= 0
+        assert session.degraded_answers == 1
+
+    def test_generous_deadline_is_invisible(self):
+        session = chain_session()
+        answer = session.implies(
+            "MGR[NAME] <= PERSON[NAME]", deadline=60.0, degrade=True
+        )
+        assert answer.verdict is True
+        assert answer.degraded is False
+        assert session.degraded_answers == 0
+
+    def test_deadline_interrupts_diverging_chase(self):
+        """The cooperative tick must reach inside a running chase: a
+        deadline far shorter than the (budget-bounded) chase runtime
+        stops it mid-flight rather than after the budget."""
+        session = diverging_session(max_rounds=10_000, max_tuples=500_000)
+        started = time.monotonic()
+        answer = session.implies(
+            DIVERGING_TARGET, deadline=0.05, degrade=True
+        )
+        elapsed = time.monotonic() - started
+        assert answer.verdict is None
+        assert answer.stats["reason"] == "deadline"
+        assert elapsed < 5.0
+
+    def test_chase_budget_degrades_with_partial_stats(self):
+        session = diverging_session(max_rounds=10, max_tuples=30)
+        with pytest.raises(ChaseBudgetExceeded):
+            session.implies(DIVERGING_TARGET)
+        answer = session.implies(DIVERGING_TARGET, degrade=True)
+        assert answer.verdict is None
+        assert answer.degraded is True
+        assert answer.stats["reason"] == "chase-budget"
+        assert answer.stats["rounds"] == 10
+        assert answer.stats["tuples"] > 0
+
+    def test_degrade_does_not_mask_caller_errors(self):
+        session = chain_session()
+        from repro.exceptions import ParseError
+
+        with pytest.raises(ParseError):
+            session.implies("not a dependency", degrade=True)
+
+    def test_implies_all_shares_one_deadline(self):
+        session = chain_session()
+        targets = ["MGR[NAME] <= PERSON[NAME]", "PERSON[NAME] <= MGR[NAME]"]
+        answers = session.implies_all(
+            targets, deadline=1e-9, degrade=True
+        )
+        assert [a.verdict for a in answers] == [None, None]
+        assert session.degraded_answers == 2
+
+    def test_fork_resets_degraded_counter(self):
+        session = chain_session()
+        session.implies(
+            "MGR[NAME] <= PERSON[NAME]", deadline=1e-9, degrade=True
+        )
+        child = session.fork()
+        assert session.degraded_answers == 1
+        assert child.degraded_answers == 0
+
+    def test_stats_include_degraded_answers(self):
+        session = chain_session()
+        assert session.stats()["degraded_answers"] == 0
+
+
+class TestDegradedAnswerRendering:
+    def test_unknown_verdict_json_and_word(self):
+        session = chain_session()
+        answer = session.implies(
+            "MGR[NAME] <= PERSON[NAME]", deadline=1e-9, degrade=True
+        )
+        payload = answer.to_json()
+        assert payload["verdict"] == "unknown"
+        assert payload["degraded"] is True
+        assert answer.verdict_word == "UNKNOWN"
+        assert bool(answer) is False
+        assert "degraded" in answer.describe()
+
+    def test_normal_answers_render_degraded_false(self):
+        session = chain_session()
+        answer = session.implies("MGR[NAME] <= PERSON[NAME]")
+        payload = answer.to_json()
+        assert payload["verdict"] is True
+        assert payload["degraded"] is False

@@ -21,6 +21,11 @@ EXPECTATIONS = {
         "Theorem 6.1 for k=2: ESTABLISHED",
         "Theorem 7.1 for n=3, k=2: ESTABLISHED",
     ],
+    "recovery.py": [
+        "1 WAL record(s) replayed",
+        "verdict=unknown degraded=True reason=deadline",
+        "recovery surface: OK",
+    ],
 }
 
 

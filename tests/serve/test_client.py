@@ -1,0 +1,107 @@
+"""ServeClient transport policy: backoff, retries, idempotency keys."""
+
+import random
+import socket
+import uuid
+
+import pytest
+
+from repro.serve import ServeClient
+
+
+def free_port():
+    """A port with no listener behind it."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestBackoffSchedule:
+    def test_exponential_doubling_capped_without_jitter(self):
+        client = ServeClient(
+            retries=5, backoff_base=0.1, backoff_max=0.5, jitter=False
+        )
+        assert [client._backoff(i) for i in range(4)] == [
+            pytest.approx(0.1),
+            pytest.approx(0.2),
+            pytest.approx(0.4),
+            pytest.approx(0.5),  # capped
+        ]
+
+    def test_jitter_stays_within_half_to_full(self):
+        client = ServeClient(
+            backoff_base=0.1, backoff_max=10.0, rng=random.Random(42)
+        )
+        for attempt in range(5):
+            uncut = min(0.1 * (2 ** attempt), 10.0)
+            for _ in range(20):
+                delay = client._backoff(attempt)
+                assert uncut * 0.5 <= delay <= uncut
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ServeClient(retries=-1)
+
+
+class TestRetryLoop:
+    def test_refused_connection_retries_then_raises(self):
+        sleeps = []
+        client = ServeClient(
+            port=free_port(),
+            retries=2,
+            backoff_base=0.01,
+            jitter=False,
+            sleep=sleeps.append,
+        )
+        with pytest.raises(OSError):
+            client.health()
+        assert client.retried == 2
+        assert sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_retries_zero_fails_immediately(self):
+        sleeps = []
+        client = ServeClient(
+            port=free_port(), retries=0, sleep=sleeps.append
+        )
+        with pytest.raises(OSError):
+            client.health()
+        assert client.retried == 0
+        assert sleeps == []
+
+
+class TestIdempotencyKeys:
+    @pytest.fixture
+    def captured(self, monkeypatch):
+        calls = []
+
+        def fake_request(method, path, payload=None):
+            calls.append((method, path, payload))
+            return {}
+
+        client = ServeClient()
+        monkeypatch.setattr(client, "request", fake_request)
+        return client, calls
+
+    def test_add_generates_uuid_key(self, captured):
+        client, calls = captured
+        client.add("app", ["R: A -> B"])
+        payload = calls[0][2]
+        assert uuid.UUID(payload["key"])  # parseable v4
+
+    def test_retract_generates_uuid_key(self, captured):
+        client, calls = captured
+        client.retract("app", ["R: A -> B"])
+        assert uuid.UUID(calls[0][2]["key"])
+
+    def test_caller_key_wins(self, captured):
+        client, calls = captured
+        client.add("app", ["R: A -> B"], key="mine")
+        client.retract("app", ["R: A -> B"], key="mine-too")
+        assert calls[0][2]["key"] == "mine"
+        assert calls[1][2]["key"] == "mine-too"
+
+    def test_distinct_calls_get_distinct_keys(self, captured):
+        client, calls = captured
+        client.add("app", ["R: A -> B"])
+        client.add("app", ["R: A -> B"])
+        assert calls[0][2]["key"] != calls[1][2]["key"]

@@ -181,6 +181,49 @@ def test_stats_shape(session):
             "deduplicated": 1,
             "barrier_flushes": 0,
             "pending": 0,
+            "degraded": 0,
         }
+
+    asyncio.run(main())
+
+
+def test_coalesced_deadlines_keep_the_most_generous(session):
+    """A stranger's tight deadline must not degrade a patient caller's
+    coalesced duplicate: no-deadline wins outright, else latest expiry."""
+    async def main():
+        coalescer = Coalescer(session, degrade=True)
+        tight = coalescer.submit("MGR[NAME] <= PERSON[NAME]", deadline=1e-9)
+        patient = coalescer.submit("MGR[NAME] <= PERSON[NAME]")
+        answers = await asyncio.gather(tight, patient)
+        # Shared future, decided under the patient caller's terms.
+        assert answers[0] is answers[1]
+        assert answers[0].verdict is True
+        assert answers[0].degraded is False
+
+    asyncio.run(main())
+
+
+def test_degrade_flag_turns_expiry_into_unknown(session):
+    async def main():
+        coalescer = Coalescer(session, degrade=True)
+        answer = await coalescer.submit(
+            "MGR[NAME] <= PERSON[NAME]", deadline=1e-9
+        )
+        assert answer.verdict is None
+        assert answer.degraded is True
+        assert coalescer.stats()["degraded"] == 1
+
+    asyncio.run(main())
+
+
+def test_without_degrade_expiry_raises(session):
+    from repro.exceptions import DeadlineExceeded
+
+    async def main():
+        coalescer = Coalescer(session)
+        with pytest.raises(DeadlineExceeded):
+            await coalescer.submit(
+                "MGR[NAME] <= PERSON[NAME]", deadline=1e-9
+            )
 
     asyncio.run(main())

@@ -1,4 +1,4 @@
-"""HTTP end-to-end: routes, errors, and graceful shutdown."""
+"""HTTP end-to-end: routes, errors, degraded answers, and shutdown."""
 
 import json
 import os
@@ -6,11 +6,13 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 
 import pytest
 
 from repro.serve import BackgroundServer, ServeClient, ServeError
+from repro.serve.protocol import MAX_BODY_BYTES
 
 REPO_SRC = os.path.join(
     os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
@@ -152,6 +154,210 @@ class TestRoutes:
         finally:
             client.drop_tenant("lru-a")
             client.drop_tenant("lru-b")
+
+
+# A premise set whose chase diverges (fresh nulls forever): the unary
+# cyclic IND + FD pair spins out an infinite null chain, and the dummy
+# binary IND keeps the target routed to the chase engine rather than
+# the unary decision procedures.
+DIVERGING_BUNDLE = {
+    "schema": {"R": ["A", "B"], "T": ["X", "Y"], "U": ["X", "Y"]},
+    "dependencies": ["R[B] <= R[A]", "R: A -> B", "T[X,Y] <= U[X,Y]"],
+}
+DIVERGING_TARGET = "R: B -> A"
+TINY_BUDGET = {"max_rounds": 10, "max_tuples": 30}
+
+
+class TestDegraded:
+    @pytest.fixture
+    def diverging(self, client):
+        name = f"d{time.monotonic_ns()}"
+        client.create_tenant(name, DIVERGING_BUNDLE, options=TINY_BUDGET)
+        yield name
+        client.drop_tenant(name)
+
+    def test_budget_exhaustion_is_degraded_200_not_4xx(
+        self, client, diverging
+    ):
+        """Blowing max_rounds/max_tuples through the server is overload,
+        not caller error: HTTP 200, verdict 'unknown', degraded=true."""
+        answer = client.implies(diverging, DIVERGING_TARGET)
+        assert answer["verdict"] == "unknown"
+        assert answer["degraded"] is True
+        assert answer["stats"]["reason"] == "chase-budget"
+        assert answer["stats"]["rounds"] == TINY_BUDGET["max_rounds"]
+        assert answer["stats"]["tuples"] > 0
+
+    def test_expired_deadline_is_degraded(self, client, tenant):
+        answer = client.implies(
+            tenant, "MGR[NAME] <= PERSON[NAME]", deadline_ms=1e-6
+        )
+        assert answer["verdict"] == "unknown"
+        assert answer["degraded"] is True
+        assert answer["stats"]["reason"] == "deadline"
+        assert answer["stats"]["elapsed_ms"] >= 0
+
+    def test_generous_deadline_answers_normally(self, client, tenant):
+        answer = client.implies(
+            tenant, "MGR[NAME] <= PERSON[NAME]", deadline_ms=60_000
+        )
+        assert answer["verdict"] is True
+        assert answer["degraded"] is False
+
+    def test_degraded_counters_in_stats(self, client, diverging):
+        before = client.stats()["degraded_answers"]
+        client.implies(diverging, DIVERGING_TARGET)
+        stats = client.stats()
+        assert stats["degraded_answers"] == before + 1
+        coalescer = stats["tenant_stats"][diverging]["coalescer"]
+        assert coalescer["degraded"] >= 1
+
+    def test_implies_all_mixes_verdicts_and_unknowns(
+        self, client, diverging
+    ):
+        result = client.implies_all(
+            diverging, ["R[B] <= R[A]", DIVERGING_TARGET]
+        )
+        verdicts = [a["verdict"] for a in result["answers"]]
+        assert verdicts == [True, "unknown"]
+        assert result["implied"] == 1
+        assert result["unknown"] == 1
+        assert result["degraded"] == 1
+        assert result["total"] == 2
+
+    def test_session_degraded_counter_per_tenant(self, client, diverging):
+        client.implies(diverging, DIVERGING_TARGET)
+        stats = client.tenant_stats(diverging)
+        assert stats["degraded_answers"] >= 1
+
+    def test_bad_deadline_is_400(self, client, tenant):
+        for bad in (0, -5, "soon", True):
+            with pytest.raises(ServeError) as excinfo:
+                client.request(
+                    "POST",
+                    f"/tenants/{tenant}/implies",
+                    {"target": "MGR[NAME] <= PERSON[NAME]",
+                     "deadline_ms": bad},
+                )
+            assert excinfo.value.status == 400, bad
+
+    def test_unknown_option_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.create_tenant(
+                "opt-bad", DIVERGING_BUNDLE, options={"max_ram": 1}
+            )
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeError) as excinfo:
+            client.create_tenant(
+                "opt-bad", DIVERGING_BUNDLE, options={"max_rounds": 0}
+            )
+        assert excinfo.value.status == 400
+
+    def test_server_wide_default_deadline(self):
+        with BackgroundServer(default_deadline=1e-9) as bg:
+            client = ServeClient(port=bg.port)
+            client.create_tenant("app", BUNDLE)
+            answer = client.implies("app", "MGR[NAME] <= PERSON[NAME]")
+            assert answer["verdict"] == "unknown"
+            assert answer["stats"]["reason"] == "deadline"
+            # An explicit per-request deadline overrides the default.
+            answer = client.implies(
+                "app", "MGR[NAME] <= PERSON[NAME]", deadline_ms=60_000
+            )
+            assert answer["verdict"] is True
+
+
+def _recv_response(sock):
+    """Read one complete HTTP response off a raw socket."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return data, b""
+        data += chunk
+    header, _, body = data.partition(b"\r\n\r\n")
+    length = int(
+        [line for line in header.split(b"\r\n")
+         if line.lower().startswith(b"content-length")][0].split(b":")[1]
+    )
+    while len(body) < length:
+        body += sock.recv(65536)
+    return header, body[:length]
+
+
+class TestProtocolLimits:
+    def test_body_over_cap_is_413_and_closes(self, server):
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                f"POST /tenants HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+            )
+            header, body = _recv_response(sock)
+            assert b"413" in header.split(b"\r\n")[0]
+            assert b"Connection: close" in header
+            assert json.loads(body)["status"] == 413
+            # The server refused without reading the body and closed.
+            sock.settimeout(5)
+            assert sock.recv(4096) == b""
+
+    def test_body_at_exact_cap_is_read_not_413(self, server):
+        filler = b'{"pad": "' + b"a" * (MAX_BODY_BYTES - 11) + b'"}'
+        assert len(filler) == MAX_BODY_BYTES
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=30
+        ) as sock:
+            sock.sendall(
+                f"POST /tenants HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {len(filler)}\r\n\r\n".encode() + filler
+            )
+            header, body = _recv_response(sock)
+            # Read in full and rejected on *content* (no tenant name),
+            # proving the cap is exclusive: 400, not 413.
+            assert b"400" in header.split(b"\r\n")[0]
+            assert json.loads(body)["status"] == 400
+
+    def test_malformed_json_is_400_and_keeps_connection(self, server):
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            bad = b"{nope"
+            sock.sendall(
+                f"POST /tenants HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {len(bad)}\r\n\r\n".encode() + bad
+            )
+            header, body = _recv_response(sock)
+            assert b"400" in header.split(b"\r\n")[0]
+            assert b"Connection: close" not in header
+            assert "not valid JSON" in json.loads(body)["error"]
+            # The same keep-alive connection still serves requests.
+            sock.sendall(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+            header, body = _recv_response(sock)
+            assert b"200" in header.split(b"\r\n")[0]
+            assert json.loads(body)["ok"] is True
+
+
+class TestBackgroundServerStop:
+    def test_stop_joins_cleanly(self):
+        bg = BackgroundServer().start()
+        bg.stop()
+        assert not bg._thread.is_alive()
+
+    def test_stop_raises_when_thread_will_not_die(self):
+        """Regression: a leaked server thread must be loud, not silent —
+        it keeps the port bound and poisons whatever runs next."""
+        bg = BackgroundServer().start()
+        real_thread = bg._thread
+        hung = threading.Thread(target=time.sleep, args=(5,), daemon=True)
+        hung.start()
+        bg._thread = hung
+        try:
+            with pytest.raises(RuntimeError, match="failed to stop"):
+                bg.stop(timeout=0.2)
+        finally:
+            bg._thread = real_thread
+            bg.stop()
 
 
 class TestErrors:

@@ -1,0 +1,228 @@
+"""Unit coverage for the WAL/snapshot store and the fault injector."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve.faults import (
+    CRASH_AFTER_WAL_APPEND,
+    CRASH_BEFORE_WAL_APPEND,
+    FAULTS_ENV,
+    LATENCY,
+    LATENCY_ENV,
+    FaultInjector,
+    NO_FAULTS,
+)
+from repro.serve.wal import (
+    MAX_APPLIED_KEYS,
+    SNAPSHOT_FILE,
+    WAL_FILE,
+    StateDir,
+    TenantStore,
+    WalCorruption,
+)
+
+BUNDLE = {
+    "schema": {"R": ["A", "B"]},
+    "dependencies": ["R: A -> B"],
+}
+
+
+def make_store(tmp_path, **kwargs):
+    return TenantStore.create(
+        str(tmp_path / "t"), "t", BUNDLE, "hash0", **kwargs
+    )
+
+
+class TestFaultInjector:
+    def test_unarmed_is_falsy_and_never_trips(self):
+        assert not NO_FAULTS
+        assert NO_FAULTS.trip(CRASH_BEFORE_WAL_APPEND) is False
+        assert NO_FAULTS.latency_seconds() == 0.0
+
+    def test_always_armed_trips_repeatedly(self):
+        faults = FaultInjector(CRASH_BEFORE_WAL_APPEND)
+        assert faults
+        assert faults.trip(CRASH_BEFORE_WAL_APPEND)
+        assert faults.trip(CRASH_BEFORE_WAL_APPEND)
+        assert faults.fired[CRASH_BEFORE_WAL_APPEND] == 2
+
+    def test_once_disarms_after_first_trip(self):
+        faults = FaultInjector(f"{CRASH_AFTER_WAL_APPEND}:once")
+        assert faults.trip(CRASH_AFTER_WAL_APPEND)
+        assert not faults.trip(CRASH_AFTER_WAL_APPEND)
+        assert faults.fired[CRASH_AFTER_WAL_APPEND] == 1
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultInjector("explode-keyboard")
+
+    def test_unknown_modifier_rejected(self):
+        with pytest.raises(ValueError, match="modifier"):
+            FaultInjector(f"{LATENCY}:twice")
+
+    def test_latency_requires_armed_point_and_positive_ms(self):
+        assert FaultInjector(LATENCY).latency_seconds() == 0.0
+        armed = FaultInjector(LATENCY, latency_ms=250)
+        assert armed.latency_seconds() == 0.25
+
+    def test_from_env(self):
+        environ = {
+            FAULTS_ENV: f"{LATENCY}, {CRASH_BEFORE_WAL_APPEND}:once",
+            LATENCY_ENV: "50",
+        }
+        faults = FaultInjector.from_env(environ)
+        assert faults.latency_seconds() == 0.05
+        assert faults.trip(CRASH_BEFORE_WAL_APPEND)
+        assert not faults.trip(CRASH_BEFORE_WAL_APPEND)
+
+    def test_stats_shape(self):
+        faults = FaultInjector(LATENCY, latency_ms=10)
+        faults.latency_seconds()
+        stats = faults.stats()
+        assert stats["armed"] == [LATENCY]
+        assert stats["fired"] == {LATENCY: 1}
+
+
+class TestTenantStore:
+    def test_create_writes_seq_zero_snapshot_and_empty_wal(self, tmp_path):
+        store = make_store(tmp_path)
+        snapshot = json.loads(
+            (tmp_path / "t" / SNAPSHOT_FILE).read_text()
+        )
+        assert snapshot["seq"] == 0
+        assert snapshot["premise_hash"] == "hash0"
+        assert snapshot["bundle"] == BUNDLE
+        assert (tmp_path / "t" / WAL_FILE).read_text() == ""
+        store.close()
+
+    def test_append_reopen_roundtrip(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.append({"add": ["R: A -> B"]}, key="k1",
+                            result={"version": 1}) == 1
+        assert store.append({"retract": ["R: A -> B"]}) == 2
+        store.close()
+
+        reopened, snapshot, tail = TenantStore.open(str(tmp_path / "t"))
+        assert snapshot["seq"] == 0
+        assert [record["seq"] for record in tail] == [1, 2]
+        assert tail[0]["patch"] == {"add": ["R: A -> B"]}
+        assert reopened.seq == 2
+        # append stamps the seq into the recorded result, so a replay
+        # after reopen returns the original acknowledgment verbatim.
+        assert reopened.applied["k1"] == {"version": 1, "seq": 1}
+        # Appends after reopen must not reuse sequence numbers.
+        assert reopened.append({"add": ["R: A -> B"]}) == 3
+        reopened.close()
+
+    def test_snapshot_truncates_wal_and_filters_tail(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append({"add": ["R: A -> B"]})
+        store.write_snapshot("t", BUNDLE, "hash1")
+        assert store.appends_since_snapshot == 0
+        assert (tmp_path / "t" / WAL_FILE).read_text() == ""
+        store.append({"retract": ["R: A -> B"]})
+        store.close()
+
+        _, snapshot, tail = TenantStore.open(str(tmp_path / "t"))
+        assert snapshot["seq"] == 1
+        assert snapshot["premise_hash"] == "hash1"
+        assert [record["seq"] for record in tail] == [2]
+
+    def test_stale_tail_below_snapshot_seq_is_skipped(self, tmp_path):
+        """A crash between snapshot rename and WAL truncation leaves old
+        records in the WAL; recovery must not replay them twice."""
+        store = make_store(tmp_path)
+        store.append({"add": ["R: A -> B"]})
+        store.close()
+        # Rewrite the snapshot as if it covered seq 1, WAL untouched.
+        snap_path = tmp_path / "t" / SNAPSHOT_FILE
+        snapshot = json.loads(snap_path.read_text())
+        snapshot["seq"] = 1
+        snap_path.write_text(json.dumps(snapshot))
+
+        _, _, tail = TenantStore.open(str(tmp_path / "t"))
+        assert tail == []
+
+    def test_torn_final_line_is_discarded(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append({"add": ["R: A -> B"]})
+        store.close()
+        wal_path = tmp_path / "t" / WAL_FILE
+        with open(wal_path, "a", encoding="utf-8") as fp:
+            fp.write('{"seq": 2, "patch": {"re')  # crash mid-append
+
+        reopened, _, tail = TenantStore.open(str(tmp_path / "t"))
+        assert [record["seq"] for record in tail] == [1]
+        assert reopened.seq == 1
+        reopened.close()
+
+    def test_corrupt_interior_record_raises(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append({"add": ["R: A -> B"]})
+        store.close()
+        wal_path = tmp_path / "t" / WAL_FILE
+        records = wal_path.read_text()
+        wal_path.write_text("GARBAGE\n" + records)
+
+        with pytest.raises(WalCorruption, match="corrupt WAL record"):
+            TenantStore.open(str(tmp_path / "t"))
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        path = tmp_path / "empty"
+        path.mkdir()
+        with pytest.raises(WalCorruption, match="no snapshot"):
+            TenantStore.open(str(path))
+
+    def test_unparsable_snapshot_raises(self, tmp_path):
+        store = make_store(tmp_path)
+        store.close()
+        (tmp_path / "t" / SNAPSHOT_FILE).write_text("{nope")
+        with pytest.raises(WalCorruption, match="unreadable snapshot"):
+            TenantStore.open(str(tmp_path / "t"))
+
+    def test_snapshot_trims_applied_keys(self, tmp_path):
+        store = make_store(tmp_path)
+        for index in range(MAX_APPLIED_KEYS + 10):
+            store.applied[f"key{index}"] = {"version": index}
+        store.write_snapshot("t", BUNDLE, "hash1")
+        assert len(store.applied) == MAX_APPLIED_KEYS
+        assert "key0" not in store.applied
+        assert f"key{MAX_APPLIED_KEYS + 9}" in store.applied
+        store.close()
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        store = make_store(tmp_path)
+        store.write_snapshot("t", BUNDLE, "hash1")
+        store.close()
+        assert sorted(os.listdir(tmp_path / "t")) == [
+            SNAPSHOT_FILE, WAL_FILE
+        ]
+
+
+class TestStateDir:
+    def test_tenant_names_are_path_safe(self, tmp_path):
+        state = StateDir(str(tmp_path))
+        store = state.create_tenant("a/b c", BUNDLE, "hash0")
+        store.close()
+        [(name, store2, _snapshot, tail)] = state.recover()
+        assert name == "a/b c"
+        assert tail == []
+        store2.close()
+        entries = os.listdir(os.path.join(str(tmp_path), "tenants"))
+        assert entries == ["a%2Fb%20c"]
+
+    def test_recover_is_sorted_and_drop_removes(self, tmp_path):
+        state = StateDir(str(tmp_path))
+        for name in ("zeta", "alpha"):
+            state.create_tenant(name, BUNDLE, "hash0").close()
+        names = [entry[0] for entry in state.recover()]
+        assert names == ["alpha", "zeta"]
+        state.drop_tenant("zeta")
+        assert [entry[0] for entry in state.recover()] == ["alpha"]
+        assert state.stats()["tenants"] == 1
+
+    def test_snapshot_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            StateDir(str(tmp_path), snapshot_every=0)
