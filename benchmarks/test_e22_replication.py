@@ -1,0 +1,81 @@
+"""E22 — replicated serving: read scale-out and automatic failover.
+
+This PR gives the serving layer replication: followers bootstrap from
+the primary's snapshot, apply its WAL stream record-by-record, serve
+lag-bounded reads, and promote themselves behind a ``term`` fence when
+the primary dies.  Acceptance criteria, asserted against real servers
+in the same process:
+
+* aggregate read throughput with **two followers** must be at least
+  **2x** the single-node ceiling, measured with the ``latency:hold``
+  fault emulating per-request service time on every node (so the
+  number reflects the architecture, not this machine's core count);
+* a :class:`~repro.serve.client.FailoverClient` mutation issued the
+  moment the primary vanishes must be acknowledged by a promoted
+  follower within the heartbeat budget, and the measured
+  ``failover_ms`` is recorded;
+* the committed ``BENCH_e22.json`` and the last
+  ``BENCH_trajectory.json`` entry record the ``replicated_serving``
+  workload with both numbers.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import bench
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+COMMITTED_REPORT = os.path.join(REPO_ROOT, bench.COMMITTED_BASELINE)
+COMMITTED_TRAJECTORY = os.path.join(REPO_ROOT, bench.COMMITTED_TRAJECTORY)
+
+
+@pytest.mark.artifact("replication-scaleout")
+def test_two_followers_at_least_double_read_throughput():
+    """Acceptance criterion: follower read scale-out and failover,
+    measured live against real HTTP servers."""
+    result = bench.bench_replicated_serving(repeats=1)
+    meta = result.meta
+    assert meta["followers"] == 2
+    assert meta["read_speedup"] >= 2.0, (
+        f"2 followers must at least double aggregate read throughput, "
+        f"got {meta['read_speedup']:.2f}x (single "
+        f"{meta['single_node_seconds']*1e3:.0f}ms vs fleet "
+        f"{meta['fleet_seconds']*1e3:.0f}ms)"
+    )
+    # The failover phase promoted the follower (term advanced past the
+    # primary's 0) and the first post-death mutation was acknowledged
+    # within the heartbeat budget, with real margin for detection,
+    # promotion, and client re-resolution.
+    assert meta["promoted_term"] == 1
+    assert 0 < meta["failover_ms"] < 10_000
+
+
+@pytest.mark.artifact("replication-report")
+def test_committed_report_records_the_replication_suite():
+    """BENCH_e22.json is committed, names the e22 suite, and records
+    the read scale-out plus a measured failover time."""
+    assert os.path.exists(COMMITTED_REPORT), (
+        f"{bench.COMMITTED_BASELINE} missing; record it with "
+        f"`python -m repro bench --out {bench.COMMITTED_BASELINE}`"
+    )
+    with open(COMMITTED_REPORT, encoding="utf-8") as fp:
+        report = json.load(fp)
+    assert report["suite"] == bench.SUITE == "e22-replication"
+    assert set(report["workloads"]) == set(bench.WORKLOADS)
+    meta = report["workloads"]["replicated_serving"]["meta"]
+    assert meta["read_speedup"] >= 2.0
+    assert meta["failover_ms"] > 0
+
+
+@pytest.mark.artifact("replication-report")
+def test_trajectory_ends_with_the_replication_suite():
+    """The committed perf history's newest entry is this suite's run,
+    so the regression gate baselines against the replicated numbers."""
+    with open(COMMITTED_TRAJECTORY, encoding="utf-8") as fp:
+        trajectory = json.load(fp)
+    assert isinstance(trajectory, list) and trajectory
+    last = trajectory[-1]
+    assert last["suite"] == "e22-replication"
+    assert "replicated_serving" in last["workloads"]

@@ -38,6 +38,14 @@ Workloads (all deterministic, seeded):
   versus rebuilding the same state by replaying the entire mutation
   history from the original bundle.  The recorded speedup is the
   acceptance evidence for checkpointing.
+* ``replicated_serving`` — aggregate read throughput of a primary
+  plus two bootstrapped followers versus the primary alone, with
+  per-request service time emulated by the ``latency:hold`` fault so
+  the recorded scale-out measures the *architecture* (read offload
+  across nodes) rather than this machine's core count; plus the
+  failover-to-first-answer time of a :class:`FailoverClient` mutation
+  issued the instant the primary vanishes.  The recorded speedup is
+  the acceptance evidence for replication.
 
 The report format is one JSON object::
 
@@ -79,10 +87,10 @@ from repro.core.ind_decision import decide_ind, decide_ind_naive, index_by_lhs
 from repro.core.ind_kernel import KernelIndex
 
 SCHEMA_VERSION = 1
-SUITE = "e21-durability"
+SUITE = "e22-replication"
 DEFAULT_REPEATS = 15
 
-COMMITTED_BASELINE = "BENCH_e21.json"
+COMMITTED_BASELINE = "BENCH_e22.json"
 """The committed single-report snapshot of the current suite."""
 
 COMMITTED_TRAJECTORY = "BENCH_trajectory.json"
@@ -790,6 +798,165 @@ def bench_cold_start_recovery(repeats: int = DEFAULT_REPEATS) -> WorkloadResult:
     )
 
 
+def bench_replicated_serving(repeats: int = DEFAULT_REPEATS) -> WorkloadResult:
+    """Follower read scale-out and failover-to-first-answer time.
+
+    Three blocking clients drive ``implies_all`` batches against real
+    HTTP servers twice: every client pinned to the lone primary, then
+    one client per node across the primary and two snapshot-bootstrapped
+    followers.  Every node arms ``latency:hold`` (see
+    :mod:`repro.serve.faults`): each request *occupies its node's
+    serving loop* for a fixed service time, the way handler compute
+    does in production, so one node is a genuine throughput ceiling
+    and the recorded ``read_speedup`` measures what replication buys —
+    the same requests spread over three loops that wait concurrently —
+    independent of how many cores this machine happens to have (the
+    real-compute share of each request still runs, and still contends,
+    which is why the speedup lands below the 3x ideal).
+
+    The failover phase runs on a separate unfaulted pair: a follower
+    heartbeating at 50ms with ``failover_after=2``, a
+    :class:`FailoverClient` over both endpoints, and a clock started
+    the moment the primary stops — ``failover_ms`` is the gap until
+    the client's next mutation is acknowledged by the promoted
+    follower (detection + promotion + client re-resolution).
+    """
+    import threading
+
+    from repro.serve import BackgroundServer, FailoverClient, FaultInjector
+    from repro.serve.client import ServeClient
+    from repro.serve.faults import LATENCY
+
+    schema, premises, pool = serving_workload()
+    bundle = {
+        "schema": {rel.name: list(rel.attributes) for rel in schema},
+        "dependencies": [str(dep) for dep in premises],
+    }
+    texts = [str(target) for target in pool]
+
+    CLIENTS, READS = 3, 30
+    SERVICE_MS = 10.0
+    FOLLOWERS = 2
+
+    def hold_faults() -> FaultInjector:
+        return FaultInjector(f"{LATENCY}:hold", latency_ms=SERVICE_MS)
+
+    def await_bootstrap(node: BackgroundServer, budget: float = 30.0) -> None:
+        deadline = time.monotonic() + budget
+        while "bench" not in node.server.registry.tenants:
+            if time.monotonic() > deadline:
+                raise RuntimeError("follower bootstrap timed out")
+            time.sleep(0.02)
+
+    primary = BackgroundServer(faults=hold_faults()).start()
+    followers: list[BackgroundServer] = []
+    try:
+        ServeClient(port=primary.port).create_tenant("bench", bundle)
+        for _ in range(FOLLOWERS):
+            followers.append(
+                BackgroundServer(
+                    replica_of=f"127.0.0.1:{primary.port}",
+                    heartbeat=0.1,
+                    failover_after=0,  # read replicas; never promote
+                    faults=hold_faults(),
+                ).start()
+            )
+        for node in followers:
+            await_bootstrap(node)
+        ports = [primary.port] + [node.port for node in followers]
+        for port in ports:  # compile every component, outside the clock
+            with ServeClient(port=port) as warm:
+                warm.implies_all("bench", texts)
+
+        def drive(targets_ports: list[int]) -> None:
+            def client(port: int) -> None:
+                with ServeClient(port=port) as reader:
+                    for _ in range(READS):
+                        reader.implies_all("bench", texts)
+
+            threads = [
+                threading.Thread(
+                    target=client,
+                    args=(targets_ports[i % len(targets_ports)],),
+                )
+                for i in range(CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        phase_repeats = max(1, min(repeats, 3))
+        single_seconds = best_seconds(
+            lambda: drive([primary.port]), repeats=phase_repeats
+        )
+        fleet_seconds = best_seconds(
+            lambda: drive(ports), repeats=phase_repeats
+        )
+    finally:
+        for node in followers:
+            node.stop()
+        primary.stop()
+
+    # -- failover-to-first-answer, on an unfaulted pair -------------------
+    failover_primary = BackgroundServer().start()
+    follower = None
+    try:
+        ServeClient(port=failover_primary.port).create_tenant(
+            "bench", bundle
+        )
+        follower = BackgroundServer(
+            replica_of=f"127.0.0.1:{failover_primary.port}",
+            heartbeat=0.05,
+            failover_after=2,
+        ).start()
+        await_bootstrap(follower)
+        fleet = FailoverClient(
+            [
+                f"127.0.0.1:{failover_primary.port}",
+                f"127.0.0.1:{follower.port}",
+            ],
+            failover_timeout=30.0,
+            poll_interval=0.02,
+        )
+        fleet.add("bench", ["QUIET[A] <= R0[A]"])  # warm, lands on primary
+        failover_primary.stop()  # the primary vanishes
+        failover_start = time.perf_counter()
+        acked = fleet.retract("bench", ["QUIET[A] <= R0[A]"])
+        failover_seconds = time.perf_counter() - failover_start
+        promoted_term = follower.server.registry.term
+        assert "idempotent_replay" not in acked
+        assert follower.server.role == "primary"
+        fleet.close()
+    finally:
+        if follower is not None:
+            follower.stop()
+        failover_primary.stop()
+
+    reads = CLIENTS * READS
+    return WorkloadResult(
+        name="replicated_serving",
+        seconds=fleet_seconds,
+        ops=reads,
+        meta={
+            "premises": len(premises),
+            "batch_targets": len(texts),
+            "clients": CLIENTS,
+            "reads_per_client": READS,
+            "followers": FOLLOWERS,
+            "service_ms": SERVICE_MS,
+            "cores": os.cpu_count(),
+            "single_node_seconds": single_seconds,
+            "fleet_seconds": fleet_seconds,
+            "read_speedup": single_seconds / fleet_seconds,
+            "failover_heartbeat_s": 0.05,
+            "failover_after": 2,
+            "failover_ms": failover_seconds * 1e3,
+            "promoted_term": promoted_term,
+        },
+    )
+
+
 WORKLOADS: dict[str, Callable[[int], WorkloadResult]] = {
     "single_decide": bench_single_decide,
     "batch_implies_all": bench_batch_implies_all,
@@ -800,6 +967,7 @@ WORKLOADS: dict[str, Callable[[int], WorkloadResult]] = {
     "discovery_mine": bench_discovery_mine,
     "serving_mixed": bench_serving_mixed,
     "cold_start_recovery": bench_cold_start_recovery,
+    "replicated_serving": bench_replicated_serving,
 }
 
 DECISION_WORKLOADS = ("single_decide", "repeated_decide_hot")
@@ -970,6 +1138,7 @@ def format_report(report: dict) -> str:
             ("speedup_vs_bfs", "vs per-query BFS"),
             ("speedup_vs_validate_all", "vs validate-everything"),
             ("speedup_read_heavy", "vs per-request dispatch"),
+            ("read_speedup", "vs single node"),
         )
         for key, label in references:
             speedup = entry["meta"].get(key)

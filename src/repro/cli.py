@@ -13,7 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro shell   bundle.json       # interactive lifecycle REPL
     python -m repro keys    bundle.json       # candidate keys per relation
     python -m repro summary bundle.json       # structural profile
-    python -m repro bench   --out BENCH_e21.json --trajectory BENCH_trajectory.json
+    python -m repro bench   --out BENCH_e22.json --trajectory BENCH_trajectory.json
     python -m repro serve   --port 8765 --tenant app=bundle.json
     python -m repro call    /tenants/app/implies '{"target": "MGR[NAME] <= PERSON[NAME]"}'
 
@@ -447,10 +447,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         with open(path, encoding="utf-8") as fp:
             schema, dependencies, db = bundle_from_json(fp.read())
         registry.create(name, schema, dependencies, db=db)
-    server = ReasoningServer(
-        registry, host=args.host, port=args.port, grace=args.grace,
-        default_deadline=args.default_deadline, faults=faults,
-    )
+    try:
+        server = ReasoningServer(
+            registry, host=args.host, port=args.port, grace=args.grace,
+            default_deadline=args.default_deadline, faults=faults,
+            replica_of=args.replica_of, heartbeat=args.heartbeat,
+            failover_after=args.failover_after,
+            default_max_lag=args.max_lag, advertise=args.advertise,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return asyncio.run(serve_main(server))
 
 
@@ -475,9 +482,8 @@ def _cmd_call(args: argparse.Namespace) -> int:
     try:
         result = client.request(method.upper(), args.path, payload)
     except ServeError as exc:
-        print(
-            json.dumps({"error": str(exc), "status": exc.status}, indent=2)
-        )
+        refusal = {"error": str(exc), "status": exc.status, **exc.extra}
+        print(json.dumps(refusal, indent=2))
         return 2
     finally:
         client.close()
@@ -735,6 +741,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--fault-latency-ms", type=float, default=0.0, metavar="MS",
         help="injected per-dispatch latency for the 'latency' fault point",
+    )
+    p_serve.add_argument(
+        "--replica-of", default=None, metavar="HOST:PORT",
+        help="boot as a read-only follower of this primary: bootstrap "
+             "every tenant, apply its WAL stream, redirect mutations",
+    )
+    p_serve.add_argument(
+        "--heartbeat", type=float, default=1.0, metavar="SECONDS",
+        help="follower heartbeat interval to the primary (default 1.0)",
+    )
+    p_serve.add_argument(
+        "--failover-after", type=int, default=3, metavar="N",
+        help="promote after N consecutive missed heartbeats; 0 never "
+             "promotes (default 3)",
+    )
+    p_serve.add_argument(
+        "--max-lag", type=int, default=None, metavar="N",
+        help="default bounded-staleness for follower reads: reject a "
+             "read more than N records behind the primary with a 503 "
+             "(requests may override with their own 'max_lag')",
+    )
+    p_serve.add_argument(
+        "--advertise", default=None, metavar="HOST:PORT",
+        help="the address peers and redirected clients should dial "
+             "(default: the bound host:port)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

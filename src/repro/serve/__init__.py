@@ -8,13 +8,17 @@ identical tenants share compiled indexes copy-on-write
 (:mod:`~repro.serve.registry`).  Crash safety comes from a per-tenant
 write-ahead log plus periodic snapshots (:mod:`~repro.serve.wal`,
 enabled with ``repro serve --state-dir``), exercised by the named
-fault points of :mod:`~repro.serve.faults`.  Start one from the
-command line with ``repro serve``, from tests with
-:class:`BackgroundServer`, and talk to it with :class:`ServeClient`
-or ``repro call``.
+fault points of :mod:`~repro.serve.faults`.  Availability comes from
+replication (:mod:`~repro.serve.replication`): followers started with
+``repro serve --replica-of`` bootstrap from the primary, apply its WAL
+stream, serve lag-bounded reads, and can promote themselves behind a
+term fence when the primary dies.  Start one from the command line
+with ``repro serve``, from tests with :class:`BackgroundServer`, and
+talk to it with :class:`ServeClient` (one node), ``repro call``, or
+:class:`FailoverClient` (a replicated fleet).
 """
 
-from repro.serve.client import ServeClient
+from repro.serve.client import FailoverClient, ServeClient
 from repro.serve.coalescer import Coalescer
 from repro.serve.faults import FAULT_POINTS, FaultInjector, NO_FAULTS
 from repro.serve.protocol import ProtocolError, Request, ServeError
@@ -22,6 +26,10 @@ from repro.serve.registry import (
     ArtifactCache,
     Tenant,
     TenantRegistry,
+)
+from repro.serve.replication import (
+    FollowerReplicator,
+    PrimaryReplicator,
 )
 from repro.serve.server import (
     BackgroundServer,
@@ -35,8 +43,11 @@ __all__ = [
     "BackgroundServer",
     "Coalescer",
     "FAULT_POINTS",
+    "FailoverClient",
     "FaultInjector",
+    "FollowerReplicator",
     "NO_FAULTS",
+    "PrimaryReplicator",
     "ProtocolError",
     "ReasoningServer",
     "Request",

@@ -23,6 +23,16 @@ Retrying a mutation is only safe if it cannot double-apply, so
 the tenant WAL, and a retry of an already-applied mutation replays the
 recorded result instead of mutating again, even across a server crash
 and restart.
+
+:class:`FailoverClient` lifts the same surface over a replicated
+deployment (see :mod:`repro.serve.replication`): given a list of
+``host:port`` endpoints it discovers who leads by polling ``/health``
+(the claimant with the highest ``term`` wins), spreads reads
+round-robin across followers (falling back to the primary), sends
+mutations to the primary only, and re-resolves on connection failure
+or a 421 redirect — pinning one idempotency key per logical mutation
+so the retry that lands on a freshly promoted follower replays
+exactly-once instead of double-applying.
 """
 
 from __future__ import annotations
@@ -133,12 +143,16 @@ class ServeClient:
                 502, f"server sent non-JSON body ({response.status})"
             )
         if response.status >= 400:
-            message = (
-                decoded.get("error", raw.decode("utf-8", "replace"))
-                if isinstance(decoded, dict)
-                else str(decoded)
-            )
-            raise ServeError(response.status, message)
+            if isinstance(decoded, dict):
+                message = decoded.get("error", raw.decode("utf-8", "replace"))
+                extra = {
+                    key: value
+                    for key, value in decoded.items()
+                    if key not in ("error", "status")
+                }
+            else:
+                message, extra = str(decoded), None
+            raise ServeError(response.status, message, extra=extra)
         if response.headers.get("Connection", "").lower() == "close":
             self.close()
         return decoded
@@ -198,10 +212,13 @@ class ServeClient:
         target: str,
         semantics: str = "unrestricted",
         deadline_ms: Optional[float] = None,
+        max_lag: Optional[int] = None,
     ) -> dict[str, Any]:
         payload: dict[str, Any] = {"target": target, "semantics": semantics}
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if max_lag is not None:
+            payload["max_lag"] = max_lag
         return self.request(
             "POST", f"/tenants/{tenant}/implies", payload
         )
@@ -212,10 +229,13 @@ class ServeClient:
         targets: list[str],
         semantics: str = "unrestricted",
         deadline_ms: Optional[float] = None,
+        max_lag: Optional[int] = None,
     ) -> dict[str, Any]:
         payload: dict[str, Any] = {"targets": targets, "semantics": semantics}
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if max_lag is not None:
+            payload["max_lag"] = max_lag
         return self.request(
             "POST", f"/tenants/{tenant}/implies_all", payload
         )
@@ -271,3 +291,280 @@ class ServeClient:
 
     def check(self, tenant: str) -> dict[str, Any]:
         return self.request("POST", f"/tenants/{tenant}/check", {})
+
+
+class FailoverClient:
+    """:class:`ServeClient` over a replicated deployment.
+
+    Holds one :class:`ServeClient` per known endpoint.  ``resolve``
+    polls ``/health`` across the fleet and crowns the reachable node
+    claiming ``role == "primary"`` with the highest ``term`` — the
+    fencing rule guarantees at most one *legitimate* claimant per term,
+    so the highest term is the current leader.  Reads rotate across
+    followers and fall back to the primary; mutations go to the
+    primary, re-resolving (bounded by ``failover_timeout``) on a
+    connection failure, a 421 redirect, or a 503 — which is exactly the
+    window a failover opens.  Endpoints named by redirects or health
+    payloads but absent from the constructor list are learned on the
+    fly.
+    """
+
+    def __init__(
+        self,
+        endpoints: list[str],
+        timeout: float = DEFAULT_TIMEOUT,
+        failover_timeout: float = 30.0,
+        poll_interval: float = 0.1,
+        max_lag: Optional[int] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if not endpoints:
+            raise ValueError("FailoverClient needs at least one endpoint")
+        self.endpoints = list(dict.fromkeys(str(e) for e in endpoints))
+        self.timeout = timeout
+        self.failover_timeout = failover_timeout
+        self.poll_interval = poll_interval
+        self.max_lag = max_lag
+        self._sleep = sleep
+        self._clients: dict[str, ServeClient] = {}
+        self._primary: Optional[str] = None
+        self._followers: list[str] = []
+        self._read_rr = 0
+        self.resolves = 0
+        self.redirects = 0
+        self.failed_reads = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _client(self, endpoint: str) -> ServeClient:
+        client = self._clients.get(endpoint)
+        if client is None:
+            host, _, port_text = endpoint.rpartition(":")
+            if not host:
+                raise ValueError(
+                    f"endpoint must be 'host:port', got {endpoint!r}"
+                )
+            client = ServeClient(
+                host, int(port_text), timeout=self.timeout, retries=1
+            )
+            self._clients[endpoint] = client
+        return client
+
+    def _learn(self, endpoint: str) -> None:
+        if endpoint not in self.endpoints:
+            self.endpoints.append(endpoint)
+
+    def resolve(self, force: bool = False) -> Optional[str]:
+        """The current primary endpoint, or ``None`` if nobody leads."""
+        if self._primary is not None and not force:
+            return self._primary
+        self.resolves += 1
+        best: Optional[str] = None
+        best_term = -1
+        followers: list[str] = []
+        for endpoint in list(self.endpoints):
+            try:
+                health = self._client(endpoint).health()
+            except (ServeError, ValueError):
+                continue
+            except _RETRYABLE:
+                self._client(endpoint).close()
+                continue
+            role = health.get("role", "primary")
+            term = int(health.get("term", 0) or 0)
+            claimed = health.get("primary")
+            if isinstance(claimed, str) and claimed:
+                self._learn(claimed)
+            if role == "primary" and term > best_term:
+                best, best_term = endpoint, term
+            elif role == "follower":
+                followers.append(endpoint)
+        self._primary = best
+        self._followers = followers
+        return best
+
+    def topology(self) -> dict[str, Any]:
+        """The resolved cluster view (forces a fresh ``/health`` sweep)."""
+        primary = self.resolve(force=True)
+        return {
+            "primary": primary,
+            "followers": list(self._followers),
+            "endpoints": list(self.endpoints),
+        }
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+
+    def __enter__(self) -> "FailoverClient":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
+
+    # -- routing -----------------------------------------------------------
+
+    def _on_primary(self, call: Callable[[ServeClient], dict[str, Any]]):
+        """Run ``call`` against the primary, chasing it through failover."""
+        deadline = time.monotonic() + self.failover_timeout
+        last: Optional[BaseException] = None
+        while True:
+            primary = self.resolve(force=self._primary is None)
+            if primary is not None:
+                client = self._client(primary)
+                try:
+                    return call(client)
+                except ServeError as exc:
+                    if exc.status == 421:
+                        self.redirects += 1
+                        hint = exc.extra.get("primary")
+                        if isinstance(hint, str) and hint:
+                            self._learn(hint)
+                        self._primary = None
+                        last = exc
+                    elif exc.status == 503:
+                        self._primary = None
+                        last = exc
+                    else:
+                        raise
+                except _RETRYABLE as exc:
+                    client.close()
+                    self._primary = None
+                    last = exc
+            if time.monotonic() >= deadline:
+                if isinstance(last, ServeError):
+                    raise last
+                raise ServeError(
+                    503,
+                    f"no primary accepted the request within "
+                    f"{self.failover_timeout}s"
+                    + (f" (last: {last})" if last is not None else ""),
+                )
+            self._sleep(self.poll_interval)
+
+    def _read_order(self) -> list[str]:
+        self.resolve()
+        order: list[str] = []
+        if self._followers:
+            start = self._read_rr % len(self._followers)
+            order.extend(self._followers[start:] + self._followers[:start])
+            self._read_rr += 1
+        if self._primary is not None:
+            order.append(self._primary)
+        return order or list(self.endpoints)
+
+    def _read(self, call: Callable[[ServeClient], dict[str, Any]]):
+        """Run ``call`` against followers first, primary as a last resort.
+
+        A 503 (lag bound exceeded, draining) or 404 (tenant not
+        bootstrapped on that follower yet) falls through to the next
+        candidate; any other HTTP error is the real answer and raises.
+        """
+        last: Optional[BaseException] = None
+        for endpoint in self._read_order():
+            client = self._client(endpoint)
+            try:
+                return call(client)
+            except ServeError as exc:
+                if exc.status in (404, 421, 503):
+                    last = exc
+                    continue
+                raise
+            except _RETRYABLE as exc:
+                client.close()
+                self._primary = None  # the topology may have shifted
+                last = exc
+        self.failed_reads += 1
+        if isinstance(last, ServeError):
+            raise last
+        raise ServeError(
+            503,
+            "no replica answered the read"
+            + (f" (last: {last})" if last is not None else ""),
+        )
+
+    # -- the ServeClient surface -------------------------------------------
+
+    def implies(
+        self,
+        tenant: str,
+        target: str,
+        semantics: str = "unrestricted",
+        deadline_ms: Optional[float] = None,
+        max_lag: Optional[int] = None,
+    ) -> dict[str, Any]:
+        bound = max_lag if max_lag is not None else self.max_lag
+        return self._read(lambda c: c.implies(
+            tenant, target, semantics=semantics,
+            deadline_ms=deadline_ms, max_lag=bound,
+        ))
+
+    def implies_all(
+        self,
+        tenant: str,
+        targets: list[str],
+        semantics: str = "unrestricted",
+        deadline_ms: Optional[float] = None,
+        max_lag: Optional[int] = None,
+    ) -> dict[str, Any]:
+        bound = max_lag if max_lag is not None else self.max_lag
+        return self._read(lambda c: c.implies_all(
+            tenant, targets, semantics=semantics,
+            deadline_ms=deadline_ms, max_lag=bound,
+        ))
+
+    def whatif(
+        self,
+        tenant: str,
+        targets: list[str],
+        add: Optional[list[str]] = None,
+        retract: Optional[list[str]] = None,
+        semantics: str = "unrestricted",
+    ) -> dict[str, Any]:
+        return self._read(lambda c: c.whatif(
+            tenant, targets, add=add, retract=retract, semantics=semantics,
+        ))
+
+    def check(self, tenant: str) -> dict[str, Any]:
+        return self._read(lambda c: c.check(tenant))
+
+    def add(
+        self,
+        tenant: str,
+        dependencies: list[str],
+        key: Optional[str] = None,
+    ) -> dict[str, Any]:
+        # Pin the idempotency key before the retry loop: the attempt
+        # that lands on a freshly promoted follower must replay, not
+        # re-apply.
+        pinned = key if key is not None else str(uuid.uuid4())
+        return self._on_primary(
+            lambda c: c.add(tenant, dependencies, key=pinned)
+        )
+
+    def retract(
+        self,
+        tenant: str,
+        dependencies: list[str],
+        key: Optional[str] = None,
+    ) -> dict[str, Any]:
+        pinned = key if key is not None else str(uuid.uuid4())
+        return self._on_primary(
+            lambda c: c.retract(tenant, dependencies, key=pinned)
+        )
+
+    def create_tenant(
+        self,
+        name: str,
+        bundle: dict[str, Any],
+        options: Optional[dict[str, int]] = None,
+    ) -> dict[str, Any]:
+        return self._on_primary(
+            lambda c: c.create_tenant(name, bundle, options=options)
+        )
+
+    def drop_tenant(self, name: str) -> dict[str, Any]:
+        return self._on_primary(lambda c: c.drop_tenant(name))
+
+    def tenants(self) -> list[str]:
+        return self._read(lambda c: {"tenants": c.tenants()})["tenants"]

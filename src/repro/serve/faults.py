@@ -18,6 +18,20 @@ after the WAL append but before the response, say.  A
   like to the client).
 * ``latency`` — every dispatch sleeps ``latency_ms`` first, making
   deadline expiry reproducible without a pathological premise set.
+  The ``latency:hold`` variant *blocks the serving loop* for the
+  delay instead of yielding, emulating a request whose handler
+  compute occupies the node — the per-request service time that
+  makes one node a throughput ceiling.  The replication benchmark
+  uses it to measure read scale-out machine-independently.
+* ``partition-replication`` — the node drops off the replication
+  network entirely: a primary stops forwarding records, and every
+  ``/replication/*`` request it receives answers 503.  Followers see
+  missed heartbeats and (if configured) promote — this is the fault
+  that drives the failover tests without killing the process.
+* ``replication-lag`` — data-plane-only partition: record forwarding
+  and WAL/snapshot pulls fail but heartbeats still flow, so a
+  follower *knows* how far behind it is.  Drives deterministic
+  ``max_lag`` bounded-staleness tests.
 
 Faults are armed from the environment (``REPRO_FAULTS`` — comma list
 of point names, each optionally suffixed ``:once`` — plus
@@ -37,12 +51,16 @@ CRASH_BEFORE_WAL_APPEND = "crash-before-wal-append"
 CRASH_AFTER_WAL_APPEND = "crash-after-wal-append"
 DROP_CONNECTION = "drop-connection"
 LATENCY = "latency"
+PARTITION_REPLICATION = "partition-replication"
+REPLICATION_LAG = "replication-lag"
 
 FAULT_POINTS = (
     CRASH_BEFORE_WAL_APPEND,
     CRASH_AFTER_WAL_APPEND,
     DROP_CONNECTION,
     LATENCY,
+    PARTITION_REPLICATION,
+    REPLICATION_LAG,
 )
 
 FAULTS_ENV = "REPRO_FAULTS"
@@ -64,6 +82,7 @@ class FaultInjector:
     def __init__(self, spec: str = "", latency_ms: float = 0.0):
         self._armed: dict[str, int] = {}
         self.latency_ms = latency_ms
+        self.latency_holds = False
         self.fired: dict[str, int] = {}
         for item in spec.split(","):
             item = item.strip()
@@ -77,12 +96,20 @@ class FaultInjector:
                 )
             if modifier == "once":
                 self._armed[name] = 1
+            elif modifier == "hold":
+                if name != LATENCY:
+                    raise ValueError(
+                        f"fault modifier ':hold' only applies to "
+                        f"{LATENCY!r}, got {name!r}"
+                    )
+                self._armed[name] = _ALWAYS
+                self.latency_holds = True
             elif modifier == "":
                 self._armed[name] = _ALWAYS
             else:
                 raise ValueError(
                     f"unknown fault modifier {modifier!r} on {name!r}; "
-                    f"only ':once' is supported"
+                    f"only ':once' and ':hold' are supported"
                 )
 
     @classmethod
@@ -124,6 +151,7 @@ class FaultInjector:
             "armed": sorted(self._armed),
             "fired": dict(self.fired),
             "latency_ms": self.latency_ms,
+            "latency_holds": self.latency_holds,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

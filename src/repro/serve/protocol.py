@@ -38,17 +38,29 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    421: "Misdirected Request",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
 
 
 class ServeError(ReproError):
-    """A request the server refuses, with its HTTP status attached."""
+    """A request the server refuses, with its HTTP status attached.
 
-    def __init__(self, status: int, message: str):
+    ``extra`` rides along in the error payload — machine-readable
+    context beyond the message, e.g. the primary endpoint on a 421
+    mutation redirect or the fencing term on a refused replication
+    stream.  The client reattaches whatever extra fields it decodes,
+    so both ends see the same structured refusal.
+    """
+
+    def __init__(
+        self, status: int, message: str,
+        extra: Optional[dict[str, Any]] = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.extra = dict(extra) if extra else {}
 
 
 class ProtocolError(ServeError):
@@ -155,6 +167,11 @@ def json_response(
     return head.encode("latin-1") + b"\r\n" + body
 
 
-def error_payload(status: int, message: str) -> dict[str, Any]:
+def error_payload(
+    status: int, message: str, extra: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
     """The uniform error body both ends of the wire agree on."""
-    return {"error": message, "status": status}
+    payload = {"error": message, "status": status}
+    if extra:
+        payload.update(extra)
+    return payload

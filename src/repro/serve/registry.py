@@ -165,6 +165,8 @@ class Tenant:
         store: Optional[TenantStore] = None,
         snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
         options: Optional[dict[str, int]] = None,
+        term: int = 0,
+        replicating: bool = False,
     ):
         self.name = name
         self.session = session
@@ -177,6 +179,15 @@ class Tenant:
             store.applied if store is not None else {}
         )
         self.replayed_mutations = 0
+        # Replication bookkeeping: the log position this tenant has
+        # applied through (== store.seq when durable), the node term its
+        # records are stamped with, and the last record built by a
+        # mutation — what the primary forwards to its followers.
+        self.replicated_seq = store.seq if store is not None else 0
+        self.term = max(term, store.term if store is not None else 0)
+        self.replicating = replicating
+        self.last_record: Optional[dict[str, Any]] = None
+        self.applied_replicated = 0
 
     def mutate(
         self,
@@ -213,14 +224,69 @@ class Tenant:
             "added": [str(dep) for dep in delta.added],
             "removed": [str(dep) for dep in delta.removed],
         }
+        patch = {kind: [str(dep) for dep in coerced]}
         if self.store is not None:
-            patch = {kind: [str(dep) for dep in coerced]}
-            result["seq"] = self.store.append(patch, key=key, result=result)
+            record = self.store.append(patch, key=key, result=result)
+            result["seq"] = record["seq"]
             if self.store.appends_since_snapshot >= self.snapshot_every:
                 self.checkpoint()
-        elif key is not None:
-            self.applied[key] = result
+        else:
+            # Non-durable tenants still number their mutations when the
+            # node replicates: the record is the replication payload.
+            seq = self.replicated_seq + 1
+            record = {"seq": seq, "term": self.term, "patch": patch}
+            if key:
+                record["key"] = key
+            if self.replicating:
+                result["seq"] = seq
+            record["result"] = dict(result)
+            if key is not None:
+                self.applied[key] = record["result"]
+        self.replicated_seq = record["seq"]
+        self.last_record = record
         return result
+
+    def apply_replicated(self, record: dict[str, Any]) -> None:
+        """Apply one replicated WAL record — the follower apply mode.
+
+        The record flows through the *same* mutation path a local
+        client's would (coalescing barrier, then ``session.add`` /
+        ``session.retract``), so a follower's session stays
+        verdict-equivalent with the primary's: same premises, same
+        compiled artifacts lifecycle, same version arithmetic.  The
+        record's idempotency key and recorded result are adopted too,
+        which is what makes a keyed retry *after failover* replay
+        instead of double-applying — the exactly-once contract survives
+        the primary's death.  The caller (the follower replicator) is
+        responsible for ordering: records must arrive at
+        ``replicated_seq + 1``.
+        """
+        seq = int(record["seq"])
+        if seq != self.replicated_seq + 1:
+            raise ServeError(
+                409,
+                f"tenant {self.name!r}: replicated record seq {seq} does "
+                f"not follow applied seq {self.replicated_seq}",
+            )
+        self.coalescer.barrier()
+        add, retract = patch_from_payload(
+            record.get("patch") or {}, self.session.schema
+        )
+        if retract:
+            self.session.retract(retract)
+        if add:
+            self.session.add(add)
+        if self.store is not None:
+            self.store.append_replicated(record)
+            if self.store.appends_since_snapshot >= self.snapshot_every:
+                self.checkpoint()
+        else:
+            key = record.get("key")
+            if key:
+                self.applied[key] = record.get("result") or {}
+        self.replicated_seq = seq
+        self.term = max(self.term, int(record.get("term", 0)))
+        self.applied_replicated += 1
 
     def checkpoint(self) -> None:
         """Snapshot the live session's premise bundle; truncates the WAL."""
@@ -291,6 +357,9 @@ class Tenant:
         payload["premises"] = len(self.session.dependencies)
         payload["coalescer"] = self.coalescer.stats()
         payload["replayed_mutations"] = self.replayed_mutations
+        payload["replicated_seq"] = self.replicated_seq
+        if self.applied_replicated:
+            payload["applied_replicated"] = self.applied_replicated
         if self.options:
             payload["options"] = dict(self.options)
         if self.store is not None:
@@ -317,8 +386,37 @@ class TenantRegistry:
         self.state_dir = state_dir
         self.recovered_tenants = 0
         self.replayed_records = 0
+        self.term = state_dir.load_term() if state_dir is not None else 0
+        self.replicating = False
         if state_dir is not None:
             self._recover()
+
+    def set_term(self, term: int) -> None:
+        """Adopt a (higher) node term, persisting it before it is used.
+
+        Every tenant and store stamps subsequent records with the new
+        term; the durable save happens *first*, so a crash between
+        promotion and the next append can never resurrect the node at
+        its old term.
+        """
+        if term < self.term:
+            raise ValueError(
+                f"term must be monotonic: {term} < current {self.term}"
+            )
+        if self.state_dir is not None and term != self.term:
+            self.state_dir.save_term(term)
+        self.term = term
+        for tenant in self.tenants.values():
+            tenant.term = max(tenant.term, term)
+            if tenant.store is not None:
+                tenant.store.term = max(tenant.store.term, term)
+
+    def set_replicating(self, replicating: bool) -> None:
+        """Mark this node as a replication participant: mutations build
+        forwardable records (and stamp ``seq`` even without a WAL)."""
+        self.replicating = replicating
+        for tenant in self.tenants.values():
+            tenant.replicating = replicating
 
     def _recover(self) -> None:
         """Rebuild every persisted tenant from its snapshot + WAL tail.
@@ -374,6 +472,8 @@ class TenantRegistry:
                 store=store,
                 snapshot_every=self.state_dir.snapshot_every,
                 options=options,
+                term=self.term,
+                replicating=self.replicating,
             )
             self.tenants[name] = tenant
             self.recovered_tenants += 1
@@ -408,6 +508,7 @@ class TenantRegistry:
                 bundle_payload_of(session),
                 session.premise_hash,
                 options=options,
+                term=self.term,
             )
         tenant = Tenant(
             name,
@@ -420,6 +521,8 @@ class TenantRegistry:
                 else DEFAULT_SNAPSHOT_EVERY
             ),
             options=options,
+            term=self.term,
+            replicating=self.replicating,
         )
         self.tenants[name] = tenant
         return tenant
@@ -442,6 +545,91 @@ class TenantRegistry:
             name, schema, dependencies, db=db,
             options=session_options_of(options),
         )
+
+    def replication_snapshot_of(self, name: str) -> dict[str, Any]:
+        """The bootstrap payload a follower pulls for one tenant.
+
+        Built from the *live* session (not the on-disk snapshot), so a
+        non-durable primary can still seed followers, and the payload
+        always reflects every applied mutation — including ones a disk
+        snapshot hasn't checkpointed yet.
+        """
+        tenant = self.get(name)
+        return {
+            "name": tenant.name,
+            "seq": tenant.replicated_seq,
+            "term": tenant.term,
+            "premise_hash": tenant.session.premise_hash,
+            "bundle": bundle_payload_of(tenant.session),
+            "options": dict(tenant.options),
+            "applied_keys": dict(tenant.applied),
+        }
+
+    def create_replica(
+        self, name: str, payload: dict[str, Any]
+    ) -> Tenant:
+        """Build (or rebuild) a tenant from a replicated bootstrap payload.
+
+        The rebuilt session's ``premise_hash`` is verified against the
+        payload's before the tenant goes live — a follower must refuse
+        to serve state it cannot prove it reconstructed — and an
+        existing tenant of the same name is *replaced* (a re-bootstrap
+        after divergence or a truncated-away tail supersedes whatever
+        the follower had).
+        """
+        try:
+            schema, dependencies, db = bundle_from_payload(
+                payload.get("bundle") or {}
+            )
+        except Exception as exc:
+            raise WalCorruption(
+                f"replica {name!r}: bootstrap bundle failed to load: {exc}"
+            )
+        options = session_options_of(payload.get("options") or None)
+        session = ReasoningSession(schema, dependencies, db=db, **options)
+        expected = payload.get("premise_hash")
+        if expected and session.premise_hash != expected:
+            raise WalCorruption(
+                f"replica {name!r}: bootstrap premise_hash {expected} does "
+                f"not match the rebuilt session ({session.premise_hash}); "
+                f"refusing to serve it"
+            )
+        seq = int(payload.get("seq", 0))
+        term = int(payload.get("term", 0))
+        applied = payload.get("applied_keys") or {}
+        if name in self.tenants:
+            self.drop(name)
+        shared = self.artifacts.adopt_into(session)
+        store = None
+        if self.state_dir is not None:
+            store = self.state_dir.create_tenant(
+                name,
+                bundle_payload_of(session),
+                session.premise_hash,
+                options=options,
+                seq=seq,
+                term=term,
+                applied=dict(applied),
+            )
+        tenant = Tenant(
+            name,
+            session,
+            shared_artifacts=shared,
+            store=store,
+            snapshot_every=(
+                self.state_dir.snapshot_every
+                if self.state_dir is not None
+                else DEFAULT_SNAPSHOT_EVERY
+            ),
+            options=options,
+            term=max(term, self.term),
+            replicating=True,
+        )
+        tenant.replicated_seq = seq
+        if store is None and isinstance(applied, dict):
+            tenant.applied.update(applied)
+        self.tenants[name] = tenant
+        return tenant
 
     def get(self, name: str) -> Tenant:
         tenant = self.tenants.get(name)

@@ -22,6 +22,20 @@ Routes (all payloads JSON objects)::
     POST   /tenants/N/retract            {"dependencies": [...]} -> delta
     POST   /tenants/N/whatif             {"targets", "add"?, "retract"?} -> flips
     POST   /tenants/N/check              bundled database vs premises
+    GET    /replication/heartbeat        term + role + per-tenant seqs
+    POST   /replication/register         {"endpoint"} -> follower joins
+    GET    /replication/snapshot/N       bootstrap bundle @ seq for tenant N
+    POST   /replication/wal/N            {"after": S} -> WAL records past S
+    POST   /replication/apply            pushed records (term-fenced)
+
+Replication (see :mod:`repro.serve.replication`): a server started
+with ``replica_of`` boots as a read-only *follower* — it bootstraps
+every tenant from the primary, applies its pushed WAL records, serves
+reads with a reported lag (optionally bounded per request by
+``max_lag``), answers mutations with a 421 redirect naming the
+primary, and promotes itself after ``failover_after`` missed
+heartbeats.  A primary forwards each mutation's record to all
+registered followers *before* acknowledging it.
 
 Graceful shutdown contract: once :meth:`ReasoningServer.begin_shutdown`
 fires (signal, endpoint, or API call) the listener closes, requests
@@ -36,12 +50,19 @@ from __future__ import annotations
 import asyncio
 import signal
 import threading
+import time
 from typing import Any, Optional
 
 from repro.engine.answer import Semantics
 from repro.engine.deadline import Deadline
 from repro.exceptions import ReproError
-from repro.serve.faults import DROP_CONNECTION, NO_FAULTS, FaultInjector
+from repro.serve.faults import (
+    DROP_CONNECTION,
+    NO_FAULTS,
+    PARTITION_REPLICATION,
+    REPLICATION_LAG,
+    FaultInjector,
+)
 from repro.serve.protocol import (
     Request,
     ServeError,
@@ -50,6 +71,14 @@ from repro.serve.protocol import (
     read_request,
 )
 from repro.serve.registry import Tenant, TenantRegistry
+from repro.serve.replication import (
+    DEFAULT_FAILOVER_AFTER,
+    DEFAULT_HEARTBEAT,
+    FollowerReplicator,
+    PrimaryReplicator,
+    apply_envelope,
+    parse_endpoint,
+)
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8765
@@ -106,6 +135,11 @@ class ReasoningServer:
         grace: float = DEFAULT_GRACE,
         default_deadline: Optional[float] = None,
         faults: FaultInjector = NO_FAULTS,
+        replica_of: Optional[str] = None,
+        heartbeat: float = DEFAULT_HEARTBEAT,
+        failover_after: int = DEFAULT_FAILOVER_AFTER,
+        default_max_lag: Optional[int] = None,
+        advertise: Optional[str] = None,
     ):
         self.registry = registry if registry is not None else TenantRegistry()
         self.host = host
@@ -117,6 +151,35 @@ class ReasoningServer:
             )
         self.default_deadline = default_deadline
         self.faults = faults
+        if default_max_lag is not None and default_max_lag < 0:
+            raise ValueError(
+                f"default_max_lag must be >= 0, got {default_max_lag}"
+            )
+        self.default_max_lag = default_max_lag
+        if advertise is not None:
+            parse_endpoint(advertise)
+        self.advertise = advertise
+        # Replication role. A node booted with ``replica_of`` follows
+        # that primary; everything else leads by default (a lone node
+        # is trivially its own primary).  ``fenced`` is a terminal
+        # read-only role a deposed primary steps down into.
+        self.role = "follower" if replica_of else "primary"
+        self.replica_of = replica_of
+        self.primary_endpoint: Optional[str] = replica_of
+        self.replication = PrimaryReplicator(self)
+        self.follower: Optional[FollowerReplicator] = (
+            FollowerReplicator(
+                self, replica_of,
+                heartbeat=heartbeat, failover_after=failover_after,
+            )
+            if replica_of
+            else None
+        )
+        self.promotions = 0
+        self.stepped_down = 0
+        self.redirected_mutations = 0
+        self.lag_rejections = 0
+        self._replication_task: Optional[asyncio.Task] = None
         self.requests_served = 0
         self.degraded_answers = 0
         self.dropped_connections = 0
@@ -148,6 +211,39 @@ class ReasoningServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.follower is not None:
+            self.registry.set_replicating(True)
+            self._replication_task = asyncio.create_task(
+                self.follower.run(), name="repro-replication"
+            )
+
+    # -- replication role transitions --------------------------------------
+
+    def advertised_endpoint(self) -> str:
+        """The address peers and redirected clients should dial."""
+        return self.advertise or f"{self.host}:{self.port}"
+
+    def become_primary(self, term: int) -> None:
+        """Promote this follower: persist the new term, then lead.
+
+        The term is saved *before* the role flips (see
+        :meth:`TenantRegistry.set_term`), so a crash mid-promotion can
+        never produce a leader still stamping the old term.
+        """
+        self.registry.set_term(term)
+        self.role = "primary"
+        self.primary_endpoint = self.advertised_endpoint()
+        self.promotions += 1
+
+    def step_down(self, term: int, leader: Optional[str] = None) -> None:
+        """A higher term fenced us: stop leading, keep serving reads."""
+        if term > self.registry.term:
+            self.registry.set_term(term)
+        if self.role == "primary":
+            self.role = "fenced"
+            self.stepped_down += 1
+        if leader:
+            self.primary_endpoint = leader
 
     def begin_shutdown(self) -> None:
         """Flip the drain switch (idempotent, signal-handler safe)."""
@@ -173,6 +269,13 @@ class ReasoningServer:
         """
         assert self._shutdown is not None, "call start() first"
         await self._shutdown.wait()
+        if self._replication_task is not None:
+            self._replication_task.cancel()
+            try:
+                await self._replication_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._replication_task = None
         await self._drain()
         if self.registry.state_dir is not None:
             self.registry.checkpoint_all()
@@ -258,10 +361,17 @@ class ReasoningServer:
         try:
             delay = self.faults.latency_seconds()
             if delay > 0:
-                await asyncio.sleep(delay)
+                if self.faults.latency_holds:
+                    # ``latency:hold``: occupy the serving loop like a
+                    # handler whose compute costs this much would.
+                    time.sleep(delay)
+                else:
+                    await asyncio.sleep(delay)
             return 200, await self._dispatch(request)
         except ServeError as exc:
-            return exc.status, error_payload(exc.status, str(exc))
+            return exc.status, error_payload(
+                exc.status, str(exc), extra=exc.extra
+            )
         except ReproError as exc:
             # Parse errors, schema violations, budget overruns: the
             # caller's payload was at fault, not the server.
@@ -283,6 +393,13 @@ class ReasoningServer:
                 "ok": True,
                 "tenants": len(self.registry.tenants),
                 "draining": bool(self._shutdown and self._shutdown.is_set()),
+                "role": self.role,
+                "term": self.registry.term,
+                "primary": (
+                    self.advertised_endpoint()
+                    if self.role == "primary"
+                    else self.primary_endpoint
+                ),
             }
         if parts == ["stats"]:
             self._require(method, "GET", request)
@@ -293,6 +410,10 @@ class ReasoningServer:
             return {"ok": True, "draining": True}
         if parts and parts[0] == "tenants":
             return await self._dispatch_tenants(method, parts[1:], request)
+        if parts and parts[0] == "replication":
+            return await self._dispatch_replication(
+                method, parts[1:], request
+            )
         raise ServeError(404, f"no route for {method} {request.path}")
 
     @staticmethod
@@ -302,6 +423,88 @@ class ReasoningServer:
                 405, f"{request.path} expects {expected}, got {method}"
             )
 
+    def _require_primary(self, what: str) -> None:
+        """421 Misdirected Request: mutations belong to the primary."""
+        if self.role != "primary":
+            self.redirected_mutations += 1
+            raise ServeError(
+                421,
+                f"{what} must go to the primary; this node is a "
+                f"{self.role}",
+                extra={"primary": self.primary_endpoint, "role": self.role},
+            )
+
+    async def _dispatch_replication(
+        self, method: str, parts: list[str], request: Request
+    ) -> dict[str, Any]:
+        if self.faults.trip(PARTITION_REPLICATION):
+            raise ServeError(
+                503, "replication partitioned (fault injected)"
+            )
+        op = parts[0] if parts else None
+        if op in ("snapshot", "wal") and self.faults.trip(REPLICATION_LAG):
+            raise ServeError(
+                503, "replication data plane partitioned (fault injected)"
+            )
+        if op == "heartbeat" and len(parts) == 1:
+            self._require(method, "GET", request)
+            return self.replication.heartbeat_payload()
+        if op == "register" and len(parts) == 1:
+            self._require(method, "POST", request)
+            endpoint = request.json().get("endpoint")
+            if not isinstance(endpoint, str) or not endpoint:
+                raise ServeError(
+                    400, "'endpoint' must be a 'host:port' string"
+                )
+            try:
+                parse_endpoint(endpoint)
+            except ValueError as exc:
+                raise ServeError(400, str(exc))
+            self.replication.register(endpoint)
+            return {
+                "ok": True,
+                "term": self.registry.term,
+                "role": self.role,
+                "tenants": sorted(self.registry.tenants),
+            }
+        if op == "snapshot" and len(parts) == 2:
+            self._require(method, "GET", request)
+            return self.registry.replication_snapshot_of(parts[1])
+        if op == "wal" and len(parts) == 2:
+            self._require(method, "POST", request)
+            tenant = self.registry.get(parts[1])
+            after = request.json().get("after", 0)
+            if isinstance(after, bool) or not isinstance(after, int) \
+                    or after < 0:
+                raise ServeError(
+                    400, f"'after' must be a non-negative integer, got "
+                         f"{after!r}"
+                )
+            if tenant.store is None:
+                # A non-durable node keeps no tail to replay; an exactly
+                # caught-up follower gets an empty page, anyone behind
+                # must re-bootstrap from a snapshot.
+                if after >= tenant.replicated_seq:
+                    return {"records": [], "seq": tenant.replicated_seq}
+                raise ServeError(
+                    409,
+                    f"tenant {parts[1]!r} keeps no WAL tail here",
+                    extra={"resync": True},
+                )
+            records = tenant.store.read_from(after)
+            if records is None:
+                raise ServeError(
+                    409,
+                    f"tenant {parts[1]!r}: records after seq {after} were "
+                    f"truncated by a snapshot",
+                    extra={"resync": True},
+                )
+            return {"records": records, "seq": tenant.replicated_seq}
+        if op == "apply" and len(parts) == 1:
+            self._require(method, "POST", request)
+            return apply_envelope(self, request.json())
+        raise ServeError(404, f"no route for {method} {request.path}")
+
     async def _dispatch_tenants(
         self, method: str, parts: list[str], request: Request
     ) -> dict[str, Any]:
@@ -309,6 +512,7 @@ class ReasoningServer:
             if method == "GET":
                 return {"tenants": sorted(self.registry.tenants)}
             self._require(method, "POST", request)
+            self._require_primary("tenant creation")
             body = request.json()
             name = body.get("name")
             if not isinstance(name, str) or not name:
@@ -328,6 +532,7 @@ class ReasoningServer:
         name, op = parts[0], parts[1] if len(parts) > 1 else None
         if op is None:
             if method == "DELETE":
+                self._require_primary("tenant drop")
                 self.registry.drop(name)
                 return {"ok": True, "dropped": name}
             self._require(method, "GET", request)
@@ -342,9 +547,41 @@ class ReasoningServer:
         body = request.json()
         return await self._tenant_op(tenant, op, body)
 
+    def _check_lag(self, tenant: Tenant, body: dict[str, Any]) -> None:
+        """Bounded-staleness gate for follower reads.
+
+        ``max_lag`` (per request, else the server-wide default) is the
+        largest acceptable seq delta behind the primary's last
+        advertised position; a read that would exceed it gets a 503
+        carrying the observed lag, so the caller can retry elsewhere
+        or relax the bound.
+        """
+        raw = body.get("max_lag", None)
+        if raw is None:
+            raw = self.default_max_lag
+        if raw is None:
+            return
+        if isinstance(raw, bool) or not isinstance(raw, int) or raw < 0:
+            raise ServeError(
+                400, f"'max_lag' must be a non-negative integer, got {raw!r}"
+            )
+        if self.role != "follower" or self.follower is None:
+            return  # the primary (or a fenced ex-primary) is never stale
+        lag = self.follower.lag_of(tenant.name)
+        if lag > raw:
+            self.lag_rejections += 1
+            raise ServeError(
+                503,
+                f"replication lag {lag} exceeds max_lag {raw} for tenant "
+                f"{tenant.name!r}",
+                extra={"lag": lag, "max_lag": raw},
+            )
+
     async def _tenant_op(
         self, tenant: Tenant, op: str, body: dict[str, Any]
     ) -> dict[str, Any]:
+        if op in ("implies", "implies_all", "whatif", "check"):
+            self._check_lag(tenant, body)
         if op == "implies":
             target = body.get("target")
             if not isinstance(target, str) or not target:
@@ -380,9 +617,21 @@ class ReasoningServer:
                 "total": len(answers),
             }
         if op in ("add", "retract"):
-            return tenant.mutate(
+            self._require_primary(f"'{op}'")
+            result = tenant.mutate(
                 op, _string_list(body, "dependencies"), key=_key_of(body)
             )
+            # Forward before acknowledging: a keyed replay forwards
+            # nothing (its record already shipped the first time).
+            if (
+                not result.get("idempotent_replay")
+                and self.replication.followers
+                and tenant.last_record is not None
+            ):
+                await self.replication.forward(
+                    tenant.name, tenant.last_record
+                )
+            return result
         if op == "whatif":
             return await tenant.whatif_async(
                 _string_list(body, "targets"),
@@ -415,6 +664,33 @@ class ReasoningServer:
                 for name, tenant in self.registry.tenants.items()
             },
         }
+        replication: dict[str, Any] = {
+            "role": self.role,
+            "term": self.registry.term,
+            "primary": (
+                self.advertised_endpoint()
+                if self.role == "primary"
+                else self.primary_endpoint
+            ),
+        }
+        if self.replication.followers or self.replication.fenced_by:
+            replication.update(self.replication.stats())
+        if self.follower is not None:
+            replication["follower"] = self.follower.stats()
+        if self.promotions:
+            replication["promotions"] = self.promotions
+        if self.stepped_down:
+            replication["stepped_down"] = self.stepped_down
+        if self.redirected_mutations:
+            replication["redirected_mutations"] = self.redirected_mutations
+        if self.lag_rejections:
+            replication["lag_rejections"] = self.lag_rejections
+        if (
+            self.role != "primary"
+            or len(replication) > 3
+            or self.registry.replicating
+        ):
+            payload["replication"] = replication
         if self.faults:
             payload["faults"] = self.faults.stats()
         if self.dropped_connections:
@@ -431,6 +707,13 @@ async def serve_main(server: ReasoningServer, announce: bool = True) -> int:
             f"repro-serve listening on {server.host}:{server.port}",
             flush=True,
         )
+        if server.replica_of:
+            print(
+                f"repro-serve following {server.replica_of} "
+                f"(heartbeat {server.follower.heartbeat}s, "
+                f"failover after {server.follower.failover_after} misses)",
+                flush=True,
+            )
     await server.run_until_shutdown()
     return 0
 
@@ -456,10 +739,18 @@ class BackgroundServer:
         grace: float = DEFAULT_GRACE,
         default_deadline: Optional[float] = None,
         faults: FaultInjector = NO_FAULTS,
+        replica_of: Optional[str] = None,
+        heartbeat: float = DEFAULT_HEARTBEAT,
+        failover_after: int = DEFAULT_FAILOVER_AFTER,
+        default_max_lag: Optional[int] = None,
+        advertise: Optional[str] = None,
     ):
         self.server = ReasoningServer(
             registry, host=host, port=port, grace=grace,
             default_deadline=default_deadline, faults=faults,
+            replica_of=replica_of, heartbeat=heartbeat,
+            failover_after=failover_after, default_max_lag=default_max_lag,
+            advertise=advertise,
         )
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None

@@ -29,12 +29,37 @@ Idempotency keys make retried mutations exactly-once across crashes: a
 key seen in the snapshot map or the replayed tail short-circuits to
 the recorded result instead of re-applying the patch.
 
+Replication and the ``term`` fencing rule
+-----------------------------------------
+
+The same log doubles as the replication stream (:mod:`repro.serve.
+replication`): a primary ships snapshot bootstraps plus WAL records by
+``seq`` to its followers, and :meth:`TenantStore.read_from` is the
+tailing API a catch-up pull reads.  Every record is stamped with the
+node's **term** — a monotonically increasing epoch number, bumped by
+exactly one each time a follower promotes itself to primary — and a
+snapshot records the highest term it covers.  The fencing rule:
+
+* a node **refuses any replication stream whose envelope term is lower
+  than the highest term it has ever observed** (HTTP 409, the stream
+  is *fenced*);
+* a primary whose forwarded stream is fenced by a follower has been
+  superseded — it **steps down** to a read-only role on the spot and
+  names the fencing node as the leader it redirects mutations to.
+
+Terms are persisted in the state dir's ``meta.json`` (atomic
+tmp+fsync+rename, like snapshots), so a rebooted node resumes at its
+old term and a *resurrected stale primary* — restarted from a state
+dir recorded under term *t* after some follower promoted to *t+1* —
+is fenced on its first forward instead of silently forking history.
+
 The on-disk layout under ``--state-dir``::
 
     STATE_DIR/
+      meta.json           # {"term": highest term this node served at}
       tenants/
         <url-quoted tenant name>/
-          snapshot.json   # bundle + premise_hash + seq + applied keys
+          snapshot.json   # bundle + premise_hash + seq + term + applied keys
           wal.jsonl       # patch records with seq > snapshot seq
 """
 
@@ -52,6 +77,7 @@ from repro.serve.protocol import ServeError
 
 SNAPSHOT_FILE = "snapshot.json"
 WAL_FILE = "wal.jsonl"
+META_FILE = "meta.json"
 DEFAULT_SNAPSHOT_EVERY = 64
 MAX_APPLIED_KEYS = 1024
 
@@ -85,6 +111,8 @@ class TenantStore:
         self.path = path
         self.faults = faults
         self.seq = 0
+        self.term = 0
+        self.base_seq = 0
         self.appends = 0
         self.snapshots = 0
         self.appends_since_snapshot = 0
@@ -102,10 +130,24 @@ class TenantStore:
         premise_hash: str,
         options: Optional[dict[str, Any]] = None,
         faults: FaultInjector = NO_FAULTS,
+        seq: int = 0,
+        term: int = 0,
+        applied: Optional[dict[str, dict[str, Any]]] = None,
     ) -> "TenantStore":
-        """Initialize a fresh tenant directory (snapshot at seq 0)."""
+        """Initialize a fresh tenant directory (snapshot at ``seq``).
+
+        A primary starts at ``seq=0``; a follower bootstrapping from a
+        replicated snapshot passes the primary's ``seq``/``term``/
+        ``applied`` map so its own log resumes exactly where the
+        shipped snapshot left off.
+        """
         os.makedirs(path, exist_ok=True)
         store = cls(path, faults)
+        store.seq = seq
+        store.term = term
+        store.base_seq = seq
+        if applied:
+            store.applied.update(applied)
         store._write_snapshot(name, bundle, premise_hash, options or {})
         store._open_wal(truncate=True)
         return store
@@ -133,6 +175,8 @@ class TenantStore:
             raise WalCorruption(f"malformed snapshot at {snapshot_path}")
         base_seq = int(snapshot["seq"])
         store.seq = base_seq
+        store.base_seq = base_seq
+        store.term = int(snapshot.get("term", 0))
         applied = snapshot.get("applied_keys", {})
         if isinstance(applied, dict):
             store.applied.update(applied)
@@ -142,6 +186,10 @@ class TenantStore:
         ]
         if tail:
             store.seq = tail[-1]["seq"]
+            store.term = max(
+                store.term,
+                max(int(record.get("term", 0)) for record in tail),
+            )
         for record in tail:
             key = record.get("key")
             if key:
@@ -163,35 +211,55 @@ class TenantStore:
             _fsync_dir(self.path)
 
     def _read_wal(self) -> Iterator[dict[str, Any]]:
-        """Yield valid WAL records in file order.
+        """Yield valid WAL records in file order, streaming line by line.
 
-        A torn final line — the crash arrived mid-append, before the
-        fsync that would have acknowledged the record — is discarded,
-        matching the contract that an unacknowledged mutation may be
-        lost.  A torn or unparsable line followed by *more* records is
-        real corruption and raises.
+        A torn final record — the crash arrived mid-append, before the
+        fsync that would have acknowledged it — is discarded, matching
+        the contract that an unacknowledged mutation may be lost; any
+        blank lines trailing it are padding, not records, so they do
+        not promote the tear to corruption.  A torn or unparsable line
+        followed by *more records* is real corruption and raises.  The
+        file is never slurped whole: a multi-thousand-record tail
+        recovers in constant memory.
         """
         wal_path = os.path.join(self.path, WAL_FILE)
         try:
-            with open(wal_path, "r", encoding="utf-8") as fp:
-                lines = fp.readlines()
+            fp = open(wal_path, "r", encoding="utf-8")
         except FileNotFoundError:
             return
-        for index, line in enumerate(lines):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                record = json.loads(stripped)
-                if not isinstance(record, dict) or "seq" not in record:
-                    raise ValueError("record is not an object with 'seq'")
-            except ValueError as exc:
-                if index == len(lines) - 1:
-                    break  # torn tail: the unacknowledged final append
-                raise WalCorruption(
-                    f"corrupt WAL record at {wal_path}:{index + 1}: {exc}"
-                )
-            yield record
+        with fp:
+            torn: Optional[tuple[int, str]] = None
+            for number, line in enumerate(fp, start=1):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if torn is not None:
+                    raise WalCorruption(
+                        f"corrupt WAL record at {wal_path}:{torn[0]}: "
+                        f"{torn[1]}"
+                    )
+                try:
+                    record = json.loads(stripped)
+                    if not isinstance(record, dict) or "seq" not in record:
+                        raise ValueError("record is not an object with 'seq'")
+                except ValueError as exc:
+                    torn = (number, str(exc))
+                    continue
+                yield record
+
+    def read_from(self, after: int) -> Optional[list[dict[str, Any]]]:
+        """WAL records with ``seq > after`` — the replication tailing API.
+
+        Returns ``None`` when ``after`` predates the current snapshot
+        (the requested records were truncated away by a checkpoint), in
+        which case the follower must re-bootstrap from the snapshot
+        instead of tailing.
+        """
+        if after < self.base_seq:
+            return None
+        return [
+            record for record in self._read_wal() if record["seq"] > after
+        ]
 
     # -- the write path ----------------------------------------------------
 
@@ -200,33 +268,63 @@ class TenantStore:
         patch: dict[str, Any],
         key: Optional[str] = None,
         result: Optional[dict[str, Any]] = None,
-    ) -> int:
-        """Durably log one applied mutation; returns its sequence number.
+    ) -> dict[str, Any]:
+        """Durably log one applied mutation; returns the full record.
 
         The record is flushed and fsync'd before this returns — the
         WAL's acknowledgment contract — with the two crash fault points
-        on either side of the append for the chaos tests.
+        on either side of the append for the chaos tests.  The caller's
+        ``result`` dict is *not* mutated: the ``seq`` is stamped into a
+        copy, so the durability layer never aliases the server-side
+        response payload.  The returned record (seq, term, patch, key,
+        recorded result) is exactly what replication forwards.
         """
         self.faults.crash_point(CRASH_BEFORE_WAL_APPEND)
         seq = self.seq + 1
-        record: dict[str, Any] = {"seq": seq, "patch": patch}
+        record: dict[str, Any] = {"seq": seq, "term": self.term,
+                                  "patch": patch}
         if key:
             record["key"] = key
         if result is not None:
-            # Stamp the seq in before serializing so a replay after a
-            # reboot returns the same acknowledgment as the original.
-            result["seq"] = seq
-            record["result"] = result
+            # Stamp the seq into a copy before serializing so a replay
+            # after a reboot returns the same acknowledgment as the
+            # original, without mutating the caller's payload in place.
+            record["result"] = {**result, "seq": seq}
+        self._write_record(record)
+        if key:
+            self.applied[key] = record.get("result") or {}
+        self.faults.crash_point(CRASH_AFTER_WAL_APPEND)
+        return record
+
+    def append_replicated(self, record: dict[str, Any]) -> None:
+        """Durably log a record received from the replication stream.
+
+        The record is written verbatim — same ``seq``, same ``term``,
+        same recorded result — so a promoted follower's log is
+        byte-for-byte continuable from the primary's history.  Records
+        must arrive in order; a gap is the caller's (the follower
+        replicator's) job to detect and resolve by resync *before*
+        appending.
+        """
+        seq = int(record["seq"])
+        if seq <= self.seq:
+            raise WalCorruption(
+                f"replicated record seq {seq} does not advance the log "
+                f"(at seq {self.seq})"
+            )
+        self._write_record(dict(record))
+        key = record.get("key")
+        if key:
+            self.applied[key] = record.get("result") or {}
+
+    def _write_record(self, record: dict[str, Any]) -> None:
         self._wal.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._wal.flush()
         os.fsync(self._wal.fileno())
-        self.seq = seq
+        self.seq = int(record["seq"])
+        self.term = max(self.term, int(record.get("term", 0)))
         self.appends += 1
         self.appends_since_snapshot += 1
-        if key:
-            self.applied[key] = result or {}
-        self.faults.crash_point(CRASH_AFTER_WAL_APPEND)
-        return seq
 
     # -- checkpoints -------------------------------------------------------
 
@@ -245,6 +343,7 @@ class TenantStore:
             self.applied = dict(keep)
         self._write_snapshot(name, bundle, premise_hash, options or {})
         self._open_wal(truncate=True)
+        self.base_seq = self.seq
         self.snapshots += 1
         self.appends_since_snapshot = 0
 
@@ -255,6 +354,7 @@ class TenantStore:
         payload = {
             "name": name,
             "seq": self.seq,
+            "term": self.term,
             "premise_hash": premise_hash,
             "bundle": bundle,
             "options": options,
@@ -272,6 +372,7 @@ class TenantStore:
     def stats(self) -> dict[str, int]:
         return {
             "seq": self.seq,
+            "term": self.term,
             "appends": self.appends,
             "snapshots": self.snapshots,
             "appends_since_snapshot": self.appends_since_snapshot,
@@ -301,6 +402,38 @@ class StateDir:
     def tenants_root(self) -> str:
         return os.path.join(self.root, "tenants")
 
+    @property
+    def meta_path(self) -> str:
+        return os.path.join(self.root, META_FILE)
+
+    def load_term(self) -> int:
+        """The highest term this node has served at (0 if never saved)."""
+        try:
+            with open(self.meta_path, "r", encoding="utf-8") as fp:
+                meta = json.load(fp)
+        except FileNotFoundError:
+            return 0
+        except (OSError, json.JSONDecodeError) as exc:
+            raise WalCorruption(
+                f"unreadable state-dir meta at {self.meta_path}: {exc}"
+            )
+        return int(meta.get("term", 0))
+
+    def save_term(self, term: int) -> None:
+        """Durably record the node's term (atomic, like snapshots).
+
+        Saved *before* a promotion or adoption takes effect, so a
+        rebooted node can never come back believing an older term than
+        one it already fenced or served under.
+        """
+        tmp_path = self.meta_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fp:
+            json.dump({"term": int(term)}, fp)
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp_path, self.meta_path)
+        _fsync_dir(self.root)
+
     def _tenant_path(self, name: str) -> str:
         return os.path.join(
             self.tenants_root, urllib.parse.quote(name, safe="")
@@ -312,10 +445,14 @@ class StateDir:
         bundle: dict[str, Any],
         premise_hash: str,
         options: Optional[dict[str, Any]] = None,
+        seq: int = 0,
+        term: int = 0,
+        applied: Optional[dict[str, dict[str, Any]]] = None,
     ) -> TenantStore:
         return TenantStore.create(
             self._tenant_path(name), name, bundle, premise_hash,
             options=options, faults=self.faults,
+            seq=seq, term=term, applied=applied,
         )
 
     def drop_tenant(self, name: str) -> None:

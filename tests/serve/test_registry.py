@@ -1,6 +1,7 @@
 """Tenant lifecycle and the structural-hash artifact LRU."""
 
 import asyncio
+import os
 
 import pytest
 
@@ -8,7 +9,8 @@ from repro.deps.fd import FD
 from repro.deps.ind import IND
 from repro.engine import ReasoningSession
 from repro.model.schema import DatabaseSchema
-from repro.serve import ArtifactCache, ServeError, TenantRegistry
+from repro.serve import ArtifactCache, ServeError, StateDir, TenantRegistry
+from repro.serve.wal import WAL_FILE
 
 
 @pytest.fixture
@@ -185,3 +187,30 @@ class TestArtifactSharing:
             "MGR[NAME] <= PERSON[NAME]"
         ).verdict
         assert first.session.implies("MGR[NAME] <= PERSON[NAME]").verdict
+
+
+def open_fd_targets():
+    """Real paths of every file descriptor this process holds open."""
+    targets = set()
+    for fd in os.listdir("/proc/self/fd"):
+        try:
+            targets.add(os.path.realpath(f"/proc/self/fd/{fd}"))
+        except OSError:
+            continue  # the fd listing itself, already closed
+    return targets
+
+
+class TestDurableLifecycle:
+    def test_drop_closes_the_wal_handle_before_removal(self, tmp_path):
+        registry = TenantRegistry(state_dir=StateDir(str(tmp_path)))
+        tenant = registry.create_from_bundle("app", BUNDLE)
+        tenant.mutate("add", ["EMP: NAME -> DEPT"])
+        wal_path = os.path.realpath(
+            os.path.join(tenant.store.path, WAL_FILE)
+        )
+        assert wal_path in open_fd_targets()
+        registry.drop("app")
+        # The handle is released (no fd leak per dropped tenant) and
+        # the on-disk state is gone with it.
+        assert wal_path not in open_fd_targets()
+        assert not os.path.exists(wal_path)

@@ -1,0 +1,333 @@
+"""In-process replication coverage: bootstrap, lag, fencing, failover.
+
+Each test runs real servers — :class:`BackgroundServer` threads
+speaking real HTTP on loopback — so the replication paths exercised
+here (snapshot bootstrap, synchronous record forwarding, heartbeat
+catch-up, term fencing, promotion) are byte-identical to what a
+multi-process deployment runs; only the process boundary is missing,
+and ``test_replication_chaos.py`` covers that with kill -9.
+"""
+
+import time
+
+import pytest
+
+from repro.io import bundle_from_payload
+from repro.engine.session import ReasoningSession
+from repro.serve import (
+    BackgroundServer,
+    FailoverClient,
+    FaultInjector,
+    ServeClient,
+    ServeError,
+)
+from repro.serve.faults import NO_FAULTS, PARTITION_REPLICATION, REPLICATION_LAG
+from repro.serve.wal import StateDir
+
+BUNDLE = {
+    "schema": {"MGR": ["NAME", "DEPT"], "EMP": ["NAME", "DEPT"],
+               "PERSON": ["NAME"]},
+    "dependencies": ["MGR[NAME,DEPT] <= EMP[NAME,DEPT]",
+                     "EMP[NAME] <= PERSON[NAME]"],
+}
+EXTRA_DEP = "PERSON[NAME] <= EMP[NAME]"
+PROBES = [
+    "MGR[NAME] <= PERSON[NAME]",
+    "PERSON[NAME] <= MGR[NAME]",
+    "MGR[DEPT] <= MGR[DEPT]",
+]
+
+
+def wait_until(predicate, timeout=15.0, interval=0.02, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def endpoint_of(bg):
+    return f"127.0.0.1:{bg.port}"
+
+
+def follower_of(primary_bg, failover_after=0, heartbeat=0.05, **kwargs):
+    """An unstarted follower server (enter/``.start()`` to launch it)."""
+    return BackgroundServer(
+        replica_of=endpoint_of(primary_bg),
+        heartbeat=heartbeat,
+        failover_after=failover_after,
+        **kwargs,
+    )
+
+
+def control_session(mutations=()):
+    schema, dependencies, db = bundle_from_payload(BUNDLE)
+    session = ReasoningSession(schema, dependencies, db=db)
+    for dep in mutations:
+        session.add([dep])
+    return session
+
+
+class TestBootstrapAndForward:
+    def test_follower_bootstraps_and_serves_equivalent_reads(self):
+        with BackgroundServer() as primary:
+            client = ServeClient(port=primary.port)
+            client.create_tenant("app", BUNDLE)
+            client.add("app", [EXTRA_DEP])
+            with follower_of(primary) as follower:
+                reader = ServeClient(port=follower.port)
+                wait_until(
+                    lambda: "app" in follower.server.registry.tenants,
+                    message="follower tenant bootstrap",
+                )
+                control = control_session([EXTRA_DEP])
+                stats = reader.tenant_stats("app")
+                assert stats["premise_hash"] == control.premise_hash
+                assert stats["replicated_seq"] == 1
+                for probe in PROBES:
+                    served = reader.implies("app", probe)["verdict"]
+                    assert served == control.implies(probe).verdict, probe
+
+    def test_forward_is_synchronous_with_the_ack(self):
+        """Once the follower is registered, a 200 on a mutation means
+        the record is already applied there — no sleep needed."""
+        with BackgroundServer() as primary:
+            client = ServeClient(port=primary.port)
+            client.create_tenant("app", BUNDLE)
+            with follower_of(primary) as follower:
+                wait_until(
+                    lambda: primary.server.replication.followers,
+                    message="follower registration",
+                )
+                client.add("app", [EXTRA_DEP])
+                # No wait: the ack already waited for the follower.
+                tenant = follower.server.registry.tenants["app"]
+                assert tenant.replicated_seq == 1
+                control = control_session([EXTRA_DEP])
+                assert tenant.session.premise_hash == control.premise_hash
+                stats = ServeClient(port=primary.port).stats()
+                replication = stats["replication"]
+                assert replication["forwarded_records"] == 1
+                [handle] = replication["followers"]
+                assert handle["state"] == "healthy"
+                assert handle["acked_seq"] == {"app": 1}
+
+    def test_mutations_on_a_follower_redirect_to_the_primary(self):
+        with BackgroundServer() as primary:
+            ServeClient(port=primary.port).create_tenant("app", BUNDLE)
+            with follower_of(primary) as follower:
+                wait_until(
+                    lambda: "app" in follower.server.registry.tenants,
+                    message="follower tenant bootstrap",
+                )
+                writer = ServeClient(port=follower.port)
+                with pytest.raises(ServeError) as info:
+                    writer.add("app", [EXTRA_DEP])
+                assert info.value.status == 421
+                assert info.value.extra["primary"] == endpoint_of(primary)
+                with pytest.raises(ServeError) as info:
+                    writer.create_tenant("other", BUNDLE)
+                assert info.value.status == 421
+
+    def test_keyed_replay_is_not_reforwarded(self):
+        with BackgroundServer() as primary:
+            client = ServeClient(port=primary.port)
+            client.create_tenant("app", BUNDLE)
+            with follower_of(primary) as follower:
+                wait_until(
+                    lambda: primary.server.replication.followers,
+                    message="follower registration",
+                )
+                client.add("app", [EXTRA_DEP], key="pinned")
+                replayed = client.add("app", [EXTRA_DEP], key="pinned")
+                assert replayed.get("idempotent_replay") is True
+                assert primary.server.replication.forwarded_records == 1
+                # The replicated key map makes the same replay work on
+                # the follower's copy of history after a failover.
+                tenant = follower.server.registry.tenants["app"]
+                assert "pinned" in tenant.applied
+
+
+class TestLagBoundedReads:
+    def test_max_lag_rejects_stale_follower_reads_then_heals(self, tmp_path):
+        registry_faults = FaultInjector("")
+        state = StateDir(str(tmp_path / "primary"))
+        from repro.serve import TenantRegistry
+
+        registry = TenantRegistry(state_dir=state)
+        with BackgroundServer(registry=registry,
+                              faults=registry_faults) as primary:
+            client = ServeClient(port=primary.port)
+            client.create_tenant("app", BUNDLE)
+            with follower_of(primary) as follower:
+                wait_until(
+                    lambda: primary.server.replication.followers,
+                    message="follower registration",
+                )
+                reader = ServeClient(port=follower.port)
+                assert reader.implies(
+                    "app", PROBES[2], max_lag=0
+                )["verdict"] is True
+
+                # Partition the data plane only: forwards and pulls
+                # fail, heartbeats keep flowing, so the follower knows
+                # exactly how far behind it is.
+                primary.server.faults = FaultInjector(REPLICATION_LAG)
+                client.add("app", [EXTRA_DEP])
+                wait_until(
+                    lambda: follower.server.follower.lag_of("app") == 1,
+                    message="observed lag of 1",
+                )
+                with pytest.raises(ServeError) as info:
+                    reader.implies("app", PROBES[2], max_lag=0)
+                assert info.value.status == 503
+                assert info.value.extra["lag"] == 1
+                # An unbounded read still answers (stale but allowed).
+                assert reader.implies("app", PROBES[2])["verdict"] is True
+
+                # Heal the partition: the next heartbeat's catch-up
+                # pulls the missing WAL tail and the bound is met again.
+                primary.server.faults = NO_FAULTS
+                wait_until(
+                    lambda: follower.server.follower.lag_of("app") == 0,
+                    message="lag healed",
+                )
+                assert reader.implies(
+                    "app", PROBES[2], max_lag=0
+                )["verdict"] is True
+                assert follower.server.follower.pulled_records >= 1
+
+
+class TestFailoverAndFencing:
+    def test_promotion_fencing_and_stepdown(self):
+        with BackgroundServer() as primary:
+            client = ServeClient(port=primary.port)
+            client.create_tenant("app", BUNDLE)
+            with follower_of(primary, failover_after=3) as follower:
+                wait_until(
+                    lambda: primary.server.replication.followers,
+                    message="follower registration",
+                )
+                client.add("app", [EXTRA_DEP])
+
+                # Full partition: the primary drops off the replication
+                # network; the follower misses heartbeats and promotes.
+                primary.server.faults = FaultInjector(PARTITION_REPLICATION)
+                wait_until(
+                    lambda: follower.server.role == "primary",
+                    message="follower promotion",
+                )
+                assert follower.server.registry.term == 1
+                health = ServeClient(port=follower.port).health()
+                assert health["role"] == "primary"
+                assert health["term"] == 1
+
+                # The promoted node accepts mutations now.
+                promoted_writer = ServeClient(port=follower.port)
+                result = promoted_writer.add(
+                    "app", ["EMP[DEPT] <= MGR[DEPT]"]
+                )
+                assert "idempotent_replay" not in result
+
+                # The resurrected old primary's next forward is fenced
+                # by the higher term, and it steps down on the spot.
+                primary.server.faults = NO_FAULTS
+                stale_writer = ServeClient(port=primary.port)
+                stale_writer.add("app", ["PERSON[NAME] <= MGR[NAME]"])
+                assert primary.server.role == "fenced"
+                assert primary.server.registry.term == 1
+                with pytest.raises(ServeError) as info:
+                    stale_writer.add("app", [EXTRA_DEP], key="again")
+                assert info.value.status == 421
+                assert info.value.extra["primary"] == endpoint_of(follower)
+
+    def test_promotion_refused_from_an_incomplete_log(self):
+        with BackgroundServer() as primary:
+            client = ServeClient(port=primary.port)
+            client.create_tenant("app", BUNDLE)
+            with follower_of(primary, failover_after=2) as follower:
+                wait_until(
+                    lambda: primary.server.replication.followers,
+                    message="follower registration",
+                )
+                # Data-plane partition first: the follower *knows* it is
+                # behind when the control plane dies too.
+                primary.server.faults = FaultInjector(REPLICATION_LAG)
+                client.add("app", [EXTRA_DEP])
+                wait_until(
+                    lambda: follower.server.follower.lag_of("app") == 1,
+                    message="observed lag of 1",
+                )
+                primary.server.faults = FaultInjector(
+                    f"{PARTITION_REPLICATION},{REPLICATION_LAG}"
+                )
+                wait_until(
+                    lambda: follower.server.follower.promotion_refusals > 0,
+                    message="promotion refusal",
+                )
+                assert follower.server.role == "follower"
+                assert follower.server.follower.promoted is False
+
+
+class TestFailoverClient:
+    def test_reads_route_to_followers_and_writes_to_primary(self):
+        with BackgroundServer() as primary:
+            setup = ServeClient(port=primary.port)
+            setup.create_tenant("app", BUNDLE)
+            with follower_of(primary) as follower:
+                wait_until(
+                    lambda: "app" in follower.server.registry.tenants,
+                    message="follower tenant bootstrap",
+                )
+                fc = FailoverClient(
+                    [endpoint_of(primary), endpoint_of(follower)]
+                )
+                topology = fc.topology()
+                assert topology["primary"] == endpoint_of(primary)
+                assert topology["followers"] == [endpoint_of(follower)]
+
+                served_before = follower.server.requests_served
+                assert fc.implies("app", PROBES[2])["verdict"] is True
+                assert follower.server.requests_served > served_before
+
+                result = fc.add("app", [EXTRA_DEP])
+                assert result["version"] == 1
+                wait_until(
+                    lambda: follower.server.registry.tenants[
+                        "app"].replicated_seq == 1,
+                    message="record replicated",
+                )
+                fc.close()
+
+    def test_mutations_chase_the_primary_through_failover(self):
+        with BackgroundServer() as primary:
+            setup = ServeClient(port=primary.port)
+            setup.create_tenant("app", BUNDLE)
+            follower = follower_of(
+                primary, failover_after=3, heartbeat=0.05
+            ).start()
+            try:
+                wait_until(
+                    lambda: "app" in follower.server.registry.tenants,
+                    message="follower tenant bootstrap",
+                )
+                fc = FailoverClient(
+                    [endpoint_of(primary), endpoint_of(follower)],
+                    failover_timeout=20.0,
+                    poll_interval=0.05,
+                )
+                primary.stop()  # the primary vanishes mid-deployment
+                result = fc.add("app", [EXTRA_DEP], key="burst")
+                assert result["version"] == 1
+                assert follower.server.role == "primary"
+                # The pinned key replays exactly-once on the new primary.
+                replay = fc.add("app", [EXTRA_DEP], key="burst")
+                assert replay.get("idempotent_replay") is True
+                control = control_session([EXTRA_DEP])
+                assert fc.implies(
+                    "app", PROBES[0]
+                )["verdict"] == control.implies(PROBES[0]).verdict
+                fc.close()
+            finally:
+                follower.stop()

@@ -62,6 +62,14 @@ class TestFaultInjector:
         with pytest.raises(ValueError, match="modifier"):
             FaultInjector(f"{LATENCY}:twice")
 
+    def test_hold_modifier_only_applies_to_latency(self):
+        armed = FaultInjector(f"{LATENCY}:hold", latency_ms=5)
+        assert armed.latency_holds is True
+        assert armed.latency_seconds() == 0.005
+        assert FaultInjector(LATENCY).latency_holds is False
+        with pytest.raises(ValueError, match="hold"):
+            FaultInjector(f"{CRASH_BEFORE_WAL_APPEND}:hold")
+
     def test_latency_requires_armed_point_and_positive_ms(self):
         assert FaultInjector(LATENCY).latency_seconds() == 0.0
         armed = FaultInjector(LATENCY, latency_ms=250)
@@ -99,9 +107,10 @@ class TestTenantStore:
 
     def test_append_reopen_roundtrip(self, tmp_path):
         store = make_store(tmp_path)
-        assert store.append({"add": ["R: A -> B"]}, key="k1",
-                            result={"version": 1}) == 1
-        assert store.append({"retract": ["R: A -> B"]}) == 2
+        first = store.append({"add": ["R: A -> B"]}, key="k1",
+                             result={"version": 1})
+        assert first["seq"] == 1
+        assert store.append({"retract": ["R: A -> B"]})["seq"] == 2
         store.close()
 
         reopened, snapshot, tail = TenantStore.open(str(tmp_path / "t"))
@@ -113,8 +122,16 @@ class TestTenantStore:
         # after reopen returns the original acknowledgment verbatim.
         assert reopened.applied["k1"] == {"version": 1, "seq": 1}
         # Appends after reopen must not reuse sequence numbers.
-        assert reopened.append({"add": ["R: A -> B"]}) == 3
+        assert reopened.append({"add": ["R: A -> B"]})["seq"] == 3
         reopened.close()
+
+    def test_append_does_not_mutate_callers_result(self, tmp_path):
+        store = make_store(tmp_path)
+        result = {"version": 7}
+        record = store.append({"add": ["R: A -> B"]}, key="k", result=result)
+        assert result == {"version": 7}  # caller's dict untouched
+        assert record["result"] == {"version": 7, "seq": 1}
+        store.close()
 
     def test_snapshot_truncates_wal_and_filters_tail(self, tmp_path):
         store = make_store(tmp_path)
@@ -158,6 +175,48 @@ class TestTenantStore:
         assert reopened.seq == 1
         reopened.close()
 
+    def test_torn_tail_with_trailing_blank_lines_is_discarded(self, tmp_path):
+        """A torn final record followed by blank lines (a crash midway
+        through an append that had already written the newline, or
+        filesystem padding) must recover like a plain torn tail — the
+        blanks are not 'records after the tear'."""
+        store = make_store(tmp_path)
+        store.append({"add": ["R: A -> B"]})
+        store.close()
+        wal_path = tmp_path / "t" / WAL_FILE
+        with open(wal_path, "a", encoding="utf-8") as fp:
+            fp.write('{"seq": 2, "patch": {"re\n\n\n')
+
+        reopened, _, tail = TenantStore.open(str(tmp_path / "t"))
+        assert [record["seq"] for record in tail] == [1]
+        assert reopened.seq == 1
+        # The log stays appendable: the torn bytes are gone after the
+        # next truncating reopen cycle, and new appends advance the seq.
+        assert reopened.append({"add": ["R: A -> B"]})["seq"] == 2
+        reopened.close()
+
+    def test_multi_thousand_record_tail_recovers(self, tmp_path):
+        """Recovery streams the WAL line-by-line, so a long unsnapshotted
+        tail (thousands of records) comes back intact and in order."""
+        store = make_store(tmp_path)
+        for index in range(3000):
+            record = store.append(
+                {"add": [f"R: A -> B #{index}"]},
+                key=f"k{index}",
+                result={"version": index + 1},
+            )
+            assert record["seq"] == index + 1
+        store.close()
+
+        reopened, snapshot, tail = TenantStore.open(str(tmp_path / "t"))
+        assert snapshot["seq"] == 0
+        assert len(tail) == 3000
+        assert [record["seq"] for record in tail] == list(range(1, 3001))
+        assert tail[-1]["result"] == {"version": 3000, "seq": 3000}
+        assert reopened.seq == 3000
+        assert reopened.applied["k2999"] == {"version": 3000, "seq": 3000}
+        reopened.close()
+
     def test_corrupt_interior_record_raises(self, tmp_path):
         store = make_store(tmp_path)
         store.append({"add": ["R: A -> B"]})
@@ -191,6 +250,36 @@ class TestTenantStore:
         assert "key0" not in store.applied
         assert f"key{MAX_APPLIED_KEYS + 9}" in store.applied
         store.close()
+
+    def test_read_from_returns_none_below_snapshot_base(self, tmp_path):
+        store = make_store(tmp_path)
+        store.append({"add": ["R: A -> B"]})
+        store.write_snapshot("t", BUNDLE, "hash1")  # truncates the WAL
+        store.append({"retract": ["R: A -> B"]})
+        # Tailing after the snapshot base works; tailing before it
+        # must signal a resync (the records no longer exist).
+        assert [r["seq"] for r in store.read_from(1)] == [2]
+        assert store.read_from(2) == []
+        assert store.read_from(0) is None
+        store.close()
+
+    def test_term_round_trips_through_append_snapshot_and_reopen(
+        self, tmp_path
+    ):
+        store = make_store(tmp_path, term=3)
+        record = store.append({"add": ["R: A -> B"]})
+        assert record["term"] == 3
+        store.write_snapshot("t", BUNDLE, "hash1")
+        store.close()
+
+        reopened, snapshot, _ = TenantStore.open(str(tmp_path / "t"))
+        assert snapshot["term"] == 3
+        assert reopened.term == 3
+        # Replicated records from a newer leader advance the local term.
+        reopened.append_replicated({"seq": 2, "term": 5, "patch": {}})
+        assert reopened.term == 5
+        assert reopened.stats()["term"] == 5
+        reopened.close()
 
     def test_no_tmp_file_left_behind(self, tmp_path):
         store = make_store(tmp_path)
@@ -226,3 +315,15 @@ class TestStateDir:
     def test_snapshot_every_validated(self, tmp_path):
         with pytest.raises(ValueError):
             StateDir(str(tmp_path), snapshot_every=0)
+
+    def test_term_persists_in_meta_across_reopen(self, tmp_path):
+        state = StateDir(str(tmp_path))
+        assert state.load_term() == 0
+        state.save_term(4)
+        assert state.load_term() == 4
+        # A fresh handle on the same directory sees the durable term.
+        assert StateDir(str(tmp_path)).load_term() == 4
+        with pytest.raises(WalCorruption, match="unreadable state-dir"):
+            with open(state.meta_path, "w", encoding="utf-8") as fp:
+                fp.write("{nope")
+            state.load_term()
