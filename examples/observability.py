@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Observability quickstart: metrics, traces, and the debug ring.
+
+Starts a *durable* primary with one follower (so every layer that
+records a span has work to do), drives traffic, and reads the whole
+observability surface back out:
+
+* ``GET /metrics`` — Prometheus text exposition, and the same data as
+  JSON (what ``repro top`` polls);
+* ``?trace=1`` — the per-request span waterfall echoed inline:
+  ``parse``, coalescer ``decide``/``coalesce-wait`` (payer
+  attribution), ``mutate``, ``wal-fsync``, and one ``ship`` span per
+  follower forward;
+* trace-id propagation — the id stamped on the primary's WAL record
+  rides the replication envelope into the follower's applied copy;
+* ``GET /debug/traces`` — the slowest recent requests, ring-buffered;
+* client transport counters and per-call wall time.
+
+Run:  python examples/observability.py
+"""
+
+import json
+import http.client
+import tempfile
+
+from repro.serve import BackgroundServer, ServeClient, TenantRegistry
+from repro.serve.wal import StateDir
+
+BUNDLE = {
+    "schema": {
+        "MGR": ["NAME", "DEPT"],
+        "EMP": ["NAME", "DEPT"],
+        "PERSON": ["NAME"],
+    },
+    "dependencies": [
+        "MGR[NAME,DEPT] <= EMP[NAME,DEPT]",
+        "EMP: NAME -> DEPT",
+        "EMP[NAME] <= PERSON[NAME]",
+    ],
+}
+PROBE = "MGR[NAME] <= PERSON[NAME]"
+
+
+def raw(port, method, path, body=None, headers=None):
+    """One HTTP round trip below ServeClient — custom headers, raw text."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, response.read().decode()
+    finally:
+        conn.close()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-obs-") as root:
+        registry = TenantRegistry(state_dir=StateDir(f"{root}/primary"))
+        with BackgroundServer(registry=registry) as primary:
+            client = ServeClient(port=primary.port)
+            client.create_tenant("app", BUNDLE)
+            with BackgroundServer(
+                replica_of=f"127.0.0.1:{primary.port}",
+                registry=TenantRegistry(
+                    state_dir=StateDir(f"{root}/follower")
+                ),
+                heartbeat=0.05,
+            ) as follower:
+                while not primary.server.replication.followers:
+                    pass  # follower registers within one heartbeat
+                run_demo(primary, follower, client)
+
+
+def run_demo(primary, follower, client) -> None:
+    # Traffic first, so there is something to measure.
+    for _ in range(5):
+        client.implies("app", PROBE)
+    client.whatif("app", retract=["EMP[NAME] <= PERSON[NAME]"],
+                  targets=[PROBE])
+
+    # ------------------------------------------------------------------
+    # A traced durable mutation: the span waterfall, echoed inline.
+    # ------------------------------------------------------------------
+    status, body = raw(
+        primary.port,
+        "POST",
+        "/tenants/app/add?trace=1",
+        body={"dependencies": ["PERSON[NAME] <= EMP[NAME]"]},
+        headers={"X-Trace-Id": "cafe0123beef4567"},
+    )
+    assert status == 200
+    trace = json.loads(body)["trace"]
+    print(f"trace {trace['trace_id']}  "
+          f"total {trace['duration_ms']:.2f}ms  span waterfall:")
+    for span in trace["spans"]:
+        detail = {k: v for k, v in span.items()
+                  if k not in ("span", "offset_ms", "duration_ms")}
+        print(f"  +{span['offset_ms']:7.2f}ms  {span['span']:<12} "
+              f"{span['duration_ms']:7.2f}ms  {detail or ''}")
+
+    # The trace id survives the WAL record and the replication stream.
+    [record] = primary.server.registry.tenants["app"].store.read_from(0)
+    [applied] = follower.server.registry.tenants["app"].store.read_from(0)
+    print(f"\nprimary WAL record seq={record['seq']} "
+          f"trace={record['trace']}")
+    print(f"follower applied     seq={applied['seq']} "
+          f"trace={applied['trace']}")
+    assert applied["trace"] == trace["trace_id"]
+
+    # ------------------------------------------------------------------
+    # The metrics surface: Prometheus text, and the JSON twin.
+    # ------------------------------------------------------------------
+    _, exposition = raw(primary.port, "GET", "/metrics")
+    interesting = ("repro_requests_total", "repro_wal_fsync_seconds_count",
+                   "repro_request_seconds_count")
+    print("\nGET /metrics (excerpt):")
+    for line in exposition.splitlines():
+        if line.startswith(interesting):
+            print(f"  {line}")
+
+    metrics = client.request("GET", "/metrics?format=json")
+    print(f"\nGET /metrics?format=json: {len(metrics['counters'])} counters, "
+          f"{len(metrics['gauges'])} gauges, "
+          f"{len(metrics['histograms'])} histograms")
+    implies_hist = metrics["histograms"]['repro_request_seconds{op="implies"}']
+    print(f"  implies latency: count={implies_hist['count']} "
+          f"p50={implies_hist['p50']*1e3:.2f}ms "
+          f"p99={implies_hist['p99']*1e3:.2f}ms")
+
+    # ------------------------------------------------------------------
+    # The debug ring: slowest recent requests, waterfalls included.
+    # ------------------------------------------------------------------
+    ring = client.request("GET", "/debug/traces?limit=2")
+    print(f"\nGET /debug/traces: {ring['recorded']} recorded, "
+          f"slowest {len(ring['traces'])}:")
+    for entry in ring["traces"]:
+        spans = ", ".join(span["span"] for span in entry["spans"])
+        print(f"  {entry['trace_id']}  {entry['duration_ms']:7.2f}ms  "
+              f"[{spans}]")
+
+    # ------------------------------------------------------------------
+    # The client measures itself too.
+    # ------------------------------------------------------------------
+    transport = client.transport_stats()
+    print(f"\nclient transport: {transport['requests_sent']} sent, "
+          f"{transport['retried']} retried, "
+          f"last call {transport['last_call_seconds']*1e3:.2f}ms")
+    print("\nobservability surface: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,16 @@ Workloads (all deterministic, seeded):
   versus rebuilding the same state by replaying the entire mutation
   history from the original bundle.  The recorded speedup is the
   acceptance evidence for checkpointing.
+* ``observability_overhead`` — the coalesced read-heavy stream run
+  twice, bare (every instrumentation site sees ``trace is None``) and
+  fully traced+metered (per-request :class:`~repro.obs.tracing.Trace`,
+  coalescer span attribution, batch-size and latency histograms, the
+  debug trace ring), isolating the per-request instrumentation cost;
+  plus the same stream over real HTTP for the per-request cost that
+  overhead is honestly measured against.  The workload *asserts* the
+  recorded fraction stays under :data:`OBS_OVERHEAD_BUDGET`, so an
+  instrumentation path that grows a hot-path cost fails the bench run
+  loudly.
 * ``replicated_serving`` — aggregate read throughput of a primary
   plus two bootstrapped followers versus the primary alone, with
   per-request service time emulated by the ``latency:hold`` fault so
@@ -87,10 +97,10 @@ from repro.core.ind_decision import decide_ind, decide_ind_naive, index_by_lhs
 from repro.core.ind_kernel import KernelIndex
 
 SCHEMA_VERSION = 1
-SUITE = "e22-replication"
+SUITE = "e23-observability"
 DEFAULT_REPEATS = 15
 
-COMMITTED_BASELINE = "BENCH_e22.json"
+COMMITTED_BASELINE = "BENCH_e23.json"
 """The committed single-report snapshot of the current suite."""
 
 COMMITTED_TRAJECTORY = "BENCH_trajectory.json"
@@ -697,6 +707,162 @@ def bench_serving_mixed(repeats: int = DEFAULT_REPEATS) -> WorkloadResult:
     )
 
 
+OBS_OVERHEAD_BUDGET = 0.05
+"""Max fractional slowdown full per-request tracing+metrics may add
+to the coalesced serving path (the acceptance bound for the
+observability layer riding along on every request)."""
+
+
+def bench_observability_overhead(
+    repeats: int = DEFAULT_REPEATS,
+) -> WorkloadResult:
+    """What per-request observability costs, against what a request costs.
+
+    Two measurements, one budget:
+
+    * **Instrumentation cost** — the identical read-heavy coalesced
+      stream (``serving_mixed``'s shape) driven twice against one warm
+      session: *bare*, the way the other workloads drive the coalescer
+      (every instrumentation site takes its ``trace is None``
+      early-out), and *traced*, paying everything a traced server
+      request pays — a :class:`~repro.obs.tracing.Trace` per request,
+      coalescer payer/waiter span attribution, batch-size and
+      per-request latency histograms, and the finished trace recorded
+      into a :class:`~repro.obs.tracing.TraceRing`.  The per-request
+      difference of the two best-of-N minima is the pure added cost,
+      measured free of HTTP and scheduler noise.
+    * **Request cost** — the same target stream served over real HTTP
+      by a :class:`BackgroundServer` (parse, dispatch, coalesce,
+      respond): the denominator an "overhead" claim is honestly made
+      against.
+
+    The recorded ``overhead_fraction`` — added seconds per traced
+    request over seconds per served request — must stay under
+    :data:`OBS_OVERHEAD_BUDGET`, asserted here so an instrumentation
+    path that grows a hot-path cost fails the bench run loudly.  The
+    ``?trace=1`` *echo* (building and shipping the waterfall JSON) is
+    a per-request debug readout, not always-on overhead; its measured
+    fraction rides along in ``trace_echo_fraction``.
+    """
+    from repro.obs import MetricsRegistry, Trace, TraceRing
+    from repro.serve import BackgroundServer
+    from repro.serve.client import ServeClient
+    from repro.serve.coalescer import _BATCH_SIZE_BUCKETS, Coalescer
+
+    schema, premises, pool = serving_workload()
+    texts = [str(target) for target in pool]
+    session = ReasoningSession(schema, premises)
+    session.implies_all(pool)  # compile every component once
+
+    CLIENTS, READS = 48, 40
+    HOT_PHASES = 4
+    HTTP_READS = 200
+
+    # -- instrumentation cost: bare vs fully traced coalesced stream ------
+    def run_stream(coalescer_factory, on_request):
+        async def main():
+            coalescer = coalescer_factory()
+
+            async def client(offset: int):
+                phase = offset % HOT_PHASES
+                for i in range(READS):
+                    await on_request(
+                        coalescer, texts[(phase + i) % len(texts)]
+                    )
+
+            await asyncio.gather(
+                *(client(offset) for offset in range(CLIENTS))
+            )
+
+        asyncio.run(main())
+
+    async def bare_request(coalescer, text):
+        await coalescer.submit(text)
+
+    metrics = MetricsRegistry()
+    ring = TraceRing()
+    latency = metrics.histogram("repro_request_seconds", op="implies")
+    batch_sizes = metrics.histogram(
+        "repro_coalescer_batch_size", buckets=_BATCH_SIZE_BUCKETS
+    )
+
+    async def traced_request(coalescer, text):
+        trace = Trace()
+        start = time.perf_counter()
+        await coalescer.submit(text, trace=trace)
+        latency.observe(time.perf_counter() - start)
+        ring.record(trace)
+
+    phase_repeats = min(repeats, 5)
+    requests = CLIENTS * READS
+    bare_seconds = best_seconds(
+        lambda: run_stream(lambda: Coalescer(session), bare_request),
+        repeats=phase_repeats,
+    )
+    traced_seconds = best_seconds(
+        lambda: run_stream(
+            lambda: Coalescer(session, batch_sizes=batch_sizes),
+            traced_request,
+        ),
+        repeats=phase_repeats,
+    )
+    added_per_request = (traced_seconds - bare_seconds) / requests
+
+    # -- request cost: the same stream over real HTTP ---------------------
+    bundle = {
+        "schema": {rel.name: list(rel.attributes) for rel in schema},
+        "dependencies": [str(dep) for dep in premises],
+    }
+    with BackgroundServer() as node:
+        http = ServeClient(port=node.port)
+        http.create_tenant("bench", bundle)
+        http.implies_all("bench", texts)
+
+        def drive_http(suffix: str = ""):
+            path = f"/tenants/bench/implies{suffix}"
+            for i in range(HTTP_READS):
+                http.request(
+                    "POST", path, {"target": texts[i % len(texts)]}
+                )
+
+        drive_http()  # warm the connection and both code paths
+        http_repeats = max(1, min(repeats, 3))
+        served_seconds = best_seconds(drive_http, repeats=http_repeats)
+        echo_seconds = best_seconds(
+            lambda: drive_http("?trace=1"), repeats=http_repeats
+        )
+        http.close()
+
+    per_served_request = served_seconds / HTTP_READS
+    overhead = added_per_request / per_served_request
+    assert overhead < OBS_OVERHEAD_BUDGET, (
+        f"observability adds {added_per_request*1e6:.2f}us per request "
+        f"= {overhead:.1%} of a {per_served_request*1e6:.1f}us served "
+        f"request, exceeding the {OBS_OVERHEAD_BUDGET:.0%} budget"
+    )
+    return WorkloadResult(
+        name="observability_overhead",
+        seconds=traced_seconds,
+        ops=requests,
+        meta={
+            "premises": len(premises),
+            "pool": len(texts),
+            "clients": CLIENTS,
+            "reads_per_client": READS,
+            "bare_seconds": bare_seconds,
+            "traced_seconds": traced_seconds,
+            "added_us_per_request": added_per_request * 1e6,
+            "served_request_us": per_served_request * 1e6,
+            "overhead_fraction": overhead,
+            "overhead_budget": OBS_OVERHEAD_BUDGET,
+            "trace_echo_fraction": echo_seconds / served_seconds - 1.0,
+            "latency_observations": latency.count,
+            "batches_observed": batch_sizes.count,
+            "traces_recorded": ring.recorded,
+        },
+    )
+
+
 def bench_cold_start_recovery(repeats: int = DEFAULT_REPEATS) -> WorkloadResult:
     """Snapshot-plus-tail boot versus full mutation-history replay.
 
@@ -966,6 +1132,7 @@ WORKLOADS: dict[str, Callable[[int], WorkloadResult]] = {
     "implies_all_grouped": bench_implies_all_grouped,
     "discovery_mine": bench_discovery_mine,
     "serving_mixed": bench_serving_mixed,
+    "observability_overhead": bench_observability_overhead,
     "cold_start_recovery": bench_cold_start_recovery,
     "replicated_serving": bench_replicated_serving,
 }

@@ -16,6 +16,7 @@ Usage (after ``pip install -e .``)::
     python -m repro bench   --out BENCH_e22.json --trajectory BENCH_trajectory.json
     python -m repro serve   --port 8765 --tenant app=bundle.json
     python -m repro call    /tenants/app/implies '{"target": "MGR[NAME] <= PERSON[NAME]"}'
+    python -m repro top     --port 8765       # live /metrics table
 
 ``bundle.json`` follows the :mod:`repro.io` format: a schema, a list
 of dependencies in the text DSL, and optionally a database instance.
@@ -32,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Sequence
 
 from repro.engine.answer import Semantics
@@ -487,11 +489,90 @@ def _cmd_call(args: argparse.Namespace) -> int:
         return 2
     finally:
         client.close()
-    print(json.dumps(result, indent=2))
+    if args.json:
+        # The machine envelope: the payload plus client-side wall time
+        # and transport counters (retries, backoff slept).
+        print(json.dumps({
+            "result": result,
+            "call_seconds": client.last_call_seconds,
+            "transport": client.transport_stats(),
+        }, indent=2))
+    else:
+        print(json.dumps(result, indent=2))
     # Verdict-style payloads drive shell conditionals: falsy verdict -> 1.
     if isinstance(result, dict) and result.get("verdict") is False:
         return 1
     return 0
+
+
+def _format_top(metrics: dict, endpoint: str) -> str:
+    """One ``repro top`` frame from a ``/metrics?format=json`` payload."""
+    counters = sorted(metrics.get("counters", {}).items())
+    gauges = sorted(metrics.get("gauges", {}).items())
+    histograms = sorted(metrics.get("histograms", {}).items())
+    names = [name for name, _ in counters + gauges + histograms]
+    width = max([len(name) for name in names] + [24])
+
+    def value_fmt(name: str):
+        if "_seconds" in name:
+            return lambda v: f"{v * 1e3:.2f}ms"
+        return lambda v: f"{v:.6g}" if isinstance(v, float) else str(v)
+
+    lines = [
+        f"repro top — {endpoint} — "
+        f"{len(counters)} counters, {len(gauges)} gauges, "
+        f"{len(histograms)} histograms",
+    ]
+    if counters:
+        lines.append("")
+        lines.append(f"{'COUNTER':<{width}}  {'TOTAL':>12}")
+        for name, value in counters:
+            lines.append(f"{name:<{width}}  {value:>12}")
+    if gauges:
+        lines.append("")
+        lines.append(f"{'GAUGE':<{width}}  {'VALUE':>12}")
+        for name, value in gauges:
+            lines.append(f"{name:<{width}}  {value_fmt(name)(value):>12}")
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"{'HISTOGRAM':<{width}}  {'COUNT':>8} {'P50':>10} "
+            f"{'P95':>10} {'P99':>10} {'MAX':>10}"
+        )
+        for name, hist in histograms:
+            fmt = value_fmt(name)
+            lines.append(
+                f"{name:<{width}}  {hist['count']:>8} "
+                f"{fmt(hist['p50']):>10} {fmt(hist['p95']):>10} "
+                f"{fmt(hist['p99']):>10} {fmt(hist['max']):>10}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live metrics table polled from a running server's ``/metrics``."""
+    from repro.serve import ServeClient, ServeError
+
+    endpoint = f"{args.host}:{args.port}"
+    client = ServeClient(host=args.host, port=args.port, timeout=args.timeout)
+    try:
+        while True:
+            try:
+                metrics = client.request("GET", "/metrics?format=json")
+            except (ServeError, OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            frame = _format_top(metrics, endpoint)
+            if not args.once:
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear, home cursor
+            print(frame, flush=True)
+            if args.once:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
 
 
 def _cmd_keys(args: argparse.Namespace) -> int:
@@ -788,7 +869,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=30.0,
         help="socket timeout in seconds (default 30)",
     )
+    p_call.add_argument(
+        "--json", action="store_true",
+        help="wrap the payload in a machine envelope with per-call wall "
+             "time and client transport counters",
+    )
     p_call.set_defaults(func=_cmd_call)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live metrics table polled from a running server",
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=8765)
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval (default 2.0)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (scripting/smoke tests)",
+    )
+    p_top.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="socket timeout in seconds (default 30)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_keys = sub.add_parser("keys", help="candidate keys per relation")
     p_keys.add_argument("bundle")

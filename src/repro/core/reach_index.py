@@ -51,6 +51,7 @@ never recompiles).
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Iterable, Optional
 
@@ -96,6 +97,7 @@ class ReachIndex:
         self.epoch = 0
         self.dirty = False
         self.compiles = 0
+        self.compile_seconds = 0.0
         self.extensions = 0
         self.invalidations = 0
         self.queries = 0
@@ -190,11 +192,16 @@ class ReachIndex:
         if node is not None:
             return node
         first_new = len(self._exprs)
+        compile_start = time.perf_counter()
         try:
             return self._materialize(start, max_nodes, tick)
         except (SearchBudgetExceeded, DeadlineExceeded):
             self._rollback(first_new)
             raise
+        finally:
+            # Only cold starts reach this point (hot queries returned
+            # above), so the timer never runs on the index-hit path.
+            self.compile_seconds += time.perf_counter() - compile_start
 
     def _rollback(self, first_new: int) -> None:
         """Discard nodes appended after ``first_new`` (failed expansion).
@@ -461,6 +468,7 @@ class ReachIndex:
         twin.epoch = self.epoch
         twin.dirty = self.dirty
         twin.compiles = self.compiles
+        twin.compile_seconds = self.compile_seconds
         twin.extensions = self.extensions
         twin.invalidations = self.invalidations
         twin.queries = self.queries
@@ -485,13 +493,14 @@ class ReachIndex:
         """Total set bits across all component labels (index density)."""
         return sum(label.bit_count() for label in self._labels)
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, int | float]:
         return {
             "nodes": len(self._exprs),
             "sccs": len(self._labels),
             "label_bits": self.label_bits,
             "epoch": self.epoch,
             "compiles": self.compiles,
+            "compile_seconds": self.compile_seconds,
             "extensions": self.extensions,
             "invalidations": self.invalidations,
             "dirty": int(self._stale()),

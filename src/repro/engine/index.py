@@ -118,6 +118,8 @@ class PremiseIndex:
         self._fd_kernels: dict[str, FDClosureKernel] = {}
         self._closure_cache: dict[tuple[str, frozenset[str]], frozenset[str]] = {}
         self._keys_cache: dict[str, list[frozenset[str]]] = {}
+        self.closure_hits = 0
+        self.closure_misses = 0
         self._hash_memo: Optional[str] = None
 
     # -- bucket maintenance ------------------------------------------------
@@ -336,6 +338,8 @@ class PremiseIndex:
         twin._fd_kernels = dict(self._fd_kernels)
         twin._closure_cache = dict(self._closure_cache)
         twin._keys_cache = dict(self._keys_cache)
+        twin.closure_hits = 0
+        twin.closure_misses = 0
         twin._hash_memo = self._hash_memo
         return twin
 
@@ -438,8 +442,11 @@ class PremiseIndex:
         key = (relation, frozenset(attrs))
         cached = self._closure_cache.get(key)
         if cached is None:
+            self.closure_misses += 1
             cached = self.fd_kernel(relation).closure(key[1])
             self._closure_cache[key] = cached
+        else:
+            self.closure_hits += 1
         return cached
 
     def fd_implied(self, fd: FD) -> bool:
@@ -487,6 +494,8 @@ class PremiseIndex:
             "rds": self._counts["rd"],
             "relations_with_outgoing_inds": len(self.inds_by_lhs),
             "closures_memoized": len(self._closure_cache),
+            "closure_hits": self.closure_hits,
+            "closure_misses": self.closure_misses,
             "keys_memoized": len(self._keys_cache),
             "fd_kernels_compiled": len(self._fd_kernels),
             **{f"reach_{key}": value for key, value in reach.items()},

@@ -169,6 +169,9 @@ class ReasoningSession:
         self.reach_fallbacks = 0
         self.degraded_answers = 0
         self.engine_counts: dict[str, int] = {}
+        self.chase_runs = 0
+        self.chase_rounds = 0
+        self.chase_rows_scanned = 0
         self.discovery = None
 
     @classmethod
@@ -335,6 +338,9 @@ class ReasoningSession:
         child.reach_fallbacks = 0
         child.degraded_answers = 0
         child.engine_counts = {}
+        child.chase_runs = 0
+        child.chase_rounds = 0
+        child.chase_rows_scanned = 0
         child.discovery = self.discovery
         return child
 
@@ -555,6 +561,9 @@ class ReasoningSession:
             max_tuples=self.max_tuples,
             tick=tick,
         )
+        self.chase_runs += 1
+        self.chase_rounds += certificate.outcome.rounds
+        self.chase_rows_scanned += certificate.outcome.rows_scanned
         return Answer(
             verdict=certificate.implied,
             target=target,
@@ -713,6 +722,9 @@ class ReasoningSession:
             "reach_fallbacks": self.reach_fallbacks,
             "degraded_answers": self.degraded_answers,
             "engines": dict(self.engine_counts),
+            "chase_runs": self.chase_runs,
+            "chase_rounds": self.chase_rounds,
+            "chase_rows_scanned": self.chase_rows_scanned,
             "routing": routing_profile(self.index),
             **self.index.stats(),
         }

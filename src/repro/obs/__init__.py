@@ -1,0 +1,27 @@
+"""Observability primitives: metrics registry and request tracing.
+
+Stdlib-only.  See :mod:`repro.obs.metrics` for the counter / gauge /
+histogram registry behind ``GET /metrics`` and :mod:`repro.obs.tracing`
+for the per-request span model behind ``?trace=1`` and
+``/debug/traces``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_buckets,
+)
+from repro.obs.tracing import Trace, TraceRing, new_trace_id
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Trace",
+    "TraceRing",
+    "default_buckets",
+    "new_trace_id",
+]

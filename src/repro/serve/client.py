@@ -80,7 +80,12 @@ class ServeClient:
         self.jitter = jitter
         self._rng = rng if rng is not None else random.Random()
         self._sleep = sleep
+        # Client-side transport counters — never sent to the server;
+        # ``repro call --json`` and tests read them off the object.
+        self.requests_sent = 0
         self.retried = 0
+        self.backoff_slept = 0.0
+        self.last_call_seconds = 0.0
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- transport ---------------------------------------------------------
@@ -121,21 +126,27 @@ class ServeClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        for attempt in range(self.retries + 1):
-            conn = self._connection()
-            try:
-                conn.request(method, path, body=body, headers=headers)
-                response = conn.getresponse()
-                raw = response.read()
-                break
-            except _RETRYABLE:
-                self.close()
-                if attempt >= self.retries:
-                    raise
-                self.retried += 1
-                delay = self._backoff(attempt)
-                if delay > 0:
-                    self._sleep(delay)
+        call_start = time.perf_counter()
+        self.requests_sent += 1
+        try:
+            for attempt in range(self.retries + 1):
+                conn = self._connection()
+                try:
+                    conn.request(method, path, body=body, headers=headers)
+                    response = conn.getresponse()
+                    raw = response.read()
+                    break
+                except _RETRYABLE:
+                    self.close()
+                    if attempt >= self.retries:
+                        raise
+                    self.retried += 1
+                    delay = self._backoff(attempt)
+                    if delay > 0:
+                        self.backoff_slept += delay
+                        self._sleep(delay)
+        finally:
+            self.last_call_seconds = time.perf_counter() - call_start
         try:
             decoded = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
@@ -156,6 +167,15 @@ class ServeClient:
         if response.headers.get("Connection", "").lower() == "close":
             self.close()
         return decoded
+
+    def transport_stats(self) -> dict[str, Any]:
+        """Client-side transport counters (local, never server state)."""
+        return {
+            "requests_sent": self.requests_sent,
+            "retried": self.retried,
+            "backoff_slept": self.backoff_slept,
+            "last_call_seconds": self.last_call_seconds,
+        }
 
     def close(self) -> None:
         if self._conn is not None:
@@ -333,6 +353,7 @@ class FailoverClient:
         self.resolves = 0
         self.redirects = 0
         self.failed_reads = 0
+        self.failover_slept = 0.0
 
     # -- plumbing ----------------------------------------------------------
 
@@ -392,6 +413,25 @@ class FailoverClient:
             "endpoints": list(self.endpoints),
         }
 
+    def transport_stats(self) -> dict[str, Any]:
+        """Fleet-wide transport counters: this client's routing state
+        plus the per-endpoint clients' retry/backoff totals."""
+        return {
+            "resolves": self.resolves,
+            "redirects": self.redirects,
+            "failed_reads": self.failed_reads,
+            "failover_slept": self.failover_slept,
+            "requests_sent": sum(
+                client.requests_sent for client in self._clients.values()
+            ),
+            "retried": sum(
+                client.retried for client in self._clients.values()
+            ),
+            "backoff_slept": sum(
+                client.backoff_slept for client in self._clients.values()
+            ),
+        }
+
     def close(self) -> None:
         for client in self._clients.values():
             client.close()
@@ -440,6 +480,7 @@ class FailoverClient:
                     f"{self.failover_timeout}s"
                     + (f" (last: {last})" if last is not None else ""),
                 )
+            self.failover_slept += self.poll_interval
             self._sleep(self.poll_interval)
 
     def _read_order(self) -> list[str]:

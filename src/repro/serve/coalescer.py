@@ -31,14 +31,20 @@ tasks, and the property tests from scripted interleavings.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Optional, Union
 
 from repro.deps.base import Dependency
 from repro.engine.answer import Answer, Semantics
 from repro.engine.deadline import Deadline, DeadlineLike, coerce_deadline
 from repro.engine.session import ReasoningSession
+from repro.obs.metrics import Histogram
+from repro.obs.tracing import Trace
 
 _BatchKey = tuple[str, Semantics]
+
+_BATCH_SIZE_BUCKETS = tuple(float(2**i) for i in range(12))
+"""Batch-size histogram buckets: 1, 2, 4, ... 2048 requests."""
 
 
 class Coalescer:
@@ -50,11 +56,19 @@ class Coalescer:
     an honest "unknown", not a 4xx/5xx.
     """
 
-    def __init__(self, session: ReasoningSession, degrade: bool = False):
+    def __init__(
+        self,
+        session: ReasoningSession,
+        degrade: bool = False,
+        batch_sizes: Optional[Histogram] = None,
+    ):
         self.session = session
         self.degrade = degrade
         self._pending: dict[_BatchKey, asyncio.Future] = {}
         self._deadlines: dict[_BatchKey, Optional[Deadline]] = {}
+        # Traced waiters only: ``(trace, submit_time)`` per key, first
+        # entry the payer.  Untraced traffic never touches this dict.
+        self._waiters: dict[_BatchKey, list[tuple[Trace, float]]] = {}
         self._pending_count = 0
         self._flush_scheduled = False
         self.requests = 0
@@ -62,6 +76,13 @@ class Coalescer:
         self.unique_decides = 0
         self.barrier_flushes = 0
         self.degraded = 0
+        self.batch_sizes = (
+            batch_sizes
+            if batch_sizes is not None
+            else Histogram(
+                "repro_coalescer_batch_size", buckets=_BATCH_SIZE_BUCKETS
+            )
+        )
 
     # -- the request side --------------------------------------------------
 
@@ -70,6 +91,7 @@ class Coalescer:
         target: Union[Dependency, str],
         semantics: Union[Semantics, str] = Semantics.UNRESTRICTED,
         deadline: DeadlineLike = None,
+        trace: Optional[Trace] = None,
     ) -> "asyncio.Future[Answer]":
         """Enqueue one ``implies`` question; resolves on the next tick.
 
@@ -82,6 +104,13 @@ class Coalescer:
         otherwise the latest expiry — so no caller gets a degraded
         answer because a stranger's tighter deadline rode along.  Must
         be called on a running event loop.
+
+        A ``trace`` enrolls the request in the batch's span
+        accounting: the *first* traced submitter of a key is the payer
+        and receives the ``decide`` span; every later traced submitter
+        receives a ``coalesce-wait`` span naming the payer's trace id
+        (``paid_by``) — the recorded evidence of who actually ran the
+        decision a shared future resolved from.
         """
         semantics = Semantics(semantics)
         deadline = coerce_deadline(deadline)
@@ -102,6 +131,10 @@ class Coalescer:
                 deadline is None or deadline.expires_at > merged.expires_at
             ):
                 self._deadlines[key] = deadline
+        if trace is not None:
+            self._waiters.setdefault(key, []).append(
+                (trace, time.perf_counter())
+            )
         self.requests += 1
         self._pending_count += 1
         return future
@@ -121,12 +154,18 @@ class Coalescer:
             return
         pending, self._pending = self._pending, {}
         deadlines, self._deadlines = self._deadlines, {}
+        waiters, self._waiters = (
+            (self._waiters, {}) if self._waiters else (None, self._waiters)
+        )
+        self.batch_sizes.observe(self._pending_count)
         self._pending_count = 0
         self.batches += 1
         session = self.session
         for (text, semantics), future in pending.items():
             if future.done():
                 continue
+            traced = waiters.get((text, semantics)) if waiters else None
+            decide_start = time.perf_counter() if traced else 0.0
             try:
                 target = session._coerce(text)
                 answer = session.implies(
@@ -140,7 +179,32 @@ class Coalescer:
             self.unique_decides += 1
             if answer.degraded:
                 self.degraded += 1
+            if traced:
+                self._record_spans(text, traced, decide_start)
             future.set_result(answer)
+
+    @staticmethod
+    def _record_spans(
+        text: str, traced: list[tuple[Trace, float]], decide_start: float
+    ) -> None:
+        """Attribute one shared decide to its payer; spanify waiters."""
+        done = time.perf_counter()
+        payer = traced[0][0]
+        payer.add_span(
+            "decide",
+            done - decide_start,
+            offset=decide_start - payer.t0,
+            target=text,
+            shared=len(traced),
+        )
+        for waiter, submitted in traced[1:]:
+            waiter.add_span(
+                "coalesce-wait",
+                done - submitted,
+                offset=submitted - waiter.t0,
+                target=text,
+                paid_by=payer.trace_id,
+            )
 
     def barrier(self) -> None:
         """Flush pending requests before an operation that must order.

@@ -21,8 +21,10 @@ sees one exception type end to end.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
+from urllib.parse import parse_qsl
 
 import asyncio
 
@@ -72,12 +74,23 @@ class ProtocolError(ServeError):
 
 @dataclass
 class Request:
-    """One parsed HTTP request."""
+    """One parsed HTTP request.
+
+    ``trace_id`` is the client's ``X-Trace-Id`` header when present
+    (so callers can stitch a distributed waterfall) and empty
+    otherwise — the server's :class:`~repro.obs.tracing.Trace` mints
+    an id lazily only when something reads it.  ``parse_seconds``
+    is the wall time :func:`read_request` spent turning bytes into this
+    object — the server records it as the trace's ``parse`` span.
+    """
 
     method: str
     path: str
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    query: dict[str, str] = field(default_factory=dict)
+    trace_id: str = ""
+    parse_seconds: float = 0.0
 
     @property
     def keep_alive(self) -> bool:
@@ -119,11 +132,13 @@ async def read_request(
         return None
     if on_started is not None:
         on_started()
+    parse_start = time.perf_counter()
     parts = line.decode("latin-1").strip().split()
     if len(parts) != 3 or not parts[2].startswith("HTTP/"):
         raise ProtocolError(f"malformed request line: {line!r}")
     method, target = parts[0].upper(), parts[1]
-    path = target.split("?", 1)[0]
+    path, _, query_string = target.partition("?")
+    query = dict(parse_qsl(query_string)) if query_string else {}
     headers: dict[str, str] = {}
     while True:
         raw = await reader.readline()
@@ -148,7 +163,15 @@ async def read_request(
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError:
             raise ProtocolError("connection closed mid-body")
-    return Request(method=method, path=path, headers=headers, body=body)
+    return Request(
+        method=method,
+        path=path,
+        headers=headers,
+        body=body,
+        query=query,
+        trace_id=headers.get("x-trace-id", ""),
+        parse_seconds=time.perf_counter() - parse_start,
+    )
 
 
 def json_response(
@@ -160,6 +183,27 @@ def json_response(
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+    )
+    if close:
+        head += "Connection: close\r\n"
+    return head.encode("latin-1") + b"\r\n" + body
+
+
+def text_response(
+    status: int, body_text: str, close: bool = False,
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+) -> bytes:
+    """One complete HTTP/1.1 response with a plain-text body.
+
+    The default content type is the Prometheus text exposition type —
+    ``GET /metrics`` is the only non-JSON endpoint the server has.
+    """
+    body = body_text.encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
     )
     if close:

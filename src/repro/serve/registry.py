@@ -37,6 +37,8 @@ from repro.io import (
 )
 from repro.model.database import Database
 from repro.model.schema import DatabaseSchema
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.tracing import Trace
 from repro.serve.coalescer import Coalescer
 from repro.serve.protocol import ServeError
 from repro.serve.wal import (
@@ -92,17 +94,36 @@ def bundle_payload_of(session: ReasoningSession) -> dict[str, Any]:
 
 
 class ArtifactCache:
-    """LRU of donor sessions keyed by structural premise hash."""
+    """LRU of donor sessions keyed by structural premise hash.
 
-    def __init__(self, capacity: int = DEFAULT_LRU_CAPACITY):
+    The hit/miss/eviction/drift counters are :class:`repro.obs.metrics.
+    Counter` instruments — registered as ``repro_artifact_cache_*``
+    when a :class:`~repro.obs.metrics.MetricsRegistry` is supplied (the
+    server's), standalone otherwise — and :meth:`stats` reads their
+    values back, so the ``/stats`` JSON shape is unchanged.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_LRU_CAPACITY,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if capacity < 1:
             raise ValueError(f"LRU capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._donors: "OrderedDict[str, ReasoningSession]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.drifted = 0
+
+        def counter(event: str) -> Counter:
+            name = f"repro_artifact_cache_{event}_total"
+            help_text = f"Artifact LRU {event}"
+            if metrics is not None:
+                return metrics.counter(name, help_text)
+            return Counter(name, help_text)
+
+        self.hits = counter("hits")
+        self.misses = counter("misses")
+        self.evictions = counter("evictions")
+        self.drifted = counter("drifted")
 
     def adopt_into(self, session: ReasoningSession) -> bool:
         """Share a cached donor's compiled artifacts into ``session``.
@@ -116,19 +137,19 @@ class ArtifactCache:
         donor = self._donors.get(key)
         if donor is not None and donor.premise_hash != key:
             del self._donors[key]
-            self.drifted += 1
+            self.drifted.inc()
             donor = None
         if donor is not None:
             self._donors.move_to_end(key)
             session.adopt_compiled_from(donor)
-            self.hits += 1
+            self.hits.inc()
             return True
         self._donors[key] = session
         self._donors.move_to_end(key)
         if len(self._donors) > self.capacity:
             self._donors.popitem(last=False)
-            self.evictions += 1
-        self.misses += 1
+            self.evictions.inc()
+        self.misses.inc()
         return False
 
     def __len__(self) -> int:
@@ -138,10 +159,10 @@ class ArtifactCache:
         return {
             "capacity": self.capacity,
             "entries": len(self._donors),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "drifted": self.drifted,
+            "hits": self.hits.value,
+            "misses": self.misses.value,
+            "evictions": self.evictions.value,
+            "drifted": self.drifted.value,
         }
 
 
@@ -167,12 +188,32 @@ class Tenant:
         options: Optional[dict[str, int]] = None,
         term: int = 0,
         replicating: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.name = name
         self.session = session
-        self.coalescer = Coalescer(session, degrade=True)
+        batch_sizes = None
+        if metrics is not None:
+            # One server-wide batch-size histogram shared by every
+            # tenant's coalescer (a per-tenant family would multiply
+            # exposition size without changing the signal).
+            from repro.serve.coalescer import _BATCH_SIZE_BUCKETS
+
+            batch_sizes = metrics.histogram(
+                "repro_coalescer_batch_size",
+                "Requests per coalescer flush",
+                buckets=_BATCH_SIZE_BUCKETS,
+            )
+        self.coalescer = Coalescer(
+            session, degrade=True, batch_sizes=batch_sizes
+        )
         self.shared_artifacts = shared_artifacts
         self.store = store
+        if store is not None and metrics is not None:
+            store.on_fsync = metrics.histogram(
+                "repro_wal_fsync_seconds",
+                "WAL record write+fsync latency",
+            ).observe
         self.snapshot_every = snapshot_every
         self.options = dict(options or {})
         self.applied: dict[str, dict[str, Any]] = (
@@ -194,6 +235,7 @@ class Tenant:
         kind: str,
         dependencies: Iterable[str],
         key: Optional[str] = None,
+        trace: Optional[Trace] = None,
     ) -> dict[str, Any]:
         """Ordered ``add``/``retract`` through the coalescing barrier.
 
@@ -226,7 +268,9 @@ class Tenant:
         }
         patch = {kind: [str(dep) for dep in coerced]}
         if self.store is not None:
-            record = self.store.append(patch, key=key, result=result)
+            record = self.store.append(
+                patch, key=key, result=result, trace=trace
+            )
             result["seq"] = record["seq"]
             if self.store.appends_since_snapshot >= self.snapshot_every:
                 self.checkpoint()
@@ -237,6 +281,8 @@ class Tenant:
             record = {"seq": seq, "term": self.term, "patch": patch}
             if key:
                 record["key"] = key
+            if trace is not None:
+                record["trace"] = trace.trace_id
             if self.replicating:
                 result["seq"] = seq
             record["result"] = dict(result)
@@ -380,9 +426,11 @@ class TenantRegistry:
         self,
         artifact_capacity: int = DEFAULT_LRU_CAPACITY,
         state_dir: Optional[StateDir] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.tenants: dict[str, Tenant] = {}
-        self.artifacts = ArtifactCache(artifact_capacity)
+        self.metrics = metrics
+        self.artifacts = ArtifactCache(artifact_capacity, metrics=metrics)
         self.state_dir = state_dir
         self.recovered_tenants = 0
         self.replayed_records = 0
@@ -474,6 +522,7 @@ class TenantRegistry:
                 options=options,
                 term=self.term,
                 replicating=self.replicating,
+                metrics=self.metrics,
             )
             self.tenants[name] = tenant
             self.recovered_tenants += 1
@@ -523,6 +572,7 @@ class TenantRegistry:
             options=options,
             term=self.term,
             replicating=self.replicating,
+            metrics=self.metrics,
         )
         self.tenants[name] = tenant
         return tenant
@@ -624,6 +674,7 @@ class TenantRegistry:
             options=options,
             term=max(term, self.term),
             replicating=True,
+            metrics=self.metrics,
         )
         tenant.replicated_seq = seq
         if store is None and isinstance(applied, dict):

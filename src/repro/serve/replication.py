@@ -46,8 +46,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Any, Optional
 
+from repro.obs.tracing import Trace
 from repro.serve.faults import (
     PARTITION_REPLICATION,
     REPLICATION_LAG,
@@ -198,8 +200,18 @@ class PrimaryReplicator:
         self.server.registry.set_replicating(True)
         return handle
 
-    async def forward(self, tenant_name: str, record: dict[str, Any]) -> None:
-        """Push one record to every follower, concurrently."""
+    async def forward(
+        self,
+        tenant_name: str,
+        record: dict[str, Any],
+        trace: Optional[Trace] = None,
+    ) -> None:
+        """Push one record to every follower, concurrently.
+
+        A ``trace`` receives one ``ship`` span per follower (the
+        record's trace id already rides *inside* the envelope, so the
+        follower's durable copy links back to the originating request).
+        """
         if not self.followers:
             return
         faults = self.server.faults
@@ -211,13 +223,17 @@ class PrimaryReplicator:
             return
         await asyncio.gather(
             *(
-                self._forward_one(handle, tenant_name, record)
+                self._forward_one(handle, tenant_name, record, trace)
                 for handle in list(self.followers.values())
             )
         )
 
     async def _forward_one(
-        self, handle: FollowerHandle, tenant_name: str, record: dict[str, Any]
+        self,
+        handle: FollowerHandle,
+        tenant_name: str,
+        record: dict[str, Any],
+        trace: Optional[Trace] = None,
     ) -> None:
         envelope = {
             "term": self.server.registry.term,
@@ -225,6 +241,9 @@ class PrimaryReplicator:
             "tenant": tenant_name,
             "records": [record],
         }
+        if "trace" in record:
+            envelope["trace"] = record["trace"]
+        ship_start = time.perf_counter()
         try:
             status, payload = await replication_request(
                 handle.endpoint, "POST", "/replication/apply", envelope
@@ -233,7 +252,9 @@ class PrimaryReplicator:
             handle.state = "lagging"
             handle.last_error = f"{type(exc).__name__}: {exc}"
             self.forward_failures += 1
+            self._record_ship(trace, handle, ship_start, ok=False)
             return
+        self._record_ship(trace, handle, ship_start, ok=(status == 200))
         if status == 200:
             handle.state = "healthy"
             handle.last_error = None
@@ -255,6 +276,30 @@ class PrimaryReplicator:
         handle.state = "syncing"
         handle.last_error = payload.get("error") or f"status {status}"
         self.forward_failures += 1
+
+    def _record_ship(
+        self,
+        trace: Optional[Trace],
+        handle: FollowerHandle,
+        started: float,
+        ok: bool,
+    ) -> None:
+        """One per-follower ``ship`` span plus the latency histogram."""
+        elapsed = time.perf_counter() - started
+        metrics = getattr(self.server, "metrics", None)
+        if metrics is not None:
+            metrics.histogram(
+                "repro_replication_ship_seconds",
+                "Per-follower replication forward round trip",
+            ).observe(elapsed)
+        if trace is not None:
+            trace.add_span(
+                "ship",
+                elapsed,
+                offset=started - trace.t0,
+                follower=handle.endpoint,
+                ok=ok,
+            )
 
     def heartbeat_payload(self) -> dict[str, Any]:
         registry = self.server.registry

@@ -56,6 +56,8 @@ from typing import Any, Optional
 from repro.engine.answer import Semantics
 from repro.engine.deadline import Deadline
 from repro.exceptions import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Trace, TraceRing
 from repro.serve.faults import (
     DROP_CONNECTION,
     NO_FAULTS,
@@ -69,6 +71,7 @@ from repro.serve.protocol import (
     error_payload,
     json_response,
     read_request,
+    text_response,
 )
 from repro.serve.registry import Tenant, TenantRegistry
 from repro.serve.replication import (
@@ -175,17 +178,186 @@ class ReasoningServer:
             if replica_of
             else None
         )
-        self.promotions = 0
-        self.stepped_down = 0
-        self.redirected_mutations = 0
-        self.lag_rejections = 0
         self._replication_task: Optional[asyncio.Task] = None
-        self.requests_served = 0
-        self.degraded_answers = 0
-        self.dropped_connections = 0
+        # The server-wide counters live on the metrics registry (their
+        # ``/stats`` entries read the instrument values back, so the
+        # JSON shape is unchanged — pinned by the stats-shape test).
+        metrics = self.metrics = MetricsRegistry()
+        self.traces = TraceRing()
+        self.promotions = metrics.counter(
+            "repro_promotions_total", "Follower-to-primary promotions"
+        )
+        self.stepped_down = metrics.counter(
+            "repro_step_downs_total", "Primary step-downs after fencing"
+        )
+        self.redirected_mutations = metrics.counter(
+            "repro_redirected_mutations_total",
+            "Mutations 421-redirected to the primary",
+        )
+        self.lag_rejections = metrics.counter(
+            "repro_lag_rejections_total",
+            "Follower reads refused for exceeding max_lag",
+        )
+        self.requests_served = metrics.counter(
+            "repro_requests_total", "HTTP requests answered"
+        )
+        self.degraded_answers = metrics.counter(
+            "repro_degraded_answers_total",
+            "Answers degraded by deadline or budget",
+        )
+        self.dropped_connections = metrics.counter(
+            "repro_dropped_connections_total",
+            "Connections dropped by fault injection",
+        )
+        self._op_latency = {
+            op: metrics.histogram(
+                "repro_request_seconds",
+                "Tenant operation latency by op",
+                op=op,
+            )
+            for op in ("implies", "implies_all", "mutate", "whatif", "check")
+        }
+        self._wire_registry_metrics()
+        metrics.register_collector(self._collect_metrics)
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._conn_states: dict[asyncio.Task, _ConnState] = {}
+
+    # -- metrics wiring ----------------------------------------------------
+
+    def _wire_registry_metrics(self) -> None:
+        """Adopt the tenant registry's instruments into this server's
+        metrics registry.
+
+        A :class:`TenantRegistry` built before the server (the common
+        test/CLI shape) created standalone artifact-cache counters and
+        per-tenant coalescer/WAL instruments; this re-homes the live
+        counter objects (values intact) and rebinds the per-tenant
+        hooks so everything lands in one scrapeable registry.
+        """
+        from repro.serve.coalescer import _BATCH_SIZE_BUCKETS
+
+        registry = self.registry
+        if registry.metrics is None:
+            registry.metrics = self.metrics
+            for counter in (
+                registry.artifacts.hits,
+                registry.artifacts.misses,
+                registry.artifacts.evictions,
+                registry.artifacts.drifted,
+            ):
+                self.metrics.register(counter)
+        batch_sizes = self.metrics.histogram(
+            "repro_coalescer_batch_size",
+            "Requests per coalescer flush",
+            buckets=_BATCH_SIZE_BUCKETS,
+        )
+        fsync = self.metrics.histogram(
+            "repro_wal_fsync_seconds", "WAL record write+fsync latency"
+        )
+        for tenant in registry.tenants.values():
+            tenant.coalescer.batch_sizes = batch_sizes
+            if tenant.store is not None:
+                tenant.store.on_fsync = fsync.observe
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time gauges derived from the live ``stats()`` dicts.
+
+        This is the whole trick that keeps instrumentation off the hot
+        path: the engine's counters (reach compiles, chase rounds, FD
+        memo hits, ...) are ints it already maintains; nothing new is
+        paid per query, and the aggregation below runs only when
+        ``/metrics`` is actually scraped.
+        """
+        metrics = self.metrics
+        registry = self.registry
+        metrics.gauge("repro_tenants", "Live tenants").set(
+            len(registry.tenants)
+        )
+        metrics.gauge("repro_connections", "Open connections").set(
+            len(self._conn_states)
+        )
+        metrics.gauge(
+            "repro_traces_recorded", "Traces recorded into the debug ring"
+        ).set(self.traces.recorded)
+        session_sums = {
+            "repro_engine_queries": "queries",
+            "repro_engine_reach_cache_hits": "reach_cache_hits",
+            "repro_engine_reach_fallbacks": "reach_fallbacks",
+            "repro_engine_degraded_answers": "degraded_answers",
+            "repro_reach_compiles": "reach_compiles",
+            "repro_reach_compile_seconds": "reach_compile_seconds",
+            "repro_reach_extensions": "reach_extensions",
+            "repro_reach_invalidations": "reach_invalidations",
+            "repro_fd_closure_hits": "closure_hits",
+            "repro_fd_closure_misses": "closure_misses",
+            "repro_fd_kernels_compiled": "fd_kernels_compiled",
+            "repro_chase_runs": "chase_runs",
+            "repro_chase_rounds": "chase_rounds",
+            "repro_chase_rows_scanned": "chase_rows_scanned",
+        }
+        totals = dict.fromkeys(session_sums, 0)
+        coalescer_keys = (
+            "requests", "batches", "unique_decides", "deduplicated",
+            "degraded",
+        )
+        coalescer_totals = dict.fromkeys(coalescer_keys, 0)
+        wal_totals = {"appends": 0, "snapshots": 0}
+        replayed = 0
+        for tenant in registry.tenants.values():
+            stats = tenant.session.stats()
+            for name, key in session_sums.items():
+                totals[name] += stats.get(key, 0)
+            coalescer_stats = tenant.coalescer.stats()
+            for key in coalescer_keys:
+                coalescer_totals[key] += coalescer_stats[key]
+            replayed += tenant.replayed_mutations
+            if tenant.store is not None:
+                wal_totals["appends"] += tenant.store.appends
+                wal_totals["snapshots"] += tenant.store.snapshots
+        for name, value in totals.items():
+            metrics.gauge(name).set(value)
+        for key, value in coalescer_totals.items():
+            metrics.gauge(f"repro_coalescer_{key}").set(value)
+        metrics.gauge("repro_wal_appends").set(wal_totals["appends"])
+        metrics.gauge("repro_wal_snapshots").set(wal_totals["snapshots"])
+        metrics.gauge("repro_replayed_mutations").set(replayed)
+        replication = self.replication
+        metrics.gauge("repro_replication_forwarded_records").set(
+            replication.forwarded_records
+        )
+        metrics.gauge("repro_replication_forward_failures").set(
+            replication.forward_failures
+        )
+        for handle in replication.followers.values():
+            lag = sum(
+                max(
+                    0,
+                    tenant.replicated_seq
+                    - handle.acked_seq.get(name, 0),
+                )
+                for name, tenant in registry.tenants.items()
+            )
+            metrics.gauge(
+                "repro_follower_lag",
+                "Record lag of one registered follower",
+                follower=handle.endpoint,
+            ).set(lag)
+        if self.follower is not None:
+            follower = self.follower
+            metrics.gauge("repro_heartbeats_ok").set(follower.heartbeats_ok)
+            metrics.gauge("repro_heartbeats_missed").set(
+                follower.heartbeats_missed
+            )
+            metrics.gauge("repro_promotion_refusals").set(
+                follower.promotion_refusals
+            )
+            for name in follower.primary_seqs:
+                metrics.gauge(
+                    "repro_replication_lag",
+                    "Seq delta behind the primary",
+                    tenant=name,
+                ).set(follower.lag_of(name))
 
     def _deadline_of(self, body: dict[str, Any]) -> Optional[Deadline]:
         """The request's deadline: per-request ``deadline_ms`` wins,
@@ -233,7 +405,7 @@ class ReasoningServer:
         self.registry.set_term(term)
         self.role = "primary"
         self.primary_endpoint = self.advertised_endpoint()
-        self.promotions += 1
+        self.promotions.inc()
 
     def step_down(self, term: int, leader: Optional[str] = None) -> None:
         """A higher term fenced us: stop leading, keep serving reads."""
@@ -241,7 +413,7 @@ class ReasoningServer:
             self.registry.set_term(term)
         if self.role == "primary":
             self.role = "fenced"
-            self.stepped_down += 1
+            self.stepped_down.inc()
         if leader:
             self.primary_endpoint = leader
 
@@ -327,12 +499,46 @@ class ReasoningServer:
                     break
                 if request is None:
                     break
-                status, payload = await self._safe_dispatch(request)
+                closing = (
+                    not request.keep_alive
+                    or (self._shutdown is not None and self._shutdown.is_set())
+                )
+                if (
+                    request.method == "GET"
+                    and request.path == "/metrics"
+                    and request.query.get("format") != "json"
+                ):
+                    # The Prometheus exposition is text, not JSON, so it
+                    # bypasses the JSON dispatch pipeline entirely.
+                    # Count before writing: once the client has read the
+                    # response, the counters must already reflect it.
+                    self.requests_served.inc()
+                    writer.write(
+                        text_response(
+                            200, self.metrics.render_prometheus(),
+                            close=closing,
+                        )
+                    )
+                    await writer.drain()
+                    if closing:
+                        break
+                    continue
+                trace = Trace(request.trace_id)
+                trace.add_span(
+                    "parse", request.parse_seconds, offset=0.0,
+                    method=request.method, path=request.path,
+                )
+                status, payload = await self._safe_dispatch(request, trace)
+                if (
+                    request.query.get("trace")
+                    and isinstance(payload, dict)
+                ):
+                    payload["trace"] = trace.finish().to_json()
                 if self.faults.trip(DROP_CONNECTION):
                     # What a dying peer looks like from the client side:
                     # headers promise a body, a few bytes arrive, then
                     # the socket slams shut mid-response.
-                    self.dropped_connections += 1
+                    self.dropped_connections.inc()
                     writer.write(
                         b"HTTP/1.1 200 OK\r\n"
                         b"Content-Type: application/json\r\n"
@@ -340,13 +546,13 @@ class ReasoningServer:
                     )
                     await writer.drain()
                     break
-                closing = (
-                    not request.keep_alive
-                    or (self._shutdown is not None and self._shutdown.is_set())
-                )
+                # Count and record before writing: a client that has
+                # read this response must observe it in the counters
+                # and the trace ring (tests assert exactly that).
+                self.requests_served.inc()
+                self.traces.record(trace)
                 writer.write(json_response(status, payload, close=closing))
                 await writer.drain()
-                self.requests_served += 1
                 if closing:
                     break
         except (asyncio.CancelledError, ConnectionResetError):
@@ -356,7 +562,7 @@ class ReasoningServer:
             writer.close()
 
     async def _safe_dispatch(
-        self, request: Request
+        self, request: Request, trace: Optional[Trace] = None
     ) -> tuple[int, dict[str, Any]]:
         try:
             delay = self.faults.latency_seconds()
@@ -367,7 +573,7 @@ class ReasoningServer:
                     time.sleep(delay)
                 else:
                     await asyncio.sleep(delay)
-            return 200, await self._dispatch(request)
+            return 200, await self._dispatch(request, trace)
         except ServeError as exc:
             return exc.status, error_payload(
                 exc.status, str(exc), extra=exc.extra
@@ -383,10 +589,29 @@ class ReasoningServer:
 
     # -- routing -----------------------------------------------------------
 
-    async def _dispatch(self, request: Request) -> dict[str, Any]:
+    async def _dispatch(
+        self, request: Request, trace: Optional[Trace] = None
+    ) -> dict[str, Any]:
         method = request.method
         parts = [part for part in request.path.split("/") if part]
 
+        if parts == ["metrics"]:
+            # The text form short-circuits in ``_handle_connection``;
+            # only ``?format=json`` reaches this route.
+            self._require(method, "GET", request)
+            return self.metrics.render_json()
+        if parts == ["debug", "traces"]:
+            self._require(method, "GET", request)
+            raw = request.query.get("limit", "10")
+            try:
+                limit = int(raw)
+            except ValueError:
+                raise ServeError(
+                    400, f"'limit' must be an integer, got {raw!r}"
+                )
+            if limit < 1:
+                raise ServeError(400, f"'limit' must be >= 1, got {limit}")
+            return self.traces.to_json(limit)
         if parts == ["health"]:
             self._require(method, "GET", request)
             return {
@@ -409,7 +634,9 @@ class ReasoningServer:
             self.begin_shutdown()
             return {"ok": True, "draining": True}
         if parts and parts[0] == "tenants":
-            return await self._dispatch_tenants(method, parts[1:], request)
+            return await self._dispatch_tenants(
+                method, parts[1:], request, trace
+            )
         if parts and parts[0] == "replication":
             return await self._dispatch_replication(
                 method, parts[1:], request
@@ -426,7 +653,7 @@ class ReasoningServer:
     def _require_primary(self, what: str) -> None:
         """421 Misdirected Request: mutations belong to the primary."""
         if self.role != "primary":
-            self.redirected_mutations += 1
+            self.redirected_mutations.inc()
             raise ServeError(
                 421,
                 f"{what} must go to the primary; this node is a "
@@ -506,7 +733,11 @@ class ReasoningServer:
         raise ServeError(404, f"no route for {method} {request.path}")
 
     async def _dispatch_tenants(
-        self, method: str, parts: list[str], request: Request
+        self,
+        method: str,
+        parts: list[str],
+        request: Request,
+        trace: Optional[Trace] = None,
     ) -> dict[str, Any]:
         if not parts:
             if method == "GET":
@@ -545,7 +776,7 @@ class ReasoningServer:
             return tenant.stats()
         self._require(method, "POST", request)
         body = request.json()
-        return await self._tenant_op(tenant, op, body)
+        return await self._tenant_op(tenant, op, body, trace)
 
     def _check_lag(self, tenant: Tenant, body: dict[str, Any]) -> None:
         """Bounded-staleness gate for follower reads.
@@ -569,7 +800,7 @@ class ReasoningServer:
             return  # the primary (or a fenced ex-primary) is never stale
         lag = self.follower.lag_of(tenant.name)
         if lag > raw:
-            self.lag_rejections += 1
+            self.lag_rejections.inc()
             raise ServeError(
                 503,
                 f"replication lag {lag} exceeds max_lag {raw} for tenant "
@@ -578,7 +809,28 @@ class ReasoningServer:
             )
 
     async def _tenant_op(
-        self, tenant: Tenant, op: str, body: dict[str, Any]
+        self,
+        tenant: Tenant,
+        op: str,
+        body: dict[str, Any],
+        trace: Optional[Trace] = None,
+    ) -> dict[str, Any]:
+        started = time.perf_counter()
+        try:
+            return await self._run_tenant_op(tenant, op, body, trace)
+        finally:
+            latency = self._op_latency.get(
+                "mutate" if op in ("add", "retract") else op
+            )
+            if latency is not None:
+                latency.observe(time.perf_counter() - started)
+
+    async def _run_tenant_op(
+        self,
+        tenant: Tenant,
+        op: str,
+        body: dict[str, Any],
+        trace: Optional[Trace],
     ) -> dict[str, Any]:
         if op in ("implies", "implies_all", "whatif", "check"):
             self._check_lag(tenant, body)
@@ -587,10 +839,11 @@ class ReasoningServer:
             if not isinstance(target, str) or not target:
                 raise ServeError(400, "'target' must be a DSL string")
             answer = await tenant.coalescer.submit(
-                target, _semantics_of(body), deadline=self._deadline_of(body)
+                target, _semantics_of(body),
+                deadline=self._deadline_of(body), trace=trace,
             )
             if answer.degraded:
-                self.degraded_answers += 1
+                self.degraded_answers.inc()
             return answer.to_json()
         if op == "implies_all":
             targets = _string_list(body, "targets")
@@ -599,12 +852,14 @@ class ReasoningServer:
             semantics = _semantics_of(body)
             deadline = self._deadline_of(body)
             futures = [
-                tenant.coalescer.submit(target, semantics, deadline=deadline)
+                tenant.coalescer.submit(
+                    target, semantics, deadline=deadline, trace=trace
+                )
                 for target in targets
             ]
             answers = await asyncio.gather(*futures)
             degraded = sum(answer.degraded for answer in answers)
-            self.degraded_answers += degraded
+            self.degraded_answers.inc(degraded)
             return {
                 "answers": [answer.to_json() for answer in answers],
                 "implied": sum(
@@ -618,9 +873,16 @@ class ReasoningServer:
             }
         if op in ("add", "retract"):
             self._require_primary(f"'{op}'")
+            mutate_start = time.perf_counter()
             result = tenant.mutate(
-                op, _string_list(body, "dependencies"), key=_key_of(body)
+                op, _string_list(body, "dependencies"), key=_key_of(body),
+                trace=trace,
             )
+            if trace is not None:
+                trace.add_span(
+                    "mutate", time.perf_counter() - mutate_start,
+                    offset=mutate_start - trace.t0, op=op,
+                )
             # Forward before acknowledging: a keyed replay forwards
             # nothing (its record already shipped the first time).
             if (
@@ -629,10 +891,18 @@ class ReasoningServer:
                 and tenant.last_record is not None
             ):
                 await self.replication.forward(
-                    tenant.name, tenant.last_record
+                    tenant.name, tenant.last_record, trace=trace
                 )
             return result
         if op == "whatif":
+            if trace is not None:
+                with trace.span("whatif"):
+                    return await tenant.whatif_async(
+                        _string_list(body, "targets"),
+                        add=_string_list(body, "add"),
+                        retract=_string_list(body, "retract"),
+                        semantics=_semantics_of(body),
+                    )
             return await tenant.whatif_async(
                 _string_list(body, "targets"),
                 add=_string_list(body, "add"),
@@ -654,8 +924,8 @@ class ReasoningServer:
         payload = {
             "ok": True,
             "draining": bool(self._shutdown and self._shutdown.is_set()),
-            "requests_served": self.requests_served,
-            "degraded_answers": self.degraded_answers,
+            "requests_served": self.requests_served.value,
+            "degraded_answers": self.degraded_answers.value,
             "default_deadline": self.default_deadline,
             "connections": len(self._conn_states),
             **self.registry.stats(),
@@ -677,14 +947,16 @@ class ReasoningServer:
             replication.update(self.replication.stats())
         if self.follower is not None:
             replication["follower"] = self.follower.stats()
-        if self.promotions:
-            replication["promotions"] = self.promotions
-        if self.stepped_down:
-            replication["stepped_down"] = self.stepped_down
-        if self.redirected_mutations:
-            replication["redirected_mutations"] = self.redirected_mutations
-        if self.lag_rejections:
-            replication["lag_rejections"] = self.lag_rejections
+        if self.promotions.value:
+            replication["promotions"] = self.promotions.value
+        if self.stepped_down.value:
+            replication["stepped_down"] = self.stepped_down.value
+        if self.redirected_mutations.value:
+            replication["redirected_mutations"] = (
+                self.redirected_mutations.value
+            )
+        if self.lag_rejections.value:
+            replication["lag_rejections"] = self.lag_rejections.value
         if (
             self.role != "primary"
             or len(replication) > 3
@@ -693,8 +965,8 @@ class ReasoningServer:
             payload["replication"] = replication
         if self.faults:
             payload["faults"] = self.faults.stats()
-        if self.dropped_connections:
-            payload["dropped_connections"] = self.dropped_connections
+        if self.dropped_connections.value:
+            payload["dropped_connections"] = self.dropped_connections.value
         return payload
 
 

@@ -68,9 +68,11 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 import urllib.parse
-from typing import Any, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
+from repro.obs.tracing import Trace
 from repro.serve.faults import CRASH_AFTER_WAL_APPEND, CRASH_BEFORE_WAL_APPEND
 from repro.serve.faults import NO_FAULTS, FaultInjector
 from repro.serve.protocol import ServeError
@@ -118,6 +120,10 @@ class TenantStore:
         self.appends_since_snapshot = 0
         self.applied: dict[str, dict[str, Any]] = {}
         self._wal = None
+        # Set by the server's metrics wiring: called with each record
+        # write's fsync wall time (seconds).  Replicated appends report
+        # through the same hook, so follower fsyncs are observed too.
+        self.on_fsync: Optional[Callable[[float], None]] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -268,6 +274,7 @@ class TenantStore:
         patch: dict[str, Any],
         key: Optional[str] = None,
         result: Optional[dict[str, Any]] = None,
+        trace: Optional[Trace] = None,
     ) -> dict[str, Any]:
         """Durably log one applied mutation; returns the full record.
 
@@ -278,6 +285,11 @@ class TenantStore:
         copy, so the durability layer never aliases the server-side
         response payload.  The returned record (seq, term, patch, key,
         recorded result) is exactly what replication forwards.
+
+        A ``trace`` stamps its id into the record — the durable half of
+        the request↔mutation link, and what rides the replication
+        stream to the follower's log — and receives a ``wal-fsync``
+        span covering this append's write+fsync.
         """
         self.faults.crash_point(CRASH_BEFORE_WAL_APPEND)
         seq = self.seq + 1
@@ -285,12 +297,16 @@ class TenantStore:
                                   "patch": patch}
         if key:
             record["key"] = key
+        if trace is not None:
+            record["trace"] = trace.trace_id
         if result is not None:
             # Stamp the seq into a copy before serializing so a replay
             # after a reboot returns the same acknowledgment as the
             # original, without mutating the caller's payload in place.
             record["result"] = {**result, "seq": seq}
-        self._write_record(record)
+        fsync_seconds = self._write_record(record)
+        if trace is not None:
+            trace.add_span("wal-fsync", fsync_seconds, seq=seq)
         if key:
             self.applied[key] = record.get("result") or {}
         self.faults.crash_point(CRASH_AFTER_WAL_APPEND)
@@ -317,14 +333,20 @@ class TenantStore:
         if key:
             self.applied[key] = record.get("result") or {}
 
-    def _write_record(self, record: dict[str, Any]) -> None:
+    def _write_record(self, record: dict[str, Any]) -> float:
+        """Write + flush + fsync one record; returns the wall time."""
+        start = time.perf_counter()
         self._wal.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._wal.flush()
         os.fsync(self._wal.fileno())
+        elapsed = time.perf_counter() - start
         self.seq = int(record["seq"])
         self.term = max(self.term, int(record.get("term", 0)))
         self.appends += 1
         self.appends_since_snapshot += 1
+        if self.on_fsync is not None:
+            self.on_fsync(elapsed)
+        return elapsed
 
     # -- checkpoints -------------------------------------------------------
 

@@ -26,6 +26,12 @@ EXPECTATIONS = {
         "verdict=unknown degraded=True reason=deadline",
         "recovery surface: OK",
     ],
+    "observability.py": [
+        "span waterfall:",
+        "wal-fsync",
+        "follower applied     seq=1 trace=cafe0123beef4567",
+        "observability surface: OK",
+    ],
 }
 
 

@@ -1,0 +1,84 @@
+"""Unit coverage for the per-request trace and trace-ring types."""
+
+import time
+
+from repro.obs.tracing import Trace, TraceRing, new_trace_id
+
+
+class TestTrace:
+    def test_ids_are_minted_or_adopted(self):
+        assert len(new_trace_id()) == 16
+        assert Trace("abc123").trace_id == "abc123"
+        minted = Trace()
+        assert len(minted.trace_id) == 16
+        assert minted.trace_id != Trace().trace_id
+
+    def test_span_context_manager_records_offset_and_duration(self):
+        trace = Trace()
+        with trace.span("work", op="implies"):
+            time.sleep(0.002)
+        (name, offset, seconds, meta), = trace.spans
+        assert name == "work"
+        assert seconds >= 0.002
+        assert offset >= 0.0
+        assert meta == {"op": "implies"}
+
+    def test_add_span_defaults_offset_to_just_ended(self):
+        trace = Trace()
+        time.sleep(0.002)
+        trace.add_span("fsync", 0.001)
+        (_, offset, seconds, _), = trace.spans
+        # The span is placed so it ends "now": offset ~ elapsed - 0.001.
+        assert 0.0 < offset < time.perf_counter() - trace.t0
+        assert seconds == 0.001
+        trace.add_span("parse", 0.5, offset=0.0)
+        assert trace.spans[1][1] == 0.0
+
+    def test_to_json_waterfall_shape(self):
+        trace = Trace("feedface00000000")
+        trace.add_span("decide", 0.004, offset=0.001, batch=3)
+        payload = trace.finish().to_json()
+        assert payload["trace_id"] == "feedface00000000"
+        assert payload["duration_ms"] >= 0.0
+        span, = payload["spans"]
+        assert span == {
+            "span": "decide",
+            "offset_ms": 1.0,
+            "duration_ms": 4.0,
+            "batch": 3,
+        }
+
+    def test_finish_freezes_duration(self):
+        trace = Trace().finish()
+        frozen = trace.duration
+        time.sleep(0.002)
+        assert trace.to_json()["duration_ms"] == frozen * 1e3
+
+
+class TestTraceRing:
+    def test_capacity_bounds_retention_but_not_the_total(self):
+        ring = TraceRing(capacity=4)
+        for _ in range(10):
+            ring.record(Trace())
+        assert len(ring) == 4
+        assert ring.recorded == 10
+        assert ring.to_json()["recorded"] == 10
+        assert ring.to_json()["capacity"] == 4
+
+    def test_slowest_orders_by_duration(self):
+        ring = TraceRing()
+        durations = [0.005, 0.001, 0.009, 0.003]
+        for duration in durations:
+            trace = Trace()
+            trace.duration = duration
+            ring.record(trace)
+        slowest = ring.slowest(limit=2)
+        assert [t.duration for t in slowest] == [0.009, 0.005]
+        assert len(ring.to_json(limit=3)["traces"]) == 3
+
+    def test_record_finishes_unfinished_traces(self):
+        ring = TraceRing()
+        trace = Trace()
+        assert trace.duration is None
+        ring.record(trace)
+        assert trace.duration is not None

@@ -287,9 +287,9 @@ class TestFailoverClient:
                 assert topology["primary"] == endpoint_of(primary)
                 assert topology["followers"] == [endpoint_of(follower)]
 
-                served_before = follower.server.requests_served
+                served_before = follower.server.requests_served.value
                 assert fc.implies("app", PROBES[2])["verdict"] is True
-                assert follower.server.requests_served > served_before
+                assert follower.server.requests_served.value > served_before
 
                 result = fc.add("app", [EXTRA_DEP])
                 assert result["version"] == 1
